@@ -1,0 +1,56 @@
+"""E10 companion: real functional-simulation throughput on this host.
+
+Not a paper figure — the calibration ground truth.  Measures wall-clock
+seconds per simulated tick of the *functional* simulator at several model
+sizes, plus the per-phase split, so the repository documents what the
+pure-Python Compass actually achieves (EXPERIMENTS.md quotes these
+numbers alongside the modelled Blue Gene figures).
+"""
+
+import pytest
+
+from repro.cocomac.model import build_macaque_model
+from repro.core.config import CompassConfig
+from repro.core.simulator import Compass
+from repro.perf.report import format_table
+
+TICKS = 50
+
+
+@pytest.mark.parametrize("cores", [77, 256])
+def test_functional_tick_throughput(benchmark, cores):
+    model = build_macaque_model(total_cores=cores, seed=3)
+    net = model.compiled.network
+
+    def run():
+        sim = Compass(net, CompassConfig(n_processes=4))
+        sim.run(TICKS)
+        return sim
+
+    sim = benchmark(run)
+    assert sim.metrics.ticks == TICKS
+
+
+def test_phase_split_report(write_result, macaque_128):
+    net = macaque_128.compiled.network
+    sim = Compass(net, CompassConfig(n_processes=4))
+    sim.run(200)
+    h = sim.metrics.host
+    rows = [
+        ("synapse", round(h.synapse, 3), f"{h.synapse / h.total:.0%}"),
+        ("neuron", round(h.neuron, 3), f"{h.neuron / h.total:.0%}"),
+        ("network", round(h.network, 3), f"{h.network / h.total:.0%}"),
+        ("total", round(h.total, 3), "100%"),
+    ]
+    table = format_table(
+        ["phase", "host_seconds", "share"],
+        rows,
+        title="functional host-time phase split "
+        "(128-core macaque model, 200 ticks, 4 virtual processes)",
+    )
+    table += (
+        f"\nper tick: {h.total / 200 * 1e3:.2f} ms host time; "
+        f"rate {sim.metrics.mean_rate_hz(net.n_neurons):.1f} Hz"
+    )
+    write_result("tick_throughput", table)
+    assert h.total > 0

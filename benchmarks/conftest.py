@@ -1,0 +1,37 @@
+"""Shared benchmark fixtures.
+
+Every figure bench both *measures* something real with pytest-benchmark
+and *regenerates* the paper artefact (the same rows/series the figure
+plots), writing it to ``benchmarks/results/<name>.txt`` so the output
+survives pytest's stdout capture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def write_result():
+    """Callable: write_result(name, text) -> path; also echoes to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _write(name: str, text: str) -> Path:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+        return path
+
+    return _write
+
+
+@pytest.fixture(scope="session")
+def macaque_128():
+    """Small compiled macaque model shared by the functional benches."""
+    from repro.cocomac.model import build_macaque_model
+
+    return build_macaque_model(total_cores=128, seed=7)

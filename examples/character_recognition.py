@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Character recognition on TrueNorth cores (§I application list).
+
+One core per digit class holds its template in the synaptic crossbar;
+glyph pixels are injected as spikes; the class whose evidence neurons fire
+most wins.  The demo measures accuracy under increasing pixel noise.
+
+Run:  python examples/character_recognition.py
+"""
+
+from repro.apps.classify import DIGIT_GLYPHS, TemplateClassifier, glyph_to_array, noisy_glyph
+from repro.perf.report import format_table
+
+
+def main() -> None:
+    classifier = TemplateClassifier(DIGIT_GLYPHS)
+    print(f"classifier: {len(DIGIT_GLYPHS)} classes, one TrueNorth core each\n")
+
+    # Show one glyph for orientation.
+    print("template for digit 3:")
+    for row in DIGIT_GLYPHS[3]:
+        print("   " + row)
+    print()
+
+    rows = []
+    for flips in (0, 2, 4, 6, 8, 12):
+        samples = [
+            (noisy_glyph(label, flips=flips, seed=seed), label)
+            for label in DIGIT_GLYPHS
+            for seed in range(5)
+        ]
+        acc = classifier.accuracy(samples)
+        rows.append((flips, f"{flips / 64:.0%}", f"{acc:.0%}"))
+    print(
+        format_table(
+            ["pixels_flipped", "noise", "accuracy"],
+            rows,
+            title="accuracy vs pixel noise (25 samples per row)",
+        )
+    )
+
+    # Single classification walk-through.
+    img = noisy_glyph(2, flips=4, seed=1)
+    predicted = classifier.classify(img)
+    print("\nnoisy digit 2 presented:")
+    arr = img
+    for r in range(8):
+        print("   " + "".join("#" if arr[r, c] else "." for c in range(8)))
+    print(f"predicted: {predicted}")
+    clean = glyph_to_array(DIGIT_GLYPHS[predicted])
+    overlap = (arr & clean).sum() / clean.sum()
+    print(f"template overlap: {overlap:.0%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Spatio-temporal feature extraction (§I application list).
+
+A liquid-state machine: temporal spike patterns (rising, falling, steady
+sweeps with identical total energy) drive a recurrent TrueNorth reservoir
+core; a ridge readout over time-binned reservoir spike counts classifies
+the pattern family.  The demo reports accuracy and contrasts it against a
+readout over the raw inputs' *total counts* (which cannot separate the
+classes by construction).
+
+Run:  python examples/feature_extraction.py
+"""
+
+import numpy as np
+
+from repro.apps.reservoir import (
+    RidgeReadout,
+    SpikingReservoir,
+    lsm_experiment,
+    temporal_pattern,
+)
+from repro.perf.report import format_table
+
+KINDS = ("rising", "falling", "steady")
+
+
+def baseline_accuracy(seed: int = 1, per_class: int = 8, ticks: int = 24) -> float:
+    """Readout over total per-lane counts only (no temporal features)."""
+    feats, labels = [], []
+    for ci, kind in enumerate(KINDS):
+        for s in range(per_class):
+            stream = temporal_pattern(kind, 16, ticks, seed=seed * 1000 + ci * 100 + s)
+            feats.append(stream.sum(axis=0).astype(float))
+            labels.append(ci)
+    feats = np.array(feats)
+    labels = np.array(labels)
+    train = np.arange(len(labels)) % 4 != 0
+    readout = RidgeReadout(alpha=5.0).fit(feats[train], labels[train])
+    pred = readout.predict(feats[~train])
+    return float((pred == labels[~train]).mean())
+
+
+def main() -> None:
+    print("liquid-state machine on one recurrent TrueNorth core\n")
+    print("pattern families (equal total energy, different temporal shape):")
+    for kind in KINDS:
+        stream = temporal_pattern(kind, 16, 24, seed=7)
+        art = ["".join("#" if stream[t, lane] else "." for t in range(24))
+               for lane in range(0, 16, 4)]
+        print(f"  {kind:8s} " + art[0])
+        for row in art[1:]:
+            print("           " + row)
+        print()
+
+    lsm_acc = lsm_experiment(train_per_class=6, test_per_class=3, ticks=24, seed=1)
+    base_acc = baseline_accuracy(seed=1)
+    print(
+        format_table(
+            ["readout", "features", "accuracy"],
+            [
+                ("ridge over raw counts", "16 totals (no time)", f"{base_acc:.0%}"),
+                ("ridge over liquid state", "time-binned reservoir spikes", f"{lsm_acc:.0%}"),
+            ],
+            title="3-class temporal pattern classification (chance 33%)",
+        )
+    )
+    print("\nthe reservoir's transient dynamics encode *when* energy arrived,"
+          "\nwhich the count baseline cannot represent.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Optic flow / motion detection on one TrueNorth core (§I application
+list), built from the architecture's axonal delays.
+
+A Reichardt detector correlates each pixel with a delayed copy of its
+neighbour: the sign of the delay asymmetry makes neurons directionally
+selective.  The demo sweeps bars moving in both directions and prints the
+detector's votes.
+
+Run:  python examples/optic_flow.py
+"""
+
+from repro.apps.opticflow import MotionDetector1D, moving_bar
+from repro.perf.report import format_table
+
+
+def main() -> None:
+    n_pixels = 24
+    det = MotionDetector1D(n_pixels=n_pixels, delay=1)
+    print(f"1-D Reichardt detector: {n_pixels} pixels, delay 1 tick, "
+          f"one TrueNorth core\n")
+
+    rows = []
+    for direction in ("right", "left"):
+        for speed in (1, 2):
+            frames = moving_bar(n_pixels, ticks=20, direction=direction, speed=speed)
+            detector = MotionDetector1D(n_pixels, delay=1)
+            raster = detector.present(frames)
+            right, left = detector.direction_votes(raster)
+            verdict = detector.detect(frames)
+            rows.append((direction, speed, right, left, verdict))
+    print(
+        format_table(
+            ["stimulus", "speed", "right_votes", "left_votes", "detected"],
+            rows,
+            title="moving-bar sweep",
+        )
+    )
+
+    # Static control.
+    import numpy as np
+
+    static = np.zeros((20, n_pixels), dtype=bool)
+    static[:, 5] = True  # a bright but motionless pixel
+    control = MotionDetector1D(n_pixels, delay=1)
+    print(f"\nstatic stimulus detected as: {control.detect(static)!r}")
+
+
+if __name__ == "__main__":
+    main()

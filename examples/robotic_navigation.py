@@ -1,0 +1,33 @@
+#!/usr/bin/env python
+"""Closed-loop robotic navigation (§I application list).
+
+A spiking Braitenberg controller on a single TrueNorth core steers an
+agent through an obstacle slalom: proximity sensors are rate-coded into
+spikes, the steering winner-take-all picks {left, straight, right}, and
+the winner moves the agent.  The whole loop is re-simulated every world
+step — the structure of a real-time Compass deployment.
+
+Run:  python examples/robotic_navigation.py
+"""
+
+from repro.apps.navigation import GridWorld, navigate, render
+
+
+def main() -> None:
+    world = GridWorld.corridor(length=24, width=7)
+    print("corridor world ('#' obstacle, '*' path, '>' agent):\n")
+    print(render(world))
+    print("\nnavigating ...\n")
+
+    world = navigate(world, max_steps=80, seed=3)
+    print(render(world))
+    print(
+        f"\nsteps: {world.steps}  progress: {world.progress} columns  "
+        f"collisions: {world.collisions}"
+    )
+    if world.x >= world.grid.shape[1] - 2:
+        print("reached the end of the corridor.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Multi-modal sensor integration (§I: "multi-modal image-audio
+classification", "sensor integration").
+
+A visual template classifier and an auditory signature classifier — each
+a bank of TrueNorth cores — contribute evidence spikes per class; fusion
+sums the evidence.  The demo corrupts one modality at a time and shows
+fusion degrading gracefully where single modalities fail.
+
+Run:  python examples/sensor_integration.py
+"""
+
+import numpy as np
+
+from repro.apps.classify import DIGIT_GLYPHS, noisy_glyph
+from repro.apps.integration import MultiModalClassifier
+from repro.perf.report import format_table
+
+
+def corrupt_spectrum(spec: np.ndarray, flips: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    out = spec.copy()
+    idx = rng.choice(out.size, size=flips, replace=False)
+    out[idx] = ~out[idx]
+    return out
+
+
+def main() -> None:
+    fused = MultiModalClassifier(seed=3)
+    labels = sorted(DIGIT_GLYPHS)
+    print(f"classes: {labels}; one visual core + one audio core per class\n")
+
+    rows = []
+    for img_flips, spec_flips in [(0, 0), (12, 0), (0, 24), (12, 24), (20, 8)]:
+        v_ok = a_ok = f_ok = 0
+        cases = 0
+        for label in labels:
+            for seed in range(3):
+                _, clean_spec = fused.sample_for(label)
+                img = noisy_glyph(label, flips=img_flips, seed=seed)
+                spec = corrupt_spectrum(clean_spec, spec_flips, seed)
+                v_ok += fused.classify(image=img) == label
+                a_ok += fused.classify(spectrum=spec) == label
+                f_ok += fused.classify(image=img, spectrum=spec) == label
+                cases += 1
+        rows.append(
+            (
+                f"{img_flips}px",
+                f"{spec_flips}bins",
+                f"{v_ok/cases:.0%}",
+                f"{a_ok/cases:.0%}",
+                f"{f_ok/cases:.0%}",
+            )
+        )
+    print(
+        format_table(
+            ["image_noise", "audio_noise", "vision_only", "audio_only", "fused"],
+            rows,
+            title="accuracy under modality corruption (15 samples per row)",
+        )
+    )
+    print("\nfusion tracks the better modality and exceeds both under "
+          "moderate noise in each.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""repro — reproduction of *Compass: A scalable simulator for an architecture
+for Cognitive Computing* (Preissl et al., SC 2012).
+
+The package implements, from scratch and in pure Python/NumPy:
+
+* the TrueNorth neurosynaptic-core architecture model (:mod:`repro.arch`);
+* a deterministic virtual parallel machine standing in for Blue Gene/Q and
+  Blue Gene/P, with simulated MPI and PGAS communication layers
+  (:mod:`repro.runtime`);
+* the Compass functional simulator itself — the paper's main contribution —
+  with both MPI and PGAS backends (:mod:`repro.core`);
+* the Parallel Compass Compiler (PCC) including IPFP matrix balancing
+  (:mod:`repro.compiler`);
+* a synthetic CoCoMac macaque-brain network model (:mod:`repro.cocomac`);
+* the performance-reproduction layer that regenerates every figure in the
+  paper's evaluation (:mod:`repro.perf`);
+* a small application library of functional primitives, encoders, and demo
+  networks (:mod:`repro.apps`).
+
+Quickstart
+----------
+
+>>> from repro import build_quickstart_network, Compass
+>>> net = build_quickstart_network()
+>>> sim = Compass.from_network(net, n_processes=2, seed=7)
+>>> result = sim.run(ticks=64)
+>>> result.total_spikes >= 0
+True
+"""
+
+from repro.version import __version__
+from repro.arch.params import CoreParameters, NeuronParameters
+from repro.arch.core import NeurosynapticCore
+from repro.arch.network import CoreNetwork
+from repro.core.config import CompassConfig
+from repro.core.simulator import Compass
+from repro.core.pgas_simulator import PgasCompass
+from repro.compiler.coreobject import CoreObject
+from repro.compiler.pcc import ParallelCompassCompiler
+from repro.cocomac.model import build_macaque_model
+from repro.apps.quicknet import build_quickstart_network
+
+__all__ = [
+    "__version__",
+    "NeuronParameters",
+    "CoreParameters",
+    "NeurosynapticCore",
+    "CoreNetwork",
+    "CompassConfig",
+    "Compass",
+    "PgasCompass",
+    "CoreObject",
+    "ParallelCompassCompiler",
+    "build_macaque_model",
+    "build_quickstart_network",
+]

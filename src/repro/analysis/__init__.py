@@ -1,0 +1,32 @@
+"""Spike-train analysis tools.
+
+§I lists "studying TrueNorth dynamics" and "hypotheses testing ...
+regarding neural codes and function" among Compass's purposes; this
+package provides the measurement side: inter-spike-interval statistics,
+population rates, synchrony, and text rasters over recorded spike traces.
+"""
+
+from repro.analysis.stats import (
+    SpikeTrainStats,
+    interspike_intervals,
+    isi_cv,
+    fano_factor,
+    population_rate,
+    region_rates,
+    synchrony_index,
+    spike_train_stats,
+)
+from repro.analysis.raster import ascii_raster, raster_matrix
+
+__all__ = [
+    "SpikeTrainStats",
+    "interspike_intervals",
+    "isi_cv",
+    "fano_factor",
+    "population_rate",
+    "region_rates",
+    "synchrony_index",
+    "spike_train_stats",
+    "ascii_raster",
+    "raster_matrix",
+]

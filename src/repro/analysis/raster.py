@@ -1,0 +1,54 @@
+"""Raster rendering for terminals and downstream tooling."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.simulator import SpikeRecorder
+
+
+def raster_matrix(
+    recorder: SpikeRecorder,
+    gid: int,
+    ticks: int,
+    n_neurons: int = 256,
+) -> np.ndarray:
+    """Boolean (ticks, neurons) raster for one core."""
+    t, g, n = recorder.to_arrays()
+    out = np.zeros((ticks, n_neurons), dtype=bool)
+    sel = (g == gid) & (t < ticks)
+    out[t[sel], n[sel]] = True
+    return out
+
+
+def ascii_raster(
+    recorder: SpikeRecorder,
+    gid: int,
+    ticks: int,
+    n_neurons: int = 256,
+    max_rows: int = 32,
+    mark: str = "|",
+    blank: str = ".",
+    skip_silent: bool = True,
+) -> str:
+    """Text raster: one line per neuron, one column per tick.
+
+    Only the first ``max_rows`` neurons are shown; silent neurons are
+    skipped by default so active structure stays visible.
+    """
+    m = raster_matrix(recorder, gid, ticks, n_neurons)
+    lines = []
+    shown = 0
+    for j in range(n_neurons):
+        if shown >= max_rows:
+            break
+        row = m[:, j]
+        if skip_silent and not row.any():
+            continue
+        lines.append(
+            f"n{j:03d} " + "".join(mark if v else blank for v in row)
+        )
+        shown += 1
+    if not lines:
+        return "(no spikes recorded)"
+    return "\n".join(lines)

@@ -1,0 +1,118 @@
+"""Spike-train statistics over recorded (tick, gid, neuron) traces."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.simulator import SpikeRecorder
+
+
+def _trace(recorder: SpikeRecorder) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    return recorder.to_arrays()
+
+
+def interspike_intervals(recorder: SpikeRecorder) -> np.ndarray:
+    """All ISIs (in ticks) pooled across neurons."""
+    t, g, n = _trace(recorder)
+    if t.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    # Sort by (neuron identity, time); diffs within each neuron are ISIs.
+    key = g * (n.max() + 1 if n.size else 1) + n
+    order = np.lexsort((t, key))
+    key_s, t_s = key[order], t[order]
+    same = key_s[1:] == key_s[:-1]
+    return (t_s[1:] - t_s[:-1])[same]
+
+
+def isi_cv(recorder: SpikeRecorder) -> float:
+    """Coefficient of variation of the pooled ISI distribution.
+
+    CV ≈ 1 for Poisson-like irregular firing; 0 for clockwork firing.
+    Returns NaN when fewer than two ISIs exist.
+    """
+    isis = interspike_intervals(recorder)
+    if isis.size < 2 or isis.mean() == 0:
+        return float("nan")
+    return float(isis.std() / isis.mean())
+
+
+def fano_factor(recorder: SpikeRecorder, window: int, ticks: int) -> float:
+    """Variance/mean of population spike counts in fixed windows."""
+    if window <= 0 or ticks < window:
+        raise ValueError("need 0 < window <= ticks")
+    t, _, _ = _trace(recorder)
+    n_windows = ticks // window
+    counts = np.bincount(
+        np.minimum(t // window, n_windows - 1), minlength=n_windows
+    )[:n_windows]
+    mean = counts.mean()
+    if mean == 0:
+        return float("nan")
+    return float(counts.var() / mean)
+
+
+def population_rate(recorder: SpikeRecorder, n_neurons: int, ticks: int) -> np.ndarray:
+    """Instantaneous population rate in Hz per tick, shape (ticks,)."""
+    t, _, _ = _trace(recorder)
+    counts = np.bincount(t[t < ticks], minlength=ticks)[:ticks]
+    return counts / n_neurons * 1000.0
+
+
+def region_rates(
+    recorder: SpikeRecorder,
+    region_ranges: dict[str, tuple[int, int]],
+    ticks: int,
+    neurons_per_core: int = 256,
+) -> dict[str, float]:
+    """Mean rate (Hz) per named region of a compiled model."""
+    t, g, _ = _trace(recorder)
+    out: dict[str, float] = {}
+    for name, (lo, hi) in region_ranges.items():
+        spikes = int(((g >= lo) & (g < hi)).sum())
+        neurons = (hi - lo) * neurons_per_core
+        out[name] = spikes / neurons / (ticks / 1000.0)
+    return out
+
+
+def synchrony_index(recorder: SpikeRecorder, n_neurons: int, ticks: int) -> float:
+    """Normalised population synchrony in [0, ~1].
+
+    Variance of the instantaneous population rate divided by what the same
+    mean rate would produce if neurons were independent Poisson processes;
+    values ≫ 1 indicate synchronised bursting, ≈ 1 asynchrony.
+    """
+    t, _, _ = _trace(recorder)
+    counts = np.bincount(t[t < ticks], minlength=ticks)[:ticks].astype(float)
+    mean = counts.mean()
+    if mean == 0:
+        return float("nan")
+    return float(counts.var() / mean)
+
+
+@dataclass(frozen=True)
+class SpikeTrainStats:
+    """Summary bundle produced by :func:`spike_train_stats`."""
+
+    total_spikes: int
+    mean_rate_hz: float
+    isi_cv: float
+    synchrony: float
+    active_fraction: float  #: fraction of neurons that spiked at least once
+
+
+def spike_train_stats(
+    recorder: SpikeRecorder, n_neurons: int, ticks: int
+) -> SpikeTrainStats:
+    """One-call summary of a run's spiking behaviour."""
+    t, g, n = _trace(recorder)
+    distinct = len(set(zip(g.tolist(), n.tolist())))
+    rate = t.size / n_neurons / (ticks / 1000.0) if ticks else 0.0
+    return SpikeTrainStats(
+        total_spikes=int(t.size),
+        mean_rate_hz=float(rate),
+        isi_cv=isi_cv(recorder),
+        synchrony=synchrony_index(recorder, n_neurons, ticks),
+        active_fraction=distinct / n_neurons if n_neurons else 0.0,
+    )

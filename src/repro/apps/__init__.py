@@ -1,0 +1,39 @@
+"""Application library (§I: "we have used Compass to demonstrate numerous
+applications of the TrueNorth architecture").
+
+Functional primitives (:mod:`repro.apps.primitives`) configure single cores
+as reusable building blocks; :mod:`repro.apps.encoders` /
+:mod:`repro.apps.decoders` translate between data and spikes;
+:mod:`repro.apps.classify` implements spiking template classification
+(character recognition); :mod:`repro.apps.opticflow` implements
+Reichardt-style direction-selective motion detection using axonal delays.
+"""
+
+from repro.apps.quicknet import build_quickstart_network
+from repro.apps.encoders import rate_encode, image_to_spikes, poisson_schedule
+from repro.apps.decoders import spike_counts, rates_from_counts, argmax_decode
+from repro.apps.primitives import (
+    configure_relay,
+    configure_splitter,
+    configure_majority,
+    configure_wta,
+)
+from repro.apps.classify import TemplateClassifier, DIGIT_GLYPHS
+from repro.apps.opticflow import MotionDetector1D
+
+__all__ = [
+    "build_quickstart_network",
+    "rate_encode",
+    "image_to_spikes",
+    "poisson_schedule",
+    "spike_counts",
+    "rates_from_counts",
+    "argmax_decode",
+    "configure_relay",
+    "configure_splitter",
+    "configure_majority",
+    "configure_wta",
+    "TemplateClassifier",
+    "DIGIT_GLYPHS",
+    "MotionDetector1D",
+]

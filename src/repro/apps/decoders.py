@@ -1,0 +1,50 @@
+"""Spike decoders: rasters/recorders → data."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.simulator import SpikeRecorder
+
+
+def spike_counts(raster: np.ndarray) -> np.ndarray:
+    """Per-neuron spike counts from a (ticks, neurons) raster."""
+    raster = np.asarray(raster)
+    if raster.ndim != 2:
+        raise ValueError("raster must be 2-D (ticks, neurons)")
+    return raster.sum(axis=0).astype(np.int64)
+
+
+def rates_from_counts(counts: np.ndarray, ticks: int) -> np.ndarray:
+    """Convert spike counts to Hz (1 ms ticks)."""
+    if ticks <= 0:
+        raise ValueError("ticks must be positive")
+    return np.asarray(counts, dtype=float) / (ticks / 1000.0)
+
+
+def argmax_decode(counts: np.ndarray) -> int:
+    """Winner index; ties break toward the lowest index (deterministic)."""
+    counts = np.asarray(counts)
+    return int(np.argmax(counts))
+
+
+def counts_by_gid(recorder: SpikeRecorder, n_cores: int) -> np.ndarray:
+    """Total spikes per core from a full-run spike trace."""
+    _, gids, _ = recorder.to_arrays()
+    out = np.zeros(n_cores, dtype=np.int64)
+    np.add.at(out, gids, 1)
+    return out
+
+
+def raster_of_core(
+    recorder: SpikeRecorder, gid: int, ticks: int, n_neurons: int
+) -> np.ndarray:
+    """Rebuild one core's (ticks, neurons) raster from a spike trace."""
+    t, g, n = recorder.to_arrays()
+    sel = g == gid
+    raster = np.zeros((ticks, n_neurons), dtype=bool)
+    tt = t[sel]
+    nn = n[sel]
+    keep = tt < ticks
+    raster[tt[keep], nn[keep]] = True
+    return raster

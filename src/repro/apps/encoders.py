@@ -1,0 +1,64 @@
+"""Spike encoders: data → input spike schedules.
+
+An input schedule is a ``dict[tick, np.ndarray-of-axons]`` suitable for
+:meth:`repro.arch.core.NeurosynapticCore.run` or, with gids, for
+:meth:`repro.core.simulator.CompassBase.inject_batch`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def rate_encode(
+    values: np.ndarray,
+    ticks: int,
+    max_rate: float = 0.5,
+    seed: int = 0,
+) -> dict[int, np.ndarray]:
+    """Bernoulli rate coding: value ``v ∈ [0, 1]`` on axon *i* spikes with
+    probability ``v × max_rate`` each tick.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 1:
+        raise ValueError("values must be 1-D (one entry per axon)")
+    if np.any((values < 0) | (values > 1)):
+        raise ValueError("values must lie in [0, 1]")
+    rng = np.random.default_rng(seed)
+    schedule: dict[int, np.ndarray] = {}
+    probs = values * max_rate
+    for t in range(ticks):
+        hits = np.where(rng.random(values.size) < probs)[0]
+        if hits.size:
+            schedule[t] = hits
+    return schedule
+
+
+def poisson_schedule(
+    n_axons: int, rate_hz: float, ticks: int, seed: int = 0
+) -> dict[int, np.ndarray]:
+    """Homogeneous Poisson-ish input at ``rate_hz`` per axon (1 ms ticks)."""
+    p = rate_hz / 1000.0
+    if not 0 <= p <= 1:
+        raise ValueError("rate_hz out of range for 1 ms ticks")
+    rng = np.random.default_rng(seed)
+    schedule: dict[int, np.ndarray] = {}
+    for t in range(ticks):
+        hits = np.where(rng.random(n_axons) < p)[0]
+        if hits.size:
+            schedule[t] = hits
+    return schedule
+
+
+def image_to_spikes(
+    image: np.ndarray, repeats: int = 1, start_tick: int = 0
+) -> dict[int, np.ndarray]:
+    """Binary-image coding: each set pixel spikes its axon once per repeat.
+
+    Pixels are flattened row-major onto axons; the image is presented
+    ``repeats`` times on consecutive ticks (temporal redundancy lets
+    threshold-N readouts integrate evidence).
+    """
+    image = np.asarray(image)
+    active = np.where(image.ravel() > 0)[0]
+    return {start_tick + r: active.copy() for r in range(repeats)}

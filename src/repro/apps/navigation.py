@@ -1,0 +1,175 @@
+"""Closed-loop robotic navigation (§I: "real-time motor control",
+"robotic navigation").
+
+A Braitenberg-style controller on TrueNorth cores: range sensors around
+the agent inject spikes proportional to obstacle proximity; a steering
+core votes among {left, straight, right} with obstacle-driven inhibition
+(an obstacle on the left inhibits turning left); the winning action moves
+the agent on a 2-D grid world.  The whole loop — encode, simulate a few
+ticks, decode, act — runs once per world step, exactly the structure a
+real-time Compass deployment would use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.arch.builder import NetworkBuilder
+from repro.arch.params import NeuronParameters
+from repro.core.config import CompassConfig
+from repro.core.simulator import Compass
+
+#: Steering actions, as (rotation) applied to the heading index.
+ACTIONS = ("left", "straight", "right")
+
+#: Heading index -> (dy, dx) on the grid; 0=N, 1=E, 2=S, 3=W.
+HEADINGS = ((-1, 0), (0, 1), (1, 0), (0, -1))
+
+
+@dataclass
+class GridWorld:
+    """A 2-D occupancy grid with an agent pose."""
+
+    grid: np.ndarray  #: bool (rows, cols); True = obstacle
+    y: int
+    x: int
+    heading: int = 1  #: index into HEADINGS
+    steps: int = 0
+    collisions: int = 0
+    trace: list = field(default_factory=list)
+
+    @classmethod
+    def corridor(cls, length: int = 24, width: int = 7) -> "GridWorld":
+        """A walled corridor with a staggered obstacle slalom."""
+        grid = np.zeros((width, length), dtype=bool)
+        grid[0, :] = grid[-1, :] = True  # walls
+        for i, col in enumerate(range(4, length - 2, 4)):
+            row = 2 if i % 2 == 0 else width - 3
+            grid[row, col] = True
+        return cls(grid=grid, y=width // 2, x=1, heading=1)
+
+    def sense(self, max_range: int = 3) -> np.ndarray:
+        """Proximity readings in [0, 1] for (left, front, right) rays."""
+        readings = []
+        for turn in (-1, 0, 1):
+            h = (self.heading + turn) % 4
+            dy, dx = HEADINGS[h]
+            proximity = 0.0
+            for r in range(1, max_range + 1):
+                yy, xx = self.y + dy * r, self.x + dx * r
+                if (
+                    not (0 <= yy < self.grid.shape[0] and 0 <= xx < self.grid.shape[1])
+                    or self.grid[yy, xx]
+                ):
+                    proximity = (max_range - r + 1) / max_range
+                    break
+            readings.append(proximity)
+        return np.array(readings)
+
+    def act(self, action: str) -> None:
+        """Turn per the action, then advance one cell if free."""
+        self.steps += 1
+        if action == "left":
+            self.heading = (self.heading - 1) % 4
+        elif action == "right":
+            self.heading = (self.heading + 1) % 4
+        dy, dx = HEADINGS[self.heading]
+        ny, nx = self.y + dy, self.x + dx
+        blocked = (
+            not (0 <= ny < self.grid.shape[0] and 0 <= nx < self.grid.shape[1])
+            or self.grid[ny, nx]
+        )
+        if blocked:
+            self.collisions += 1
+        else:
+            self.y, self.x = ny, nx
+        self.trace.append((self.y, self.x, self.heading))
+
+    @property
+    def progress(self) -> int:
+        """Columns travelled from the start."""
+        return self.x - 1
+
+
+class SpikingNavigator:
+    """The TrueNorth controller: 3 sensor lanes -> 3-way steering WTA.
+
+    Crossbar layout on one core: sensor axon *s* (0..2) excites the two
+    actions that steer *away* from ray *s* and inhibits the action toward
+    it (axon types: 0 = excitatory +2, 1 = inhibitory −4, so an active
+    obstacle ray vetoes its action outright).  A constant bias axon
+    excites 'straight' so the agent moves when nothing is sensed.
+    """
+
+    N_SENSORS = 3
+    BIAS_AXON = 6
+
+    def __init__(self, seed: int = 0, ticks_per_step: int = 4) -> None:
+        self.ticks_per_step = ticks_per_step
+        builder = NetworkBuilder(seed=seed)
+        dense = np.zeros((256, 256), dtype=bool)
+        types = np.zeros(256, dtype=np.uint8)
+        # Excitatory sensor copies on axons 0..2, inhibitory on 3..5.
+        for s in range(self.N_SENSORS):
+            for a, action in enumerate(ACTIONS):
+                if a == s:  # obstacle on ray s inhibits steering into it
+                    dense[3 + s, a] = True
+                else:
+                    dense[s, a] = True
+            types[3 + s] = 1
+        dense[self.BIAS_AXON, 1] = True  # bias -> 'straight'
+        builder.add_population(
+            "steering",
+            1,
+            neuron=NeuronParameters(
+                weights=(2, -4, 0, 0), leak=-1, threshold=2, floor=-4
+            ),
+            crossbar=dense,
+            axon_types=types,
+        )
+        self.network, _, _ = builder.build()
+
+    def decide(self, readings: np.ndarray, seed: int) -> str:
+        """One control step: encode readings, run, decode the action."""
+        sim = Compass(self.network, CompassConfig(record_spikes=True))
+        rng = np.random.default_rng(seed)
+        for t in range(self.ticks_per_step):
+            sim.inject(0, self.BIAS_AXON, t)  # constant drive
+            for s, level in enumerate(readings):
+                # Rate-code proximity on both the + and - copies.
+                if rng.random() < level:
+                    sim.inject(0, s, t)
+                    sim.inject(0, 3 + s, t)
+        sim.run(self.ticks_per_step + 2)
+        _, _, neurons = sim.recorder.to_arrays()
+        votes = np.bincount(neurons, minlength=3)[:3]
+        return ACTIONS[int(np.argmax(votes))]
+
+
+def navigate(
+    world: GridWorld | None = None,
+    max_steps: int = 60,
+    seed: int = 0,
+) -> GridWorld:
+    """Run the closed loop until the corridor end or the step budget."""
+    world = world or GridWorld.corridor()
+    nav = SpikingNavigator(seed=seed)
+    goal_x = world.grid.shape[1] - 2
+    for step in range(max_steps):
+        if world.x >= goal_x:
+            break
+        action = nav.decide(world.sense(), seed=seed * 10_007 + step)
+        world.act(action)
+    return world
+
+
+def render(world: GridWorld) -> str:
+    """ASCII view of the grid, path, and agent."""
+    chars = np.where(world.grid, "#", ".").astype(object)
+    for y, x, _ in world.trace:
+        chars[y, x] = "*"
+    marker = {0: "^", 1: ">", 2: "v", 3: "<"}[world.heading]
+    chars[world.y, world.x] = marker
+    return "\n".join("".join(row) for row in chars)

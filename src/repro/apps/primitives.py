@@ -1,0 +1,225 @@
+"""Functional core primitives.
+
+§IV: "we envisage first implementing libraries of functional primitives
+that run on one or more interconnected TrueNorth cores.  We can then build
+richer applications by instantiating and connecting regions of functional
+primitives."  Each ``configure_*`` function turns one core of an existing
+:class:`~repro.arch.network.CoreNetwork` into a primitive; callers wire
+neuron outputs with :meth:`CoreNetwork.connect`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.network import CoreNetwork
+from repro.arch.params import NeuronParameters, ResetMode
+
+
+def configure_relay(network: CoreNetwork, gid: int) -> None:
+    """Identity core: a spike on axon *i* fires neuron *i* next tick.
+
+    Diagonal crossbar, unit excitatory weight, threshold 1.
+    """
+    n = min(network.num_axons, network.num_neurons)
+    network.set_crossbar(gid, np.eye(n, dtype=bool))
+    network.set_axon_types(gid, np.zeros(network.num_axons, dtype=np.uint8))
+    network.set_neurons(
+        gid, NeuronParameters(weights=(1, 0, 0, 0), threshold=1, floor=0)
+    )
+
+
+def configure_splitter(network: CoreNetwork, gid: int, fanout: int) -> None:
+    """Broadcast core: axon *i* drives neurons ``i*fanout .. (i+1)*fanout``.
+
+    Splitting is how one neuron's single output reaches many targets: route
+    it to a splitter axon and give each copy-neuron its own destination.
+    """
+    a, n = network.num_axons, network.num_neurons
+    if fanout <= 0 or fanout > n:
+        raise ValueError(f"fanout {fanout} out of range")
+    dense = np.zeros((a, n), dtype=bool)
+    for i in range(min(a, n // fanout)):
+        dense[i, i * fanout : (i + 1) * fanout] = True
+    network.set_crossbar(gid, dense)
+    network.set_axon_types(gid, np.zeros(a, dtype=np.uint8))
+    network.set_neurons(
+        gid, NeuronParameters(weights=(1, 0, 0, 0), threshold=1, floor=0)
+    )
+
+
+def configure_majority(
+    network: CoreNetwork, gid: int, group: int, quorum: int
+) -> None:
+    """K-of-N voting core: neuron *j* fires when ≥ ``quorum`` of its
+    ``group`` input axons spike in the same tick.
+
+    Axons are grouped contiguously: axons ``j*group .. (j+1)*group`` feed
+    neuron *j*.
+    """
+    a, n = network.num_axons, network.num_neurons
+    if not 1 <= quorum <= group:
+        raise ValueError("need 1 <= quorum <= group")
+    dense = np.zeros((a, n), dtype=bool)
+    for j in range(min(n, a // group)):
+        dense[j * group : (j + 1) * group, j] = True
+    network.set_crossbar(gid, dense)
+    network.set_axon_types(gid, np.zeros(a, dtype=np.uint8))
+    network.set_neurons(
+        gid,
+        NeuronParameters(weights=(1, 0, 0, 0), threshold=quorum, floor=0),
+    )
+
+
+def configure_delay_line(
+    network: CoreNetwork, gid: int, stages: int, lanes: int
+) -> None:
+    """Multi-stage delay line: a spike on lane *l* re-emerges ``stages``
+    ticks later on neuron ``(stages-1)*lanes + l``.
+
+    Stage *s* occupies axons/neurons ``s*lanes .. (s+1)*lanes``; each
+    stage's neurons must be routed (by the caller, via
+    :meth:`CoreNetwork.connect`) to the next stage's axons with delay 1,
+    or left to the intra-core diagonal relay here when all stages live on
+    one core: axon ``s*lanes + l`` drives neuron ``s*lanes + l``.
+    """
+    a, n = network.num_axons, network.num_neurons
+    if stages * lanes > min(a, n):
+        raise ValueError("delay line does not fit one core")
+    dense = np.zeros((a, n), dtype=bool)
+    idx = np.arange(stages * lanes)
+    dense[idx, idx] = True
+    network.set_crossbar(gid, dense)
+    network.set_axon_types(gid, np.zeros(a, dtype=np.uint8))
+    network.set_neurons(
+        gid, NeuronParameters(weights=(1, 0, 0, 0), threshold=1, floor=0)
+    )
+    # Chain the stages internally: stage s neuron l -> stage s+1 axon l.
+    for s in range(stages - 1):
+        for lane in range(lanes):
+            network.connect(
+                gid,
+                s * lanes + lane,
+                _stage_target(gid, (s + 1) * lanes + lane),
+            )
+
+
+def _stage_target(gid: int, axon: int):
+    from repro.arch.network import NeuronTarget
+
+    return NeuronTarget(gid, axon, delay=1)
+
+
+def configure_toggle(network: CoreNetwork, gid: int, channels: int) -> None:
+    """Set/reset latch per channel.
+
+    Axon ``2c`` (set, excitatory +2) pushes channel *c*'s neuron to a
+    positive plateau where a +1/tick self-drive keeps it firing every
+    tick; axon ``2c+1`` (reset, inhibitory −8) knocks it back below.
+    The "self-drive" is the neuron's own output routed back to a third
+    axon block (``128 + c``) by this function.
+    """
+    a, n = network.num_axons, network.num_neurons
+    if 2 * channels > 128 or channels > n:
+        raise ValueError("too many toggle channels")
+    dense = np.zeros((a, n), dtype=bool)
+    types = np.zeros(a, dtype=np.uint8)
+    for c in range(channels):
+        dense[2 * c, c] = True  # set
+        dense[2 * c + 1, c] = True  # reset
+        types[2 * c + 1] = 1
+        dense[128 + c, c] = True  # self-sustain loop
+    network.set_crossbar(gid, dense)
+    network.set_axon_types(gid, types)
+    network.set_neurons(
+        gid,
+        NeuronParameters(
+            weights=(2, -8, 0, 0),
+            threshold=2,
+            reset_mode=ResetMode.LINEAR,
+            floor=-2,
+        ),
+    )
+    for c in range(channels):
+        network.connect(gid, c, _stage_target(gid, 128 + c))
+
+
+def configure_counter(
+    network: CoreNetwork, gid: int, count: int, channels: int = 1
+) -> None:
+    """Divide-by-N: channel *c*'s neuron fires once per ``count`` input
+    spikes on axon *c* (LINEAR reset preserves the remainder)."""
+    a, n = network.num_axons, network.num_neurons
+    if channels > min(a, n):
+        raise ValueError("too many counter channels")
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    dense = np.zeros((a, n), dtype=bool)
+    idx = np.arange(channels)
+    dense[idx, idx] = True
+    network.set_crossbar(gid, dense)
+    network.set_axon_types(gid, np.zeros(a, dtype=np.uint8))
+    network.set_neurons(
+        gid,
+        NeuronParameters(
+            weights=(1, 0, 0, 0),
+            threshold=count,
+            reset_mode=ResetMode.LINEAR,
+            floor=0,
+        ),
+    )
+
+
+def configure_gate(network: CoreNetwork, gid: int, channels: int) -> None:
+    """Coincidence gate: channel *c* fires only when its data axon *c*
+    AND its control axon ``64 + c`` spike in the same tick."""
+    a, n = network.num_axons, network.num_neurons
+    if channels > 64 or channels > n:
+        raise ValueError("too many gate channels")
+    dense = np.zeros((a, n), dtype=bool)
+    for c in range(channels):
+        dense[c, c] = True  # data
+        dense[64 + c, c] = True  # control
+    network.set_crossbar(gid, dense)
+    network.set_axon_types(gid, np.zeros(a, dtype=np.uint8))
+    # The leak cancels exactly one input per tick, so a lone input (even
+    # sustained) nets zero while a same-tick pair nets +2 = threshold.
+    network.set_neurons(
+        gid,
+        NeuronParameters(weights=(2, 0, 0, 0), leak=-2, threshold=2, floor=0),
+    )
+
+
+def configure_wta(
+    network: CoreNetwork, gid: int, n_channels: int, threshold: int = 2
+) -> None:
+    """Winner-take-all core over ``n_channels`` channels.
+
+    Axon *i* excites neuron *i* (type 0, +2) and inhibits every other
+    channel (type 1, −1 via a broadcast inhibition axon block): the
+    strongest-driven channel crosses threshold first and suppresses the
+    rest.  Axons ``n_channels .. 2*n_channels`` carry the inhibitory copies
+    (callers route each source to both its excitatory axon and the shared
+    inhibition row).
+    """
+    a, n = network.num_axons, network.num_neurons
+    if 2 * n_channels > min(a, n):
+        raise ValueError("too many channels for one core")
+    dense = np.zeros((a, n), dtype=bool)
+    types = np.zeros(a, dtype=np.uint8)
+    for i in range(n_channels):
+        dense[i, i] = True  # excitation
+        inhib_axon = n_channels + i
+        types[inhib_axon] = 1
+        row = np.zeros(n, dtype=bool)
+        row[:n_channels] = True
+        row[i] = False
+        dense[inhib_axon] = row  # inhibit all rivals
+    network.set_crossbar(gid, dense)
+    network.set_axon_types(gid, types)
+    network.set_neurons(
+        gid,
+        NeuronParameters(
+            weights=(2, -1, 0, 0), threshold=threshold, floor=-4
+        ),
+    )

@@ -1,0 +1,51 @@
+"""TrueNorth architecture model (§II of the paper).
+
+A neurosynaptic core has 256 axons (inputs), a 256×256 binary synaptic
+crossbar, and 256 digital integrate-leak-and-fire neurons.  A buffer in
+front of every axon realises axonal delays.  Neurons target exactly one
+axon anywhere in the system; only spikes ever leave a core.
+"""
+
+from repro.arch.params import (
+    NUM_AXONS,
+    NUM_NEURONS,
+    NUM_AXON_TYPES,
+    MAX_DELAY,
+    ResetMode,
+    NeuronParameters,
+    CoreParameters,
+    NeuronArrayParameters,
+)
+from repro.arch.neuron import ReferenceNeuron, NeuronArrayState, integrate_leak_fire
+from repro.arch.crossbar import Crossbar
+from repro.arch.axon import AxonBuffers
+from repro.arch.core import NeurosynapticCore
+from repro.arch.coreblock import CoreBlock
+from repro.arch.network import CoreNetwork, NeuronTarget
+from repro.arch.spike import SpikeBatch, SPIKE_WIRE_BYTES
+from repro.arch.builder import NetworkBuilder, Population, InputPort
+
+__all__ = [
+    "NUM_AXONS",
+    "NUM_NEURONS",
+    "NUM_AXON_TYPES",
+    "MAX_DELAY",
+    "ResetMode",
+    "NeuronParameters",
+    "CoreParameters",
+    "NeuronArrayParameters",
+    "ReferenceNeuron",
+    "NeuronArrayState",
+    "integrate_leak_fire",
+    "Crossbar",
+    "AxonBuffers",
+    "NeurosynapticCore",
+    "CoreBlock",
+    "CoreNetwork",
+    "NeuronTarget",
+    "SpikeBatch",
+    "SPIKE_WIRE_BYTES",
+    "NetworkBuilder",
+    "Population",
+    "InputPort",
+]

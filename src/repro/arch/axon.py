@@ -1,0 +1,81 @@
+"""Axon delay buffers (§II, Fig 1: "A buffer for incoming spikes precedes
+each axon to account for axonal delays").
+
+A spike delivered during the Network phase of tick *t* with delay *d*
+(1 ≤ d ≤ MAX_DELAY) becomes visible to the Synapse phase of tick *t + d*.
+The buffer is a circular array of ``DELAY_SLOTS`` single-bit planes; slot
+``t mod DELAY_SLOTS`` holds the spikes due at tick *t*.  Because a slot is
+read and cleared before any spike with delay ≥ 1 can land in it, the
+circular reuse is race-free.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.params import DELAY_SLOTS, MAX_DELAY
+
+
+class AxonBuffers:
+    """Circular delay buffers for a block of cores.
+
+    ``pending`` has shape ``(cores, DELAY_SLOTS, axons)`` dtype bool.
+    """
+
+    __slots__ = ("pending",)
+
+    def __init__(self, n_cores: int, n_axons: int) -> None:
+        self.pending = np.zeros((n_cores, DELAY_SLOTS, n_axons), dtype=bool)
+
+    @property
+    def n_cores(self) -> int:
+        return self.pending.shape[0]
+
+    @property
+    def n_axons(self) -> int:
+        return self.pending.shape[2]
+
+    def schedule(
+        self,
+        core_idx: np.ndarray,
+        axon_idx: np.ndarray,
+        delay: np.ndarray,
+        current_tick: int,
+    ) -> None:
+        """Schedule spikes: arrays of (local core, axon, delay) triples.
+
+        Duplicate deliveries to the same (core, axon, tick) merge into one
+        spike, exactly as a 1-bit hardware buffer entry would.
+        """
+        core_idx = np.asarray(core_idx, dtype=np.int64)
+        axon_idx = np.asarray(axon_idx, dtype=np.int64)
+        delay = np.asarray(delay, dtype=np.int64)
+        if core_idx.size == 0:
+            return
+        if delay.min() < 1 or delay.max() > MAX_DELAY:
+            raise ValueError(
+                f"delays must be within [1, {MAX_DELAY}], got "
+                f"[{delay.min()}, {delay.max()}]"
+            )
+        slots = (current_tick + delay) % DELAY_SLOTS
+        self.pending[core_idx, slots, axon_idx] = True
+
+    def collect(self, current_tick: int) -> np.ndarray:
+        """Return and clear the ``(cores, axons)`` plane due this tick."""
+        slot = current_tick % DELAY_SLOTS
+        active = self.pending[:, slot, :].copy()
+        self.pending[:, slot, :] = False
+        return active
+
+    def peek(self, tick: int) -> np.ndarray:
+        """Non-destructive view of the plane due at ``tick`` (for tests)."""
+        return self.pending[:, tick % DELAY_SLOTS, :].copy()
+
+    def occupancy(self) -> int:
+        """Total scheduled spikes across all slots."""
+        return int(self.pending.sum())
+
+    def clone(self) -> "AxonBuffers":
+        c = AxonBuffers(self.n_cores, self.n_axons)
+        c.pending[...] = self.pending
+        return c

@@ -1,0 +1,240 @@
+"""Population-level network construction.
+
+§IV sketches the programming model: "first implementing libraries of
+functional primitives that run on one or more interconnected TrueNorth
+cores.  We can then build richer applications by instantiating and
+connecting regions of functional primitives."  :class:`NetworkBuilder` is
+that API surface for hand-built applications: declare populations of
+cores, connect them (round-robin/diffuse, like the PCC), reserve axons
+for external input, and build the explicit :class:`CoreNetwork`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.arch.crossbar import Crossbar
+from repro.arch.network import CoreNetwork
+from repro.arch.params import (
+    MAX_DELAY,
+    NUM_AXON_TYPES,
+    NUM_AXONS,
+    NUM_NEURONS,
+    NeuronParameters,
+)
+from repro.compiler.allocator import AxonAllocator, NeuronAllocator
+from repro.errors import WiringError
+from repro.util.rng import derive_seed
+
+
+@dataclass(frozen=True)
+class Population:
+    """Handle to a declared population of cores."""
+
+    name: str
+    index: int
+    n_cores: int
+    gid_lo: int = -1  #: assigned at build time
+
+    @property
+    def gid_hi(self) -> int:
+        return self.gid_lo + self.n_cores
+
+
+@dataclass(frozen=True)
+class InputPort:
+    """Reserved external-input axons: inject spikes at these addresses."""
+
+    population: str
+    gids: np.ndarray
+    axons: np.ndarray
+
+    @property
+    def width(self) -> int:
+        return int(self.gids.size)
+
+    def schedule_for(self, tick_to_lanes: dict[int, np.ndarray]):
+        """Translate lane-indexed schedules into (gid, axon, tick) triples.
+
+        ``tick_to_lanes`` maps tick -> indices into this port's lanes
+        (0..width).  Yields (gid, axon, tick) suitable for
+        :meth:`repro.core.simulator.CompassBase.inject`.
+        """
+        for tick, lanes in tick_to_lanes.items():
+            lanes = np.asarray(lanes, dtype=np.int64)
+            if lanes.size and (lanes.min() < 0 or lanes.max() >= self.width):
+                raise WiringError("input lane out of range")
+            for lane in lanes:
+                yield int(self.gids[lane]), int(self.axons[lane]), int(tick)
+
+
+@dataclass
+class _PopulationSpec:
+    name: str
+    n_cores: int
+    neuron: NeuronParameters
+    crossbar: str | float | np.ndarray
+    axon_types: np.ndarray
+    connections_out: list = field(default_factory=list)
+
+
+class NetworkBuilder:
+    """Declarative builder for hand-written TrueNorth applications."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._pops: list[_PopulationSpec] = []
+        self._by_name: dict[str, int] = {}
+        self._connections: list[tuple[str, str, int, int]] = []
+        self._input_requests: list[tuple[str, int]] = []
+        self._built = False
+
+    # -- declaration ---------------------------------------------------------
+
+    def add_population(
+        self,
+        name: str,
+        n_cores: int,
+        neuron: NeuronParameters | None = None,
+        crossbar: str | float | np.ndarray = 0.125,
+        axon_types: np.ndarray | tuple[float, ...] | None = None,
+    ) -> Population:
+        """Declare a population.
+
+        ``crossbar`` is a density float, the string ``"identity"``, or an
+        explicit dense (axons, neurons) pattern applied to every core.
+        ``axon_types`` is a per-axon type array or a 4-tuple of fractions.
+        """
+        if name in self._by_name:
+            raise WiringError(f"duplicate population {name!r}")
+        if n_cores <= 0:
+            raise WiringError("population needs at least one core")
+        if axon_types is None:
+            types = np.zeros(NUM_AXONS, dtype=np.uint8)
+        elif isinstance(axon_types, tuple):
+            counts = np.floor(np.asarray(axon_types) * NUM_AXONS).astype(int)
+            counts[0] += NUM_AXONS - counts.sum()
+            types = np.repeat(np.arange(NUM_AXON_TYPES, dtype=np.uint8), counts)
+        else:
+            types = np.asarray(axon_types, dtype=np.uint8)
+        spec = _PopulationSpec(
+            name=name,
+            n_cores=n_cores,
+            neuron=neuron or NeuronParameters(),
+            crossbar=crossbar,
+            axon_types=types,
+        )
+        self._by_name[name] = len(self._pops)
+        self._pops.append(spec)
+        return Population(name=name, index=len(self._pops) - 1, n_cores=n_cores)
+
+    def connect(
+        self, src: str | Population, dst: str | Population, count: int, delay: int = 1
+    ) -> None:
+        """Wire ``count`` neuron→axon connections, round-robin both ends."""
+        src_name = src if isinstance(src, str) else src.name
+        dst_name = dst if isinstance(dst, str) else dst.name
+        for name in (src_name, dst_name):
+            if name not in self._by_name:
+                raise WiringError(f"unknown population {name!r}")
+        if count <= 0:
+            raise WiringError("count must be positive")
+        if not 1 <= delay <= MAX_DELAY:
+            raise WiringError(f"delay out of range [1, {MAX_DELAY}]")
+        self._connections.append((src_name, dst_name, count, delay))
+
+    def reserve_inputs(self, pop: str | Population, width: int) -> int:
+        """Reserve ``width`` external-input axons on a population.
+
+        Returns the request id used to retrieve the port after build.
+        """
+        name = pop if isinstance(pop, str) else pop.name
+        if name not in self._by_name:
+            raise WiringError(f"unknown population {name!r}")
+        if width <= 0:
+            raise WiringError("width must be positive")
+        self._input_requests.append((name, width))
+        return len(self._input_requests) - 1
+
+    # -- build -----------------------------------------------------------------
+
+    def build(self) -> tuple[CoreNetwork, dict[str, Population], list[InputPort]]:
+        """Materialise the explicit network.
+
+        Returns (network, populations-by-name with gid ranges, input ports
+        in reservation order).
+        """
+        if self._built:
+            raise WiringError("builder already consumed")
+        self._built = True
+
+        total = sum(p.n_cores for p in self._pops)
+        net = CoreNetwork(total, seed=self.seed)
+        ranges: dict[str, tuple[int, int]] = {}
+        cursor = 0
+        for spec in self._pops:
+            lo, hi = cursor, cursor + spec.n_cores
+            ranges[spec.name] = (lo, hi)
+            cursor = hi
+            net.neuron_params.set_neuron(slice(lo, hi), slice(None), spec.neuron)
+            net.axon_types[lo:hi] = spec.axon_types[None, :]
+            self._install_crossbars(net, spec, lo, hi)
+
+        axon_alloc = {
+            p.name: AxonAllocator(ranges[p.name][0], p.n_cores, NUM_AXONS)
+            for p in self._pops
+        }
+        neuron_alloc = {
+            p.name: NeuronAllocator(ranges[p.name][0], p.n_cores, NUM_NEURONS)
+            for p in self._pops
+        }
+
+        # External inputs claim axons before internal wiring so ports get
+        # stable, low addresses.
+        ports: list[InputPort] = []
+        for name, width in self._input_requests:
+            gids, axons = axon_alloc[name].allocate(width)
+            ports.append(InputPort(population=name, gids=gids, axons=axons))
+
+        for conn_index, (src, dst, count, delay) in enumerate(self._connections):
+            tgt_gids, tgt_axons = axon_alloc[dst].allocate(count)
+            # Decorrelate the two round-robin sequences so one source
+            # core's neurons spread over many target cores (§V-C).
+            perm = np.random.default_rng(
+                derive_seed(self.seed, conn_index, 0xD1F)
+            ).permutation(count)
+            tgt_gids, tgt_axons = tgt_gids[perm], tgt_axons[perm]
+            src_gids, src_neurons = neuron_alloc[src].allocate(count)
+            net.connect_many(src_gids, src_neurons, tgt_gids, tgt_axons, delay)
+
+        net.validate()
+        pops = {
+            spec.name: Population(
+                name=spec.name,
+                index=i,
+                n_cores=spec.n_cores,
+                gid_lo=ranges[spec.name][0],
+            )
+            for i, spec in enumerate(self._pops)
+        }
+        return net, pops, ports
+
+    def _install_crossbars(
+        self, net: CoreNetwork, spec: _PopulationSpec, lo: int, hi: int
+    ) -> None:
+        if isinstance(spec.crossbar, str):
+            if spec.crossbar != "identity":
+                raise WiringError(f"unknown crossbar pattern {spec.crossbar!r}")
+            cb = Crossbar.identity()
+            for gid in range(lo, hi):
+                net.set_crossbar(gid, cb)
+        elif isinstance(spec.crossbar, float):
+            rng = np.random.default_rng(derive_seed(self.seed, lo, 0xB11D))
+            for gid in range(lo, hi):
+                net.set_crossbar(gid, Crossbar.random(rng, spec.crossbar))
+        else:
+            cb = Crossbar.from_dense(np.asarray(spec.crossbar))
+            for gid in range(lo, hi):
+                net.set_crossbar(gid, cb)

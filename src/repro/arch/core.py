@@ -1,0 +1,114 @@
+"""Single-core convenience wrapper.
+
+:class:`NeurosynapticCore` is the didactic, one-core face of the
+architecture: useful for unit tests, application primitives, and the
+quickstart example.  Internally it is a one-core :class:`CoreBlock`, so its
+dynamics are bit-identical to the full simulator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.coreblock import CoreBlock
+from repro.arch.crossbar import Crossbar
+from repro.arch.network import CoreNetwork
+from repro.arch.params import (
+    NUM_AXONS,
+    NUM_NEURONS,
+    NeuronParameters,
+)
+
+
+class NeurosynapticCore:
+    """One standalone TrueNorth core with externally injected input.
+
+    Spikes emitted by its neurons are returned to the caller rather than
+    routed (a standalone core has no network); use the Compass simulator
+    for multi-core models.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        num_axons: int = NUM_AXONS,
+        num_neurons: int = NUM_NEURONS,
+    ) -> None:
+        self._network = CoreNetwork(
+            1, seed=seed, num_axons=num_axons, num_neurons=num_neurons
+        )
+        self._block: CoreBlock | None = None
+        self._tick = 0
+
+    # -- configuration (must precede the first tick) ------------------------
+
+    def _config(self) -> CoreNetwork:
+        if self._block is not None:
+            raise RuntimeError("core already running; configure before first tick")
+        return self._network
+
+    def set_crossbar(self, crossbar: Crossbar | np.ndarray) -> None:
+        self._config().set_crossbar(0, crossbar)
+
+    def set_axon_types(self, types: np.ndarray) -> None:
+        self._config().set_axon_types(0, types)
+
+    def set_neuron(self, neuron: int, params: NeuronParameters) -> None:
+        self._config().set_neuron(0, neuron, params)
+
+    def set_all_neurons(self, params: NeuronParameters) -> None:
+        self._config().set_neurons(0, params)
+
+    # -- running -------------------------------------------------------------
+
+    def _ensure_block(self) -> CoreBlock:
+        if self._block is None:
+            self._block = CoreBlock(self._network, 0, 1)
+        return self._block
+
+    @property
+    def tick_index(self) -> int:
+        return self._tick
+
+    @property
+    def potentials(self) -> np.ndarray:
+        """Current membrane potentials, shape (num_neurons,)."""
+        return self._ensure_block().state.potential[0].copy()
+
+    def inject(self, axon: int, delay: int = 1) -> None:
+        """Schedule an external input spike on ``axon``."""
+        block = self._ensure_block()
+        block.buffers.schedule(
+            np.array([0]), np.array([axon]), np.array([delay]), self._tick
+        )
+
+    def inject_many(self, axons: np.ndarray, delay: int = 1) -> None:
+        axons = np.asarray(axons, dtype=np.int64)
+        block = self._ensure_block()
+        block.buffers.schedule(
+            np.zeros_like(axons),
+            axons,
+            np.full_like(axons, delay),
+            self._tick,
+        )
+
+    def step(self) -> np.ndarray:
+        """Advance one tick; return the fired mask, shape (num_neurons,)."""
+        block = self._ensure_block()
+        counts = block.synapse_phase(self._tick)
+        fired = block.neuron_phase(counts)
+        self._tick += 1
+        return fired[0]
+
+    def run(self, ticks: int, inputs: dict[int, np.ndarray] | None = None) -> np.ndarray:
+        """Run several ticks; ``inputs`` maps tick -> array of axons to spike.
+
+        Returns the raster, shape ``(ticks, num_neurons)`` bool.
+        """
+        raster = np.zeros((ticks, self._network.num_neurons), dtype=bool)
+        start = self._tick
+        for t in range(ticks):
+            if inputs and (start + t) in inputs:
+                self.inject_many(inputs[start + t])
+            raster[t] = self.step()
+        return raster

@@ -1,0 +1,150 @@
+"""A block of TrueNorth cores owned by one simulated process.
+
+§I: "the fundamental data structure is a neurosynaptic core" — a
+:class:`CoreBlock` is the vectorised realisation: every per-core array of
+the block is stacked along a leading core axis so the Synapse and Neuron
+phases run as a handful of NumPy kernels regardless of how many cores the
+process hosts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arch.axon import AxonBuffers
+from repro.arch.neuron import NeuronArrayState, integrate_leak_fire
+from repro.arch.network import CoreNetwork
+from repro.arch.params import NUM_AXON_TYPES
+from repro.util.bitops import unpack_bits
+
+
+@dataclass
+class OutgoingSpikes:
+    """Spikes produced by one Neuron phase, in struct-of-arrays form.
+
+    ``src_gid`` is retained for tracing/regression; the Network phase only
+    needs the target triple.
+    """
+
+    src_gid: np.ndarray  # (M,) int64
+    tgt_gid: np.ndarray  # (M,) int64
+    tgt_axon: np.ndarray  # (M,) int32
+    delay: np.ndarray  # (M,) int32
+
+    @property
+    def count(self) -> int:
+        return int(self.tgt_gid.shape[0])
+
+
+class CoreBlock:
+    """Simulation state for a contiguous range of cores.
+
+    Construction copies the relevant slices out of a :class:`CoreNetwork`,
+    mirroring Compass instantiating cores per process after compilation
+    (§IV: compiler structures are deallocated once cores are instantiated).
+    """
+
+    def __init__(self, network: CoreNetwork, gid_lo: int, gid_hi: int) -> None:
+        if not 0 <= gid_lo < gid_hi <= network.n_cores:
+            raise ValueError(f"bad gid range [{gid_lo}, {gid_hi})")
+        sel = slice(gid_lo, gid_hi)
+        self.gid_lo = gid_lo
+        self.gid_hi = gid_hi
+        self.num_axons = network.num_axons
+        self.num_neurons = network.num_neurons
+
+        self.crossbars = network.crossbars[sel].copy()
+        self.axon_types = network.axon_types[sel].copy()
+        self.params = network.neuron_params.slice_cores(sel)
+        self.target_gid = network.target_gid[sel].copy()
+        self.target_axon = network.target_axon[sel].copy()
+        self.target_delay = network.target_delay[sel].copy()
+
+        self.state = NeuronArrayState.create(
+            network.core_seeds[sel], network.num_neurons
+        )
+        self.buffers = AxonBuffers(self.n_cores, network.num_axons)
+        self._gids = np.arange(gid_lo, gid_hi, dtype=np.int64)
+        self._neuron_idx = np.arange(self.num_neurons, dtype=np.int64)
+
+    @property
+    def n_cores(self) -> int:
+        return self.gid_hi - self.gid_lo
+
+    @property
+    def gids(self) -> np.ndarray:
+        return self._gids
+
+    def owns(self, gid: np.ndarray | int) -> np.ndarray | bool:
+        return (np.asarray(gid) >= self.gid_lo) & (np.asarray(gid) < self.gid_hi)
+
+    # -- the three phases of Listing 1 --------------------------------------
+
+    def synapse_phase(self, tick: int) -> np.ndarray:
+        """Propagate due spikes through the crossbars.
+
+        Returns ``(cores, neurons, NUM_AXON_TYPES)`` synaptic event counts
+        for the Neuron phase.  Also returns the number of active axons via
+        the ``last_active_axons`` attribute for metrics.
+        """
+        active = self.buffers.collect(tick)  # (C, A) bool
+        counts = np.zeros(
+            (self.n_cores, self.num_neurons, NUM_AXON_TYPES), dtype=np.int32
+        )
+        cs, axs = np.nonzero(active)
+        self.last_active_axons = int(cs.size)
+        if cs.size:
+            rows = unpack_bits(self.crossbars[cs, axs], self.num_neurons)
+            ks = self.axon_types[cs, axs].astype(np.int64)
+            np.add.at(
+                counts,
+                (cs[:, None], self._neuron_idx[None, :], ks[:, None]),
+                rows.astype(np.int32),
+            )
+        return counts
+
+    def neuron_phase(self, type_counts: np.ndarray) -> np.ndarray:
+        """Integrate-leak-fire for every neuron; returns fired mask."""
+        return integrate_leak_fire(self.state, self.params, type_counts)
+
+    def outgoing(self, fired: np.ndarray) -> OutgoingSpikes:
+        """Convert a fired mask into routed spikes (unconnected drop)."""
+        cs, ns = np.nonzero(fired & (self.target_gid >= 0))
+        return OutgoingSpikes(
+            src_gid=self._gids[cs],
+            tgt_gid=self.target_gid[cs, ns],
+            tgt_axon=self.target_axon[cs, ns].astype(np.int32),
+            delay=self.target_delay[cs, ns].astype(np.int32),
+        )
+
+    def deliver(
+        self,
+        tgt_gid: np.ndarray,
+        tgt_axon: np.ndarray,
+        delay: np.ndarray,
+        tick: int,
+    ) -> None:
+        """Schedule spikes addressed to cores this block owns."""
+        tgt_gid = np.asarray(tgt_gid, dtype=np.int64)
+        if tgt_gid.size == 0:
+            return
+        if not np.all(self.owns(tgt_gid)):
+            raise ValueError("deliver() received spikes for cores outside the block")
+        self.buffers.schedule(tgt_gid - self.gid_lo, tgt_axon, delay, tick)
+
+    # -- regression support --------------------------------------------------
+
+    def snapshot(self) -> dict[str, np.ndarray]:
+        """State vector for checkpoint/equality checks."""
+        return {
+            "potential": self.state.potential.copy(),
+            "rng": self.state.rng.state.copy(),
+            "pending": self.buffers.pending.copy(),
+        }
+
+    def restore(self, snap: dict[str, np.ndarray]) -> None:
+        self.state.potential[...] = snap["potential"]
+        self.state.rng.state[...] = snap["rng"]
+        self.buffers.pending[...] = snap["pending"]

@@ -1,0 +1,109 @@
+"""The 256×256 binary synaptic crossbar (§II, Fig 1).
+
+Synapses are single bits (axon *i* → neuron *j*), stored packed 8-per-byte:
+the 32× storage saving over C2 that the paper calls out in §I.  A
+:class:`Crossbar` is the single-core view; blocks of cores store the same
+packed layout stacked along a leading axis (see
+:class:`repro.arch.coreblock.CoreBlock`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.params import NUM_AXONS, NUM_NEURONS
+from repro.util.bitops import get_bit, pack_bits, popcount_rows, set_bit, unpack_bits
+
+
+class Crossbar:
+    """Packed binary synaptic matrix for one core.
+
+    ``packed`` has shape ``(num_axons, num_neurons // 8)`` dtype uint8;
+    row *i* holds the outgoing connections of axon *i*.
+    """
+
+    __slots__ = ("packed", "num_axons", "num_neurons")
+
+    def __init__(self, packed: np.ndarray, num_neurons: int = NUM_NEURONS) -> None:
+        packed = np.ascontiguousarray(packed, dtype=np.uint8)
+        if packed.ndim != 2 or packed.shape[1] * 8 < num_neurons:
+            raise ValueError(f"bad packed crossbar shape {packed.shape}")
+        self.packed = packed
+        self.num_axons = packed.shape[0]
+        self.num_neurons = num_neurons
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def zeros(cls, num_axons: int = NUM_AXONS, num_neurons: int = NUM_NEURONS) -> "Crossbar":
+        return cls(np.zeros((num_axons, (num_neurons + 7) // 8), dtype=np.uint8), num_neurons)
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "Crossbar":
+        dense = np.asarray(dense)
+        if dense.ndim != 2:
+            raise ValueError("dense crossbar must be 2-D")
+        return cls(pack_bits(dense), dense.shape[1])
+
+    @classmethod
+    def identity(cls, n: int = NUM_AXONS) -> "Crossbar":
+        """Axon *i* connects exactly to neuron *i* — the relay pattern."""
+        return cls.from_dense(np.eye(n, dtype=bool))
+
+    @classmethod
+    def random(
+        cls,
+        rng: np.random.Generator,
+        density: float,
+        num_axons: int = NUM_AXONS,
+        num_neurons: int = NUM_NEURONS,
+    ) -> "Crossbar":
+        """Bernoulli(density) crossbar, the workload generator's default."""
+        if not 0.0 <= density <= 1.0:
+            raise ValueError("density must be within [0, 1]")
+        dense = rng.random((num_axons, num_neurons)) < density
+        return cls.from_dense(dense)
+
+    # -- element access ----------------------------------------------------
+
+    def row(self, axon: int) -> np.ndarray:
+        """Dense boolean row: which neurons axon ``axon`` drives."""
+        return unpack_bits(self.packed[axon], self.num_neurons)
+
+    def get(self, axon: int, neuron: int) -> bool:
+        return bool(get_bit(self.packed[axon], neuron))
+
+    def set(self, axon: int, neuron: int, value: bool = True) -> None:
+        set_bit(self.packed[axon], neuron, value)
+
+    def to_dense(self) -> np.ndarray:
+        return unpack_bits(self.packed, self.num_neurons)
+
+    # -- statistics --------------------------------------------------------
+
+    @property
+    def synapse_count(self) -> int:
+        """Number of set synapses."""
+        return int(popcount_rows(self.packed).sum())
+
+    @property
+    def density(self) -> float:
+        return self.synapse_count / (self.num_axons * self.num_neurons)
+
+    @property
+    def nbytes(self) -> int:
+        return self.packed.nbytes
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Crossbar):
+            return NotImplemented
+        return (
+            self.num_neurons == other.num_neurons
+            and np.array_equal(self.packed, other.packed)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Crossbar({self.num_axons}x{self.num_neurons}, "
+            f"density={self.density:.3f})"
+        )

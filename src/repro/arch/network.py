@@ -1,0 +1,206 @@
+"""Whole-system network description: every core's configuration plus the
+global neuron→axon connectivity.
+
+"A neuron on any TrueNorth core can connect to an axon on any TrueNorth
+core in the network" (§II).  :class:`CoreNetwork` is the explicit, fully
+instantiated model — the thing the Parallel Compass Compiler produces in
+situ and the Compass simulator partitions across processes.  Cores are
+addressed by a dense global core id (gid); the partitioner maps gid ranges
+to processes with the paper's implicit contiguous map (§III).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arch.crossbar import Crossbar
+from repro.arch.params import (
+    MAX_DELAY,
+    NUM_AXON_TYPES,
+    NUM_AXONS,
+    NUM_NEURONS,
+    NeuronArrayParameters,
+    NeuronParameters,
+)
+from repro.errors import WiringError
+from repro.util.rng import derive_seed
+
+
+@dataclass(frozen=True)
+class NeuronTarget:
+    """Where one neuron sends its spikes: a core, an axon, and a delay."""
+
+    gid: int
+    axon: int
+    delay: int = 1
+
+
+class CoreNetwork:
+    """Explicit model of ``n_cores`` TrueNorth cores and their wiring.
+
+    Storage is struct-of-arrays throughout so a partition can be carved out
+    as contiguous slices.  Target gid ``-1`` marks an unconnected neuron.
+    """
+
+    def __init__(
+        self,
+        n_cores: int,
+        seed: int = 0,
+        num_axons: int = NUM_AXONS,
+        num_neurons: int = NUM_NEURONS,
+    ) -> None:
+        if n_cores <= 0:
+            raise ValueError("n_cores must be positive")
+        self.n_cores = int(n_cores)
+        self.seed = int(seed)
+        self.num_axons = int(num_axons)
+        self.num_neurons = int(num_neurons)
+
+        c, a, n = self.n_cores, self.num_axons, self.num_neurons
+        self.crossbars = np.zeros((c, a, (n + 7) // 8), dtype=np.uint8)
+        self.axon_types = np.zeros((c, a), dtype=np.uint8)
+        self.neuron_params = NeuronArrayParameters.empty(c, n)
+        self.target_gid = np.full((c, n), -1, dtype=np.int64)
+        self.target_axon = np.zeros((c, n), dtype=np.int32)
+        self.target_delay = np.ones((c, n), dtype=np.int32)
+        self.core_seeds = np.fromiter(
+            (derive_seed(self.seed, gid) for gid in range(c)), dtype=np.uint64, count=c
+        )
+
+    # -- configuration -----------------------------------------------------
+
+    def set_crossbar(self, gid: int, crossbar: Crossbar | np.ndarray) -> None:
+        """Install a crossbar (packed :class:`Crossbar` or dense 0/1 array)."""
+        if isinstance(crossbar, np.ndarray):
+            crossbar = Crossbar.from_dense(crossbar)
+        if crossbar.num_axons != self.num_axons or crossbar.num_neurons != self.num_neurons:
+            raise WiringError(
+                f"crossbar {crossbar.num_axons}x{crossbar.num_neurons} does not fit "
+                f"core geometry {self.num_axons}x{self.num_neurons}"
+            )
+        self.crossbars[gid] = crossbar.packed
+
+    def get_crossbar(self, gid: int) -> Crossbar:
+        return Crossbar(self.crossbars[gid].copy(), self.num_neurons)
+
+    def set_axon_types(self, gid: int, types: np.ndarray) -> None:
+        types = np.asarray(types, dtype=np.uint8)
+        if types.shape != (self.num_axons,):
+            raise WiringError(f"axon types must have shape ({self.num_axons},)")
+        if types.max(initial=0) >= NUM_AXON_TYPES:
+            raise WiringError(f"axon types must be < {NUM_AXON_TYPES}")
+        self.axon_types[gid] = types
+
+    def set_neuron(self, gid: int, neuron: int, params: NeuronParameters) -> None:
+        self.neuron_params.set_neuron(gid, neuron, params)
+
+    def set_neurons(self, gid: int, params: NeuronParameters) -> None:
+        """Configure every neuron on a core identically."""
+        self.neuron_params.set_neuron(gid, slice(None), params)
+
+    def connect(
+        self, src_gid: int, src_neuron: int, target: NeuronTarget
+    ) -> None:
+        """Point one neuron's output at a (core, axon, delay) destination."""
+        self._check_target(target.gid, target.axon, target.delay)
+        self.target_gid[src_gid, src_neuron] = target.gid
+        self.target_axon[src_gid, src_neuron] = target.axon
+        self.target_delay[src_gid, src_neuron] = target.delay
+
+    def connect_many(
+        self,
+        src_gid: np.ndarray,
+        src_neuron: np.ndarray,
+        tgt_gid: np.ndarray,
+        tgt_axon: np.ndarray,
+        delay: np.ndarray | int = 1,
+    ) -> None:
+        """Bulk variant of :meth:`connect` (the compiler's path)."""
+        tgt_gid = np.asarray(tgt_gid, dtype=np.int64)
+        tgt_axon = np.asarray(tgt_axon, dtype=np.int32)
+        delay = np.broadcast_to(np.asarray(delay, dtype=np.int32), tgt_gid.shape)
+        if tgt_gid.size:
+            if tgt_gid.min() < 0 or tgt_gid.max() >= self.n_cores:
+                raise WiringError("target gid out of range")
+            if tgt_axon.min() < 0 or tgt_axon.max() >= self.num_axons:
+                raise WiringError("target axon out of range")
+            if delay.min() < 1 or delay.max() > MAX_DELAY:
+                raise WiringError("target delay out of range")
+        self.target_gid[src_gid, src_neuron] = tgt_gid
+        self.target_axon[src_gid, src_neuron] = tgt_axon
+        self.target_delay[src_gid, src_neuron] = delay
+
+    def get_target(self, gid: int, neuron: int) -> NeuronTarget | None:
+        tg = int(self.target_gid[gid, neuron])
+        if tg < 0:
+            return None
+        return NeuronTarget(
+            tg, int(self.target_axon[gid, neuron]), int(self.target_delay[gid, neuron])
+        )
+
+    def _check_target(self, gid: int, axon: int, delay: int) -> None:
+        if not 0 <= gid < self.n_cores:
+            raise WiringError(f"target gid {gid} out of range [0, {self.n_cores})")
+        if not 0 <= axon < self.num_axons:
+            raise WiringError(f"target axon {axon} out of range [0, {self.num_axons})")
+        if not 1 <= delay <= MAX_DELAY:
+            raise WiringError(f"delay {delay} out of range [1, {MAX_DELAY}]")
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def n_neurons(self) -> int:
+        return self.n_cores * self.num_neurons
+
+    @property
+    def synapse_count(self) -> int:
+        """Total set crossbar bits across the network."""
+        from repro.util.bitops import popcount_rows
+
+        return int(popcount_rows(self.crossbars.reshape(-1, self.crossbars.shape[-1])).sum())
+
+    @property
+    def connected_neuron_count(self) -> int:
+        return int((self.target_gid >= 0).sum())
+
+    def model_nbytes(self) -> int:
+        """Approximate in-memory model size (the §IV multi-TB argument)."""
+        params = self.neuron_params
+        return (
+            self.crossbars.nbytes
+            + self.axon_types.nbytes
+            + self.target_gid.nbytes
+            + self.target_axon.nbytes
+            + self.target_delay.nbytes
+            + params.weights.nbytes
+            + params.stochastic_weights.nbytes
+            + params.leak.nbytes
+            + params.stochastic_leak.nbytes
+            + params.threshold.nbytes
+            + params.reset_mode.nbytes
+            + params.reset_value.nbytes
+            + params.floor.nbytes
+        )
+
+    def validate(self) -> None:
+        """Raise :class:`WiringError` on any dangling connection."""
+        connected = self.target_gid >= 0
+        tg = self.target_gid[connected]
+        ta = self.target_axon[connected]
+        td = self.target_delay[connected]
+        if tg.size == 0:
+            return
+        if tg.max() >= self.n_cores:
+            raise WiringError("target gid beyond network size")
+        if ta.min() < 0 or ta.max() >= self.num_axons:
+            raise WiringError("target axon out of range")
+        if td.min() < 1 or td.max() > MAX_DELAY:
+            raise WiringError("target delay out of range")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"CoreNetwork(cores={self.n_cores}, neurons={self.n_neurons}, "
+            f"synapses={self.synapse_count})"
+        )

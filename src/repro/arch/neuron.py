@@ -1,0 +1,207 @@
+"""Digital integrate-leak-and-fire neuron dynamics.
+
+Two bit-identical implementations:
+
+* :class:`ReferenceNeuron` — a readable scalar model, the executable
+  specification used in tests and documentation;
+* :func:`integrate_leak_fire` — the vectorised production kernel operating
+  on whole blocks of cores at once.
+
+Draw-order contract (what makes the two implementations agree, and what
+makes results independent of partitioning):
+
+1. synaptic events within a tick are processed grouped by axon type in
+   ascending type order; within a type, one Bernoulli draw per event;
+2. after all synaptic events, a stochastic leak consumes exactly one draw;
+3. after the leak, a non-zero ``threshold_mask`` consumes exactly one
+   draw (the stochastic-threshold mode);
+4. deterministic events, deterministic leaks, and a zero threshold mask
+   consume no draws;
+5. every neuron owns an independent PRNG stream (seed derived from the core
+   seed and the neuron index), so draw consumption never couples neurons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arch.params import (
+    NUM_AXON_TYPES,
+    NeuronArrayParameters,
+    NeuronParameters,
+    ResetMode,
+)
+from repro.util.rng import Lcg32, LcgArray, derive_seed
+
+
+def _sign(x: int) -> int:
+    return (x > 0) - (x < 0)
+
+
+class ReferenceNeuron:
+    """Scalar executable specification of one TrueNorth neuron."""
+
+    def __init__(self, params: NeuronParameters, seed: int) -> None:
+        self.params = params
+        self.rng = Lcg32(seed)
+        self.potential = 0
+
+    def tick(self, type_counts: tuple[int, int, int, int] | list[int]) -> bool:
+        """Advance one tick given per-axon-type synaptic event counts.
+
+        Returns True when the neuron fires.
+        """
+        p = self.params
+        v = self.potential
+        # 1. Integrate synaptic events, grouped by ascending axon type.
+        for k in range(NUM_AXON_TYPES):
+            w = p.weights[k]
+            count = int(type_counts[k])
+            if p.stochastic_weights[k]:
+                mag = abs(w)
+                s = _sign(w)
+                for _ in range(count):
+                    if self.rng.bernoulli(mag):
+                        v += s
+            else:
+                v += w * count
+        # 2. Leak (leak-reversal follows the potential's sign; sign(0)=+1).
+        direction = 1 if (not p.leak_reversal or v >= 0) else -1
+        if p.stochastic_leak:
+            if self.rng.bernoulli(abs(p.leak)):
+                v += _sign(p.leak) * direction
+        else:
+            v += p.leak * direction
+        # 3. Threshold (possibly jittered), fire, reset.
+        theta = p.threshold
+        if p.threshold_mask:
+            theta += self.rng.next_u8() & p.threshold_mask
+        fired = v >= theta
+        if fired:
+            if p.reset_mode == ResetMode.ZERO:
+                v = p.reset_value
+            else:  # LINEAR: subtract the *effective* threshold
+                v -= theta
+        # 4. Floor saturation.
+        if v < p.floor:
+            v = p.floor
+        self.potential = v
+        return bool(fired)
+
+    def run(self, schedule: list[tuple[int, int, int, int]]) -> list[bool]:
+        """Run a sequence of ticks; convenience for tests."""
+        return [self.tick(counts) for counts in schedule]
+
+
+@dataclass
+class NeuronArrayState:
+    """Mutable per-neuron state for a block of cores: potential + PRNG."""
+
+    potential: np.ndarray  # (C, N) int32
+    rng: LcgArray  # (C, N) streams
+
+    @classmethod
+    def create(cls, core_seeds: np.ndarray, n_neurons: int) -> "NeuronArrayState":
+        """Initialise state for ``len(core_seeds)`` cores.
+
+        Neuron ``j`` of the core with seed ``s`` gets stream seed
+        ``derive_seed(s, j)`` — identical to what :class:`ReferenceNeuron`
+        users pass, so scalar and vectorised runs share randomness.
+        """
+        core_seeds = np.asarray(core_seeds)
+        c = core_seeds.shape[0]
+        seeds = np.empty((c, n_neurons), dtype=np.uint64)
+        for ci, s in enumerate(core_seeds):
+            seeds[ci] = np.fromiter(
+                (derive_seed(int(s), j) for j in range(n_neurons)),
+                dtype=np.uint64,
+                count=n_neurons,
+            )
+        return cls(
+            potential=np.zeros((c, n_neurons), dtype=np.int32),
+            rng=LcgArray(seeds),
+        )
+
+    def clone(self) -> "NeuronArrayState":
+        return NeuronArrayState(self.potential.copy(), self.rng.clone())
+
+
+def integrate_leak_fire(
+    state: NeuronArrayState,
+    params: NeuronArrayParameters,
+    type_counts: np.ndarray,
+) -> np.ndarray:
+    """Vectorised Neuron phase for a block of cores.
+
+    Parameters
+    ----------
+    state:
+        Mutable membrane potentials and PRNG streams, updated in place.
+    params:
+        Struct-of-arrays neuron configuration for the same block.
+    type_counts:
+        ``(C, N, NUM_AXON_TYPES) int`` — number of synaptic events per
+        neuron per axon type delivered by the Synapse phase this tick.
+
+    Returns
+    -------
+    ``(C, N) bool`` — which neurons fired this tick.
+    """
+    v = state.potential.astype(np.int64)  # headroom during accumulation
+    counts = np.asarray(type_counts)
+    if counts.shape != params.weights.shape:
+        raise ValueError(
+            f"type_counts shape {counts.shape} != weights shape {params.weights.shape}"
+        )
+
+    # 1. Integrate, ascending axon type; deterministic lanes in one shot,
+    #    stochastic lanes via one Bernoulli round per remaining event.
+    for k in range(NUM_AXON_TYPES):
+        w_k = params.weights[:, :, k].astype(np.int64)
+        c_k = counts[:, :, k].astype(np.int64)
+        stoch = params.stochastic_weights[:, :, k]
+        det = ~stoch
+        if det.any():
+            v += np.where(det, w_k * c_k, 0)
+        if stoch.any():
+            mag = np.abs(w_k).astype(np.uint32)
+            sgn = np.sign(w_k)
+            remaining = np.where(stoch, c_k, 0)
+            max_rounds = int(remaining.max()) if remaining.size else 0
+            for d in range(max_rounds):
+                mask = remaining > d
+                hits = state.rng.bernoulli(mag, mask)
+                v += np.where(hits, sgn, 0)
+
+    # 2. Leak: deterministic adds leak; stochastic adds sign(leak) on a hit
+    #    and always consumes exactly one draw.  Leak-reversal multiplies the
+    #    contribution by sign(V) (with sign(0) = +1), evaluated pre-leak.
+    leak = params.leak.astype(np.int64)
+    stoch_leak = params.stochastic_leak
+    direction = np.where(params.leak_reversal & (v < 0), -1, 1).astype(np.int64)
+    v += np.where(~stoch_leak, leak * direction, 0)
+    if stoch_leak.any():
+        hits = state.rng.bernoulli(np.abs(leak).astype(np.uint32), stoch_leak)
+        v += np.where(hits, np.sign(leak) * direction, 0)
+
+    # 3. Threshold (stochastic-threshold lanes consume one draw) / fire /
+    #    reset.
+    threshold = params.threshold.astype(np.int64)
+    mask = params.threshold_mask.astype(np.int64)
+    mask_on = mask > 0
+    if mask_on.any():
+        draws = state.rng.next_u8(mask_on).astype(np.int64)
+        threshold = threshold + np.where(mask_on, draws & mask, 0)
+    fired = v >= threshold
+    reset_zero = fired & (params.reset_mode == int(ResetMode.ZERO))
+    reset_linear = fired & (params.reset_mode == int(ResetMode.LINEAR))
+    v = np.where(reset_zero, params.reset_value.astype(np.int64), v)
+    v = np.where(reset_linear, v - threshold, v)
+
+    # 4. Floor saturation.
+    v = np.maximum(v, params.floor.astype(np.int64))
+
+    state.potential[...] = v.astype(np.int32)
+    return fired

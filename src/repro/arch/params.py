@@ -1,0 +1,232 @@
+"""Configurable parameters of TrueNorth cores and neurons.
+
+§II: "Neurons are digital integrate-leak-and-fire circuits, characterized by
+configurable parameters sufficient to produce a rich repertoire of dynamic
+and functional behavior".  The parameter set here is the minimal one the
+paper describes: per-axon-type synaptic weights (possibly stochastic), a
+(possibly stochastic) leak, a firing threshold, a reset behaviour, and a
+membrane-potential floor.  Weight magnitudes used as stochastic thresholds
+are 8-bit, matching the hardware-style PRNG comparison.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.validation import check_positive, check_range, require
+
+#: Crossbar geometry of the simulated core instance (§II).
+NUM_AXONS = 256
+NUM_NEURONS = 256
+#: Axons are tagged with one of four types; each neuron holds one weight per type.
+NUM_AXON_TYPES = 4
+#: Axonal delays are 1..15 ticks; the delay buffer therefore has 16 slots.
+MAX_DELAY = 15
+DELAY_SLOTS = MAX_DELAY + 1
+
+#: Default membrane floor: potentials saturate rather than diverging downward.
+DEFAULT_FLOOR = -(2**17)
+
+
+class ResetMode(enum.IntEnum):
+    """What happens to the membrane potential when a neuron fires.
+
+    ZERO   — set the potential to ``reset_value`` (hardware default 0);
+    LINEAR — subtract the threshold, preserving super-threshold residue.
+    """
+
+    ZERO = 0
+    LINEAR = 1
+
+
+@dataclass(frozen=True)
+class NeuronParameters:
+    """Full configuration of one digital integrate-leak-and-fire neuron.
+
+    Attributes
+    ----------
+    weights:
+        Synaptic weight per axon type, ``NUM_AXON_TYPES`` signed integers.
+        A spike on an axon of type ``k`` that is connected through the
+        crossbar contributes ``weights[k]`` (deterministic mode) or
+        ``sign(weights[k])`` with probability ``|weights[k]|/256``
+        (stochastic mode).
+    stochastic_weights:
+        Per-type flags selecting the stochastic synapse mode.
+    leak:
+        Signed leak applied once per tick after integration; stochastic
+        mode applies ``sign(leak)`` with probability ``|leak|/256``.
+    stochastic_leak:
+        Flag selecting the stochastic leak mode.
+    threshold:
+        Positive firing threshold; the neuron fires when ``V >= threshold``.
+    reset_mode / reset_value:
+        Post-fire behaviour, see :class:`ResetMode`.
+    floor:
+        Lower saturation bound for the membrane potential.
+    threshold_mask:
+        Stochastic-threshold mode (an "extension" behaviour of the
+        hardware's rich repertoire, §II): when non-zero, the effective
+        firing threshold each tick is ``threshold + (draw & mask)`` with
+        one 8-bit PRNG draw consumed per tick.  Zero disables the mode
+        and consumes nothing.
+    leak_reversal:
+        When set, the leak's sign follows the membrane potential's sign
+        (``sign(V) * leak``), so a positive leak drives the potential
+        away from zero and a negative leak decays it toward zero from
+        both sides.  ``sign(0)`` is taken as ``+1``.
+    """
+
+    weights: tuple[int, int, int, int] = (1, 1, 1, 1)
+    stochastic_weights: tuple[bool, bool, bool, bool] = (False, False, False, False)
+    leak: int = 0
+    stochastic_leak: bool = False
+    threshold: int = 1
+    reset_mode: ResetMode = ResetMode.ZERO
+    reset_value: int = 0
+    floor: int = DEFAULT_FLOOR
+    threshold_mask: int = 0
+    leak_reversal: bool = False
+
+    def __post_init__(self) -> None:
+        require(len(self.weights) == NUM_AXON_TYPES, "weights must have 4 entries")
+        require(
+            len(self.stochastic_weights) == NUM_AXON_TYPES,
+            "stochastic_weights must have 4 entries",
+        )
+        for w, s in zip(self.weights, self.stochastic_weights):
+            check_range("weight", int(w), -255, 255)
+            require(isinstance(s, (bool, np.bool_)), "stochastic flags must be bool")
+        check_range("leak", int(self.leak), -255, 255)
+        check_positive("threshold", int(self.threshold))
+        check_range("reset_value", int(self.reset_value), self.floor, None)
+        require(self.floor <= 0, "floor must be non-positive")
+        check_range("threshold_mask", int(self.threshold_mask), 0, 255)
+        require(
+            isinstance(self.leak_reversal, (bool, np.bool_)),
+            "leak_reversal must be bool",
+        )
+
+
+@dataclass(frozen=True)
+class CoreParameters:
+    """Per-core configuration that is not per-neuron.
+
+    ``seed`` feeds the core's deterministic PRNG tree (§II: configurable
+    seeds guarantee one-to-one software/hardware equivalence).
+    """
+
+    seed: int = 0
+    num_axons: int = NUM_AXONS
+    num_neurons: int = NUM_NEURONS
+
+    def __post_init__(self) -> None:
+        check_positive("num_axons", self.num_axons)
+        check_positive("num_neurons", self.num_neurons)
+
+
+@dataclass
+class NeuronArrayParameters:
+    """Struct-of-arrays neuron parameters for a block of cores.
+
+    Shapes are ``(cores, neurons, ...)``; this is the layout the vectorised
+    kernel consumes.  All arrays are owned (not views of caller data).
+    """
+
+    weights: np.ndarray  # (C, N, 4) int32
+    stochastic_weights: np.ndarray  # (C, N, 4) bool
+    leak: np.ndarray  # (C, N) int32
+    stochastic_leak: np.ndarray  # (C, N) bool
+    threshold: np.ndarray  # (C, N) int32
+    reset_mode: np.ndarray  # (C, N) uint8
+    reset_value: np.ndarray  # (C, N) int32
+    floor: np.ndarray  # (C, N) int32
+    threshold_mask: np.ndarray = None  # (C, N) int32
+    leak_reversal: np.ndarray = None  # (C, N) bool
+
+    def __post_init__(self) -> None:
+        c, n = self.leak.shape
+        if self.threshold_mask is None:
+            self.threshold_mask = np.zeros((c, n), dtype=np.int32)
+        if self.leak_reversal is None:
+            self.leak_reversal = np.zeros((c, n), dtype=bool)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.leak.shape  # (C, N)
+
+    @classmethod
+    def empty(cls, n_cores: int, n_neurons: int = NUM_NEURONS) -> "NeuronArrayParameters":
+        """Default-initialised block (unit weights, threshold 1, no leak)."""
+        c, n = n_cores, n_neurons
+        return cls(
+            weights=np.ones((c, n, NUM_AXON_TYPES), dtype=np.int32),
+            stochastic_weights=np.zeros((c, n, NUM_AXON_TYPES), dtype=bool),
+            leak=np.zeros((c, n), dtype=np.int32),
+            stochastic_leak=np.zeros((c, n), dtype=bool),
+            threshold=np.ones((c, n), dtype=np.int32),
+            reset_mode=np.zeros((c, n), dtype=np.uint8),
+            reset_value=np.zeros((c, n), dtype=np.int32),
+            floor=np.full((c, n), DEFAULT_FLOOR, dtype=np.int32),
+            threshold_mask=np.zeros((c, n), dtype=np.int32),
+            leak_reversal=np.zeros((c, n), dtype=bool),
+        )
+
+    @classmethod
+    def homogeneous(
+        cls, params: NeuronParameters, n_cores: int, n_neurons: int = NUM_NEURONS
+    ) -> "NeuronArrayParameters":
+        """Broadcast a single :class:`NeuronParameters` over a whole block."""
+        block = cls.empty(n_cores, n_neurons)
+        block.set_neuron(slice(None), slice(None), params)
+        return block
+
+    def set_neuron(self, core_idx, neuron_idx, params: NeuronParameters) -> None:
+        """Assign ``params`` to the selected (core, neuron) positions."""
+        self.weights[core_idx, neuron_idx] = np.asarray(params.weights, dtype=np.int32)
+        self.stochastic_weights[core_idx, neuron_idx] = np.asarray(
+            params.stochastic_weights, dtype=bool
+        )
+        self.leak[core_idx, neuron_idx] = params.leak
+        self.stochastic_leak[core_idx, neuron_idx] = params.stochastic_leak
+        self.threshold[core_idx, neuron_idx] = params.threshold
+        self.reset_mode[core_idx, neuron_idx] = int(params.reset_mode)
+        self.reset_value[core_idx, neuron_idx] = params.reset_value
+        self.floor[core_idx, neuron_idx] = params.floor
+        self.threshold_mask[core_idx, neuron_idx] = params.threshold_mask
+        self.leak_reversal[core_idx, neuron_idx] = params.leak_reversal
+
+    def get_neuron(self, core_idx: int, neuron_idx: int) -> NeuronParameters:
+        """Read back one neuron's configuration as a value object."""
+        return NeuronParameters(
+            weights=tuple(int(w) for w in self.weights[core_idx, neuron_idx]),
+            stochastic_weights=tuple(
+                bool(s) for s in self.stochastic_weights[core_idx, neuron_idx]
+            ),
+            leak=int(self.leak[core_idx, neuron_idx]),
+            stochastic_leak=bool(self.stochastic_leak[core_idx, neuron_idx]),
+            threshold=int(self.threshold[core_idx, neuron_idx]),
+            reset_mode=ResetMode(int(self.reset_mode[core_idx, neuron_idx])),
+            reset_value=int(self.reset_value[core_idx, neuron_idx]),
+            floor=int(self.floor[core_idx, neuron_idx]),
+            threshold_mask=int(self.threshold_mask[core_idx, neuron_idx]),
+            leak_reversal=bool(self.leak_reversal[core_idx, neuron_idx]),
+        )
+
+    def slice_cores(self, sel) -> "NeuronArrayParameters":
+        """Copy out a sub-block of cores (used by the partitioner)."""
+        return NeuronArrayParameters(
+            weights=self.weights[sel].copy(),
+            stochastic_weights=self.stochastic_weights[sel].copy(),
+            leak=self.leak[sel].copy(),
+            stochastic_leak=self.stochastic_leak[sel].copy(),
+            threshold=self.threshold[sel].copy(),
+            reset_mode=self.reset_mode[sel].copy(),
+            reset_value=self.reset_value[sel].copy(),
+            floor=self.floor[sel].copy(),
+            threshold_mask=self.threshold_mask[sel].copy(),
+            leak_reversal=self.leak_reversal[sel].copy(),
+        )

@@ -1,0 +1,106 @@
+"""Spike message wire format.
+
+The paper's bandwidth estimate (§VI-B) assumes 20 bytes per spike; we use
+the same record size: target gid (int64), target axon (int32), delay
+(int32), and the emitting tick (int32).  Batches are struct-of-arrays and
+encode to a contiguous byte string, which is what the simulated MPI layer
+"transmits" and what the byte-volume metrics count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: The numpy record dtype of one spike on the wire.
+SPIKE_DTYPE = np.dtype(
+    [
+        ("tgt_gid", "<i8"),
+        ("tgt_axon", "<i4"),
+        ("delay", "<i4"),
+        ("tick", "<i4"),
+    ]
+)
+
+SPIKE_WIRE_BYTES = SPIKE_DTYPE.itemsize
+assert SPIKE_WIRE_BYTES == 20, "wire format must match the paper's 20 B/spike"
+
+
+class SpikeBatch:
+    """A batch of spikes addressed to one destination process."""
+
+    __slots__ = ("tgt_gid", "tgt_axon", "delay", "tick")
+
+    def __init__(
+        self,
+        tgt_gid: np.ndarray,
+        tgt_axon: np.ndarray,
+        delay: np.ndarray,
+        tick: np.ndarray | int,
+    ) -> None:
+        self.tgt_gid = np.asarray(tgt_gid, dtype=np.int64)
+        self.tgt_axon = np.asarray(tgt_axon, dtype=np.int32)
+        self.delay = np.asarray(delay, dtype=np.int32)
+        self.tick = np.broadcast_to(
+            np.asarray(tick, dtype=np.int32), self.tgt_gid.shape
+        ).copy()
+        if not (
+            self.tgt_gid.shape == self.tgt_axon.shape == self.delay.shape
+        ):
+            raise ValueError("spike batch arrays must have identical shapes")
+
+    @classmethod
+    def empty(cls) -> "SpikeBatch":
+        z = np.zeros(0, dtype=np.int64)
+        return cls(z, z, z, z)
+
+    @property
+    def count(self) -> int:
+        return int(self.tgt_gid.shape[0])
+
+    @property
+    def nbytes(self) -> int:
+        return self.count * SPIKE_WIRE_BYTES
+
+    def encode(self) -> bytes:
+        """Serialise to the 20-byte-per-spike wire format."""
+        rec = np.empty(self.count, dtype=SPIKE_DTYPE)
+        rec["tgt_gid"] = self.tgt_gid
+        rec["tgt_axon"] = self.tgt_axon
+        rec["delay"] = self.delay
+        rec["tick"] = self.tick
+        return rec.tobytes()
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "SpikeBatch":
+        rec = np.frombuffer(payload, dtype=SPIKE_DTYPE)
+        return cls(
+            rec["tgt_gid"].copy(),
+            rec["tgt_axon"].copy(),
+            rec["delay"].copy(),
+            rec["tick"].copy(),
+        )
+
+    @classmethod
+    def concatenate(cls, batches: list["SpikeBatch"]) -> "SpikeBatch":
+        batches = [b for b in batches if b.count]
+        if not batches:
+            return cls.empty()
+        return cls(
+            np.concatenate([b.tgt_gid for b in batches]),
+            np.concatenate([b.tgt_axon for b in batches]),
+            np.concatenate([b.delay for b in batches]),
+            np.concatenate([b.tick for b in batches]),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SpikeBatch):
+            return NotImplemented
+        return (
+            np.array_equal(self.tgt_gid, other.tgt_gid)
+            and np.array_equal(self.tgt_axon, other.tgt_axon)
+            and np.array_equal(self.delay, other.delay)
+            and np.array_equal(self.tick, other.tick)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SpikeBatch(count={self.count})"

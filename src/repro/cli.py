@@ -1,0 +1,280 @@
+"""Command-line interface: ``repro-compass``.
+
+Subcommands:
+
+* ``info``                      — package, machine, and architecture facts;
+* ``compile <coreobject.json>`` — run the PCC, optionally save the
+  explicit model and verify it;
+* ``run <model>``               — simulate an explicit model file (or the
+  built-in quickstart network) and print run statistics;
+* ``macaque``                   — build, compile, and run a macaque model;
+* ``figures [name|all]``        — regenerate the paper's evaluation tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.version import __version__
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from repro.arch.params import MAX_DELAY, NUM_AXON_TYPES, NUM_AXONS, NUM_NEURONS
+    from repro.runtime.machine import BLUE_GENE_P, BLUE_GENE_Q
+
+    print(f"repro-compass {__version__}")
+    print(
+        "reproduction of: Preissl et al., 'Compass: A scalable simulator for "
+        "an architecture for Cognitive Computing', SC 2012"
+    )
+    print(
+        f"\ncore geometry: {NUM_AXONS} axons x {NUM_NEURONS} neurons, "
+        f"{NUM_AXON_TYPES} axon types, delays 1..{MAX_DELAY}"
+    )
+    for spec in (BLUE_GENE_Q, BLUE_GENE_P):
+        print(
+            f"\n{spec.name}: {spec.cpu_cores_per_node} cores/node, "
+            f"{spec.memory_per_node // 2**30} GiB/node, "
+            f"{spec.nodes_per_rack} nodes/rack, {spec.torus_dims}-D torus"
+        )
+    return 0
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    from repro.compiler.coreobject import CoreObject
+    from repro.compiler.diskmodel import write_model_file
+    from repro.compiler.pcc import ParallelCompassCompiler
+    from repro.compiler.verification import verify_compiled
+
+    obj = CoreObject.from_json(args.coreobject)
+    compiled = ParallelCompassCompiler().compile(obj)
+    m = compiled.metrics
+    print(
+        f"compiled {obj.name!r}: {compiled.network.n_cores} cores, "
+        f"{m.total_connections} connections "
+        f"({m.white_matter_connections} white / {m.gray_matter_connections} gray) "
+        f"in {m.wall_seconds:.2f}s, {m.exchange_messages} wiring exchanges"
+    )
+    if args.verify:
+        report = verify_compiled(compiled)
+        status = "PASS" if report.passed else f"FAIL {report.failures()}"
+        print(f"verification: {status}")
+        if not report.passed:
+            return 1
+    if args.output:
+        n = write_model_file(compiled.network, args.output)
+        print(f"wrote explicit model: {args.output} ({n} bytes)")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.compiler.diskmodel import read_model_file
+    from repro.core.config import CompassConfig
+    from repro.core.pgas_simulator import PgasCompass
+    from repro.core.simulator import Compass
+
+    if args.model == "quickstart":
+        from repro.apps.quicknet import build_quickstart_network
+
+        network = build_quickstart_network()
+    else:
+        network = read_model_file(args.model)
+
+    cfg = CompassConfig(
+        n_processes=args.processes,
+        threads_per_process=args.threads,
+        record_spikes=args.stats,
+    )
+    sim_cls = PgasCompass if args.pgas else Compass
+    sim = sim_cls(network, cfg)
+    result = sim.run(args.ticks)
+    backend = "pgas" if args.pgas else "mpi"
+    print(
+        f"ran {args.ticks} ticks on {args.processes} processes ({backend}): "
+        f"{result.total_spikes} spikes, {result.mean_rate_hz:.2f} Hz, "
+        f"{sim.metrics.messages_per_tick():.1f} msgs/tick, "
+        f"host {sim.metrics.host.total:.2f}s"
+    )
+    if args.stats:
+        from repro.analysis.stats import spike_train_stats
+
+        s = spike_train_stats(sim.recorder, network.n_neurons, args.ticks)
+        print(
+            f"stats: isi_cv={s.isi_cv:.2f} synchrony={s.synchrony:.2f} "
+            f"active={s.active_fraction:.0%}"
+        )
+    if args.profile:
+        from repro.core.profiling import profile_report
+
+        print(profile_report(sim))
+    if args.trace:
+        from repro.core.trace import write_trace
+
+        if sim.recorder is None:
+            print("--trace requires --stats (spike recording)", file=sys.stderr)
+            return 1
+        nbytes = write_trace(sim.recorder, args.trace)
+        print(f"wrote spike trace: {args.trace} ({nbytes} bytes)")
+    return 0
+
+
+def _cmd_macaque(args: argparse.Namespace) -> int:
+    from repro.cocomac.model import build_macaque_model
+    from repro.core.config import CompassConfig
+    from repro.core.simulator import Compass
+
+    model = build_macaque_model(total_cores=args.cores, seed=args.seed)
+    net = model.compiled.network
+    print(
+        f"macaque model: {model.n_regions} regions, {net.n_cores} cores, "
+        f"{model.white_matter_fraction:.0%} white matter"
+    )
+    sim = Compass(net, CompassConfig(n_processes=args.processes))
+    result = sim.run(args.ticks)
+    print(
+        f"ran {args.ticks} ticks: {result.total_spikes} spikes, "
+        f"{result.mean_rate_hz:.2f} Hz mean rate"
+    )
+    return 0
+
+
+_FIGURES = ("fig4a", "fig4b", "fig5", "fig6", "fig7", "headline")
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.cocomac.export import export_model
+    from repro.cocomac.model import build_macaque_coreobject
+
+    model = build_macaque_coreobject(total_cores=args.cores, seed=args.seed)
+    for path in export_model(model, args.directory):
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.perf.report import format_table, paper_vs_model
+
+    if args.csv:
+        from repro.perf.sweep import export_all
+
+        for path in export_all(args.csv):
+            print(f"wrote {path}")
+        return 0
+
+    wanted = _FIGURES if args.name == "all" else (args.name,)
+    for name in wanted:
+        if name == "fig4a":
+            from repro.perf.weak_scaling import weak_scaling_series
+
+            rows = [
+                (f"{p.racks:g}", p.cpus, round(p.times.total, 1), f"{p.slowdown:.0f}x")
+                for p in weak_scaling_series()
+            ]
+            print(format_table(["racks", "cpus", "total_s", "slowdown"], rows,
+                               title="Fig 4(a) weak scaling"))
+        elif name == "fig4b":
+            from repro.perf.weak_scaling import weak_scaling_series
+
+            rows = [
+                (f"{p.racks:g}", f"{p.messages_per_tick/1e6:.2f}M",
+                 f"{p.spikes_per_tick/1e6:.2f}M", f"{p.bytes_per_tick/1e9:.2f}")
+                for p in weak_scaling_series()
+            ]
+            print(format_table(["racks", "msgs/tick", "spikes/tick", "GB/tick"],
+                               rows, title="Fig 4(b) messaging"))
+        elif name == "fig5":
+            from repro.perf.strong_scaling import strong_scaling_series
+
+            rows = [
+                (f"{p.racks:g}", round(p.times.total, 1), f"{p.speedup:.1f}x")
+                for p in strong_scaling_series()
+            ]
+            print(format_table(["racks", "total_s", "speedup"], rows,
+                               title="Fig 5 strong scaling (32M cores)"))
+        elif name == "fig6":
+            from repro.perf.thread_scaling import thread_scaling_series
+
+            rows = [
+                (p.threads, f"{p.speedup_total:.2f}x") for p in thread_scaling_series()
+            ]
+            print(format_table(["threads", "speedup"], rows,
+                               title="Fig 6 thread scaling (64M cores)"))
+        elif name == "fig7":
+            from repro.perf.realtime import realtime_series
+
+            rows = [
+                (p.backend, f"{p.racks:g}", round(p.seconds, 2),
+                 "yes" if p.realtime else "no")
+                for p in realtime_series()
+            ]
+            print(format_table(["impl", "racks", "seconds", "real-time"], rows,
+                               title="Fig 7 PGAS vs MPI (81K cores)"))
+        elif name == "headline":
+            from repro.perf.headline import headline_summary
+
+            s = headline_summary()
+            print(paper_vs_model(s["paper"], s["model"]))
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-compass",
+        description="Compass/TrueNorth reproduction toolkit",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="package and machine facts").set_defaults(
+        func=_cmd_info
+    )
+
+    p = sub.add_parser("compile", help="compile a CoreObject JSON file")
+    p.add_argument("coreobject", help="path to a CoreObject .json")
+    p.add_argument("-o", "--output", help="write the explicit model (.npz)")
+    p.add_argument("--verify", action="store_true", help="verify the result")
+    p.set_defaults(func=_cmd_compile)
+
+    p = sub.add_parser("run", help="simulate a model")
+    p.add_argument("model", help="explicit model .npz, or 'quickstart'")
+    p.add_argument("--ticks", type=int, default=100)
+    p.add_argument("--processes", type=int, default=1)
+    p.add_argument("--threads", type=int, default=1)
+    p.add_argument("--pgas", action="store_true", help="use the PGAS backend")
+    p.add_argument("--stats", action="store_true", help="spike-train statistics")
+    p.add_argument("--profile", action="store_true", help="per-rank load profile")
+    p.add_argument("--trace", help="write the spike trace to this file")
+    p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser("macaque", help="build + compile + run a macaque model")
+    p.add_argument("--cores", type=int, default=128)
+    p.add_argument("--ticks", type=int, default=200)
+    p.add_argument("--processes", type=int, default=4)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_macaque)
+
+    p = sub.add_parser(
+        "export", help="export the synthetic CoCoMac model (GraphML/CSV/JSON)"
+    )
+    p.add_argument("directory", help="output directory")
+    p.add_argument("--cores", type=int, default=1024)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_export)
+
+    p = sub.add_parser("figures", help="regenerate paper evaluation tables")
+    p.add_argument("name", choices=_FIGURES + ("all",), nargs="?", default="all")
+    p.add_argument("--csv", metavar="DIR", help="export all series as CSV instead")
+    p.set_defaults(func=_cmd_figures)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""The CoCoMac macaque-brain network model (§V).
+
+The paper instantiates its test network from the CoCoMac database of
+macaque white-matter tracing studies [27, 28], reduced from 383
+hierarchically organised regions (6,602 directed edges) to 102 regions of
+which 77 report connections, with relative region sizes from the Paxinos
+atlas [29].  Neither data source ships with this repository, so
+:mod:`repro.cocomac.database` provides a deterministic synthetic generator
+reproducing the *published statistics* (see DESIGN.md §2 for the
+substitution argument), :mod:`repro.cocomac.reduction` implements the
+child-into-parent OR-merge, :mod:`repro.cocomac.atlas` the volume model
+with median imputation, and :mod:`repro.cocomac.model` assembles the final
+CoreObject with the 60/40 / 80/20 white-gray split and IPFP balancing.
+"""
+
+from repro.cocomac.database import Region, ConnectivityDatabase, synthetic_cocomac
+from repro.cocomac.reduction import reduce_database
+from repro.cocomac.atlas import synthetic_atlas, AtlasVolumes
+from repro.cocomac.model import (
+    MacaqueModel,
+    build_macaque_coreobject,
+    build_macaque_model,
+)
+
+__all__ = [
+    "Region",
+    "ConnectivityDatabase",
+    "synthetic_cocomac",
+    "reduce_database",
+    "synthetic_atlas",
+    "AtlasVolumes",
+    "MacaqueModel",
+    "build_macaque_coreobject",
+    "build_macaque_model",
+]

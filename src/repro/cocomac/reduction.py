@@ -1,0 +1,75 @@
+"""Hierarchy reduction: merge child regions into parents (§V-B).
+
+"For simplicity, we reduced the network by merging a child subregion into a
+parent region where both child and parent regions report connections.  We
+do this by ORing the connections of the child region with that of the
+parent region."  The merge runs to a fixpoint so arbitrarily deep
+hierarchies collapse; applied to the synthetic full database it yields the
+paper's 102-region network with 77 regions reporting connections.
+"""
+
+from __future__ import annotations
+
+from repro.cocomac.database import ConnectivityDatabase, Region
+
+
+def reduce_database(db: ConnectivityDatabase) -> ConnectivityDatabase:
+    """Collapse reporting children into reporting ancestors.
+
+    Returns a new database containing only regions that survived the merge
+    (indices re-numbered densely, original names kept).  Edges are ORed:
+    a merged child's edge (c → x) becomes (parent → x'), where x' is x's
+    own surviving representative; duplicate edges and self-loops collapse.
+    """
+    # Representative map: each region points to the region absorbing it.
+    absorb: dict[int, int] = {r.index: r.index for r in db.regions}
+    by_index = {r.index: r for r in db.regions}
+
+    changed = True
+    while changed:
+        changed = False
+        for r in db.regions:
+            if r.parent == -1 or absorb[r.index] != r.index:
+                continue
+            parent = by_index[r.parent]
+            # Walk up to the parent's current representative.
+            p_rep = _find(absorb, parent.index)
+            if r.reports and by_index[p_rep].reports:
+                absorb[r.index] = p_rep
+                changed = True
+
+    # Surviving regions, densely re-indexed in original order.
+    survivors = [r for r in db.regions if _find(absorb, r.index) == r.index]
+    new_index = {r.index: i for i, r in enumerate(survivors)}
+    regions = [
+        Region(
+            index=new_index[r.index],
+            name=r.name,
+            region_class=r.region_class,
+            parent=(
+                new_index[_find(absorb, r.parent)]
+                if r.parent != -1 and _find(absorb, r.parent) in new_index
+                else -1
+            ),
+            reports=r.reports,
+        )
+        for r in survivors
+    ]
+
+    edges = set()
+    for a, b in db.edges:
+        ra, rb = _find(absorb, a), _find(absorb, b)
+        ia, ib = new_index[ra], new_index[rb]
+        if ia != ib:
+            edges.add((ia, ib))
+    return ConnectivityDatabase(regions=regions, edges=edges)
+
+
+def _find(absorb: dict[int, int], idx: int) -> int:
+    """Path-compressing representative lookup."""
+    root = idx
+    while absorb[root] != root:
+        root = absorb[root]
+    while absorb[idx] != root:
+        absorb[idx], idx = root, absorb[idx]
+    return root

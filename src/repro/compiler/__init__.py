@@ -1,0 +1,40 @@
+"""The Parallel Compass Compiler (PCC, §IV).
+
+The PCC translates a *compact* description of functional regions and their
+connectivity — a :class:`~repro.compiler.coreobject.CoreObject` — into the
+explicit neuron parameters, synaptic crossbars, and neuron→axon wiring that
+Compass simulates.  Key properties reproduced from the paper:
+
+* each PCC process compiles at most one functional region; regions occupy
+  contiguous gid ranges so intra-region spiking stays on as few Compass
+  processes as necessary (shared memory), reserving MPI for inter-region
+  (white-matter) spiking;
+* inter-region wiring is an aggregated axon-handshake over (simulated)
+  MPI: the target region's process allocates axons and returns (core id,
+  axon id) pairs to the source region's process;
+* realizability — every axon/neuron request satisfiable — is guaranteed by
+  balancing the connection matrix with the iterative proportional fitting
+  procedure (Sinkhorn–Knopp, :mod:`repro.compiler.ipfp`);
+* in-situ generation replaces reading/writing an explicit multi-terabyte
+  model file (:mod:`repro.compiler.diskmodel` implements that baseline).
+"""
+
+from repro.compiler.coreobject import CoreObject, RegionSpec, ConnectionSpec
+from repro.compiler.ipfp import balance_matrix, BalanceResult
+from repro.compiler.allocator import AxonAllocator, NeuronAllocator
+from repro.compiler.pcc import ParallelCompassCompiler, CompiledModel
+from repro.compiler.diskmodel import write_model_file, read_model_file
+
+__all__ = [
+    "CoreObject",
+    "RegionSpec",
+    "ConnectionSpec",
+    "balance_matrix",
+    "BalanceResult",
+    "AxonAllocator",
+    "NeuronAllocator",
+    "ParallelCompassCompiler",
+    "CompiledModel",
+    "write_model_file",
+    "read_model_file",
+]

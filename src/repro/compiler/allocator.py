@@ -1,0 +1,73 @@
+"""Axon and neuron allocation within a region.
+
+§V-C: "to provide the highest possible challenge to cache performance, we
+chose to ensure that all locally connecting neurons on the same TrueNorth
+core distribute their connections as broadly as possible across the set of
+possible target TrueNorth cores."  Both allocators therefore hand out
+resources *round-robin across cores* (core-major stride) rather than
+filling one core before the next: request *k* axons from an *n*-core region
+and you touch ``min(k, n)`` distinct cores.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WiringError
+
+
+class _RoundRobinAllocator:
+    """Shared machinery: dispense (core, slot) pairs core-major."""
+
+    kind = "resource"
+
+    def __init__(self, gid_lo: int, n_cores: int, slots_per_core: int) -> None:
+        if n_cores <= 0 or slots_per_core <= 0:
+            raise ValueError("allocator needs positive capacity")
+        self.gid_lo = gid_lo
+        self.n_cores = n_cores
+        self.slots_per_core = slots_per_core
+        self._next = 0  # global counter in round-robin order
+
+    @property
+    def capacity(self) -> int:
+        return self.n_cores * self.slots_per_core
+
+    @property
+    def allocated(self) -> int:
+        return self._next
+
+    @property
+    def remaining(self) -> int:
+        return self.capacity - self._next
+
+    def allocate(self, count: int) -> tuple[np.ndarray, np.ndarray]:
+        """Dispense ``count`` (gid, slot) pairs, round-robin across cores."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count > self.remaining:
+            raise WiringError(
+                f"{self.kind} allocator exhausted: requested {count}, "
+                f"remaining {self.remaining} of {self.capacity}"
+            )
+        idx = np.arange(self._next, self._next + count, dtype=np.int64)
+        self._next += count
+        gids = self.gid_lo + (idx % self.n_cores)
+        slots = (idx // self.n_cores) % self.slots_per_core
+        return gids, slots
+
+
+class AxonAllocator(_RoundRobinAllocator):
+    """Dispenses free (core, axon) pairs of a target region."""
+
+    kind = "axon"
+
+
+class NeuronAllocator(_RoundRobinAllocator):
+    """Dispenses free (core, neuron) outputs of a source region.
+
+    Every TrueNorth neuron has exactly one output connection, so a region
+    of *n* cores can source at most ``n × 256`` connections.
+    """
+
+    kind = "neuron"

@@ -1,0 +1,244 @@
+"""The CoreObject compact network description (§IV).
+
+"The high-level network description describing the network connectivity is
+expressed in a relatively small and compact CoreObject file."  A CoreObject
+names functional regions (how many cores, what neuron prototype, what
+crossbar statistics) and the neuron→axon connection counts between regions.
+It serialises to a small JSON document — kilobytes — whereas the explicit
+model it compiles into scales with cores × synapses (terabytes at paper
+scale): that gap is the paper's 3-orders-of-magnitude set-up argument.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.arch.params import MAX_DELAY, NUM_AXON_TYPES, NeuronParameters, ResetMode
+from repro.errors import ConfigurationError
+from repro.util.validation import check_positive, check_range, require
+
+
+@dataclass(frozen=True)
+class RegionSpec:
+    """One functional region: a population of identically-specified cores.
+
+    ``region_class`` distinguishes cortical from sub-cortical regions, which
+    the CoCoMac model uses for the 60/40 vs 80/20 white/gray split (§V-C).
+    ``axon_type_fractions`` gives the proportion of each of the four axon
+    types on every core in the region.
+    """
+
+    name: str
+    n_cores: int
+    neuron: NeuronParameters = field(default_factory=NeuronParameters)
+    crossbar_density: float = 0.125
+    axon_type_fractions: tuple[float, float, float, float] = (1.0, 0.0, 0.0, 0.0)
+    region_class: str = "cortical"
+
+    def __post_init__(self) -> None:
+        require(bool(self.name), "region name must be non-empty")
+        check_positive("n_cores", self.n_cores)
+        check_range("crossbar_density", self.crossbar_density, 0.0, 1.0)
+        require(
+            len(self.axon_type_fractions) == NUM_AXON_TYPES,
+            f"axon_type_fractions needs {NUM_AXON_TYPES} entries",
+        )
+        total = float(sum(self.axon_type_fractions))
+        require(abs(total - 1.0) < 1e-9, "axon_type_fractions must sum to 1")
+        require(
+            self.region_class in ("cortical", "thalamic", "basal_ganglia", "other"),
+            f"unknown region_class {self.region_class!r}",
+        )
+
+
+@dataclass(frozen=True)
+class ConnectionSpec:
+    """Neuron→axon connection demand between two regions.
+
+    ``count`` source neurons in ``src`` each get wired to one freshly
+    allocated axon in ``dst``.  ``src == dst`` describes gray-matter
+    (intra-region) connectivity; anything else is white matter.
+    """
+
+    src: str
+    dst: str
+    count: int
+    delay: int = 1
+
+    def __post_init__(self) -> None:
+        check_positive("count", self.count)
+        check_range("delay", self.delay, 1, MAX_DELAY)
+
+
+@dataclass
+class CoreObject:
+    """A complete compact model description."""
+
+    name: str
+    regions: list[RegionSpec]
+    connections: list[ConnectionSpec]
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        names = [r.name for r in self.regions]
+        if len(set(names)) != len(names):
+            raise ConfigurationError("duplicate region names in CoreObject")
+        known = set(names)
+        for c in self.connections:
+            if c.src not in known or c.dst not in known:
+                raise ConfigurationError(
+                    f"connection {c.src}->{c.dst} references unknown region"
+                )
+
+    # -- derived ---------------------------------------------------------------
+
+    @property
+    def n_cores(self) -> int:
+        return sum(r.n_cores for r in self.regions)
+
+    def region(self, name: str) -> RegionSpec:
+        for r in self.regions:
+            if r.name == name:
+                return r
+        raise KeyError(name)
+
+    def region_index(self) -> dict[str, int]:
+        return {r.name: i for i, r in enumerate(self.regions)}
+
+    def connection_matrix(self) -> np.ndarray:
+        """(R, R) integer matrix of neuron→axon connection counts."""
+        idx = self.region_index()
+        m = np.zeros((len(self.regions), len(self.regions)), dtype=np.int64)
+        for c in self.connections:
+            m[idx[c.src], idx[c.dst]] += c.count
+        return m
+
+    def validate_capacity(self, neurons_per_core: int = 256, axons_per_core: int = 256) -> None:
+        """Check realizability: out-degree ≤ neurons, in-degree ≤ axons.
+
+        This is the invariant the IPFP balancing step establishes for the
+        CoCoMac model; hand-written CoreObjects are checked here.
+        """
+        m = self.connection_matrix()
+        for i, r in enumerate(self.regions):
+            out_cap = r.n_cores * neurons_per_core
+            in_cap = r.n_cores * axons_per_core
+            if m[i].sum() > out_cap:
+                raise ConfigurationError(
+                    f"region {r.name}: {m[i].sum()} outgoing connections exceed "
+                    f"{out_cap} available neurons"
+                )
+            if m[:, i].sum() > in_cap:
+                raise ConfigurationError(
+                    f"region {r.name}: {m[:, i].sum()} incoming connections exceed "
+                    f"{in_cap} available axons"
+                )
+
+    # -- serialisation -----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "format": "coreobject/1",
+            "name": self.name,
+            "seed": self.seed,
+            "regions": [
+                {
+                    "name": r.name,
+                    "n_cores": r.n_cores,
+                    "region_class": r.region_class,
+                    "crossbar_density": r.crossbar_density,
+                    "axon_type_fractions": list(r.axon_type_fractions),
+                    "neuron": _neuron_to_dict(r.neuron),
+                }
+                for r in self.regions
+            ],
+            "connections": [
+                {"src": c.src, "dst": c.dst, "count": c.count, "delay": c.delay}
+                for c in self.connections
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CoreObject":
+        if data.get("format") != "coreobject/1":
+            raise ConfigurationError(f"unknown CoreObject format {data.get('format')!r}")
+        regions = [
+            RegionSpec(
+                name=r["name"],
+                n_cores=r["n_cores"],
+                region_class=r.get("region_class", "cortical"),
+                crossbar_density=r.get("crossbar_density", 0.125),
+                axon_type_fractions=tuple(r.get("axon_type_fractions", (1, 0, 0, 0))),
+                neuron=_neuron_from_dict(r.get("neuron", {})),
+            )
+            for r in data["regions"]
+        ]
+        connections = [
+            ConnectionSpec(
+                src=c["src"], dst=c["dst"], count=c["count"], delay=c.get("delay", 1)
+            )
+            for c in data["connections"]
+        ]
+        return cls(
+            name=data["name"],
+            regions=regions,
+            connections=connections,
+            seed=data.get("seed", 0),
+        )
+
+    def to_json(self, path: str | Path | None = None) -> str:
+        text = json.dumps(self.to_dict(), indent=1)
+        if path is not None:
+            Path(path).write_text(text)
+        return text
+
+    @classmethod
+    def from_json(cls, source: str | Path) -> "CoreObject":
+        """Parse from a JSON string or a file path."""
+        if isinstance(source, Path) or (
+            isinstance(source, str) and not source.lstrip().startswith("{")
+        ):
+            text = Path(source).read_text()
+        else:
+            text = source
+        return cls.from_dict(json.loads(text))
+
+    def description_nbytes(self) -> int:
+        """Size of the compact description (the 'small' side of §IV)."""
+        return len(self.to_json().encode())
+
+
+def _neuron_to_dict(n: NeuronParameters) -> dict:
+    return {
+        "weights": list(n.weights),
+        "stochastic_weights": list(n.stochastic_weights),
+        "leak": n.leak,
+        "stochastic_leak": n.stochastic_leak,
+        "threshold": n.threshold,
+        "reset_mode": int(n.reset_mode),
+        "reset_value": n.reset_value,
+        "floor": n.floor,
+        "threshold_mask": n.threshold_mask,
+        "leak_reversal": n.leak_reversal,
+    }
+
+
+def _neuron_from_dict(d: dict) -> NeuronParameters:
+    if not d:
+        return NeuronParameters()
+    return NeuronParameters(
+        weights=tuple(d.get("weights", (1, 1, 1, 1))),
+        stochastic_weights=tuple(bool(x) for x in d.get("stochastic_weights", (False,) * 4)),
+        leak=d.get("leak", 0),
+        stochastic_leak=d.get("stochastic_leak", False),
+        threshold=d.get("threshold", 1),
+        reset_mode=ResetMode(d.get("reset_mode", 0)),
+        reset_value=d.get("reset_value", 0),
+        floor=d.get("floor", -(2**17)),
+        threshold_mask=d.get("threshold_mask", 0),
+        leak_reversal=bool(d.get("leak_reversal", False)),
+    )

@@ -1,0 +1,130 @@
+"""Explicit model files: the baseline the in-situ compiler replaces.
+
+§IV: "For large scale simulation of millions of TrueNorth cores, the
+network model specification for Compass can be on the order of several
+terabytes.  Offline generation and copying such large files is impractical.
+Parallel model generation using the compiler requires only few minutes as
+compared to several hours to read or write it to disk."
+
+This module implements that baseline faithfully — a complete serialisation
+of the explicit network — so the benchmark can measure in-situ compilation
+against write+read of the explicit model, and extrapolate both to paper
+scale with :func:`explicit_model_nbytes`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.arch.network import CoreNetwork
+from repro.arch.params import NUM_AXON_TYPES
+from repro.errors import ConfigurationError
+
+_FORMAT = "compass-explicit/1"
+
+
+def write_model_file(network: CoreNetwork, path: str | Path) -> int:
+    """Serialise the complete explicit model; returns bytes written."""
+    path = Path(path)
+    np.savez(
+        path,
+        format=np.frombuffer(_FORMAT.encode(), dtype=np.uint8),
+        n_cores=np.int64(network.n_cores),
+        seed=np.int64(network.seed),
+        num_axons=np.int64(network.num_axons),
+        num_neurons=np.int64(network.num_neurons),
+        crossbars=network.crossbars,
+        axon_types=network.axon_types,
+        target_gid=network.target_gid,
+        target_axon=network.target_axon,
+        target_delay=network.target_delay,
+        weights=network.neuron_params.weights,
+        stochastic_weights=network.neuron_params.stochastic_weights,
+        leak=network.neuron_params.leak,
+        stochastic_leak=network.neuron_params.stochastic_leak,
+        threshold=network.neuron_params.threshold,
+        reset_mode=network.neuron_params.reset_mode,
+        reset_value=network.neuron_params.reset_value,
+        floor=network.neuron_params.floor,
+    )
+    actual = path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+    return actual.stat().st_size
+
+
+def read_model_file(path: str | Path) -> CoreNetwork:
+    """Reconstruct a :class:`CoreNetwork` from an explicit model file."""
+    with np.load(Path(path)) as data:
+        fmt = bytes(data["format"]).decode()
+        if fmt != _FORMAT:
+            raise ConfigurationError(f"unknown model file format {fmt!r}")
+        network = CoreNetwork(
+            int(data["n_cores"]),
+            seed=int(data["seed"]),
+            num_axons=int(data["num_axons"]),
+            num_neurons=int(data["num_neurons"]),
+        )
+        network.crossbars[...] = data["crossbars"]
+        network.axon_types[...] = data["axon_types"]
+        network.target_gid[...] = data["target_gid"]
+        network.target_axon[...] = data["target_axon"]
+        network.target_delay[...] = data["target_delay"]
+        p = network.neuron_params
+        p.weights[...] = data["weights"]
+        p.stochastic_weights[...] = data["stochastic_weights"]
+        p.leak[...] = data["leak"]
+        p.stochastic_leak[...] = data["stochastic_leak"]
+        p.threshold[...] = data["threshold"]
+        p.reset_mode[...] = data["reset_mode"]
+        p.reset_value[...] = data["reset_value"]
+        p.floor[...] = data["floor"]
+    network.validate()
+    return network
+
+
+#: Calibrated per-connection wiring cost of the parallel compiler,
+#: set so the 256M-core model on 16384 nodes compiles in the paper's
+#: 107 wall-clock seconds ("mostly due to the communication costs in the
+#: white matter wiring phase", §VI-B footnote).
+PCC_SECONDS_PER_CONNECTION = 2.6e-5
+
+#: Sustained file-system bandwidth assumptions for the disk baseline.
+PARALLEL_FS_BANDWIDTH = 2e9  # bytes/s, striped parallel file system
+SERIAL_FS_BANDWIDTH = 1e8  # bytes/s, one writer
+
+
+def modeled_compile_seconds(
+    n_connections: int, n_processes: int,
+    cost_per_connection: float = PCC_SECONDS_PER_CONNECTION,
+) -> float:
+    """Modeled in-situ compile time at scale (calibrated to §IV's 107 s)."""
+    if n_processes <= 0:
+        raise ValueError("n_processes must be positive")
+    return n_connections * cost_per_connection / n_processes
+
+
+def modeled_disk_seconds(n_bytes: float, bandwidth: float = PARALLEL_FS_BANDWIDTH) -> float:
+    """Write + read time for an explicit model file of ``n_bytes``."""
+    return 2.0 * n_bytes / bandwidth
+
+
+def explicit_model_nbytes(
+    n_cores: int, num_axons: int = 256, num_neurons: int = 256
+) -> int:
+    """Bytes of the explicit model for ``n_cores`` cores (uncompressed).
+
+    Per core: packed crossbar (axons × neurons/8), axon types (axons),
+    neuron targets (16 B each), and neuron parameters.  At the paper's
+    256M-core scale this evaluates to several terabytes — the §IV argument
+    for in-situ generation.
+    """
+    crossbar = num_axons * (num_neurons // 8)
+    axon_types = num_axons
+    targets = num_neurons * (8 + 4 + 4)
+    params = num_neurons * (
+        NUM_AXON_TYPES * 4  # weights
+        + NUM_AXON_TYPES  # stochastic flags
+        + 4 + 1 + 4 + 1 + 4 + 4  # leak, stoch, threshold, mode, reset, floor
+    )
+    return n_cores * (crossbar + axon_types + targets + params)

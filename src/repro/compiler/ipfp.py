@@ -1,0 +1,159 @@
+"""Iterative proportional fitting (Sinkhorn–Knopp) matrix balancing.
+
+§IV: "We require a realizability mechanism for connections to guarantee
+that each target process has enough TrueNorth cores to satisfy incoming
+connection requests. ... This is equivalent to normalizing the connection
+matrix to have identical pre-specified column sum and row sums — a
+generalization of doubly stochastic matrices.  This procedure is known as
+iterative proportional fitting procedure (IPFP) in statistics, and as
+matrix balancing in linear algebra."  (Sinkhorn & Knopp 1967; Marshall &
+Olkin 1968; Knight 2008.)
+
+Given a non-negative matrix ``M`` and target row sums ``r`` / column sums
+``c`` (with ``sum(r) == sum(c)``), find diagonal scalings ``D1 M D2`` whose
+marginals match the targets.  Convergence requires the zero pattern of
+``M`` to *support* the targets; the classic sufficient condition — total
+support / full positivity on the needed rows and columns — is checked
+pragmatically by monitoring the residual.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import CompilationError
+
+
+@dataclass(frozen=True)
+class BalanceResult:
+    """Outcome of :func:`balance_matrix`."""
+
+    matrix: np.ndarray  #: balanced matrix (same shape as the input)
+    row_scale: np.ndarray  #: D1 diagonal
+    col_scale: np.ndarray  #: D2 diagonal
+    iterations: int
+    residual: float  #: max relative marginal error at termination
+
+    @property
+    def converged(self) -> bool:
+        return np.isfinite(self.residual)
+
+
+def balance_matrix(
+    matrix: np.ndarray,
+    row_sums: np.ndarray,
+    col_sums: np.ndarray,
+    tol: float = 1e-10,
+    max_iterations: int = 10_000,
+) -> BalanceResult:
+    """Scale ``matrix`` to the prescribed marginals by alternating updates.
+
+    Raises :class:`CompilationError` when the targets are inconsistent
+    (``sum(row_sums) != sum(col_sums)``), the matrix has a zero row/column
+    with a non-zero target, or the iteration stalls above ``tol``.
+    """
+    m = np.asarray(matrix, dtype=float)
+    r = np.asarray(row_sums, dtype=float)
+    c = np.asarray(col_sums, dtype=float)
+    if m.ndim != 2:
+        raise CompilationError("balance_matrix requires a 2-D matrix")
+    if r.shape != (m.shape[0],) or c.shape != (m.shape[1],):
+        raise CompilationError("marginal target shapes do not match the matrix")
+    if np.any(m < 0) or np.any(r < 0) or np.any(c < 0):
+        raise CompilationError("IPFP requires non-negative inputs")
+    if not np.isclose(r.sum(), c.sum(), rtol=1e-9):
+        raise CompilationError(
+            f"inconsistent targets: sum(rows)={r.sum():g} != sum(cols)={c.sum():g}"
+        )
+    zero_row_bad = (m.sum(axis=1) == 0) & (r > 0)
+    zero_col_bad = (m.sum(axis=0) == 0) & (c > 0)
+    if zero_row_bad.any() or zero_col_bad.any():
+        raise CompilationError(
+            "zero row/column with non-zero marginal target: pattern cannot "
+            "support the prescribed sums"
+        )
+
+    row_scale = np.ones(m.shape[0])
+    col_scale = np.ones(m.shape[1])
+    work = m.copy()
+    residual = np.inf
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        cur_rows = work.sum(axis=1)
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            row_update = np.where(cur_rows > 0, r / cur_rows, 1.0)
+            work *= row_update[:, None]
+            row_scale *= row_update
+
+            cur_cols = work.sum(axis=0)
+            col_update = np.where(cur_cols > 0, c / cur_cols, 1.0)
+            work *= col_update[None, :]
+            col_scale *= col_update
+
+        if not (np.isfinite(row_scale).all() and np.isfinite(col_scale).all()):
+            # Diverging scalings: the zero pattern cannot support the
+            # targets (insufficient total support).
+            raise CompilationError(
+                "IPFP diverged: the matrix pattern cannot support the "
+                "prescribed marginals"
+            )
+        residual = _max_marginal_error(work, r, c)
+        if residual <= tol:
+            break
+    if residual > tol:
+        raise CompilationError(
+            f"IPFP failed to converge: residual {residual:g} > tol {tol:g} "
+            f"after {iterations} iterations"
+        )
+    return BalanceResult(
+        matrix=work,
+        row_scale=row_scale,
+        col_scale=col_scale,
+        iterations=iterations,
+        residual=float(residual),
+    )
+
+
+def _max_marginal_error(m: np.ndarray, r: np.ndarray, c: np.ndarray) -> float:
+    """Largest relative deviation of the current marginals from targets."""
+    row_err = _relative_error(m.sum(axis=1), r)
+    col_err = _relative_error(m.sum(axis=0), c)
+    return float(max(row_err, col_err))
+
+
+def _relative_error(actual: np.ndarray, target: np.ndarray) -> float:
+    scale = np.where(target > 0, target, 1.0)
+    return float(np.abs(actual - target).max(initial=0.0) / scale.max(initial=1.0))
+
+
+def round_preserving_sums(matrix: np.ndarray, target_row_sums: np.ndarray) -> np.ndarray:
+    """Round a balanced float matrix to integers, preserving row sums.
+
+    Uses largest-remainder rounding per row: floor everything, then award
+    the remaining units to the entries with the largest fractional parts.
+    Integer connection counts are what the wiring stage consumes.
+    """
+    m = np.asarray(matrix, dtype=float)
+    targets = np.asarray(target_row_sums)
+    out = np.floor(m).astype(np.int64)
+    for i in range(m.shape[0]):
+        deficit = int(round(float(targets[i]))) - int(out[i].sum())
+        if deficit < 0:
+            # Floating error pushed floors above target: trim largest entries.
+            order = np.argsort(-out[i])
+            for j in order[: -deficit or None]:
+                if deficit == 0:
+                    break
+                if out[i, j] > 0:
+                    out[i, j] -= 1
+                    deficit += 1
+            continue
+        if deficit > 0:
+            frac = m[i] - np.floor(m[i])
+            # Prefer entries that are actually present in the pattern.
+            frac = np.where(m[i] > 0, frac, -1.0)
+            order = np.argsort(-frac)
+            out[i, order[:deficit]] += 1
+    return out

@@ -1,0 +1,221 @@
+"""The Parallel Compass Compiler driver (§IV).
+
+Compilation pipeline:
+
+1. **Layout** — regions get contiguous gid ranges, in CoreObject order.
+2. **Local configuration** — each PCC process (one per region) configures
+   its cores: random crossbars at the region's density, axon types drawn
+   from the region's type mix, the region's neuron prototype.
+3. **Wiring** — for every connection spec the *target* region's PCC
+   process allocates axons (round-robin across cores, §V-C) and — when
+   source and target live on different PCC processes — ships the
+   ``(core id, axon id)`` pairs to the source process in one aggregated
+   (simulated) MPI message; the source process binds them to freshly
+   allocated source neurons.  Gray-matter (intra-region) wiring takes the
+   shared-memory path with no messages.
+4. **Instantiation** — the explicit :class:`~repro.arch.network.CoreNetwork`
+   is handed to Compass; compiler-side scratch state is dropped.
+
+The result records compile metrics (wall time, exchange messages/bytes)
+for the §IV set-up-time reproduction, and can propose a region-aligned
+Compass partition so white matter ≡ inter-process communication (§V).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.arch.network import CoreNetwork
+from repro.arch.params import NUM_AXON_TYPES, NUM_AXONS, NUM_NEURONS
+from repro.compiler.allocator import AxonAllocator, NeuronAllocator
+from repro.compiler.coreobject import CoreObject
+from repro.core.partition import Partition
+from repro.errors import CompilationError
+from repro.runtime.mpi import VirtualMpiCluster
+from repro.util.bitops import pack_bits
+from repro.util.rng import derive_seed
+
+#: Bytes exchanged per allocated axon in the wiring handshake: a global
+#: core id (8) plus an axon id (4), matching the paper's aggregated
+#: per-process-pair exchange.
+_HANDSHAKE_BYTES_PER_AXON = 12
+
+#: Cores per chunk when generating random crossbars (bounds peak memory).
+_CROSSBAR_CHUNK = 256
+
+
+@dataclass
+class CompileMetrics:
+    """Cost accounting for one compile run."""
+
+    wall_seconds: float = 0.0
+    exchange_messages: int = 0
+    exchange_bytes: int = 0
+    white_matter_connections: int = 0
+    gray_matter_connections: int = 0
+
+    @property
+    def total_connections(self) -> int:
+        return self.white_matter_connections + self.gray_matter_connections
+
+
+@dataclass
+class CompiledModel:
+    """Output of the PCC: an explicit network plus region bookkeeping."""
+
+    network: CoreNetwork
+    coreobject: CoreObject
+    region_ranges: dict[str, tuple[int, int]]
+    metrics: CompileMetrics = field(default_factory=CompileMetrics)
+
+    def region_of_gid(self, gid: int) -> str:
+        for name, (lo, hi) in self.region_ranges.items():
+            if lo <= gid < hi:
+                return name
+        raise KeyError(f"gid {gid} outside every region")
+
+    def partition_for(self, n_processes: int) -> Partition:
+        """Region-aligned partition: regions own whole process sets.
+
+        Processes are apportioned to regions proportionally to core count
+        (largest remainder), every region getting at least one — §V's
+        "non-overlapping sets of 1 or more processes".  Falls back to the
+        uniform implicit map when there are fewer processes than regions.
+        """
+        n_regions = len(self.region_ranges)
+        if n_processes < n_regions:
+            return Partition(self.network.n_cores, n_processes)
+        sizes = np.array(
+            [hi - lo for (lo, hi) in self.region_ranges.values()], dtype=float
+        )
+        share = sizes / sizes.sum() * n_processes
+        procs = np.maximum(1, np.floor(share)).astype(int)
+        # Largest-remainder distribution of the leftover processes.
+        while procs.sum() < n_processes:
+            procs[np.argmax(share - procs)] += 1
+        while procs.sum() > n_processes:
+            over = np.where(procs > 1)[0]
+            procs[over[np.argmin((share - procs)[over])]] -= 1
+        boundaries = [0]
+        for (lo, hi), p in zip(self.region_ranges.values(), procs):
+            splits = np.linspace(lo, hi, p + 1).astype(np.int64)[1:]
+            boundaries.extend(int(s) for s in splits)
+        return Partition.from_boundaries(np.array(boundaries, dtype=np.int64))
+
+
+class ParallelCompassCompiler:
+    """Compile CoreObjects into explicit TrueNorth networks."""
+
+    def __init__(self, validate: bool = True) -> None:
+        self.validate = validate
+
+    def compile(self, obj: CoreObject) -> CompiledModel:
+        t_start = time.perf_counter()
+        if self.validate:
+            obj.validate_capacity(NUM_NEURONS, NUM_AXONS)
+
+        # 1. Layout: contiguous gid ranges in region order.
+        region_ranges: dict[str, tuple[int, int]] = {}
+        cursor = 0
+        for r in obj.regions:
+            region_ranges[r.name] = (cursor, cursor + r.n_cores)
+            cursor += r.n_cores
+        network = CoreNetwork(cursor, seed=obj.seed)
+        metrics = CompileMetrics()
+
+        # 2. Local per-region configuration.
+        for r in obj.regions:
+            self._configure_region(network, obj, r, region_ranges[r.name])
+
+        # 3. Wiring, with one simulated PCC process per region.
+        cluster = VirtualMpiCluster(max(len(obj.regions), 1))
+        region_rank = {r.name: i for i, r in enumerate(obj.regions)}
+        axon_alloc = {
+            r.name: AxonAllocator(region_ranges[r.name][0], r.n_cores, NUM_AXONS)
+            for r in obj.regions
+        }
+        neuron_alloc = {
+            r.name: NeuronAllocator(region_ranges[r.name][0], r.n_cores, NUM_NEURONS)
+            for r in obj.regions
+        }
+        for conn_index, conn in enumerate(obj.connections):
+            tgt_gids, tgt_axons = axon_alloc[conn.dst].allocate(conn.count)
+            # §V-C: neurons on one source core must "distribute their
+            # connections as broadly as possible across the set of
+            # possible target cores".  Both allocators are round-robin in
+            # the same order, which would pair source core i with target
+            # core i; a seeded permutation of the target sequence
+            # decorrelates the pairing without changing the allocated
+            # resource set.
+            perm = np.random.default_rng(
+                derive_seed(obj.seed, conn_index, 0xD1F)
+            ).permutation(conn.count)
+            tgt_gids, tgt_axons = tgt_gids[perm], tgt_axons[perm]
+            if conn.src != conn.dst:
+                # Target PCC process ships the allocated pairs to the source
+                # PCC process, aggregated into one message (§IV).
+                ep = cluster.endpoints[region_rank[conn.dst]]
+                payload = (tgt_gids, tgt_axons)
+                nbytes = conn.count * _HANDSHAKE_BYTES_PER_AXON
+                ep.isend(region_rank[conn.src], payload, nbytes, tag=1)
+                msg = cluster.endpoints[region_rank[conn.src]].recv(
+                    source=region_rank[conn.dst], tag=1
+                )
+                tgt_gids, tgt_axons = msg.payload
+                metrics.exchange_messages += 1
+                metrics.exchange_bytes += nbytes
+                metrics.white_matter_connections += conn.count
+            else:
+                metrics.gray_matter_connections += conn.count
+            src_gids, src_neurons = neuron_alloc[conn.src].allocate(conn.count)
+            network.connect_many(
+                src_gids, src_neurons, tgt_gids, tgt_axons, conn.delay
+            )
+
+        if self.validate:
+            network.validate()
+        metrics.wall_seconds = time.perf_counter() - t_start
+        return CompiledModel(
+            network=network,
+            coreobject=obj,
+            region_ranges=region_ranges,
+            metrics=metrics,
+        )
+
+    # -- helpers ---------------------------------------------------------------
+
+    @staticmethod
+    def _configure_region(
+        network: CoreNetwork, obj: CoreObject, region, gid_range: tuple[int, int]
+    ) -> None:
+        lo, hi = gid_range
+        n = network.num_neurons
+        a = network.num_axons
+        # Neuron prototype, broadcast across the region.
+        network.neuron_params.set_neuron(slice(lo, hi), slice(None), region.neuron)
+        # Axon types: deterministic proportional mix, identical per core.
+        counts = _apportion(region.axon_type_fractions, a)
+        types = np.repeat(np.arange(NUM_AXON_TYPES, dtype=np.uint8), counts)
+        network.axon_types[lo:hi] = types[None, :]
+        # Random crossbars at the region's density, chunked to bound memory.
+        # Seeded per region so compilation order cannot change the model.
+        rng = np.random.default_rng(derive_seed(obj.seed, lo, 0xC0))
+        for chunk_lo in range(lo, hi, _CROSSBAR_CHUNK):
+            chunk_hi = min(chunk_lo + _CROSSBAR_CHUNK, hi)
+            dense = rng.random((chunk_hi - chunk_lo, a, n)) < region.crossbar_density
+            network.crossbars[chunk_lo:chunk_hi] = pack_bits(dense)
+
+
+def _apportion(fractions: tuple[float, ...], total: int) -> np.ndarray:
+    """Integer apportionment of ``total`` slots by largest remainder."""
+    raw = np.asarray(fractions, dtype=float) * total
+    out = np.floor(raw).astype(np.int64)
+    deficit = total - int(out.sum())
+    if deficit < 0:
+        raise CompilationError("fractions exceed 1")
+    order = np.argsort(-(raw - np.floor(raw)))
+    out[order[:deficit]] += 1
+    return out

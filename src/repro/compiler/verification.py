@@ -1,0 +1,153 @@
+"""Compiled-model verification — §I use-case (a): "verifying TrueNorth
+correctness via regression testing".
+
+Given a :class:`~repro.compiler.pcc.CompiledModel`, re-derive the
+properties its CoreObject promised and check the explicit network delivers
+them: connection counts per region pair, axon exclusivity, delay values,
+crossbar densities, axon-type mixes, and dangling-reference freedom.
+
+The report is machine-readable (a dict of named checks) so hardware teams
+can diff runs; :func:`verify_compiled` raises on the first violation when
+``strict`` is set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.arch.params import NUM_AXON_TYPES
+from repro.compiler.pcc import CompiledModel
+from repro.errors import CompilationError
+from repro.util.bitops import popcount_rows
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of :func:`verify_compiled`."""
+
+    checks: dict[str, bool] = field(default_factory=dict)
+    details: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def passed(self) -> bool:
+        return all(self.checks.values())
+
+    def record(self, name: str, ok: bool, detail: str = "") -> None:
+        self.checks[name] = bool(ok)
+        if detail:
+            self.details[name] = detail
+
+    def failures(self) -> list[str]:
+        return [k for k, ok in self.checks.items() if not ok]
+
+
+def verify_compiled(
+    model: CompiledModel,
+    density_tolerance: float = 0.05,
+    strict: bool = False,
+) -> VerificationReport:
+    """Check a compiled network against its CoreObject specification."""
+    report = VerificationReport()
+    net = model.network
+    obj = model.coreobject
+    ranges = model.region_ranges
+
+    # 1. Layout: ranges contiguous, ordered, covering the network.
+    spans = list(ranges.values())
+    contiguous = spans[0][0] == 0 and spans[-1][1] == net.n_cores and all(
+        a[1] == b[0] for a, b in zip(spans, spans[1:])
+    )
+    report.record("layout_contiguous", contiguous)
+
+    # 2. Dangling references.
+    try:
+        net.validate()
+        report.record("no_dangling_targets", True)
+    except Exception as exc:  # noqa: BLE001 - report, don't crash
+        report.record("no_dangling_targets", False, str(exc))
+
+    # 3. Connection counts per region pair match the CoreObject.
+    expected = obj.connection_matrix()
+    idx = obj.region_index()
+    actual = np.zeros_like(expected)
+    region_of = np.empty(net.n_cores, dtype=np.int64)
+    for name, (lo, hi) in ranges.items():
+        region_of[lo:hi] = idx[name]
+    src_g, src_n = np.nonzero(net.target_gid >= 0)
+    tgt = net.target_gid[src_g, src_n]
+    np.add.at(actual, (region_of[src_g], region_of[tgt]), 1)
+    counts_ok = np.array_equal(actual, expected)
+    report.record(
+        "connection_counts",
+        counts_ok,
+        "" if counts_ok else f"max abs diff {np.abs(actual - expected).max()}",
+    )
+
+    # 4. Axon exclusivity: no target axon driven by two neurons.
+    pairs = tgt * net.num_axons + net.target_axon[src_g, src_n]
+    exclusive = pairs.size == np.unique(pairs).size
+    report.record("axon_exclusivity", exclusive)
+
+    # 5. Delays: per region pair, the multiset of realised delays matches
+    #    the multiset the specs demand (several specs may connect the same
+    #    pair with different delays).
+    from collections import Counter
+
+    expected_delays: dict[tuple[str, str], Counter] = {}
+    for conn in obj.connections:
+        expected_delays.setdefault((conn.src, conn.dst), Counter())[
+            conn.delay
+        ] += conn.count
+    delays_ok = True
+    for (src_name, dst_name), want in expected_delays.items():
+        s_lo, s_hi = ranges[src_name]
+        d_lo, d_hi = ranges[dst_name]
+        sel = (
+            (src_g >= s_lo)
+            & (src_g < s_hi)
+            & (tgt >= d_lo)
+            & (tgt < d_hi)
+        )
+        got = Counter(net.target_delay[src_g[sel], src_n[sel]].tolist())
+        if got != want:
+            delays_ok = False
+            break
+    report.record("delays_match_spec", delays_ok)
+
+    # 6. Crossbar density per region within tolerance of the spec.
+    density_ok = True
+    worst = 0.0
+    for r in obj.regions:
+        lo, hi = ranges[r.name]
+        bits = popcount_rows(
+            net.crossbars[lo:hi].reshape(-1, net.crossbars.shape[-1])
+        ).sum()
+        density = bits / ((hi - lo) * net.num_axons * net.num_neurons)
+        err = abs(density - r.crossbar_density)
+        worst = max(worst, err)
+        if err > density_tolerance:
+            density_ok = False
+    report.record("crossbar_density", density_ok, f"worst abs error {worst:.4f}")
+
+    # 7. Axon-type mix per region matches the spec exactly (deterministic
+    #    apportionment).
+    mix_ok = True
+    for r in obj.regions:
+        lo, hi = ranges[r.name]
+        counts = np.bincount(
+            net.axon_types[lo:hi].ravel(), minlength=NUM_AXON_TYPES
+        )
+        expected_counts = np.round(
+            np.asarray(r.axon_type_fractions) * net.num_axons
+        ) * (hi - lo)
+        if not np.allclose(counts, expected_counts, atol=hi - lo):
+            mix_ok = False
+    report.record("axon_type_mix", mix_ok)
+
+    if strict and not report.passed:
+        raise CompilationError(
+            f"compiled model failed verification: {report.failures()}"
+        )
+    return report

@@ -1,0 +1,30 @@
+"""The Compass simulator — the paper's primary contribution (§III).
+
+Compass partitions the TrueNorth cores of a model across (simulated)
+processes and executes the semi-synchronous main loop of Listing 1: per
+tick a Synapse phase (axon → crossbar → neuron accumulation), a Neuron
+phase (integrate-leak-fire, spike aggregation), and a Network phase
+(message exchange and spike delivery).  Two backends implement the Network
+phase: two-sided MPI (:class:`~repro.core.simulator.Compass`) and
+one-sided PGAS (:class:`~repro.core.pgas_simulator.PgasCompass`).
+"""
+
+from repro.core.config import CompassConfig
+from repro.core.partition import Partition
+from repro.core.metrics import PhaseTimes, TickMetrics, RunMetrics
+from repro.core.simulator import Compass, RunResult
+from repro.core.pgas_simulator import PgasCompass
+from repro.core.checkpoint import save_checkpoint, load_checkpoint
+
+__all__ = [
+    "CompassConfig",
+    "Partition",
+    "PhaseTimes",
+    "TickMetrics",
+    "RunMetrics",
+    "Compass",
+    "RunResult",
+    "PgasCompass",
+    "save_checkpoint",
+    "load_checkpoint",
+]

@@ -1,0 +1,116 @@
+"""Spike buffering: local delivery buffers and per-destination aggregation.
+
+§III: "To minimize communication overhead, Compass aggregates spikes
+between pairs of processes into a single MPI message ... and preallocates
+per-process send buffers."  :class:`RemoteSendBuffers` is that structure;
+:class:`LocalBuffer` is the ``localBuf`` of Listing 1 that non-master
+threads drain while the master runs the Reduce-Scatter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.spike import SpikeBatch
+
+
+class LocalBuffer:
+    """Spikes destined for cores on this process (same shared memory)."""
+
+    __slots__ = ("tgt_gid", "tgt_axon", "delay")
+
+    def __init__(self) -> None:
+        self.tgt_gid: list[np.ndarray] = []
+        self.tgt_axon: list[np.ndarray] = []
+        self.delay: list[np.ndarray] = []
+
+    def push(self, tgt_gid: np.ndarray, tgt_axon: np.ndarray, delay: np.ndarray) -> None:
+        if tgt_gid.size == 0:
+            return
+        self.tgt_gid.append(np.asarray(tgt_gid, dtype=np.int64))
+        self.tgt_axon.append(np.asarray(tgt_axon, dtype=np.int32))
+        self.delay.append(np.asarray(delay, dtype=np.int32))
+
+    def drain(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return (gid, axon, delay) arrays and reset the buffer."""
+        if not self.tgt_gid:
+            empty64 = np.zeros(0, dtype=np.int64)
+            empty32 = np.zeros(0, dtype=np.int32)
+            return empty64, empty32, empty32
+        out = (
+            np.concatenate(self.tgt_gid),
+            np.concatenate(self.tgt_axon),
+            np.concatenate(self.delay),
+        )
+        self.tgt_gid.clear()
+        self.tgt_axon.clear()
+        self.delay.clear()
+        return out
+
+    @property
+    def count(self) -> int:
+        return int(sum(a.size for a in self.tgt_gid))
+
+
+class RemoteSendBuffers:
+    """Per-destination-rank aggregation buffers (``remoteBufAgg``).
+
+    One buffer per remote rank; at the end of the Neuron phase each
+    non-empty buffer flushes into a single :class:`SpikeBatch` message.
+    """
+
+    def __init__(self, n_ranks: int, own_rank: int) -> None:
+        self.n_ranks = n_ranks
+        self.own_rank = own_rank
+        self._gid: list[list[np.ndarray]] = [[] for _ in range(n_ranks)]
+        self._axon: list[list[np.ndarray]] = [[] for _ in range(n_ranks)]
+        self._delay: list[list[np.ndarray]] = [[] for _ in range(n_ranks)]
+
+    def push(
+        self,
+        dest_ranks: np.ndarray,
+        tgt_gid: np.ndarray,
+        tgt_axon: np.ndarray,
+        delay: np.ndarray,
+    ) -> None:
+        """Scatter spikes into their destination buffers (vectorised)."""
+        dest_ranks = np.asarray(dest_ranks, dtype=np.int64)
+        if dest_ranks.size == 0:
+            return
+        order = np.argsort(dest_ranks, kind="stable")
+        sorted_dests = dest_ranks[order]
+        uniq, starts = np.unique(sorted_dests, return_index=True)
+        bounds = np.append(starts, sorted_dests.size)
+        for i, dest in enumerate(uniq):
+            sel = order[bounds[i] : bounds[i + 1]]
+            self._gid[dest].append(tgt_gid[sel])
+            self._axon[dest].append(tgt_axon[sel])
+            self._delay[dest].append(delay[sel])
+
+    def flush(self, tick: int) -> dict[int, SpikeBatch]:
+        """Build one message per non-empty destination and reset."""
+        out: dict[int, SpikeBatch] = {}
+        for dest in range(self.n_ranks):
+            if not self._gid[dest]:
+                continue
+            batch = SpikeBatch(
+                np.concatenate(self._gid[dest]),
+                np.concatenate(self._axon[dest]),
+                np.concatenate(self._delay[dest]),
+                tick,
+            )
+            out[dest] = batch
+            self._gid[dest].clear()
+            self._axon[dest].clear()
+            self._delay[dest].clear()
+        return out
+
+    def send_counts(self) -> np.ndarray:
+        """How many messages this rank will send to each destination.
+
+        With aggregation this is 0 or 1 per destination — the vector the
+        Reduce-Scatter sums so every rank learns its expected receives.
+        """
+        return np.array(
+            [1 if self._gid[d] else 0 for d in range(self.n_ranks)], dtype=np.int64
+        )

@@ -1,0 +1,92 @@
+"""Checkpoint/restore of a running simulation.
+
+The paper lists "verifying TrueNorth correctness via regression testing" as
+Compass's first use-case (§I).  Checkpoints capture the complete dynamic
+state — membrane potentials, PRNG streams, pending axon-buffer spikes, and
+the tick counter — so a restored run continues bit-exactly.  Static model
+configuration is *not* stored; the caller re-creates the simulator from the
+same :class:`~repro.arch.network.CoreNetwork` (a fingerprint guards against
+restoring onto a different model).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.simulator import CompassBase
+from repro.errors import CheckpointError
+
+_FORMAT_VERSION = 1
+
+
+def _network_fingerprint(sim: CompassBase) -> str:
+    """Stable digest of the static model configuration."""
+    h = hashlib.sha256()
+    net = sim.network
+    h.update(np.int64(net.n_cores).tobytes())
+    h.update(net.crossbars.tobytes())
+    h.update(net.axon_types.tobytes())
+    h.update(net.target_gid.tobytes())
+    h.update(net.target_axon.tobytes())
+    h.update(net.target_delay.tobytes())
+    h.update(net.neuron_params.weights.tobytes())
+    h.update(net.neuron_params.threshold.tobytes())
+    h.update(net.neuron_params.leak.tobytes())
+    return h.hexdigest()
+
+
+def save_checkpoint(sim: CompassBase, path: str | Path) -> None:
+    """Write the full dynamic state of ``sim`` to an ``.npz`` file."""
+    arrays: dict[str, np.ndarray] = {
+        "format_version": np.int64(_FORMAT_VERSION),
+        "tick": np.int64(sim.tick),
+        "n_ranks": np.int64(len(sim.ranks)),
+        "fingerprint": np.frombuffer(
+            _network_fingerprint(sim).encode(), dtype=np.uint8
+        ),
+    }
+    if sim._injections:
+        raise CheckpointError("cannot checkpoint with pending external injections")
+    for rs in sim.ranks:
+        snap = rs.block.snapshot()
+        arrays[f"rank{rs.rank}_potential"] = snap["potential"]
+        arrays[f"rank{rs.rank}_rng"] = snap["rng"]
+        arrays[f"rank{rs.rank}_pending"] = snap["pending"]
+    np.savez_compressed(Path(path), **arrays)
+
+
+def load_checkpoint(sim: CompassBase, path: str | Path) -> None:
+    """Restore dynamic state saved by :func:`save_checkpoint` into ``sim``.
+
+    ``sim`` must have been built from the identical network with the same
+    number of processes.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise CheckpointError(f"checkpoint {path} does not exist")
+    with np.load(path) as data:
+        version = int(data["format_version"])
+        if version != _FORMAT_VERSION:
+            raise CheckpointError(f"unsupported checkpoint version {version}")
+        stored_fp = bytes(data["fingerprint"]).decode()
+        if stored_fp != _network_fingerprint(sim):
+            raise CheckpointError(
+                "checkpoint was taken on a different network configuration"
+            )
+        n_ranks = int(data["n_ranks"])
+        if n_ranks != len(sim.ranks):
+            raise CheckpointError(
+                f"checkpoint has {n_ranks} ranks, simulator has {len(sim.ranks)}"
+            )
+        for rs in sim.ranks:
+            rs.block.restore(
+                {
+                    "potential": data[f"rank{rs.rank}_potential"],
+                    "rng": data[f"rank{rs.rank}_rng"],
+                    "pending": data[f"rank{rs.rank}_pending"],
+                }
+            )
+        sim.tick = int(data["tick"])

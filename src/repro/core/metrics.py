@@ -1,0 +1,221 @@
+"""Per-phase metrics: event counts, simulated time, host wall-clock time.
+
+The evaluation section of the paper reports, per run: total wall-clock time
+and its Synapse/Neuron/Network breakdown (Figs 4a, 5, 6), and per tick: MPI
+message count and total spike count (Fig 4b).  :class:`RunMetrics`
+accumulates exactly those quantities.  When a
+:class:`~repro.runtime.machine.MachineConfig` is supplied, event counts are
+also converted into *simulated* phase seconds through the machine's cost
+model — that is how laptop-scale functional runs report Blue Gene-scale
+timings without pretending the laptop is a Blue Gene.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.runtime.machine import MachineConfig
+from repro.util.units import SPIKE_BYTES, slowdown_vs_realtime
+
+
+@dataclass
+class PhaseTimes:
+    """Seconds per phase (simulated machine time or host time)."""
+
+    synapse: float = 0.0
+    neuron: float = 0.0
+    network: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.synapse + self.neuron + self.network
+
+    def __iadd__(self, other: "PhaseTimes") -> "PhaseTimes":
+        self.synapse += other.synapse
+        self.neuron += other.neuron
+        self.network += other.network
+        return self
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "synapse": self.synapse,
+            "neuron": self.neuron,
+            "network": self.network,
+            "total": self.total,
+        }
+
+
+@dataclass
+class TickMetrics:
+    """Event counts aggregated over all ranks for one tick."""
+
+    tick: int = 0
+    active_axons: int = 0
+    neurons_evaluated: int = 0
+    fired: int = 0
+    local_spikes: int = 0
+    remote_spikes: int = 0
+    messages: int = 0
+    bytes_sent: int = 0
+
+    @property
+    def total_spikes(self) -> int:
+        return self.local_spikes + self.remote_spikes
+
+
+@dataclass
+class RunMetrics:
+    """Accumulated metrics for a whole run."""
+
+    n_ranks: int = 1
+    ticks: int = 0
+    total_fired: int = 0
+    total_local_spikes: int = 0
+    total_remote_spikes: int = 0
+    total_messages: int = 0
+    total_bytes: int = 0
+    total_active_axons: int = 0
+    simulated: PhaseTimes = field(default_factory=PhaseTimes)
+    host: PhaseTimes = field(default_factory=PhaseTimes)
+    per_tick: list[TickMetrics] = field(default_factory=list)
+
+    def record_tick(self, tm: TickMetrics) -> None:
+        self.ticks += 1
+        self.total_fired += tm.fired
+        self.total_local_spikes += tm.local_spikes
+        self.total_remote_spikes += tm.remote_spikes
+        self.total_messages += tm.messages
+        self.total_bytes += tm.bytes_sent
+        self.total_active_axons += tm.active_axons
+        self.per_tick.append(tm)
+
+    # -- paper-facing derived quantities -------------------------------------
+
+    def mean_rate_hz(self, n_neurons: int) -> float:
+        """Mean firing rate over the run, in Hz (1 ms ticks)."""
+        if self.ticks == 0 or n_neurons == 0:
+            return 0.0
+        return self.total_fired / n_neurons / (self.ticks / 1000.0)
+
+    def messages_per_tick(self) -> float:
+        return self.total_messages / max(self.ticks, 1)
+
+    def spikes_per_tick(self) -> float:
+        """White-matter (remote) spikes per tick — Fig 4(b)'s spike series."""
+        return self.total_remote_spikes / max(self.ticks, 1)
+
+    def bytes_per_tick(self) -> float:
+        return self.total_bytes / max(self.ticks, 1)
+
+    def simulated_slowdown(self) -> float:
+        """Simulated time vs real time (the paper's 388× figure)."""
+        return slowdown_vs_realtime(self.simulated.total, max(self.ticks, 1))
+
+    def summary(self, n_neurons: int) -> dict[str, float]:
+        return {
+            "ticks": self.ticks,
+            "ranks": self.n_ranks,
+            "total_fired": self.total_fired,
+            "mean_rate_hz": self.mean_rate_hz(n_neurons),
+            "messages_per_tick": self.messages_per_tick(),
+            "remote_spikes_per_tick": self.spikes_per_tick(),
+            "bytes_per_tick": self.bytes_per_tick(),
+            "simulated_total_s": self.simulated.total,
+            "host_total_s": self.host.total,
+        }
+
+
+class SimulatedTimer:
+    """Converts one rank-tick's event counts into simulated phase seconds.
+
+    The *slowest rank* bounds each phase in a semi-synchronous loop, so the
+    per-tick simulated time is a max over ranks; this class tracks that max
+    incrementally.
+    """
+
+    def __init__(self, machine: MachineConfig, backend: str) -> None:
+        if backend not in ("mpi", "pgas"):
+            raise ValueError(f"unknown backend {backend!r}")
+        self.machine = machine
+        self.backend = backend
+        self.cost = machine.machine.cost
+        self.threads = machine.effective_threads
+        self.reset_tick()
+
+    def reset_tick(self) -> None:
+        self._synapse_max = 0.0
+        self._neuron_max = 0.0
+        self._network_max = 0.0
+
+    def rank_compute(
+        self,
+        active_axons: int,
+        neurons: int,
+        remote_spikes: int,
+        messages_sent: int,
+        working_set_bytes: float,
+    ) -> None:
+        # Processes on a node share its cache; scale to the node aggregate.
+        mem = self.cost.memory_factor(
+            working_set_bytes * self.machine.procs_per_node
+        )
+        self._synapse_max = max(
+            self._synapse_max,
+            self.cost.synapse_time(active_axons, self.threads, mem),
+        )
+        self._neuron_max = max(
+            self._neuron_max,
+            self.cost.neuron_time(
+                neurons, self.threads, remote_spikes, messages_sent, mem
+            ),
+        )
+
+    def rank_network(
+        self,
+        n_ranks: int,
+        local_spikes: int,
+        messages_received: int,
+        spikes_received: int,
+        bytes_received: int,
+        working_set_bytes: float,
+        puts: int = 0,
+        bytes_sent: int = 0,
+    ) -> None:
+        mem = self.cost.memory_factor(
+            working_set_bytes * self.machine.procs_per_node
+        )
+        if self.backend == "mpi":
+            t = self.cost.network_time_mpi(
+                n_ranks,
+                local_spikes,
+                messages_received,
+                spikes_received,
+                bytes_received,
+                self.threads,
+                mem,
+            )
+        else:
+            t = self.cost.network_time_pgas(
+                n_ranks,
+                local_spikes,
+                puts,
+                spikes_received,
+                bytes_sent,
+                self.threads,
+                mem,
+            )
+        self._network_max = max(self._network_max, t)
+
+    def tick_times(self) -> PhaseTimes:
+        return PhaseTimes(
+            synapse=self._synapse_max,
+            neuron=self._neuron_max,
+            network=self._network_max,
+        )
+
+
+def estimate_bytes(n_spikes: int) -> int:
+    """Wire bytes for ``n_spikes`` at the paper's 20 B/spike format."""
+    return n_spikes * SPIKE_BYTES

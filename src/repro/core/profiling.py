@@ -1,0 +1,128 @@
+"""Per-rank profiling and load-imbalance analysis.
+
+§VI-B attributes part of the weak-scaling runtime growth to "computation
+and communication imbalances in the functional regions of the CoCoMac
+model".  This module surfaces those imbalances for any run: per-rank
+spike/axon/message counters, max/mean imbalance factors, and a formatted
+report, so users can see which regions (ranks) bound each phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.simulator import CompassBase
+from repro.perf.report import format_table
+
+
+@dataclass(frozen=True)
+class RankProfile:
+    """Cumulative counters of one rank after a run."""
+
+    rank: int
+    cores: int
+    neurons: int
+    fired: int
+    active_axons: int
+    local_spikes: int
+    remote_spikes: int
+    messages_sent: int
+    messages_received: int
+    bytes_sent: int
+
+
+@dataclass(frozen=True)
+class ImbalanceSummary:
+    """Max/mean ratios per load dimension (1.0 = perfectly balanced)."""
+
+    fired: float
+    active_axons: float
+    remote_spikes: float
+    messages_received: float
+
+    @property
+    def worst(self) -> float:
+        return max(self.fired, self.active_axons, self.remote_spikes,
+                   self.messages_received)
+
+
+def profile_ranks(sim: CompassBase) -> list[RankProfile]:
+    """Collect per-rank profiles from a simulator after (or during) a run."""
+    profiles = []
+    for rs in sim.ranks:
+        counters = getattr(sim, "cluster", None)
+        if counters is not None and hasattr(counters, "counters"):
+            c = counters.counters[rs.rank]
+            sent = getattr(c, "messages_sent", getattr(c, "puts", 0))
+            received = getattr(c, "messages_received", 0)
+            nbytes = getattr(c, "bytes_sent", getattr(c, "bytes_put", 0))
+        else:  # pragma: no cover - all backends expose counters
+            sent = received = nbytes = 0
+        profiles.append(
+            RankProfile(
+                rank=rs.rank,
+                cores=rs.block.n_cores,
+                neurons=rs.block.n_cores * rs.block.num_neurons,
+                fired=rs.cum_fired,
+                active_axons=rs.cum_active_axons,
+                local_spikes=rs.cum_local_spikes,
+                remote_spikes=rs.cum_remote_spikes,
+                messages_sent=sent,
+                messages_received=received,
+                bytes_sent=nbytes,
+            )
+        )
+    return profiles
+
+
+def _max_over_mean(values: list[int]) -> float:
+    arr = np.asarray(values, dtype=float)
+    mean = arr.mean()
+    return float(arr.max() / mean) if mean > 0 else 1.0
+
+
+def imbalance(profiles: list[RankProfile]) -> ImbalanceSummary:
+    """Max/mean load ratios across ranks."""
+    return ImbalanceSummary(
+        fired=_max_over_mean([p.fired for p in profiles]),
+        active_axons=_max_over_mean([p.active_axons for p in profiles]),
+        remote_spikes=_max_over_mean([p.remote_spikes for p in profiles]),
+        messages_received=_max_over_mean([p.messages_received for p in profiles]),
+    )
+
+
+def profile_report(sim: CompassBase, region_of_rank=None) -> str:
+    """Formatted per-rank profile table plus imbalance summary.
+
+    ``region_of_rank`` optionally maps rank -> region label (e.g. from a
+    :class:`~repro.compiler.pcc.CompiledModel` partition).
+    """
+    profiles = profile_ranks(sim)
+    rows = []
+    for p in profiles:
+        label = region_of_rank(p.rank) if region_of_rank else ""
+        rows.append(
+            (
+                p.rank,
+                label,
+                p.cores,
+                p.fired,
+                p.active_axons,
+                p.local_spikes,
+                p.remote_spikes,
+                p.messages_received,
+            )
+        )
+    headers = [
+        "rank", "region", "cores", "fired", "axons", "local", "remote", "msgs_in",
+    ]
+    table = format_table(headers, rows, title="per-rank load profile")
+    imb = imbalance(profiles)
+    table += (
+        f"\nimbalance (max/mean): fired {imb.fired:.2f}, "
+        f"axons {imb.active_axons:.2f}, remote {imb.remote_spikes:.2f}, "
+        f"msgs_in {imb.messages_received:.2f}"
+    )
+    return table

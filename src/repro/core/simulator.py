@@ -1,0 +1,401 @@
+"""The Compass main simulation loop (Listing 1) with the MPI backend.
+
+Per simulated tick every rank executes:
+
+* **Synapse phase** — collect due axon spikes, propagate along crossbar
+  rows into per-neuron, per-axon-type event counts;
+* **Neuron phase** — integrate-leak-fire every neuron; route fired spikes
+  to the local buffer (destination core on the same rank) or aggregate
+  them into per-destination remote buffers, then post one ``MPI_Isend``
+  per non-empty destination;
+* **Network phase** — a Reduce-Scatter tells each rank how many messages
+  to expect; local spikes are delivered (overlapping the collective on the
+  real machine); then the rank probes/receives exactly that many messages
+  and delivers their spikes into axon buffers.
+
+The virtual cluster executes ranks in lock-step, which is functionally
+equivalent to the real semi-synchronous execution: no rank can observe
+tick *t+1* state before every rank finished tick *t*.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.arch.coreblock import CoreBlock
+from repro.arch.network import CoreNetwork
+from repro.arch.spike import SpikeBatch
+from repro.core.buffers import LocalBuffer, RemoteSendBuffers
+from repro.core.config import CompassConfig
+from repro.core.metrics import (
+    PhaseTimes,
+    RunMetrics,
+    SimulatedTimer,
+    TickMetrics,
+    estimate_bytes,
+)
+from repro.core.partition import Partition
+
+
+class SpikeRecorder:
+    """Optional full spike trace: (tick, gid, neuron) triples."""
+
+    def __init__(self) -> None:
+        self._ticks: list[np.ndarray] = []
+        self._gids: list[np.ndarray] = []
+        self._neurons: list[np.ndarray] = []
+
+    def record(self, tick: int, gids: np.ndarray, neurons: np.ndarray) -> None:
+        if gids.size == 0:
+            return
+        self._ticks.append(np.full(gids.shape, tick, dtype=np.int64))
+        self._gids.append(np.asarray(gids, dtype=np.int64))
+        self._neurons.append(np.asarray(neurons, dtype=np.int64))
+
+    def to_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Canonically sorted (tick, gid, neuron) arrays.
+
+        Sorting makes traces comparable across partitionings, where rank
+        iteration order differs but the spike *set* must not.
+        """
+        if not self._ticks:
+            z = np.zeros(0, dtype=np.int64)
+            return z, z.copy(), z.copy()
+        t = np.concatenate(self._ticks)
+        g = np.concatenate(self._gids)
+        n = np.concatenate(self._neurons)
+        order = np.lexsort((n, g, t))
+        return t[order], g[order], n[order]
+
+    @property
+    def count(self) -> int:
+        return int(sum(a.size for a in self._ticks))
+
+
+@dataclass
+class RunResult:
+    """Outcome of a :meth:`Compass.run` call."""
+
+    metrics: RunMetrics
+    n_neurons: int
+    spikes: SpikeRecorder | None = None
+
+    @property
+    def total_spikes(self) -> int:
+        return self.metrics.total_fired
+
+    @property
+    def mean_rate_hz(self) -> float:
+        return self.metrics.mean_rate_hz(self.n_neurons)
+
+    @property
+    def simulated_times(self) -> PhaseTimes:
+        return self.metrics.simulated
+
+    def summary(self) -> dict[str, float]:
+        return self.metrics.summary(self.n_neurons)
+
+
+@dataclass
+class _RankState:
+    """Everything one simulated MPI rank owns."""
+
+    rank: int
+    block: CoreBlock
+    local_buf: LocalBuffer
+    remote_bufs: RemoteSendBuffers
+    working_set_bytes: int = 0
+    # Cumulative per-rank counters (profiling / imbalance analysis).
+    cum_active_axons: int = 0
+    cum_fired: int = 0
+    cum_local_spikes: int = 0
+    cum_remote_spikes: int = 0
+
+    @staticmethod
+    def working_set(block: CoreBlock) -> int:
+        p = block.params
+        return int(
+            block.crossbars.nbytes
+            + block.axon_types.nbytes
+            + block.buffers.pending.nbytes
+            + block.state.potential.nbytes
+            + block.state.rng.state.nbytes
+            + block.target_gid.nbytes
+            + block.target_axon.nbytes
+            + block.target_delay.nbytes
+            + p.weights.nbytes
+            + p.threshold.nbytes
+            + p.leak.nbytes
+        )
+
+
+class CompassBase:
+    """Shared machinery of the MPI and PGAS backends."""
+
+    backend = "mpi"
+
+    def __init__(
+        self,
+        network: CoreNetwork,
+        config: CompassConfig,
+        partition: Partition | None = None,
+    ) -> None:
+        """``partition`` overrides the uniform implicit core→process map,
+        e.g. with the region-aligned boundaries of
+        :meth:`repro.compiler.pcc.CompiledModel.partition_for` so that
+        intra-region (gray matter) spiking stays in shared memory (§IV).
+        """
+        self.network = network
+        self.config = config
+        if partition is not None:
+            if partition.n_cores != network.n_cores:
+                raise ValueError(
+                    f"partition covers {partition.n_cores} cores, "
+                    f"network has {network.n_cores}"
+                )
+            if partition.n_ranks != config.n_processes:
+                raise ValueError(
+                    f"partition has {partition.n_ranks} ranks, "
+                    f"config requests {config.n_processes}"
+                )
+        self.partition = partition or Partition(
+            network.n_cores, config.n_processes
+        )
+        self.ranks: list[_RankState] = []
+        for rank in range(config.n_processes):
+            lo, hi = self.partition.range_of_rank(rank)
+            block = CoreBlock(network, lo, hi)
+            state = _RankState(
+                rank=rank,
+                block=block,
+                local_buf=LocalBuffer(),
+                remote_bufs=RemoteSendBuffers(config.n_processes, rank),
+            )
+            state.working_set_bytes = _RankState.working_set(block)
+            self.ranks.append(state)
+        self.tick = 0
+        self.metrics = RunMetrics(n_ranks=config.n_processes)
+        self.recorder = SpikeRecorder() if config.record_spikes else None
+        self.timer = (
+            SimulatedTimer(config.machine, self.backend) if config.machine else None
+        )
+        self._injections: dict[int, list[tuple[int, int]]] = {}
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def from_network(
+        cls,
+        network: CoreNetwork,
+        n_processes: int = 1,
+        record_spikes: bool = False,
+        seed: int | None = None,
+        config: CompassConfig | None = None,
+    ):
+        """Convenience constructor.
+
+        ``seed`` is accepted for symmetry with examples but the network's
+        own seed is authoritative; passing a different one is an error.
+        """
+        if seed is not None and seed != network.seed:
+            raise ValueError(
+                "network randomness is fixed at CoreNetwork construction; "
+                f"cannot reseed network(seed={network.seed}) with {seed}"
+            )
+        if config is None:
+            config = CompassConfig(
+                n_processes=n_processes, record_spikes=record_spikes
+            )
+        return cls(network, config)
+
+    # -- external input ----------------------------------------------------------
+
+    def inject(self, gid: int, axon: int, tick: int) -> None:
+        """Schedule an external spike to arrive at (gid, axon) at ``tick``."""
+        if tick < self.tick:
+            raise ValueError(f"cannot inject into past tick {tick} (now {self.tick})")
+        self._injections.setdefault(tick, []).append((int(gid), int(axon)))
+
+    def inject_batch(self, gids: np.ndarray, axons: np.ndarray, tick: int) -> None:
+        for g, a in zip(np.asarray(gids).ravel(), np.asarray(axons).ravel()):
+            self.inject(int(g), int(a), tick)
+
+    def attach_schedule(self, triples) -> None:
+        """Queue an iterable of (gid, axon, tick) external input triples.
+
+        Accepts the output of
+        :meth:`repro.arch.builder.InputPort.schedule_for` directly.
+        """
+        for gid, axon, tick in triples:
+            self.inject(gid, axon, tick)
+
+    def _apply_injections(self, tick: int) -> None:
+        pending = self._injections.pop(tick, None)
+        if not pending:
+            return
+        from repro.arch.params import DELAY_SLOTS
+
+        for gid, axon in pending:
+            rank = int(self.partition.rank_of_gid(gid))
+            block = self.ranks[rank].block
+            block.buffers.pending[gid - block.gid_lo, tick % DELAY_SLOTS, axon] = True
+
+    # -- main loop ------------------------------------------------------------
+
+    def step(self) -> TickMetrics:
+        """Advance the whole system by one tick; returns tick metrics."""
+        raise NotImplementedError
+
+    def run(self, ticks: int) -> RunResult:
+        for _ in range(ticks):
+            self.step()
+        return RunResult(
+            metrics=self.metrics,
+            n_neurons=self.network.n_neurons,
+            spikes=self.recorder,
+        )
+
+    # -- shared compute phase -------------------------------------------------
+
+    def _compute_phase(
+        self, tick: int, tm: TickMetrics
+    ) -> tuple[list[dict[int, SpikeBatch]], PhaseTimes]:
+        """Synapse + Neuron phases for every rank.
+
+        Returns per-rank outgoing message dicts and host-time accounting.
+        """
+        host = PhaseTimes()
+        per_rank_msgs: list[dict[int, SpikeBatch]] = []
+        for rs in self.ranks:
+            t0 = time.perf_counter()
+            counts = rs.block.synapse_phase(tick)
+            t1 = time.perf_counter()
+            fired = rs.block.neuron_phase(counts)
+            if self.recorder is not None:
+                cs, ns = np.nonzero(fired)
+                self.recorder.record(tick, rs.block.gids[cs], ns)
+            out = rs.block.outgoing(fired)
+            dest_ranks = np.asarray(self.partition.rank_of_gid(out.tgt_gid))
+            local = dest_ranks == rs.rank
+            rs.local_buf.push(
+                out.tgt_gid[local], out.tgt_axon[local], out.delay[local]
+            )
+            remote = ~local
+            rs.remote_bufs.push(
+                dest_ranks[remote],
+                out.tgt_gid[remote],
+                out.tgt_axon[remote],
+                out.delay[remote],
+            )
+            msgs = rs.remote_bufs.flush(tick)
+            per_rank_msgs.append(msgs)
+            t2 = time.perf_counter()
+
+            host.synapse += t1 - t0
+            host.neuron += t2 - t1
+            n_remote = int(remote.sum())
+            rs.cum_active_axons += rs.block.last_active_axons
+            rs.cum_fired += int(fired.sum())
+            rs.cum_local_spikes += int(local.sum())
+            rs.cum_remote_spikes += n_remote
+            tm.active_axons += rs.block.last_active_axons
+            tm.neurons_evaluated += rs.block.n_cores * rs.block.num_neurons
+            tm.fired += int(fired.sum())
+            tm.local_spikes += int(local.sum())
+            tm.remote_spikes += n_remote
+            if self.timer is not None:
+                self.timer.rank_compute(
+                    rs.block.last_active_axons,
+                    rs.block.n_cores * rs.block.num_neurons,
+                    n_remote,
+                    len(msgs),
+                    rs.working_set_bytes,
+                )
+        return per_rank_msgs, host
+
+
+class Compass(CompassBase):
+    """MPI-backend Compass simulator (the paper's primary implementation)."""
+
+    backend = "mpi"
+
+    def __init__(
+        self,
+        network: CoreNetwork,
+        config: CompassConfig | None = None,
+        partition=None,
+    ) -> None:
+        from repro.runtime.mpi import VirtualMpiCluster
+
+        config = config or CompassConfig()
+        super().__init__(network, config, partition)
+        self.cluster = VirtualMpiCluster(config.n_processes)
+
+    def step(self) -> TickMetrics:
+        tick = self.tick
+        if self.timer is not None:
+            self.timer.reset_tick()
+        self._apply_injections(tick)
+        tm = TickMetrics(tick=tick)
+
+        # Synapse + Neuron phases, then master-thread Isends.
+        per_rank_msgs, host = self._compute_phase(tick, tm)
+        send_counts = np.zeros(
+            (self.config.n_processes, self.config.n_processes), dtype=np.int64
+        )
+        for rs, msgs in zip(self.ranks, per_rank_msgs):
+            ep = self.cluster.endpoints[rs.rank]
+            for dest, batch in msgs.items():
+                ep.isend(dest, batch, batch.nbytes)
+                send_counts[rs.rank, dest] += 1
+                tm.messages += 1
+                tm.bytes_sent += batch.nbytes
+
+        # Network phase: Reduce-Scatter, local delivery, receive loop.
+        t0 = time.perf_counter()
+        for rs in self.ranks:
+            self.cluster.endpoints[rs.rank].reduce_scatter(send_counts[rs.rank])
+        recv_counts = [
+            self.cluster.endpoints[r].reduce_scatter_fetch()
+            for r in range(self.config.n_processes)
+        ]
+        self.cluster.reduce_scatter_finish()
+
+        for rs in self.ranks:
+            ep = self.cluster.endpoints[rs.rank]
+            gids, axons, delays = rs.local_buf.drain()
+            rs.block.deliver(gids, axons, delays, tick)
+            spikes_received = 0
+            bytes_received = 0
+            n_msgs = recv_counts[rs.rank]
+            for _ in range(n_msgs):
+                if not ep.iprobe():
+                    raise RuntimeError(
+                        f"rank {rs.rank}: Reduce-Scatter promised a message "
+                        "that never arrived"
+                    )
+                msg = ep.recv()
+                batch: SpikeBatch = msg.payload
+                rs.block.deliver(batch.tgt_gid, batch.tgt_axon, batch.delay, tick)
+                spikes_received += batch.count
+                bytes_received += batch.nbytes
+            if self.timer is not None:
+                self.timer.rank_network(
+                    self.config.n_processes,
+                    gids.size,
+                    n_msgs,
+                    spikes_received,
+                    bytes_received,
+                    rs.working_set_bytes,
+                )
+        host.network += time.perf_counter() - t0
+
+        self.metrics.host += host
+        if self.timer is not None:
+            self.metrics.simulated += self.timer.tick_times()
+        self.metrics.record_tick(tm)
+        self.tick += 1
+        return tm

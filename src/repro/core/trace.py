@@ -1,0 +1,128 @@
+"""Spike trace files: export, import, compare, replay.
+
+Compass is "the key contract between our hardware architects and software
+algorithm/application designers" (§II): regression flows exchange spike
+traces between the simulator and hardware test benches.  This module
+defines that interchange: a compact binary trace format (one 16-byte
+record per spike), exact comparison with first-divergence reporting, and
+replay of a recorded trace as external input to another simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.simulator import SpikeRecorder
+from repro.errors import CheckpointError
+
+_MAGIC = b"CMPS"
+_VERSION = 1
+
+#: One trace record: tick (int32), gid (int64), neuron (int32).
+TRACE_DTYPE = np.dtype([("tick", "<i4"), ("gid", "<i8"), ("neuron", "<i4")])
+
+
+def write_trace(recorder: SpikeRecorder, path: str | Path) -> int:
+    """Serialise a recorded spike trace; returns bytes written."""
+    t, g, n = recorder.to_arrays()
+    rec = np.empty(t.size, dtype=TRACE_DTYPE)
+    rec["tick"] = t
+    rec["gid"] = g
+    rec["neuron"] = n
+    payload = (
+        _MAGIC
+        + np.int32(_VERSION).tobytes()
+        + np.int64(t.size).tobytes()
+        + rec.tobytes()
+    )
+    Path(path).write_bytes(payload)
+    return len(payload)
+
+
+def read_trace(path: str | Path) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Load a trace file; returns canonical (tick, gid, neuron) arrays."""
+    data = Path(path).read_bytes()
+    if data[:4] != _MAGIC:
+        raise CheckpointError(f"{path}: not a Compass trace file")
+    version = int(np.frombuffer(data[4:8], dtype=np.int32)[0])
+    if version != _VERSION:
+        raise CheckpointError(f"{path}: unsupported trace version {version}")
+    count = int(np.frombuffer(data[8:16], dtype=np.int64)[0])
+    body = data[16:]
+    usable = len(body) - (len(body) % TRACE_DTYPE.itemsize)
+    rec = np.frombuffer(body[:usable], dtype=TRACE_DTYPE)
+    if rec.size != count:
+        raise CheckpointError(f"{path}: truncated trace ({rec.size}/{count})")
+    return (
+        rec["tick"].astype(np.int64),
+        rec["gid"].astype(np.int64),
+        rec["neuron"].astype(np.int64),
+    )
+
+
+@dataclass(frozen=True)
+class TraceDiff:
+    """Result of comparing two traces."""
+
+    equal: bool
+    first_divergence_tick: int | None = None
+    detail: str = ""
+
+
+def compare_traces(
+    a: tuple[np.ndarray, np.ndarray, np.ndarray],
+    b: tuple[np.ndarray, np.ndarray, np.ndarray],
+) -> TraceDiff:
+    """Exact comparison with first-divergence localisation.
+
+    Traces must be in canonical order (as produced by
+    :meth:`SpikeRecorder.to_arrays` or :func:`read_trace`).
+    """
+    ta, ga, na = a
+    tb, gb, nb = b
+    n = min(ta.size, tb.size)
+    mismatch = np.nonzero(
+        (ta[:n] != tb[:n]) | (ga[:n] != gb[:n]) | (na[:n] != nb[:n])
+    )[0]
+    if mismatch.size:
+        i = int(mismatch[0])
+        return TraceDiff(
+            equal=False,
+            first_divergence_tick=int(min(ta[i], tb[i])),
+            detail=(
+                f"record {i}: ({ta[i]},{ga[i]},{na[i]}) != "
+                f"({tb[i]},{gb[i]},{nb[i]})"
+            ),
+        )
+    if ta.size != tb.size:
+        longer = a if ta.size > tb.size else b
+        return TraceDiff(
+            equal=False,
+            first_divergence_tick=int(longer[0][n]),
+            detail=f"length mismatch: {ta.size} vs {tb.size}",
+        )
+    return TraceDiff(equal=True)
+
+
+def replay_as_input(
+    trace: tuple[np.ndarray, np.ndarray, np.ndarray],
+    axon_of_neuron,
+    tick_offset: int = 0,
+):
+    """Convert a recorded trace into (gid, axon, tick) injection triples.
+
+    ``axon_of_neuron(gid, neuron) -> (gid, axon) | None`` maps each
+    recorded source spike to the external axon that should receive it in
+    the replay target (None drops the spike).  Feed the result to
+    :meth:`repro.core.simulator.CompassBase.attach_schedule`.
+    """
+    t, g, n = trace
+    for tick, gid, neuron in zip(t.tolist(), g.tolist(), n.tolist()):
+        mapped = axon_of_neuron(gid, neuron)
+        if mapped is None:
+            continue
+        tgt_gid, tgt_axon = mapped
+        yield tgt_gid, tgt_axon, tick + tick_offset

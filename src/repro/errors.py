@@ -1,0 +1,41 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised deliberately by this package derive from
+:class:`ReproError`, so callers can catch package-level failures without
+masking programming errors (``TypeError``, ``KeyError`` from genuine bugs
+still propagate).
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object is internally inconsistent or out of range."""
+
+
+class WiringError(ReproError):
+    """A neuron→axon connection request cannot be realised.
+
+    Raised by the compiler when a target core has no free axons left, or
+    when a connection names a core/axon outside the network.  The paper's
+    IPFP normalisation step (§IV, §V-C) exists precisely to guarantee this
+    is never raised for balanced models.
+    """
+
+
+class CommunicationError(ReproError):
+    """The simulated communication layer was used incorrectly.
+
+    Examples: receiving with no matching message, mismatched collective
+    participation, or a one-sided put outside the registered window.
+    """
+
+
+class CompilationError(ReproError):
+    """The Parallel Compass Compiler could not compile a CoreObject."""
+
+
+class CheckpointError(ReproError):
+    """A checkpoint could not be saved or restored consistently."""

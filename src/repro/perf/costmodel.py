@@ -1,0 +1,108 @@
+"""Convert expected traffic into per-tick phase times.
+
+The semi-synchronous main loop is bounded each tick by the slowest
+process, so each phase time is the *maximum* over the per-region process
+workloads of a :class:`~repro.perf.traffic.TrafficSummary` — this is where
+the paper's "computation and communication imbalances in the functional
+regions" (§VI-B) enter the model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.metrics import PhaseTimes
+from repro.perf.traffic import TrafficSummary
+from repro.runtime.machine import MachineConfig
+
+
+def phase_times_mpi(
+    ts: TrafficSummary,
+    mc: MachineConfig,
+    overlap: bool = True,
+) -> PhaseTimes:
+    """Per-tick Synapse/Neuron/Network times for the MPI backend."""
+    cost = mc.machine.cost
+    threads = mc.effective_threads
+    # Processes on one node share its last-level cache: the memory factor
+    # is governed by the node-aggregate working set.
+    mem = np.array(
+        [cost.memory_factor(w * mc.procs_per_node) for w in ts.working_set_pp]
+    )
+
+    synapse = max(
+        cost.synapse_time(a, threads, m)
+        for a, m in zip(ts.active_axons_pp, mem)
+    )
+    neuron = max(
+        cost.neuron_time(n, threads, r, s, m)
+        for n, r, s, m in zip(
+            ts.neurons_pp, ts.remote_sent_pp, ts.messages_sent_pp, mem
+        )
+    )
+    network = max(
+        cost.network_time_mpi(
+            ts.n_processes,
+            loc,
+            mr,
+            sr,
+            sr * 20.0,
+            threads,
+            m,
+            overlap=overlap,
+        )
+        for loc, mr, sr, m in zip(
+            ts.local_spikes_pp, ts.messages_recv_pp, ts.spikes_recv_pp, mem
+        )
+    )
+    return PhaseTimes(synapse=float(synapse), neuron=float(neuron), network=float(network))
+
+
+def phase_times_pgas(ts: TrafficSummary, mc: MachineConfig) -> PhaseTimes:
+    """Per-tick Synapse/Neuron/Network times for the PGAS backend.
+
+    The Neuron phase drops the per-message Isend overhead (puts are costed
+    in the Network phase), keeping the comparison faithful to §VII.
+    """
+    cost = mc.machine.cost
+    threads = mc.effective_threads
+    mem = np.array(
+        [cost.memory_factor(w * mc.procs_per_node) for w in ts.working_set_pp]
+    )
+
+    synapse = max(
+        cost.synapse_time(a, threads, m)
+        for a, m in zip(ts.active_axons_pp, mem)
+    )
+    neuron = max(
+        cost.neuron_time(n, threads, r, 0.0, m)
+        for n, r, m in zip(ts.neurons_pp, ts.remote_sent_pp, mem)
+    )
+    network = max(
+        cost.network_time_pgas(
+            ts.n_processes,
+            loc,
+            puts,
+            sr,
+            sent * 20.0,
+            threads,
+            m,
+        )
+        for loc, puts, sr, sent, m in zip(
+            ts.local_spikes_pp,
+            ts.messages_sent_pp,
+            ts.spikes_recv_pp,
+            ts.remote_sent_pp,
+            mem,
+        )
+    )
+    return PhaseTimes(synapse=float(synapse), neuron=float(neuron), network=float(network))
+
+
+def run_times(per_tick: PhaseTimes, ticks: int) -> PhaseTimes:
+    """Scale per-tick phase times to a whole run."""
+    return PhaseTimes(
+        synapse=per_tick.synapse * ticks,
+        neuron=per_tick.neuron * ticks,
+        network=per_tick.network * ticks,
+    )

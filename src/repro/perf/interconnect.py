@@ -1,0 +1,64 @@
+"""Interconnect feasibility analysis (§VI-B's bandwidth argument).
+
+The paper argues the spike traffic is communication-feasible because "the
+overall message data volume per simulated tick ... is well below the
+interconnect bandwidth of the communication subsystem".  This module makes
+that argument quantitative for any configuration: processes are mapped to
+torus nodes, expected traffic is spread over the expected route lengths,
+and per-link utilisation is compared against link bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perf.traffic import TrafficSummary
+from repro.runtime.machine import MachineSpec
+from repro.runtime.torus import TorusTopology
+from repro.util.units import TICK_SECONDS
+
+
+@dataclass(frozen=True)
+class InterconnectLoad:
+    """Expected per-tick load on the torus for one configuration."""
+
+    nodes: int
+    torus: tuple[int, ...]
+    mean_hops: float
+    bytes_per_tick: float
+    link_byte_ticks: float  #: total byte-hops spread over all links
+    links: int
+    utilisation: float  #: fraction of per-link bandwidth consumed per tick
+
+    @property
+    def feasible(self) -> bool:
+        """Can a tick's traffic drain within one real-time tick?"""
+        return self.utilisation < 1.0
+
+
+def interconnect_load(
+    ts: TrafficSummary, machine: MachineSpec, nodes: int
+) -> InterconnectLoad:
+    """Spread a tick's expected traffic over the machine's torus.
+
+    Uniform-random process placement is assumed (the paper does not map
+    regions topologically), so the expected route length is the torus's
+    mean hop count and traffic spreads evenly over all links.
+    """
+    torus = TorusTopology.for_nodes(nodes, machine.torus_dims)
+    mean_hops = max(torus.mean_hops(), 1.0)
+    # Every byte occupies one link per hop.
+    byte_hops = ts.bytes_per_tick * mean_hops
+    links = nodes * machine.links_per_node
+    per_link = byte_hops / links
+    # Real time allows TICK_SECONDS of transfer per tick.
+    utilisation = per_link / (machine.link_bandwidth * TICK_SECONDS)
+    return InterconnectLoad(
+        nodes=nodes,
+        torus=torus.dims,
+        mean_hops=mean_hops,
+        bytes_per_tick=ts.bytes_per_tick,
+        link_byte_ticks=byte_hops,
+        links=links,
+        utilisation=utilisation,
+    )

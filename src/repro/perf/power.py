@@ -1,0 +1,47 @@
+"""Power estimation — use-case (e) of §I.
+
+TrueNorth's digital neurosynaptic core spends about 45 pJ per spike in
+45 nm CMOS (Merolla et al., CICC 2011 — the paper's reference [3]); adding
+a small per-core leakage/clock overhead yields a first-order architecture
+power estimate.  Contrasting it against the Blue Gene/Q power needed to
+*simulate* the same network is the paper's motivating argument: simulation
+is for development, the architecture is for deployment.
+"""
+
+from __future__ import annotations
+
+#: Energy per delivered spike event (45 pJ, [3]).
+JOULES_PER_SPIKE = 45e-12
+#: Static per-core power for clocks/leakage (order-of-magnitude CMOS figure).
+WATTS_PER_CORE_STATIC = 50e-9
+#: A Blue Gene/Q rack draws roughly 85 kW.
+WATTS_PER_BGQ_RACK = 85e3
+
+
+def truenorth_power_watts(
+    n_cores: int,
+    mean_rate_hz: float,
+    neurons_per_core: int = 256,
+    synapses_per_neuron: float = 256 * 0.125,
+) -> float:
+    """Estimated TrueNorth power for a running network.
+
+    Event energy scales with the number of synaptic delivery events:
+    ``neurons × rate × fan-in`` spikes-worth of crossbar activity.
+    """
+    if n_cores <= 0 or mean_rate_hz < 0:
+        raise ValueError("need positive cores and non-negative rate")
+    events_per_second = n_cores * neurons_per_core * mean_rate_hz * synapses_per_neuron
+    return events_per_second * JOULES_PER_SPIKE + n_cores * WATTS_PER_CORE_STATIC
+
+
+def blue_gene_power_watts(racks: float) -> float:
+    """Power of the Blue Gene/Q system simulating the same network."""
+    if racks <= 0:
+        raise ValueError("racks must be positive")
+    return racks * WATTS_PER_BGQ_RACK
+
+
+def efficiency_ratio(n_cores: int, mean_rate_hz: float, racks: float) -> float:
+    """How many times less power the architecture needs than its simulator."""
+    return blue_gene_power_watts(racks) / truenorth_power_watts(n_cores, mean_rate_hz)

@@ -1,0 +1,52 @@
+"""Plain-text tables for benchmark output.
+
+The benchmark harness prints the same rows/series the paper's figures
+plot; these helpers keep that output aligned and consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Fixed-width table with right-aligned numeric columns."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def paper_vs_model(paper: dict[str, float], model: dict[str, float]) -> str:
+    """Two-column comparison used by the headline and calibration benches."""
+    rows = []
+    for key in paper:
+        p, m = paper[key], model.get(key, float("nan"))
+        ratio = m / p if p else float("nan")
+        rows.append((key, p, m, ratio))
+    return format_table(["quantity", "paper", "model", "model/paper"], rows)

@@ -1,0 +1,124 @@
+"""Machine-readable experiment exports.
+
+Each paper figure's series can be exported as CSV for downstream plotting
+(the repository itself stays plot-free: the benches print the numbers,
+this module makes them consumable).  All exporters return the CSV text
+and optionally write it to a file.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.perf.realtime import realtime_series
+from repro.perf.strong_scaling import strong_scaling_series
+from repro.perf.thread_scaling import procs_threads_tradeoff, thread_scaling_series
+from repro.perf.weak_scaling import weak_scaling_series
+
+
+def _csv(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(headers)
+    writer.writerows(rows)
+    return buf.getvalue()
+
+
+def weak_scaling_csv() -> str:
+    """Fig 4(a) + 4(b) combined series."""
+    rows = [
+        (
+            p.racks, p.nodes, p.cpus, p.cores,
+            round(p.times.synapse, 3), round(p.times.neuron, 3),
+            round(p.times.network, 3), round(p.times.total, 3),
+            round(p.slowdown, 1), round(p.messages_per_tick, 1),
+            round(p.spikes_per_tick, 1), round(p.bytes_per_tick, 1),
+        )
+        for p in weak_scaling_series()
+    ]
+    return _csv(
+        [
+            "racks", "nodes", "cpus", "cores", "synapse_s", "neuron_s",
+            "network_s", "total_s", "slowdown_x", "messages_per_tick",
+            "spikes_per_tick", "bytes_per_tick",
+        ],
+        rows,
+    )
+
+
+def strong_scaling_csv() -> str:
+    """Fig 5 series."""
+    rows = [
+        (
+            p.racks, p.nodes, p.cpus, round(p.cores_per_node, 1),
+            round(p.times.synapse, 3), round(p.times.neuron, 3),
+            round(p.times.network, 3), round(p.times.total, 3),
+            round(p.speedup, 3),
+        )
+        for p in strong_scaling_series()
+    ]
+    return _csv(
+        ["racks", "nodes", "cpus", "cores_per_node", "synapse_s", "neuron_s",
+         "network_s", "total_s", "speedup_x"],
+        rows,
+    )
+
+
+def thread_scaling_csv() -> str:
+    """Fig 6 series plus the §VI-D trade-off rows."""
+    rows = [
+        ("fig6", 1, p.threads, round(p.times.total, 3),
+         round(p.speedup_total, 3), round(p.speedup_synapse, 3),
+         round(p.speedup_neuron, 3), round(p.speedup_network, 3))
+        for p in thread_scaling_series()
+    ]
+    rows += [
+        ("tradeoff", p.procs_per_node, p.threads, round(p.times.total, 3),
+         round(p.speedup_total, 3), "", "", "")
+        for p in procs_threads_tradeoff()
+    ]
+    return _csv(
+        ["series", "procs_per_node", "threads", "total_s", "speedup_total",
+         "speedup_synapse", "speedup_neuron", "speedup_network"],
+        rows,
+    )
+
+
+def realtime_csv() -> str:
+    """Fig 7 series."""
+    rows = [
+        (
+            p.backend, p.racks, p.nodes, p.cpus,
+            p.procs_per_node, p.threads_per_proc,
+            round(p.seconds, 4), int(p.realtime),
+        )
+        for p in realtime_series()
+    ]
+    return _csv(
+        ["backend", "racks", "nodes", "cpus", "procs_per_node",
+         "threads_per_proc", "seconds_per_1000_ticks", "realtime"],
+        rows,
+    )
+
+
+EXPORTERS: dict[str, Callable[[], str]] = {
+    "fig4": weak_scaling_csv,
+    "fig5": strong_scaling_csv,
+    "fig6": thread_scaling_csv,
+    "fig7": realtime_csv,
+}
+
+
+def export_all(directory: str | Path) -> list[Path]:
+    """Write every figure's CSV into ``directory``; returns the paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name, exporter in EXPORTERS.items():
+        path = directory / f"{name}.csv"
+        path.write_text(exporter())
+        written.append(path)
+    return written

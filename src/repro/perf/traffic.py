@@ -1,0 +1,248 @@
+"""Expected spike/message traffic at arbitrary scale.
+
+For paper-scale configurations (millions of cores, thousands of processes)
+we cannot run the functional simulator, but the *expected* per-tick traffic
+is fully determined by the CoCoMac connection matrix, the firing-rate
+model, and the process layout:
+
+* a connection from region *i* to region *j* is one neuron output firing
+  at the white-matter rate; with diffuse targeting (§V-B) its endpoints
+  are uniform over the two regions' processes, so spikes on a process
+  pair are Poisson with rate ``C[i,j] · ρ_w / (n_i · n_j)`` per tick;
+* with per-pair aggregation (§III), the expected MPI message count is the
+  expected number of process pairs with at least one spike:
+  ``Σ_{i≠j} n_i n_j (1 − exp(−λ_ij))`` — which is what makes the paper's
+  Fig 4(b) message growth sub-linear: links get thinner as regions spread
+  over more processes;
+* gray matter stays process-local by construction (§V-C).
+
+Rate model: the paper reports a *mean* rate of 8.1 Hz and ~22 M
+white-matter spikes per tick at 256 M cores.  Those two facts fix a rate
+split: white-matter connections fire at ``ρ_w ≈ 0.53 Hz`` and gray-matter
+connections at whatever brings the mean to 8.1 Hz (long-range projection
+activity is far sparser than local activity).  Both knobs are explicit
+parameters recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arch.params import NUM_NEURONS
+from repro.cocomac.model import MacaqueModel
+from repro.util.units import SPIKE_BYTES
+
+#: Simulation state bytes per core held by a Compass process: packed
+#: crossbar (8 KiB), axon types, delay buffers, potentials, PRNG state,
+#: targets, and neuron parameters (matches CoreBlock's working_set).
+PER_CORE_STATE_BYTES = 8192 + 256 + 4096 + 1024 + 2048 + 4096 + 2048 + 1024 + 3072
+
+
+@dataclass
+class TrafficSummary:
+    """Expected per-tick traffic for one process layout.
+
+    Per-region arrays describe the load of *one process of that region* —
+    the semi-synchronous loop is bounded by the slowest process, so phase
+    times take maxima over these arrays (§VI-B attributes part of the weak
+    scaling growth to regional imbalance).
+    """
+
+    n_processes: int
+    procs_per_region: np.ndarray  # (R,)
+    # Totals over the whole machine, per tick:
+    total_spikes: float
+    white_spikes: float
+    messages: float
+    bytes_sent: float
+    # Per-process expectations, by region:
+    neurons_pp: np.ndarray
+    active_axons_pp: np.ndarray
+    local_spikes_pp: np.ndarray
+    remote_sent_pp: np.ndarray
+    messages_sent_pp: np.ndarray
+    messages_recv_pp: np.ndarray
+    spikes_recv_pp: np.ndarray
+    working_set_pp: np.ndarray
+
+    @property
+    def bytes_per_tick(self) -> float:
+        return self.bytes_sent
+
+    def mean_neurons_pp(self) -> float:
+        return float(
+            (self.neurons_pp * self.procs_per_region).sum() / self.n_processes
+        )
+
+
+def _apportion_processes(cores: np.ndarray, n_processes: int) -> np.ndarray:
+    """Processes per region ∝ cores, each region ≥ 1 (cf. §V)."""
+    cores = np.asarray(cores, dtype=float)
+    if n_processes < cores.size:
+        raise ValueError(
+            f"need at least one process per region: {n_processes} < {cores.size}"
+        )
+    share = cores / cores.sum() * n_processes
+    procs = np.maximum(1, np.floor(share)).astype(np.int64)
+    while procs.sum() < n_processes:
+        procs[np.argmax(share - procs)] += 1
+    while procs.sum() > n_processes:
+        over = np.where(procs > 1)[0]
+        procs[over[np.argmin((share - procs)[over])]] -= 1
+    return procs
+
+
+class CocomacTraffic:
+    """Traffic model over a macaque model's connection matrix."""
+
+    def __init__(
+        self,
+        model: MacaqueModel,
+        mean_rate_hz: float = 8.1,
+        white_rate_hz: float = 0.53,
+        diffuse: bool = True,
+        aggregate: bool = True,
+    ) -> None:
+        self.model = model
+        self.mean_rate_hz = mean_rate_hz
+        self.white_rate_hz = white_rate_hz
+        self.diffuse = diffuse
+        self.aggregate = aggregate
+
+        counts = model.connection_counts.astype(float)
+        self._white = counts.copy()
+        np.fill_diagonal(self._white, 0.0)
+        self._gray = np.diag(counts).astype(float).copy()
+        w_total = self._white.sum()
+        g_total = self._gray.sum()
+        # Solve for the gray rate that yields the requested mean rate.
+        total = w_total + g_total
+        if g_total > 0:
+            self.gray_rate_hz = (
+                mean_rate_hz * total - white_rate_hz * w_total
+            ) / g_total
+        else:
+            self.gray_rate_hz = 0.0
+        if self.gray_rate_hz < 0:
+            raise ValueError(
+                "white_rate_hz too high to achieve the requested mean rate"
+            )
+
+    def summary(self, n_processes: int) -> TrafficSummary:
+        """Expected traffic with ``n_processes`` Compass processes.
+
+        The paper's runs fix the simulated core count per node, so compute
+        load is uniform by construction; region membership matters only
+        for communication.  Processes per region are therefore *fractional*
+        (``cores_i / cores_per_process``) — the smooth limit of the
+        region-aligned layout, free of apportionment granularity noise.
+        """
+        model = self.model
+        cores = model.cores.astype(float)
+        cores_per_proc = cores.sum() / n_processes
+        procs = cores / cores_per_proc  # fractional processes per region
+
+        # Spike flows per tick (expected).
+        white_flow = self._white * (self.white_rate_hz / 1000.0)  # (R, R)
+        gray_flow = self._gray * (self.gray_rate_hz / 1000.0)  # (R,)
+        white_total = float(white_flow.sum())
+        gray_total = float(gray_flow.sum())
+
+        # Message count: process pairs with >= 1 spike this tick.
+        n_i = procs.astype(float)
+        pairs = np.outer(n_i, n_i)
+        if self.diffuse:
+            with np.errstate(divide="ignore", invalid="ignore"):
+                lam = np.where(pairs > 0, white_flow / pairs, 0.0)
+            msgs_matrix = pairs * (1.0 - np.exp(-lam))
+        else:
+            # Focused targeting: each source process locks onto a single
+            # target process, concentrating the flow on n_i links.
+            lam = np.where(n_i[:, None] > 0, white_flow / n_i[:, None], 0.0)
+            msgs_matrix = n_i[:, None] * (1.0 - np.exp(-lam))
+        np.fill_diagonal(msgs_matrix, 0.0)
+        if not self.aggregate:
+            # Ablation: one message per spike instead of per process pair.
+            msgs_matrix = white_flow.copy()
+            np.fill_diagonal(msgs_matrix, 0.0)
+        messages = float(msgs_matrix.sum())
+
+        # Per-process expectations, by region.  Compute-side quantities are
+        # uniform (fixed cores per process); communication varies by region.
+        neurons_pp = np.full_like(procs, cores_per_proc * NUM_NEURONS)
+        remote_sent_pp = white_flow.sum(axis=1) / procs
+        spikes_recv_pp = white_flow.sum(axis=0) / procs
+        local_pp = gray_flow / procs
+        # Every delivered spike activates exactly one axon at its due tick.
+        active_axons_pp = local_pp + spikes_recv_pp
+        msgs_sent_pp = msgs_matrix.sum(axis=1) / procs
+        msgs_recv_pp = msgs_matrix.sum(axis=0) / procs
+        working_set_pp = np.full_like(procs, cores_per_proc * PER_CORE_STATE_BYTES)
+
+        return TrafficSummary(
+            n_processes=int(n_processes),
+            procs_per_region=procs,
+            total_spikes=white_total + gray_total,
+            white_spikes=white_total,
+            messages=messages,
+            bytes_sent=white_total * SPIKE_BYTES,
+            neurons_pp=neurons_pp,
+            active_axons_pp=active_axons_pp,
+            local_spikes_pp=local_pp,
+            remote_sent_pp=remote_sent_pp,
+            messages_sent_pp=msgs_sent_pp,
+            messages_recv_pp=msgs_recv_pp,
+            spikes_recv_pp=spikes_recv_pp,
+            working_set_pp=working_set_pp,
+        )
+
+
+class SyntheticTraffic:
+    """The §VII real-time workload: uniform cores, fixed locality split.
+
+    "75% of the neurons in each TrueNorth core connect to TrueNorth cores
+    on the same Blue Gene/P node, while the remaining 25% connect to
+    TrueNorth cores on other nodes.  All neurons fire on average at 10 Hz."
+    """
+
+    def __init__(
+        self,
+        n_cores: int,
+        rate_hz: float = 10.0,
+        node_local_fraction: float = 0.75,
+    ) -> None:
+        self.n_cores = n_cores
+        self.rate_hz = rate_hz
+        self.node_local_fraction = node_local_fraction
+
+    def summary(self, nodes: int, procs_per_node: int) -> TrafficSummary:
+        p = nodes * procs_per_node
+        neurons_total = self.n_cores * NUM_NEURONS
+        spikes = neurons_total * self.rate_hz / 1000.0
+        # Node-local targets are uniform over the node's cores, so the
+        # process-local share of node-local traffic is 1/procs_per_node.
+        proc_local = spikes * self.node_local_fraction / procs_per_node
+        remote = spikes - proc_local
+        # Remote spikes spread uniformly over the other processes.
+        lam = remote / p / max(p - 1, 1)
+        messages = p * max(p - 1, 1) * (1.0 - np.exp(-lam))
+
+        ones = np.ones(1)
+        return TrafficSummary(
+            n_processes=p,
+            procs_per_region=np.array([p]),
+            total_spikes=spikes,
+            white_spikes=remote,
+            messages=float(messages),
+            bytes_sent=remote * SPIKE_BYTES,
+            neurons_pp=ones * neurons_total / p,
+            active_axons_pp=ones * spikes / p,
+            local_spikes_pp=ones * proc_local / p,
+            remote_sent_pp=ones * remote / p,
+            messages_sent_pp=ones * messages / p,
+            messages_recv_pp=ones * messages / p,
+            spikes_recv_pp=ones * remote / p,
+            working_set_pp=ones * self.n_cores * PER_CORE_STATE_BYTES / p,
+        )

@@ -1,0 +1,156 @@
+"""Machine descriptions: Blue Gene/Q and Blue Gene/P.
+
+§VI-A: each Blue Gene/Q node has a 17-core CPU (16 application cores, up to
+4 hardware threads each) and 16 GB of memory, connected in a 5-D torus with
+ten bidirectional 2 GB/s links; a rack is 1024 nodes, and the full system is
+16 racks = 16384 nodes = 262144 application CPUs.  §VII: each Blue Gene/P
+node has 4 CPUs and 4 GB, in a 3-D torus; four racks = 4096 nodes = 16384
+CPUs.
+
+Each spec carries a calibrated :class:`~repro.runtime.timing.CostModel`.
+Calibration strategy (see DESIGN.md §7): constants are set once from the
+paper's absolute anchors — the 324 s strong-scaling baseline (32 M cores on
+one rack), the ~194 s weak-scaling endpoint, and the 81K-core real-time
+point on Blue Gene/P — and everything else is left to emerge from the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.runtime.timing import CostModel
+from repro.runtime.threads import effective_threads
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Static description of one supercomputer model."""
+
+    name: str
+    cpu_cores_per_node: int  #: application cores per node
+    hw_threads_per_core: int
+    memory_per_node: int  #: bytes
+    nodes_per_rack: int
+    torus_dims: int  #: dimensionality of the torus interconnect
+    link_bandwidth: float  #: bytes/second per link
+    links_per_node: int
+    cost: CostModel
+
+    def nodes_for_racks(self, racks: int) -> int:
+        check_positive("racks", racks)
+        return racks * self.nodes_per_rack
+
+    def cpus_for_racks(self, racks: int) -> int:
+        return self.nodes_for_racks(racks) * self.cpu_cores_per_node
+
+    @property
+    def max_threads_per_node(self) -> int:
+        return self.cpu_cores_per_node * self.hw_threads_per_core
+
+
+#: Blue Gene/Q (§VI-A).  Compute constants calibrated against Fig 5's one-rack
+#: baseline (324 s for 32 M cores / 500 ticks) and Fig 4(a)'s endpoint.
+BLUE_GENE_Q = MachineSpec(
+    name="BlueGene/Q",
+    cpu_cores_per_node=16,
+    hw_threads_per_core=4,
+    memory_per_node=16 * 2**30,
+    nodes_per_rack=1024,
+    torus_dims=5,
+    link_bandwidth=2e9,
+    links_per_node=10,
+    cost=CostModel(
+        c_axon=8.0e-6,
+        c_neuron=3.0e-7,
+        c_spike_local=2.0e-6,
+        c_spike_pack=1.0e-6,
+        c_spike_unpack=1.0e-6,
+        msg_overhead=5.0e-6,
+        c_crit=2.5e-5,
+        rs_alpha=2.0e-5,
+        rs_beta_per_rank=1.5e-6,
+        put_overhead=2.0e-6,
+        barrier_alpha=5.0e-6,
+        barrier_beta_log=2.0e-6,
+        node_bandwidth=2e9,
+        cache_bytes=32 * 2**20,
+        dram_factor=3.0,
+    ),
+)
+
+#: Blue Gene/P (§VII).  Calibrated against Fig 7's real-time point: 81K cores
+#: at 1000 ticks/second under PGAS on four racks, with MPI 2.1× slower.
+BLUE_GENE_P = MachineSpec(
+    name="BlueGene/P",
+    cpu_cores_per_node=4,
+    hw_threads_per_core=1,
+    memory_per_node=4 * 2**30,
+    nodes_per_rack=1024,
+    torus_dims=3,
+    link_bandwidth=4.25e8,
+    links_per_node=6,
+    cost=CostModel(
+        c_axon=3.0e-6,
+        c_neuron=5.5e-7,
+        c_spike_local=1.0e-6,
+        c_spike_pack=8.0e-7,
+        c_spike_unpack=8.0e-7,
+        msg_overhead=1.0e-5,
+        c_crit=3.0e-5,
+        rs_alpha=5.0e-5,
+        rs_beta_per_rank=2.0e-7,
+        put_overhead=1.2e-5,
+        barrier_alpha=2.0e-5,
+        barrier_beta_log=2.0e-6,
+        node_bandwidth=4.25e8 * 3,
+        cache_bytes=8 * 2**20,
+        dram_factor=3.0,
+    ),
+)
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """One concrete run configuration: machine + job geometry.
+
+    Mirrors the paper's run descriptions, e.g. "one MPI process per node
+    and 32 OpenMP threads per MPI process" on N nodes.
+    """
+
+    machine: MachineSpec
+    nodes: int
+    procs_per_node: int = 1
+    threads_per_proc: int = 32
+
+    def __post_init__(self) -> None:
+        check_positive("nodes", self.nodes)
+        check_positive("procs_per_node", self.procs_per_node)
+        check_positive("threads_per_proc", self.threads_per_proc)
+        total_threads = self.procs_per_node * self.threads_per_proc
+        if total_threads > self.machine.max_threads_per_node:
+            raise ValueError(
+                f"{total_threads} threads/node exceeds hardware maximum "
+                f"{self.machine.max_threads_per_node} on {self.machine.name}"
+            )
+
+    @property
+    def n_processes(self) -> int:
+        return self.nodes * self.procs_per_node
+
+    @property
+    def effective_threads(self) -> float:
+        """Effective parallelism of one process's OpenMP team."""
+        cores_per_proc = self.machine.cpu_cores_per_node / self.procs_per_node
+        return effective_threads(self.threads_per_proc, max(int(cores_per_proc), 1))
+
+    @property
+    def racks(self) -> float:
+        return self.nodes / self.machine.nodes_per_rack
+
+    def describe(self) -> str:
+        return (
+            f"{self.machine.name}: {self.nodes} nodes "
+            f"({self.racks:g} racks), {self.procs_per_node} proc/node x "
+            f"{self.threads_per_proc} threads"
+        )

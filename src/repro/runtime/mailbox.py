@@ -1,0 +1,71 @@
+"""Per-rank mailboxes for the simulated two-sided messaging layer."""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import CommunicationError
+
+#: Wildcards matching MPI_ANY_SOURCE / MPI_ANY_TAG.
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+@dataclass(frozen=True)
+class Message:
+    """One in-flight message: envelope plus payload."""
+
+    source: int
+    dest: int
+    tag: int
+    payload: Any
+    nbytes: int
+
+
+@dataclass
+class Mailbox:
+    """FIFO of delivered messages for one rank.
+
+    Matching follows MPI semantics: ``probe``/``pop`` return the *earliest*
+    message whose (source, tag) matches, so per-pair ordering is preserved
+    while unrelated pairs can interleave.
+    """
+
+    rank: int
+    _queue: deque[Message] = field(default_factory=deque)
+
+    def deliver(self, message: Message) -> None:
+        if message.dest != self.rank:
+            raise CommunicationError(
+                f"message for rank {message.dest} delivered to mailbox {self.rank}"
+            )
+        self._queue.append(message)
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Message | None:
+        """Return (without removing) the first matching message, if any."""
+        for msg in self._queue:
+            if self._matches(msg, source, tag):
+                return msg
+        return None
+
+    def pop(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Message:
+        """Remove and return the first matching message."""
+        for i, msg in enumerate(self._queue):
+            if self._matches(msg, source, tag):
+                del self._queue[i]
+                return msg
+        raise CommunicationError(
+            f"rank {self.rank}: no message matching source={source} tag={tag}"
+        )
+
+    @staticmethod
+    def _matches(msg: Message, source: int, tag: int) -> bool:
+        return (source in (ANY_SOURCE, msg.source)) and (tag in (ANY_TAG, msg.tag))
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def clear(self) -> None:
+        self._queue.clear()

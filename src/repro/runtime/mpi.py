@@ -1,0 +1,165 @@
+"""Simulated two-sided MPI, exposing exactly the primitives of Listing 1.
+
+The Compass main loop uses: ``MPI_Isend`` (aggregated spike buffers),
+``MPI_Reduce_scatter`` (each rank learns how many messages to expect),
+and an ``MPI_Iprobe``/``MPI_Get_count``/``MPI_Recv`` loop inside a critical
+section.  :class:`VirtualMpiCluster` reproduces those semantics
+deterministically in one OS process:
+
+* messages are delivered to destination mailboxes immediately on send —
+  valid because Compass is semi-synchronous: no rank receives before the
+  collective, which itself globally orders the tick;
+* ``reduce_scatter`` follows MPI semantics for ``MPI_Reduce_scatter_block``
+  with one integer per rank: every rank contributes a length-P count
+  vector, and rank *i* receives the sum of entry *i* over all ranks;
+* per-rank traffic counters feed the metrics used by Fig 4(b).
+
+The cluster also detects collective misuse (a rank contributing twice, or
+reading a result before all ranks contributed), which turns subtle
+deadlocks of the real library into immediate errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.errors import CommunicationError
+from repro.runtime.mailbox import ANY_SOURCE, ANY_TAG, Mailbox, Message
+
+
+@dataclass
+class TrafficCounters:
+    """Cumulative communication counters for one rank."""
+
+    messages_sent: int = 0
+    messages_received: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    reduce_scatters: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "messages_sent": self.messages_sent,
+            "messages_received": self.messages_received,
+            "bytes_sent": self.bytes_sent,
+            "bytes_received": self.bytes_received,
+            "reduce_scatters": self.reduce_scatters,
+        }
+
+
+class VirtualMpiCluster:
+    """A deterministic in-process cluster of ``n_ranks`` MPI endpoints."""
+
+    def __init__(self, n_ranks: int) -> None:
+        if n_ranks <= 0:
+            raise ValueError("n_ranks must be positive")
+        self.n_ranks = n_ranks
+        self.mailboxes = [Mailbox(r) for r in range(n_ranks)]
+        self.counters = [TrafficCounters() for _ in range(n_ranks)]
+        self._rs_contributions: dict[int, np.ndarray] = {}
+        self.endpoints = [MpiEndpoint(self, r) for r in range(n_ranks)]
+
+    # -- point to point ------------------------------------------------------
+
+    def send(self, source: int, dest: int, tag: int, payload: Any, nbytes: int) -> None:
+        if not 0 <= dest < self.n_ranks:
+            raise CommunicationError(f"send to invalid rank {dest}")
+        msg = Message(source=source, dest=dest, tag=tag, payload=payload, nbytes=nbytes)
+        self.mailboxes[dest].deliver(msg)
+        c = self.counters[source]
+        c.messages_sent += 1
+        c.bytes_sent += nbytes
+
+    # -- collective ------------------------------------------------------------
+
+    def reduce_scatter_contribute(self, rank: int, counts: np.ndarray) -> None:
+        counts = np.asarray(counts, dtype=np.int64)
+        if counts.shape != (self.n_ranks,):
+            raise CommunicationError(
+                f"reduce_scatter counts must have shape ({self.n_ranks},)"
+            )
+        if rank in self._rs_contributions:
+            raise CommunicationError(f"rank {rank} contributed twice to reduce_scatter")
+        self._rs_contributions[rank] = counts.copy()
+
+    def reduce_scatter_result(self, rank: int) -> int:
+        if len(self._rs_contributions) != self.n_ranks:
+            missing = set(range(self.n_ranks)) - set(self._rs_contributions)
+            raise CommunicationError(
+                f"reduce_scatter incomplete; missing ranks {sorted(missing)[:8]}"
+            )
+        total = int(sum(c[rank] for c in self._rs_contributions.values()))
+        self.counters[rank].reduce_scatters += 1
+        return total
+
+    def reduce_scatter_finish(self) -> None:
+        """Reset collective state once every rank has read its result."""
+        self._rs_contributions.clear()
+
+    # -- introspection -----------------------------------------------------------
+
+    def total_counters(self) -> TrafficCounters:
+        agg = TrafficCounters()
+        for c in self.counters:
+            agg.messages_sent += c.messages_sent
+            agg.messages_received += c.messages_received
+            agg.bytes_sent += c.bytes_sent
+            agg.bytes_received += c.bytes_received
+            agg.reduce_scatters += c.reduce_scatters
+        return agg
+
+    def pending_messages(self) -> int:
+        return sum(len(mb) for mb in self.mailboxes)
+
+
+@dataclass
+class MpiEndpoint:
+    """The per-rank face of the cluster: Listing 1's MPI calls."""
+
+    cluster: VirtualMpiCluster
+    rank: int
+    _rs_done: bool = field(default=False, repr=False)
+
+    @property
+    def size(self) -> int:
+        return self.cluster.n_ranks
+
+    def isend(self, dest: int, payload: Any, nbytes: int, tag: int = 0) -> None:
+        """Non-blocking aggregated-buffer send (completes immediately here)."""
+        self.cluster.send(self.rank, dest, tag, payload, nbytes)
+
+    def reduce_scatter(self, send_counts: np.ndarray) -> int:
+        """Contribute per-destination counts; learn own incoming count.
+
+        Single-call convenience valid because the virtual cluster runs
+        ranks in lock-step: contributions are staged and the result is read
+        after the last rank contributes (the driver arranges this by
+        calling :meth:`reduce_scatter` on every rank before any receive).
+        """
+        self.cluster.reduce_scatter_contribute(self.rank, send_counts)
+        return -1  # result must be fetched after all ranks contributed
+
+    def reduce_scatter_fetch(self) -> int:
+        return self.cluster.reduce_scatter_result(self.rank)
+
+    def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
+        return self.cluster.mailboxes[self.rank].probe(source, tag) is not None
+
+    def get_count(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> int:
+        msg = self.cluster.mailboxes[self.rank].probe(source, tag)
+        if msg is None:
+            raise CommunicationError(f"rank {self.rank}: get_count with no message")
+        return msg.nbytes
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Message:
+        msg = self.cluster.mailboxes[self.rank].pop(source, tag)
+        c = self.cluster.counters[self.rank]
+        c.messages_received += 1
+        c.bytes_received += msg.nbytes
+        return msg
+
+    def pending(self) -> int:
+        return len(self.cluster.mailboxes[self.rank])

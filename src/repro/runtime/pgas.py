@@ -1,0 +1,96 @@
+"""Simulated PGAS (UPC/GASNet-style) one-sided communication layer (§VII).
+
+Each process owns a globally addressable spike window.  During a tick any
+process may ``put`` a spike batch directly into a remote window — no
+receive-side matching, no tags, no critical section.  A global barrier
+separates the write epoch from the read epoch; after the barrier each
+process drains its own window locally.
+
+The paper's insight (§VII-A): because the source and ordering of spikes
+arriving at an axon do not affect the next tick's computation, one-sided
+insertion into remote buffers is sufficient — and it removes both the
+send-buffer staging and the Reduce-Scatter that the MPI version needs to
+learn its incoming message count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import CommunicationError
+
+
+@dataclass
+class PgasCounters:
+    """Cumulative one-sided traffic counters for one rank."""
+
+    puts: int = 0
+    bytes_put: int = 0
+    barriers: int = 0
+
+
+class PgasCluster:
+    """A set of ranks with globally addressable per-rank spike windows."""
+
+    def __init__(self, n_ranks: int) -> None:
+        if n_ranks <= 0:
+            raise ValueError("n_ranks must be positive")
+        self.n_ranks = n_ranks
+        self.windows: list[list[Any]] = [[] for _ in range(n_ranks)]
+        self.counters = [PgasCounters() for _ in range(n_ranks)]
+        self._epoch = 0
+        self._arrived: set[int] = set()
+        self.endpoints = [PgasEndpoint(self, r) for r in range(n_ranks)]
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    def put(self, source: int, dest: int, payload: Any, nbytes: int) -> None:
+        if not 0 <= dest < self.n_ranks:
+            raise CommunicationError(f"put to invalid rank {dest}")
+        self.windows[dest].append(payload)
+        c = self.counters[source]
+        c.puts += 1
+        c.bytes_put += nbytes
+
+    def barrier_arrive(self, rank: int) -> None:
+        if rank in self._arrived:
+            raise CommunicationError(f"rank {rank} entered the barrier twice")
+        self._arrived.add(rank)
+        if len(self._arrived) == self.n_ranks:
+            self._arrived.clear()
+            self._epoch += 1
+            for c in self.counters:
+                c.barriers += 1
+
+    def drain_window(self, rank: int) -> list[Any]:
+        batch = self.windows[rank]
+        self.windows[rank] = []
+        return batch
+
+
+@dataclass
+class PgasEndpoint:
+    """Per-rank face of the PGAS cluster."""
+
+    cluster: PgasCluster
+    rank: int
+    _last_epoch: int = field(default=0, repr=False)
+
+    @property
+    def size(self) -> int:
+        return self.cluster.n_ranks
+
+    def put(self, dest: int, payload: Any, nbytes: int) -> None:
+        """One-sided insertion into a remote rank's spike window."""
+        self.cluster.put(self.rank, dest, payload, nbytes)
+
+    def barrier(self) -> None:
+        """Arrive at the global barrier (driver completes it in lock-step)."""
+        self.cluster.barrier_arrive(self.rank)
+
+    def read_window(self) -> list[Any]:
+        """Drain this rank's own window (read epoch)."""
+        return self.cluster.drain_window(self.rank)

@@ -1,0 +1,90 @@
+"""OpenMP-style intra-process thread timing model.
+
+Compass forks OpenMP threads inside each MPI process (§III).  Two effects
+keep thread scaling from being perfect (§VI-D):
+
+* **SMT yield** — Blue Gene/Q exposes 4 hardware threads per core, but a
+  hardware thread is not a core: beyond one thread per core, additional
+  threads add only a fractional yield (the paper also reports unexplained
+  system errors at the full 64-thread count and runs with 32);
+* **false sharing** — spreading one process's shared-memory region across
+  more threads increases coherence traffic; the paper observes that fewer
+  processes × more threads is roughly cancelled out by this penalty.
+
+Also here: :func:`partition_cores`, the uniform core→thread partition of
+§III ("Compass distributes simulated cores uniformly across the available
+threads"), used by both the functional simulator and the load-imbalance
+metrics.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def effective_threads(
+    threads: int,
+    cpu_cores: int,
+    smt_yield: float = 0.35,
+    false_sharing: float = 0.01,
+) -> float:
+    """Effective parallelism of ``threads`` OpenMP threads on ``cpu_cores``.
+
+    Up to one thread per core scales linearly; each doubling beyond that
+    adds ``smt_yield`` of a full core's worth per core.  A small
+    ``false_sharing`` penalty per extra thread models coherence traffic in
+    the shared region.
+    """
+    if threads <= 0:
+        raise ValueError("threads must be positive")
+    if threads <= cpu_cores:
+        base = float(threads)
+    else:
+        oversub = threads / cpu_cores
+        base = cpu_cores * (1.0 + smt_yield * math.log2(oversub))
+    penalty = 1.0 + false_sharing * (threads - 1)
+    return base / penalty
+
+
+def amdahl_speedup(threads: float, serial_fraction: float) -> float:
+    """Classic Amdahl speed-up with a serial fraction (critical sections)."""
+    if not 0.0 <= serial_fraction <= 1.0:
+        raise ValueError("serial_fraction must be within [0, 1]")
+    return 1.0 / (serial_fraction + (1.0 - serial_fraction) / threads)
+
+
+def partition_cores(n_cores: int, n_threads: int) -> list[range]:
+    """Uniform contiguous partition of core indices across threads.
+
+    The first ``n_cores % n_threads`` threads get one extra core — the same
+    balanced split used for the per-thread loops in Listing 1.
+    """
+    if n_threads <= 0:
+        raise ValueError("n_threads must be positive")
+    base = n_cores // n_threads
+    extra = n_cores % n_threads
+    parts: list[range] = []
+    start = 0
+    for t in range(n_threads):
+        size = base + (1 if t < extra else 0)
+        parts.append(range(start, start + size))
+        start += size
+    return parts
+
+
+def load_imbalance(costs_per_core: np.ndarray, n_threads: int) -> float:
+    """Max/mean thread load for a contiguous uniform partition.
+
+    1.0 means perfectly balanced; the paper attributes part of the weak
+    scaling run-time growth to "computation and communication imbalances in
+    the functional regions of the CoCoMac model" (§VI-B).
+    """
+    costs = np.asarray(costs_per_core, dtype=float)
+    parts = partition_cores(costs.size, n_threads)
+    loads = np.array([costs[p.start : p.stop].sum() for p in parts])
+    mean = loads.mean()
+    if mean == 0:
+        return 1.0
+    return float(loads.max() / mean)

@@ -1,0 +1,200 @@
+"""Per-phase cost model: event counts → simulated wall-clock seconds.
+
+The functional simulator is exact; *time* on the target machine is modelled
+with a small set of per-machine constants.  The terms follow the paper's own
+accounting of where time goes (§III, §VI, §VII):
+
+Synapse phase
+    ``active_axons × c_axon / threads`` — each due axon walks one crossbar
+    row and scatters into per-neuron accumulators.
+
+Neuron phase
+    ``neurons × c_neuron / threads`` — every neuron integrates, leaks, and
+    possibly fires every tick, plus ``remote_spikes × c_spike_pack`` for
+    aggregation into per-destination send buffers, plus one ``msg_overhead``
+    per posted MPI message (the master thread's ``MPI_Isend`` calls).
+
+Network phase (MPI backend)
+    ``max(reduce_scatter, local_delivery)`` — Compass overlaps the master
+    thread's Reduce-Scatter with local spike delivery by the other threads
+    (§III) — followed by the receive loop: a per-message critical section
+    (``MPI_Iprobe``/``Recv`` under a lock, §III/[23]) that serialises
+    across threads, plus unpack/delivery work and wire transfer time.
+
+Network phase (PGAS backend)
+    One-sided puts (``puts × put_overhead + bytes/bandwidth``) plus a global
+    barrier that costs ``barrier_alpha + barrier_beta_log × log2(P)`` —
+    replacing the Reduce-Scatter whose cost grows with communicator size
+    (§VII-A).
+
+Memory hierarchy
+    Compute constants are calibrated for a cache-resident working set; when
+    a process's simulation state exceeds the node's last-level cache the
+    sweep becomes DRAM-bound and compute costs inflate by ``dram_factor``.
+    This one mechanism reconciles the paper's two operating points: the
+    huge Blue Gene/Q models (tens of GB per node, ~194 s / 500 ticks) and
+    the tiny cache-resident Blue Gene/P real-time models (1 ms per tick).
+
+Threads are the *effective* thread count of
+:func:`repro.runtime.threads.effective_threads`, which models SMT yield and
+the false-sharing penalty the paper reports for wide shared-memory regions
+(§VI-D).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Calibrated cost constants for one machine (seconds per event)."""
+
+    #: Per active axon: read buffer bit, walk one 256-synapse crossbar row.
+    c_axon: float
+    #: Per neuron per tick: integrate-leak-fire state update.
+    c_neuron: float
+    #: Per locally delivered spike (shared-memory write into an axon buffer).
+    c_spike_local: float
+    #: Per remote spike: aggregation copy into a send buffer.
+    c_spike_pack: float
+    #: Per received spike: unpack and deliver into an axon buffer.
+    c_spike_unpack: float
+    #: Per posted MPI message (Isend descriptor + matching overhead).
+    msg_overhead: float
+    #: Per received MPI message inside the thread-safety critical section.
+    c_crit: float
+    #: Reduce-Scatter: base latency.
+    rs_alpha: float
+    #: Reduce-Scatter: additional cost per rank in the communicator.
+    rs_beta_per_rank: float
+    #: Per one-sided PGAS put (GASNet short-message overhead).
+    put_overhead: float
+    #: Global barrier: base latency.
+    barrier_alpha: float
+    #: Global barrier: additional cost per log2(ranks) stage.
+    barrier_beta_log: float
+    #: Node injection bandwidth available to spike traffic (bytes/second).
+    node_bandwidth: float
+    #: Last-level cache per node; working sets beyond it are DRAM-bound.
+    cache_bytes: float = 32 * 2**20
+    #: Compute-cost inflation when the working set spills to DRAM.
+    dram_factor: float = 3.0
+
+    # -- memory hierarchy ------------------------------------------------------
+
+    def memory_factor(self, working_set_bytes: float) -> float:
+        """Compute-cost multiplier for a given per-process working set.
+
+        Ramps linearly from 1 (fits in cache) to ``dram_factor`` (≥ 8× the
+        cache) so small config changes do not produce cliff artefacts.
+        """
+        if working_set_bytes <= self.cache_bytes:
+            return 1.0
+        ratio = working_set_bytes / self.cache_bytes
+        blend = min(1.0, math.log2(ratio))  # saturates at 2x cache
+        return 1.0 + (self.dram_factor - 1.0) * blend
+
+    # -- phase costs -----------------------------------------------------------
+
+    def synapse_time(
+        self, active_axons: float, threads: float, mem_factor: float = 1.0
+    ) -> float:
+        """Synapse phase seconds for one process-tick."""
+        return active_axons * self.c_axon * mem_factor / max(threads, 1.0)
+
+    def neuron_time(
+        self,
+        neurons: float,
+        threads: float,
+        remote_spikes: float = 0.0,
+        messages_sent: float = 0.0,
+        mem_factor: float = 1.0,
+    ) -> float:
+        """Neuron phase seconds: ILF sweep + remote aggregation + Isends."""
+        ilf = neurons * self.c_neuron * mem_factor / max(threads, 1.0)
+        pack = remote_spikes * self.c_spike_pack / max(threads, 1.0)
+        sends = messages_sent * self.msg_overhead  # master thread only
+        return ilf + pack + sends
+
+    def reduce_scatter_time(self, ranks: int) -> float:
+        """MPI_Reduce_scatter on a communicator of ``ranks`` processes."""
+        return self.rs_alpha + self.rs_beta_per_rank * max(ranks, 1)
+
+    def barrier_time(self, ranks: int) -> float:
+        """PGAS global barrier (tree-structured, DCMF-native)."""
+        return self.barrier_alpha + self.barrier_beta_log * math.log2(max(ranks, 2))
+
+    def wire_time(self, n_bytes: float) -> float:
+        """Serial transfer time of payloads at node injection bandwidth."""
+        return n_bytes / self.node_bandwidth
+
+    def network_time_mpi(
+        self,
+        ranks: int,
+        local_spikes: float,
+        messages_received: float,
+        spikes_received: float,
+        bytes_received: float,
+        threads: float,
+        mem_factor: float = 1.0,
+        overlap: bool = True,
+    ) -> float:
+        """MPI Network phase seconds for one process-tick.
+
+        Local delivery (non-master threads) overlaps the master thread's
+        Reduce-Scatter (§III): the first term is the max of the two
+        (``overlap=False`` serialises them — the ablation of that design
+        choice).  The receive loop serialises on the per-message critical
+        section but delivers spike payloads in parallel.
+        """
+        t = max(threads, 1.0)
+        local = local_spikes * self.c_spike_local * mem_factor / max(t - 1.0, 1.0)
+        rs = self.reduce_scatter_time(ranks)
+        head = max(rs, local) if overlap else rs + local
+        crit = messages_received * self.c_crit  # serialised across threads
+        unpack = spikes_received * self.c_spike_unpack * mem_factor / t
+        return head + crit + unpack + self.wire_time(bytes_received)
+
+    def network_time_pgas(
+        self,
+        ranks: int,
+        local_spikes: float,
+        puts: float,
+        spikes_received: float,
+        bytes_sent: float,
+        threads: float,
+        mem_factor: float = 1.0,
+    ) -> float:
+        """PGAS Network phase seconds for one process-tick.
+
+        Puts are one-sided (no receive-side matching, no critical section);
+        a single global barrier separates the write and read epochs.
+        """
+        t = max(threads, 1.0)
+        local = local_spikes * self.c_spike_local * mem_factor / t
+        put_cost = puts * self.put_overhead + self.wire_time(bytes_sent)
+        read = spikes_received * self.c_spike_unpack * mem_factor / t
+        return local + put_cost + self.barrier_time(ranks) + read
+
+
+def scale(model: CostModel, factor: float) -> CostModel:
+    """Uniformly scale all latency constants (used in ablations)."""
+    return CostModel(
+        c_axon=model.c_axon * factor,
+        c_neuron=model.c_neuron * factor,
+        c_spike_local=model.c_spike_local * factor,
+        c_spike_pack=model.c_spike_pack * factor,
+        c_spike_unpack=model.c_spike_unpack * factor,
+        msg_overhead=model.msg_overhead * factor,
+        c_crit=model.c_crit * factor,
+        rs_alpha=model.rs_alpha * factor,
+        rs_beta_per_rank=model.rs_beta_per_rank * factor,
+        put_overhead=model.put_overhead * factor,
+        barrier_alpha=model.barrier_alpha * factor,
+        barrier_beta_log=model.barrier_beta_log * factor,
+        node_bandwidth=model.node_bandwidth / factor,
+        cache_bytes=model.cache_bytes,
+        dram_factor=model.dram_factor,
+    )

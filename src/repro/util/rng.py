@@ -1,0 +1,168 @@
+"""Deterministic pseudo-random number generation.
+
+The paper stresses (§II) that TrueNorth and Compass share *configurable-seed*
+pseudo-random number generators so that the software simulator is bit-exact
+with the hardware ("Compass has become the key contract between our hardware
+architects and software algorithm/application designers").  We model the
+hardware PRNG as a 32-bit linear congruential generator — simple enough to
+be plausibly realised in hardware, and trivially reproducible.
+
+Two implementations are provided with identical sequences:
+
+* :class:`Lcg32` — a scalar stream, used by the readable scalar reference
+  neuron implementation;
+* :class:`LcgArray` — a NumPy-vectorised array of independent streams with
+  *conditional advance*, used by the production vectorised neuron kernel.
+
+Per-neuron streams are derived from a core seed with :func:`derive_seed`
+(a SplitMix64-style mix) so that the draw order consumed by one neuron is
+independent of how many draws its neighbours consume — this is what makes
+the scalar and vectorised implementations bit-identical and what makes the
+simulation result independent of partitioning.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Numerical Recipes LCG multiplier/increment (32-bit).
+LCG_A = 1664525
+LCG_C = 1013904223
+_MASK32 = 0xFFFFFFFF
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+# SplitMix64 constants, used only for seed derivation.
+_SM_GAMMA = 0x9E3779B97F4A7C15
+_SM_M1 = 0xBF58476D1CE4E5B9
+_SM_M2 = 0x94D049BB133111EB
+
+
+def _splitmix64(x: int) -> int:
+    """One SplitMix64 output step (pure-int, 64-bit wraparound)."""
+    x = (x + _SM_GAMMA) & _MASK64
+    z = x
+    z = ((z ^ (z >> 30)) * _SM_M1) & _MASK64
+    z = ((z ^ (z >> 27)) * _SM_M2) & _MASK64
+    return (z ^ (z >> 31)) & _MASK64
+
+
+def derive_seed(base: int, *indices: int) -> int:
+    """Derive a well-mixed 32-bit seed from a base seed and index path.
+
+    ``derive_seed(seed, core, neuron)`` gives every neuron its own stream.
+    The derivation is associative-free on purpose: each index is folded in
+    with a full SplitMix64 round, so ``(0, 1)`` and ``(1, 0)`` collide with
+    probability ~2**-64 per pair.
+    """
+    state = _splitmix64(base & _MASK64)
+    for idx in indices:
+        state = _splitmix64(state ^ ((idx & _MASK64) * _SM_GAMMA & _MASK64))
+    return state & _MASK32
+
+
+class Lcg32:
+    """Scalar 32-bit LCG stream: ``x <- (A*x + C) mod 2**32``.
+
+    The *output* of a step is the new state's top bits; callers use
+    :meth:`next_u32`, :meth:`next_u8`, or :meth:`next_float`.
+    """
+
+    __slots__ = ("state",)
+
+    def __init__(self, seed: int) -> None:
+        self.state = seed & _MASK32
+
+    def next_u32(self) -> int:
+        """Advance one step and return the full 32-bit state."""
+        self.state = (LCG_A * self.state + LCG_C) & _MASK32
+        return self.state
+
+    def next_u8(self) -> int:
+        """Advance and return the top 8 bits (best-quality LCG bits)."""
+        return self.next_u32() >> 24
+
+    def next_float(self) -> float:
+        """Advance and return a float uniform in ``[0, 1)``."""
+        return self.next_u32() / 4294967296.0
+
+    def bernoulli(self, threshold_u8: int) -> bool:
+        """Advance and return ``True`` with probability ``threshold_u8/256``.
+
+        This is the hardware-style comparison used for stochastic synapse
+        and leak modes: draw 8 bits, compare against the magnitude.
+        """
+        return self.next_u8() < threshold_u8
+
+    def clone(self) -> "Lcg32":
+        c = Lcg32(0)
+        c.state = self.state
+        return c
+
+
+class LcgArray:
+    """A vector of independent LCG streams with conditional advance.
+
+    State is held as ``uint64`` to avoid NumPy overflow warnings; only the
+    low 32 bits are significant.  :meth:`advance` steps *only* the streams
+    selected by a boolean mask, which is how the vectorised neuron kernel
+    reproduces the scalar rule "a neuron consumes one draw per stochastic
+    event it participates in".
+    """
+
+    __slots__ = ("state",)
+
+    def __init__(self, seeds: np.ndarray) -> None:
+        seeds = np.asarray(seeds, dtype=np.uint64)
+        self.state = seeds & np.uint64(_MASK32)
+
+    @classmethod
+    def from_base_seed(cls, base: int, shape: tuple[int, ...]) -> "LcgArray":
+        """Create streams for every flat index of ``shape`` via derive_seed."""
+        n = int(np.prod(shape)) if shape else 1
+        seeds = np.fromiter(
+            (derive_seed(base, i) for i in range(n)), dtype=np.uint64, count=n
+        )
+        return cls(seeds.reshape(shape))
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.state.shape
+
+    def advance(self, mask: np.ndarray | None = None) -> np.ndarray:
+        """Step the selected streams; return the new 32-bit states.
+
+        Unselected lanes keep their state and report their *old* state in
+        the returned array (callers must apply the same mask to outputs).
+        """
+        a = np.uint64(LCG_A)
+        c = np.uint64(LCG_C)
+        m = np.uint64(_MASK32)
+        if mask is None:
+            self.state = (a * self.state + c) & m
+            return self.state.copy()
+        mask = np.asarray(mask, dtype=bool)
+        nxt = (a * self.state + c) & m
+        self.state = np.where(mask, nxt, self.state)
+        return self.state.copy()
+
+    def next_u8(self, mask: np.ndarray | None = None) -> np.ndarray:
+        """Conditionally advance; return top-8-bit outputs as ``uint32``."""
+        return (self.advance(mask) >> np.uint64(24)).astype(np.uint32)
+
+    def bernoulli(self, threshold_u8: np.ndarray, mask: np.ndarray | None = None) -> np.ndarray:
+        """Vectorised hardware Bernoulli: draw < threshold (per lane).
+
+        Lanes excluded by ``mask`` return False and do not advance.
+        """
+        draws = self.next_u8(mask)
+        hit = draws < np.asarray(threshold_u8, dtype=np.uint32)
+        if mask is not None:
+            hit = hit & np.asarray(mask, dtype=bool)
+        return hit
+
+    def clone(self) -> "LcgArray":
+        c = LcgArray(self.state.copy())
+        return c
+
+    def state_equal(self, other: "LcgArray") -> bool:
+        return bool(np.array_equal(self.state, other.state))

@@ -1,0 +1,3 @@
+"""Package version, importable without pulling in heavy submodules."""
+
+__version__ = "1.0.0"

@@ -1,0 +1,26 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.quicknet import build_quickstart_network
+from repro.cocomac.model import MacaqueModel, build_macaque_model
+
+
+@pytest.fixture(scope="session")
+def quicknet():
+    """The 4-core quickstart ring (read-only across tests)."""
+    return build_quickstart_network(n_cores=4, seed=42)
+
+
+@pytest.fixture(scope="session")
+def macaque_small() -> MacaqueModel:
+    """A compiled 128-core macaque model (expensive; shared, read-only)."""
+    return build_macaque_model(total_cores=128, seed=7)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

@@ -1,0 +1,134 @@
+"""Calibration anchors: model values vs the paper's reported numbers.
+
+These are the quantitative reproduction targets of EXPERIMENTS.md.  The
+tolerances are deliberately loose (the substrate is a model, not the
+authors' Blue Gene), but tight enough that a regression in the cost model
+or the traffic model fails loudly.
+"""
+
+import pytest
+
+from repro.perf.headline import headline_summary
+from repro.perf.realtime import max_realtime_cores, realtime_series
+from repro.perf.strong_scaling import strong_scaling_series
+from repro.perf.thread_scaling import procs_threads_tradeoff, thread_scaling_series
+from repro.perf.weak_scaling import weak_scaling_series
+
+
+@pytest.fixture(scope="module")
+def weak():
+    return weak_scaling_series()
+
+
+@pytest.fixture(scope="module")
+def strong():
+    return strong_scaling_series()
+
+
+class TestFig4aWeakScaling:
+    def test_total_band(self, weak):
+        # Paper: ~165 s at 1 rack rising to 194 s at 16 racks.
+        assert weak[0].times.total == pytest.approx(165, rel=0.15)
+        assert weak[-1].times.total == pytest.approx(194, rel=0.15)
+
+    def test_near_constant(self, weak):
+        totals = [p.times.total for p in weak]
+        assert max(totals) / min(totals) < 1.25
+
+    def test_growth_is_in_network_phase(self, weak):
+        d_total = weak[-1].times.total - weak[0].times.total
+        d_network = weak[-1].times.network - weak[0].times.network
+        assert d_network / d_total > 0.7
+
+    def test_headline_slowdown(self, weak):
+        # Paper: 388x slower than real time at 256M cores.
+        assert weak[-1].slowdown == pytest.approx(388, rel=0.15)
+
+
+class TestFig4bTraffic:
+    def test_spikes_per_tick(self, weak):
+        # Paper: ~22M white-matter spikes/tick at the largest point.
+        assert weak[-1].spikes_per_tick == pytest.approx(22e6, rel=0.25)
+
+    def test_bytes_per_tick_below_link_bandwidth(self, weak):
+        # Paper: 0.44 GB/tick, "well below the 5D torus link bandwidth".
+        assert weak[-1].bytes_per_tick == pytest.approx(0.44e9, rel=0.25)
+        assert weak[-1].bytes_per_tick < 2e9
+
+    def test_message_count_sublinear_in_model_size(self, weak):
+        growth = weak[-1].messages_per_tick / weak[0].messages_per_tick
+        size_growth = weak[-1].cores / weak[0].cores
+        # per-process message rate grows sub-linearly (§VI-B)
+        per_proc_growth = (weak[-1].messages_per_tick / weak[-1].nodes) / (
+            weak[0].messages_per_tick / weak[0].nodes
+        )
+        assert per_proc_growth < size_growth
+        assert growth > 1.0
+
+
+class TestFig5StrongScaling:
+    def test_baseline_324s(self, strong):
+        assert strong[0].times.total == pytest.approx(324, rel=0.1)
+
+    def test_8rack_speedup(self, strong):
+        p8 = next(p for p in strong if p.racks == 8)
+        # Paper: 6.9x (47 s).
+        assert p8.speedup == pytest.approx(6.9, rel=0.2)
+        assert p8.times.total == pytest.approx(47, rel=0.25)
+
+    def test_16rack_speedup(self, strong):
+        p16 = next(p for p in strong if p.racks == 16)
+        # Paper: 8.8x (37 s).  Sub-linear: well below the 16x capacity.
+        assert 7.0 < p16.speedup < 13.0
+        assert p16.times.total == pytest.approx(37, rel=0.3)
+
+    def test_scaling_inhibited_by_communication(self, strong):
+        p16 = next(p for p in strong if p.racks == 16)
+        assert p16.times.network / p16.times.total > 0.3
+
+
+class TestFig6ThreadScaling:
+    def test_speedup_band_at_32_threads(self):
+        series = thread_scaling_series()
+        s32 = series[-1].speedup_total
+        # "excellent multi-threaded scaling ... not quite perfect"
+        assert 10.0 < s32 < 28.0
+
+    def test_tradeoff_near_equal(self):
+        points = procs_threads_tradeoff()
+        one_wide = next(p for p in points if p.procs_per_node == 1)
+        many_narrow = next(p for p in points if p.procs_per_node == 16)
+        ratio = one_wide.times.total / many_narrow.times.total
+        # §VI-D: "yielded little change in performance"
+        assert 0.8 < ratio < 1.25
+
+
+class TestFig7Realtime:
+    def test_pgas_realtime_81k_at_four_racks(self):
+        series = realtime_series()
+        four = {p.backend: p for p in series if p.racks == 4}
+        assert four["pgas"].seconds == pytest.approx(1.0, rel=0.3)
+        assert four["pgas"].realtime
+
+    def test_mpi_ratio(self):
+        series = realtime_series()
+        four = {p.backend: p for p in series if p.racks == 4}
+        ratio = four["mpi"].seconds / four["pgas"].seconds
+        # Paper: 2.1x.
+        assert ratio == pytest.approx(2.1, rel=0.35)
+
+    def test_realtime_frontier(self):
+        assert max_realtime_cores("pgas", racks=4) == pytest.approx(81920, rel=0.3)
+
+
+class TestHeadline:
+    def test_summary_against_paper(self):
+        s = headline_summary()
+        paper, model = s["paper"], s["model"]
+        # The paper reports binary core counts (2**28) with decimal labels
+        # ("256M", "65B"); allow that rounding.
+        assert model["cores"] == pytest.approx(paper["cores"], rel=0.1)
+        assert model["neurons"] == pytest.approx(paper["neurons"], rel=0.1)
+        assert model["synapses"] == pytest.approx(paper["synapses"], rel=0.1)
+        assert model["mean_rate_hz"] == pytest.approx(paper["mean_rate_hz"], rel=0.01)
+        assert model["slowdown"] == pytest.approx(paper["slowdown"], rel=0.15)

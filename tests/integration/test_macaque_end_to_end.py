@@ -1,0 +1,69 @@
+"""End-to-end: database → reduction → atlas → IPFP → PCC → Compass run."""
+
+import numpy as np
+import pytest
+
+from repro.cocomac.model import build_macaque_model
+from repro.core.config import CompassConfig
+from repro.core.simulator import Compass
+
+
+class TestEndToEnd:
+    def test_full_pipeline(self, macaque_small):
+        model = macaque_small
+        assert model.n_regions == 77
+        cm = model.compiled
+        net = cm.network
+        assert net.n_cores == model.total_cores
+
+        sim = Compass(net, CompassConfig(n_processes=8))
+        result = sim.run(200)
+        assert result.total_spikes > 0
+        # White matter flows: some spikes must cross processes.
+        assert sim.metrics.total_remote_spikes > 0
+        assert sim.metrics.total_messages > 0
+
+    def test_messages_are_aggregated(self, macaque_small):
+        """Per tick, at most one message per ordered process pair (§III)."""
+        net = macaque_small.compiled.network
+        sim = Compass(net, CompassConfig(n_processes=8))
+        sim.run(100)
+        for tm in sim.metrics.per_tick:
+            assert tm.messages <= 8 * 7
+
+    def test_gray_matter_stays_regional(self, macaque_small):
+        """Intra-region connections target the same region's cores."""
+        cm = macaque_small.compiled
+        net = cm.network
+        for name, (lo, hi) in cm.region_ranges.items():
+            src = net.target_gid[lo:hi]
+            connected = src >= 0
+            targets = src[connected]
+            # At least some targets stay inside the region (gray matter).
+            inside = ((targets >= lo) & (targets < hi)).sum()
+            if (hi - lo) >= 2:
+                assert inside > 0
+
+    def test_compile_metrics_populated(self, macaque_small):
+        m = macaque_small.compiled.metrics
+        assert m.wall_seconds > 0
+        assert m.exchange_messages > 0
+        assert m.white_matter_connections > 0
+        assert m.gray_matter_connections > 0
+
+    def test_injection_perturbs_dynamics(self, macaque_small):
+        net = macaque_small.compiled.network
+        a = Compass(net, CompassConfig(n_processes=2, record_spikes=True))
+        b = Compass(net, CompassConfig(n_processes=2, record_spikes=True))
+        for axon in range(64):
+            b.inject(0, axon, tick=0)
+        a.run(50)
+        b.run(50)
+        ta, _, _ = a.recorder.to_arrays()
+        tb, _, _ = b.recorder.to_arrays()
+        assert ta.size != tb.size or not np.array_equal(ta, tb)
+
+    def test_larger_build_scales(self):
+        model = build_macaque_model(total_cores=256, seed=11)
+        assert model.total_cores == 256
+        assert model.compiled.network.n_cores == 256

@@ -1,0 +1,57 @@
+"""Property-based tests for the round-robin resource allocators."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.allocator import AxonAllocator
+from repro.errors import WiringError
+
+
+@st.composite
+def allocation_plans(draw):
+    n_cores = draw(st.integers(1, 16))
+    slots = draw(st.integers(1, 64))
+    requests = draw(st.lists(st.integers(0, 64), max_size=10))
+    return n_cores, slots, requests
+
+
+@given(allocation_plans())
+@settings(max_examples=100)
+def test_no_duplicates_until_exhaustion(plan):
+    n_cores, slots, requests = plan
+    alloc = AxonAllocator(gid_lo=100, n_cores=n_cores, slots_per_core=slots)
+    seen = set()
+    for req in requests:
+        try:
+            gids, out_slots = alloc.allocate(req)
+        except WiringError:
+            assert alloc.remaining < req
+            break
+        for pair in zip(gids, out_slots):
+            assert pair not in seen
+            seen.add(pair)
+        assert (gids >= 100).all() and (gids < 100 + n_cores).all()
+        assert (out_slots >= 0).all() and (out_slots < slots).all()
+
+
+@given(st.integers(1, 16), st.integers(1, 32), st.integers(0, 200))
+@settings(max_examples=100)
+def test_breadth_first_distribution(n_cores, slots, k):
+    """First min(k, capacity) allocations touch distinct cores as broadly
+    as possible (§V-C diffuse targeting)."""
+    alloc = AxonAllocator(0, n_cores, slots)
+    k = min(k, alloc.capacity)
+    gids, _ = alloc.allocate(k)
+    if k >= n_cores:
+        assert len(set(gids)) == n_cores
+    else:
+        assert len(set(gids)) == k
+
+
+@given(st.integers(1, 8), st.integers(1, 16))
+@settings(max_examples=50)
+def test_exact_capacity_fill(n_cores, slots):
+    alloc = AxonAllocator(0, n_cores, slots)
+    gids, out_slots = alloc.allocate(n_cores * slots)
+    assert len(set(zip(gids, out_slots))) == n_cores * slots
+    assert alloc.remaining == 0

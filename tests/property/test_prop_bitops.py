@@ -1,0 +1,44 @@
+"""Property-based tests for bit packing."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.util.bitops import get_bit, pack_bits, popcount_rows, set_bit, unpack_bits
+
+bool_rows = arrays(np.bool_, st.tuples(st.integers(1, 8), st.integers(1, 300)))
+
+
+@given(bool_rows)
+@settings(max_examples=50)
+def test_pack_unpack_round_trip(dense):
+    n = dense.shape[-1]
+    assert np.array_equal(unpack_bits(pack_bits(dense), n), dense)
+
+
+@given(bool_rows)
+@settings(max_examples=50)
+def test_popcount_matches_sum(dense):
+    assert np.array_equal(popcount_rows(pack_bits(dense)), dense.sum(axis=-1))
+
+
+@given(arrays(np.bool_, st.integers(1, 256)), st.data())
+@settings(max_examples=50)
+def test_get_bit_agrees_with_dense(dense, data):
+    idx = data.draw(st.integers(0, dense.shape[0] - 1))
+    packed = pack_bits(dense)
+    assert get_bit(packed, idx) == dense[idx]
+
+
+@given(arrays(np.bool_, st.integers(1, 128)), st.data())
+@settings(max_examples=50)
+def test_set_bit_only_touches_target(dense, data):
+    idx = data.draw(st.integers(0, dense.shape[0] - 1))
+    value = data.draw(st.booleans())
+    packed = pack_bits(dense)
+    set_bit(packed, idx, value)
+    out = unpack_bits(packed, dense.shape[0])
+    expected = dense.copy()
+    expected[idx] = value
+    assert np.array_equal(out, expected)

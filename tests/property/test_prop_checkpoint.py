@@ -1,0 +1,66 @@
+"""Property-based checkpoint tests: save/restore at arbitrary points."""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.quicknet import build_quickstart_network
+from repro.core.checkpoint import load_checkpoint, save_checkpoint
+from repro.core.config import CompassConfig
+from repro.core.simulator import Compass
+
+
+@given(
+    st.integers(0, 2**16),  # network seed
+    st.integers(1, 50),  # split point
+    st.integers(1, 30),  # continuation length
+    st.integers(1, 4),  # ranks
+)
+@settings(max_examples=12, deadline=None)
+def test_resume_bit_exact_at_any_point(seed, split, cont, ranks):
+    net = build_quickstart_network(n_cores=4, seed=seed)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "c.npz"
+
+        ref = Compass(net, CompassConfig(n_processes=ranks, record_spikes=True))
+        ref.run(split + cont)
+
+        first = Compass(net, CompassConfig(n_processes=ranks))
+        first.run(split)
+        save_checkpoint(first, path)
+
+        resumed = Compass(net, CompassConfig(n_processes=ranks, record_spikes=True))
+        load_checkpoint(resumed, path)
+        resumed.run(cont)
+
+        t_ref, g_ref, n_ref = ref.recorder.to_arrays()
+        sel = t_ref >= split
+        t_res, g_res, n_res = resumed.recorder.to_arrays()
+        assert np.array_equal(t_ref[sel], t_res)
+        assert np.array_equal(g_ref[sel], g_res)
+        assert np.array_equal(n_ref[sel], n_res)
+
+
+@given(st.integers(0, 2**16), st.integers(1, 30))
+@settings(max_examples=8, deadline=None)
+def test_double_restore_is_idempotent(seed, split):
+    net = build_quickstart_network(n_cores=3, seed=seed)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "c.npz"
+        sim = Compass(net, CompassConfig(n_processes=2))
+        sim.run(split)
+        save_checkpoint(sim, path)
+
+        a = Compass(net, CompassConfig(n_processes=2, record_spikes=True))
+        load_checkpoint(a, path)
+        load_checkpoint(a, path)  # twice
+        a.run(20)
+
+        b = Compass(net, CompassConfig(n_processes=2, record_spikes=True))
+        load_checkpoint(b, path)
+        b.run(20)
+        for x, y in zip(a.recorder.to_arrays(), b.recorder.to_arrays()):
+            assert np.array_equal(x, y)

@@ -1,0 +1,124 @@
+"""Property-based tests for CoreObject serialisation and compilation."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.arch.params import NeuronParameters, ResetMode
+from repro.compiler.coreobject import ConnectionSpec, CoreObject, RegionSpec
+from repro.compiler.pcc import ParallelCompassCompiler
+
+
+@st.composite
+def neuron_prototypes(draw):
+    floor = draw(st.integers(-128, 0))
+    return NeuronParameters(
+        weights=tuple(draw(st.integers(-16, 16)) for _ in range(4)),
+        stochastic_weights=tuple(draw(st.booleans()) for _ in range(4)),
+        leak=draw(st.integers(-8, 8)),
+        stochastic_leak=draw(st.booleans()),
+        threshold=draw(st.integers(1, 32)),
+        reset_mode=draw(st.sampled_from(list(ResetMode))),
+        reset_value=draw(st.integers(floor, 0)),
+        floor=floor,
+        threshold_mask=draw(st.sampled_from([0, 3, 15])),
+        leak_reversal=draw(st.booleans()),
+    )
+
+
+@st.composite
+def core_objects(draw):
+    n_regions = draw(st.integers(1, 4))
+    regions = []
+    for i in range(n_regions):
+        fractions = draw(
+            st.sampled_from(
+                [(1.0, 0.0, 0.0, 0.0), (0.5, 0.5, 0.0, 0.0), (0.25, 0.25, 0.25, 0.25)]
+            )
+        )
+        regions.append(
+            RegionSpec(
+                name=f"R{i}",
+                n_cores=draw(st.integers(1, 3)),
+                neuron=draw(neuron_prototypes()),
+                crossbar_density=draw(st.floats(0.0, 0.5)),
+                axon_type_fractions=fractions,
+                region_class=draw(
+                    st.sampled_from(["cortical", "thalamic", "basal_ganglia"])
+                ),
+            )
+        )
+    # Connections within the capacity budget.
+    out_left = {r.name: r.n_cores * 256 for r in regions}
+    in_left = {r.name: r.n_cores * 256 for r in regions}
+    connections = []
+    for _ in range(draw(st.integers(0, 5))):
+        src = draw(st.sampled_from(regions)).name
+        dst = draw(st.sampled_from(regions)).name
+        cap = min(out_left[src], in_left[dst])
+        if cap < 1:
+            continue
+        count = draw(st.integers(1, min(cap, 200)))
+        out_left[src] -= count
+        in_left[dst] -= count
+        connections.append(
+            ConnectionSpec(src, dst, count, delay=draw(st.integers(1, 15)))
+        )
+    return CoreObject(
+        name="prop", regions=regions, connections=connections,
+        seed=draw(st.integers(0, 2**16)),
+    )
+
+
+@given(core_objects())
+@settings(max_examples=40, deadline=None)
+def test_json_round_trip_is_lossless(obj):
+    restored = CoreObject.from_json(obj.to_json())
+    assert restored.to_dict() == obj.to_dict()
+
+
+@given(core_objects())
+@settings(max_examples=20, deadline=None)
+def test_compilation_realises_every_connection(obj):
+    compiled = ParallelCompassCompiler().compile(obj)
+    net = compiled.network
+    expected = sum(c.count for c in obj.connections)
+    assert net.connected_neuron_count == expected
+    # Axon exclusivity always holds.
+    connected = net.target_gid >= 0
+    pairs = list(
+        zip(
+            net.target_gid[connected].ravel(),
+            net.target_axon[connected].ravel(),
+        )
+    )
+    assert len(pairs) == len(set(pairs))
+
+
+@given(core_objects())
+@settings(max_examples=15, deadline=None)
+def test_compiled_model_passes_verification(obj):
+    from repro.compiler.verification import verify_compiled
+
+    compiled = ParallelCompassCompiler().compile(obj)
+    report = verify_compiled(compiled, density_tolerance=0.1)
+    assert report.passed, report.failures()
+
+
+@given(core_objects(), st.integers(1, 8))
+@settings(max_examples=10, deadline=None)
+def test_compiled_network_runs_partition_invariantly(obj, ranks):
+    from repro.core.config import CompassConfig
+    from repro.core.simulator import Compass
+
+    compiled = ParallelCompassCompiler().compile(obj)
+    net = compiled.network
+    ranks = min(ranks, net.n_cores)
+    base = Compass(net, CompassConfig(n_processes=1, record_spikes=True))
+    split = Compass(net, CompassConfig(n_processes=ranks, record_spikes=True))
+    base.inject(0, 0, tick=0)
+    split.inject(0, 0, tick=0)
+    base.run(15)
+    split.run(15)
+    for a, b in zip(base.recorder.to_arrays(), split.recorder.to_arrays()):
+        assert np.array_equal(a, b)

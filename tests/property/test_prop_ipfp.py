@@ -1,0 +1,71 @@
+"""Property-based tests for IPFP matrix balancing."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.ipfp import balance_matrix, round_preserving_sums
+
+
+@st.composite
+def positive_matrix_and_targets(draw):
+    n = draw(st.integers(2, 8))
+    m = draw(st.integers(2, 8))
+    mat = np.array(
+        draw(
+            st.lists(
+                st.lists(st.floats(0.01, 10.0), min_size=m, max_size=m),
+                min_size=n,
+                max_size=n,
+            )
+        )
+    )
+    rows = np.array(draw(st.lists(st.floats(0.5, 50.0), min_size=n, max_size=n)))
+    # Column targets must sum to the row total; draw then rescale.
+    cols = np.array(draw(st.lists(st.floats(0.5, 50.0), min_size=m, max_size=m)))
+    cols *= rows.sum() / cols.sum()
+    return mat, rows, cols
+
+
+@given(positive_matrix_and_targets())
+@settings(max_examples=60, deadline=None)
+def test_marginals_achieved_on_positive_matrices(case):
+    mat, rows, cols = case
+    result = balance_matrix(mat, rows, cols, tol=1e-9)
+    assert np.allclose(result.matrix.sum(axis=1), rows, rtol=1e-6)
+    assert np.allclose(result.matrix.sum(axis=0), cols, rtol=1e-6)
+
+
+@given(positive_matrix_and_targets())
+@settings(max_examples=60, deadline=None)
+def test_result_is_diagonal_scaling(case):
+    mat, rows, cols = case
+    result = balance_matrix(mat, rows, cols, tol=1e-9)
+    rebuilt = result.row_scale[:, None] * mat * result.col_scale[None, :]
+    assert np.allclose(rebuilt, result.matrix, rtol=1e-5)
+
+
+@given(positive_matrix_and_targets())
+@settings(max_examples=60, deadline=None)
+def test_rounding_preserves_row_sums_and_support(case):
+    mat, rows, cols = case
+    rows_int = np.round(rows).clip(1)
+    cols_scaled = cols * rows_int.sum() / cols.sum()
+    result = balance_matrix(mat, rows_int, cols_scaled, tol=1e-9)
+    out = round_preserving_sums(result.matrix, rows_int)
+    assert np.array_equal(out.sum(axis=1), rows_int.astype(np.int64))
+    assert (out >= 0).all()
+    # Rounding may not invent mass where the pattern had none.
+    assert ((result.matrix > 0) | (out == 0)).all()
+
+
+@given(st.integers(2, 10), st.integers(0, 2**16))
+@settings(max_examples=30, deadline=None)
+def test_doubly_stochastic_fixed_point(n, seed):
+    """Balancing an already balanced matrix changes nothing."""
+    rng = np.random.default_rng(seed)
+    mat = rng.random((n, n)) + 0.05
+    first = balance_matrix(mat, np.ones(n), np.ones(n), tol=1e-10)
+    again = balance_matrix(first.matrix, np.ones(n), np.ones(n), tol=1e-10)
+    assert np.allclose(first.matrix, again.matrix, atol=1e-8)
+    assert again.iterations <= 2

@@ -1,0 +1,136 @@
+"""Whole-system oracle test.
+
+A deliberately naive, dict-based TrueNorth simulator — no vectorisation,
+no partitioning, no buffers shared with the production code — is used as
+an executable oracle.  Hypothesis generates small random networks and
+input schedules; Compass must produce the identical spike raster.
+
+This catches integration bugs that module-level tests cannot: crossbar
+indexing transposes, delay off-by-ones, injection timing, routing errors.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.crossbar import Crossbar
+from repro.arch.network import CoreNetwork, NeuronTarget
+from repro.arch.neuron import ReferenceNeuron
+from repro.arch.params import MAX_DELAY, NUM_AXON_TYPES, NeuronParameters
+from repro.core.config import CompassConfig
+from repro.core.simulator import Compass
+from repro.util.rng import derive_seed
+
+AXONS = 16  # small cores keep the oracle fast
+NEURONS = 16
+
+
+class OracleSimulator:
+    """Straight-line interpretation of the TrueNorth semantics."""
+
+    def __init__(self, net: CoreNetwork):
+        self.net = net
+        self.neurons = {
+            (g, j): ReferenceNeuron(
+                net.neuron_params.get_neuron(g, j),
+                derive_seed(int(net.core_seeds[g]), j),
+            )
+            for g in range(net.n_cores)
+            for j in range(net.num_neurons)
+        }
+        self.pending: dict[int, set] = {}  # tick -> {(gid, axon)}
+
+    def inject(self, gid: int, axon: int, tick: int) -> None:
+        self.pending.setdefault(tick, set()).add((gid, axon))
+
+    def run(self, ticks: int):
+        fired_log = []
+        for t in range(ticks):
+            due = self.pending.pop(t, set())
+            # Synapse phase: per-neuron, per-type event counts.
+            counts = {}
+            for gid, axon in due:
+                k = int(self.net.axon_types[gid, axon])
+                row = Crossbar(self.net.crossbars[gid], self.net.num_neurons).row(axon)
+                for j in np.nonzero(row)[0]:
+                    key = (gid, int(j))
+                    counts.setdefault(key, [0] * NUM_AXON_TYPES)[k] += 1
+            # Neuron phase: every neuron every tick.
+            for (g, j), neuron in self.neurons.items():
+                c = counts.get((g, j), [0] * NUM_AXON_TYPES)
+                if neuron.tick(tuple(c)):
+                    fired_log.append((t, g, j))
+                    tgt = self.net.get_target(g, j)
+                    if tgt is not None:
+                        self.pending.setdefault(t + tgt.delay, set()).add(
+                            (tgt.gid, tgt.axon)
+                        )
+        fired_log.sort()
+        return fired_log
+
+
+@st.composite
+def random_networks(draw):
+    n_cores = draw(st.integers(1, 3))
+    seed = draw(st.integers(0, 2**16))
+    net = CoreNetwork(n_cores, seed=seed, num_axons=AXONS, num_neurons=NEURONS)
+    rng = np.random.default_rng(seed ^ 0xBEEF)
+    for g in range(n_cores):
+        density = draw(st.floats(0.0, 0.6))
+        net.set_crossbar(g, Crossbar.random(rng, density, AXONS, NEURONS))
+        types = rng.integers(0, NUM_AXON_TYPES, size=AXONS).astype(np.uint8)
+        net.set_axon_types(g, types)
+        params = NeuronParameters(
+            weights=tuple(int(w) for w in rng.integers(-4, 5, size=4)),
+            stochastic_weights=tuple(bool(b) for b in rng.integers(0, 2, size=4)),
+            leak=int(rng.integers(-3, 4)),
+            stochastic_leak=bool(rng.integers(0, 2)),
+            threshold=int(rng.integers(1, 6)),
+            floor=-int(rng.integers(1, 20)),
+        )
+        net.set_neurons(g, params)
+        # Random sparse connectivity.
+        for j in range(NEURONS):
+            if rng.random() < 0.7:
+                net.connect(
+                    g,
+                    j,
+                    NeuronTarget(
+                        int(rng.integers(0, n_cores)),
+                        int(rng.integers(0, AXONS)),
+                        int(rng.integers(1, MAX_DELAY + 1)),
+                    ),
+                )
+    # Input schedule.
+    n_inputs = draw(st.integers(0, 10))
+    schedule = [
+        (
+            draw(st.integers(0, 4)),  # tick
+            draw(st.integers(0, n_cores - 1)),
+            draw(st.integers(0, AXONS - 1)),
+        )
+        for _ in range(n_inputs)
+    ]
+    ticks = draw(st.integers(5, 20))
+    ranks = draw(st.integers(1, n_cores))
+    return net, schedule, ticks, ranks
+
+
+@given(random_networks())
+@settings(max_examples=25, deadline=None)
+def test_compass_matches_oracle(case):
+    net, schedule, ticks, ranks = case
+
+    oracle = OracleSimulator(net)
+    for tick, gid, axon in schedule:
+        oracle.inject(gid, axon, tick)
+    expected = oracle.run(ticks)
+
+    sim = Compass(net, CompassConfig(n_processes=ranks, record_spikes=True))
+    for tick, gid, axon in schedule:
+        sim.inject(gid, axon, tick)
+    sim.run(ticks)
+    t, g, n = sim.recorder.to_arrays()
+    actual = list(zip(t.tolist(), g.tolist(), n.tolist()))
+
+    assert actual == expected

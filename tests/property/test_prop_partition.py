@@ -1,0 +1,68 @@
+"""Property-based tests for partitions and core/thread splits."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partition import Partition
+from repro.runtime.threads import partition_cores
+
+
+@given(st.integers(1, 5000), st.integers(1, 200))
+@settings(max_examples=100)
+def test_partition_is_a_partition(n_cores, n_ranks):
+    if n_ranks > n_cores:
+        n_ranks = n_cores
+    p = Partition(n_cores, n_ranks)
+    covered = 0
+    prev_hi = 0
+    for lo, hi in p:
+        assert lo == prev_hi  # contiguous, ordered
+        assert hi > lo  # non-empty
+        covered += hi - lo
+        prev_hi = hi
+    assert covered == n_cores
+
+
+@given(st.integers(1, 5000), st.integers(1, 200), st.data())
+@settings(max_examples=100)
+def test_rank_of_gid_consistent_with_ranges(n_cores, n_ranks, data):
+    if n_ranks > n_cores:
+        n_ranks = n_cores
+    p = Partition(n_cores, n_ranks)
+    gid = data.draw(st.integers(0, n_cores - 1))
+    rank = p.rank_of_gid(gid)
+    lo, hi = p.range_of_rank(rank)
+    assert lo <= gid < hi
+
+
+@given(st.integers(1, 5000), st.integers(1, 200))
+@settings(max_examples=50)
+def test_balanced_within_one(n_cores, n_ranks):
+    if n_ranks > n_cores:
+        n_ranks = n_cores
+    p = Partition(n_cores, n_ranks)
+    sizes = [p.size_of_rank(r) for r in range(n_ranks)]
+    assert max(sizes) - min(sizes) <= 1
+
+
+@given(st.lists(st.integers(1, 100), min_size=1, max_size=20))
+@settings(max_examples=50)
+def test_from_boundaries_round_trip(sizes):
+    starts = np.concatenate([[0], np.cumsum(sizes)])
+    p = Partition.from_boundaries(starts)
+    assert p.n_ranks == len(sizes)
+    for r, size in enumerate(sizes):
+        lo, hi = p.range_of_rank(r)
+        assert hi - lo == size
+        assert p.rank_of_gid(lo) == r
+        assert p.rank_of_gid(hi - 1) == r
+
+
+@given(st.integers(0, 2000), st.integers(1, 64))
+@settings(max_examples=50)
+def test_thread_partition_covers_exactly(n_cores, n_threads):
+    parts = partition_cores(n_cores, n_threads)
+    seen = [i for p in parts for i in p]
+    assert seen == list(range(n_cores))
+    assert len(parts) == n_threads

@@ -1,0 +1,71 @@
+"""Property-based tests on the whole simulator: the paper's key invariants.
+
+1. Partition invariance — the spike raster is independent of how many
+   processes the model is split over (the functional contract of §III).
+2. Backend equivalence — MPI and PGAS backends agree (§VII-A).
+3. Spike conservation — every routed spike is delivered exactly once.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.quicknet import build_quickstart_network
+from repro.core.config import CompassConfig
+from repro.core.pgas_simulator import PgasCompass
+from repro.core.simulator import Compass
+
+
+def raster_of(sim_cls, net, n_processes, ticks):
+    sim = sim_cls(net, CompassConfig(n_processes=n_processes, record_spikes=True))
+    sim.run(ticks)
+    return sim.recorder.to_arrays(), sim.metrics
+
+
+@given(
+    st.integers(2, 8),  # cores
+    st.integers(0, 2**16),  # seed
+    st.integers(10, 40),  # ticks
+    st.integers(1, 6),  # ranks
+)
+@settings(max_examples=15, deadline=None)
+def test_partition_invariance(n_cores, seed, ticks, ranks):
+    net = build_quickstart_network(n_cores=n_cores, seed=seed)
+    ranks = min(ranks, n_cores)
+    base, _ = raster_of(Compass, net, 1, ticks)
+    split, _ = raster_of(Compass, net, ranks, ticks)
+    for a, b in zip(base, split):
+        assert np.array_equal(a, b)
+
+
+@given(st.integers(2, 6), st.integers(0, 2**16), st.integers(1, 4))
+@settings(max_examples=10, deadline=None)
+def test_backend_equivalence(n_cores, seed, ranks):
+    net = build_quickstart_network(n_cores=n_cores, seed=seed)
+    ranks = min(ranks, n_cores)
+    mpi, _ = raster_of(Compass, net, ranks, 30)
+    pgas, _ = raster_of(PgasCompass, net, ranks, 30)
+    for a, b in zip(mpi, pgas):
+        assert np.array_equal(a, b)
+
+
+@given(st.integers(2, 6), st.integers(0, 2**16))
+@settings(max_examples=10, deadline=None)
+def test_spike_conservation(n_cores, seed):
+    """Fired == routed == local + remote (quicknet connects every neuron)."""
+    net = build_quickstart_network(n_cores=n_cores, seed=seed)
+    sim = Compass(net, CompassConfig(n_processes=min(4, n_cores)))
+    sim.run(40)
+    m = sim.metrics
+    assert m.total_local_spikes + m.total_remote_spikes == m.total_fired
+
+
+@given(st.integers(0, 2**16))
+@settings(max_examples=10, deadline=None)
+def test_messages_at_most_rank_pairs_per_tick(seed):
+    net = build_quickstart_network(n_cores=8, seed=seed)
+    ranks = 4
+    sim = Compass(net, CompassConfig(n_processes=ranks))
+    sim.run(30)
+    for tm in sim.metrics.per_tick:
+        assert tm.messages <= ranks * (ranks - 1)

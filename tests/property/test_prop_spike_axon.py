@@ -1,0 +1,91 @@
+"""Property-based tests for the spike wire format and axon buffers."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.axon import AxonBuffers
+from repro.arch.params import MAX_DELAY
+from repro.arch.spike import SpikeBatch
+
+
+@st.composite
+def spike_batches(draw):
+    n = draw(st.integers(0, 64))
+    gids = draw(st.lists(st.integers(0, 2**40), min_size=n, max_size=n))
+    axons = draw(st.lists(st.integers(0, 255), min_size=n, max_size=n))
+    delays = draw(st.lists(st.integers(1, MAX_DELAY), min_size=n, max_size=n))
+    tick = draw(st.integers(0, 2**20))
+    return SpikeBatch(
+        np.array(gids, dtype=np.int64),
+        np.array(axons, dtype=np.int32),
+        np.array(delays, dtype=np.int32),
+        tick,
+    )
+
+
+@given(spike_batches())
+@settings(max_examples=100)
+def test_encode_decode_round_trip(batch):
+    assert SpikeBatch.decode(batch.encode()) == batch
+
+
+@given(spike_batches())
+@settings(max_examples=50)
+def test_wire_size_exactly_20_bytes_per_spike(batch):
+    assert len(batch.encode()) == 20 * batch.count
+
+
+@given(st.lists(spike_batches(), max_size=5))
+@settings(max_examples=50)
+def test_concatenate_count(batches):
+    total = sum(b.count for b in batches)
+    assert SpikeBatch.concatenate(batches).count == total
+
+
+@st.composite
+def delivery_plans(draw):
+    n_cores = draw(st.integers(1, 4))
+    n_axons = draw(st.integers(1, 16))
+    n = draw(st.integers(0, 40))
+    cores = draw(st.lists(st.integers(0, n_cores - 1), min_size=n, max_size=n))
+    axons = draw(st.lists(st.integers(0, n_axons - 1), min_size=n, max_size=n))
+    delays = draw(st.lists(st.integers(1, MAX_DELAY), min_size=n, max_size=n))
+    tick = draw(st.integers(0, 50))
+    return n_cores, n_axons, cores, axons, delays, tick
+
+
+@given(delivery_plans())
+@settings(max_examples=100)
+def test_every_scheduled_spike_arrives_exactly_once(plan):
+    n_cores, n_axons, cores, axons, delays, tick = plan
+    buf = AxonBuffers(n_cores, n_axons)
+    buf.schedule(
+        np.array(cores, dtype=np.int64),
+        np.array(axons, dtype=np.int64),
+        np.array(delays, dtype=np.int64),
+        tick,
+    )
+    expected = {(c, a, tick + d) for c, a, d in zip(cores, axons, delays)}
+    seen = set()
+    for t in range(tick, tick + MAX_DELAY + 2):
+        active = buf.collect(t)
+        for c, a in zip(*np.nonzero(active)):
+            seen.add((int(c), int(a), t))
+    assert seen == expected
+    assert buf.occupancy() == 0
+
+
+@given(delivery_plans())
+@settings(max_examples=50)
+def test_delivery_order_independence(plan):
+    """Scheduling in any order yields identical buffer state (§VII-A)."""
+    n_cores, n_axons, cores, axons, delays, tick = plan
+    a = AxonBuffers(n_cores, n_axons)
+    b = AxonBuffers(n_cores, n_axons)
+    idx = np.arange(len(cores))
+    rev = idx[::-1]
+    arr = lambda x: np.array(x, dtype=np.int64)  # noqa: E731
+    a.schedule(arr(cores), arr(axons), arr(delays), tick)
+    b.schedule(arr(cores)[rev], arr(axons)[rev], arr(delays)[rev], tick)
+    assert np.array_equal(a.pending, b.pending)

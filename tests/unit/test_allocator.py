@@ -1,0 +1,70 @@
+"""Unit tests for round-robin axon/neuron allocators."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.allocator import AxonAllocator, NeuronAllocator
+from repro.errors import WiringError
+
+
+class TestRoundRobin:
+    def test_spreads_across_cores_first(self):
+        # §V-C: distribute as broadly as possible across target cores.
+        alloc = AxonAllocator(gid_lo=10, n_cores=4, slots_per_core=256)
+        gids, slots = alloc.allocate(4)
+        assert list(gids) == [10, 11, 12, 13]
+        assert list(slots) == [0, 0, 0, 0]
+
+    def test_wraps_to_next_slot(self):
+        alloc = AxonAllocator(gid_lo=0, n_cores=3, slots_per_core=256)
+        gids, slots = alloc.allocate(7)
+        assert list(gids) == [0, 1, 2, 0, 1, 2, 0]
+        assert list(slots) == [0, 0, 0, 1, 1, 1, 2]
+
+    def test_never_hands_out_duplicates(self):
+        alloc = AxonAllocator(gid_lo=0, n_cores=5, slots_per_core=16)
+        seen = set()
+        for chunk in (13, 27, 40):
+            gids, slots = alloc.allocate(chunk)
+            for pair in zip(gids, slots):
+                assert pair not in seen
+                seen.add(pair)
+
+    def test_capacity_tracking(self):
+        alloc = NeuronAllocator(gid_lo=0, n_cores=2, slots_per_core=4)
+        assert alloc.capacity == 8
+        alloc.allocate(5)
+        assert alloc.allocated == 5
+        assert alloc.remaining == 3
+
+    def test_exhaustion_raises(self):
+        alloc = AxonAllocator(gid_lo=0, n_cores=1, slots_per_core=4)
+        alloc.allocate(4)
+        with pytest.raises(WiringError, match="exhausted"):
+            alloc.allocate(1)
+
+    def test_exact_fill_allowed(self):
+        alloc = AxonAllocator(gid_lo=0, n_cores=2, slots_per_core=2)
+        gids, slots = alloc.allocate(4)
+        assert alloc.remaining == 0
+        assert len(set(zip(gids, slots))) == 4
+
+    def test_zero_request(self):
+        alloc = AxonAllocator(gid_lo=0, n_cores=1, slots_per_core=1)
+        gids, slots = alloc.allocate(0)
+        assert gids.size == 0
+
+    def test_negative_request_rejected(self):
+        alloc = AxonAllocator(gid_lo=0, n_cores=1, slots_per_core=1)
+        with pytest.raises(ValueError):
+            alloc.allocate(-1)
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            AxonAllocator(0, 0, 256)
+
+    def test_slots_stay_in_range(self):
+        alloc = AxonAllocator(gid_lo=0, n_cores=3, slots_per_core=8)
+        gids, slots = alloc.allocate(24)
+        assert slots.max() < 8
+        assert gids.max() < 3

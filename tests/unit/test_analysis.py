@@ -1,0 +1,119 @@
+"""Unit tests for spike-train analysis tools."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.raster import ascii_raster, raster_matrix
+from repro.analysis.stats import (
+    fano_factor,
+    interspike_intervals,
+    isi_cv,
+    population_rate,
+    region_rates,
+    spike_train_stats,
+    synchrony_index,
+)
+from repro.core.simulator import SpikeRecorder
+
+
+def recorder_from(spikes):
+    """Build a recorder from (tick, gid, neuron) triples."""
+    rec = SpikeRecorder()
+    for t, g, n in spikes:
+        rec.record(t, np.array([g]), np.array([n]))
+    return rec
+
+
+class TestIsi:
+    def test_single_neuron_intervals(self):
+        rec = recorder_from([(0, 0, 0), (3, 0, 0), (7, 0, 0)])
+        assert list(interspike_intervals(rec)) == [3, 4]
+
+    def test_intervals_not_mixed_across_neurons(self):
+        rec = recorder_from([(0, 0, 0), (1, 0, 1), (10, 0, 0)])
+        assert sorted(interspike_intervals(rec)) == [10]
+
+    def test_intervals_not_mixed_across_cores(self):
+        rec = recorder_from([(0, 0, 0), (2, 1, 0), (6, 0, 0)])
+        assert sorted(interspike_intervals(rec)) == [6]
+
+    def test_empty(self):
+        assert interspike_intervals(SpikeRecorder()).size == 0
+
+    def test_cv_clockwork_is_zero(self):
+        rec = recorder_from([(t, 0, 0) for t in range(0, 50, 5)])
+        assert isi_cv(rec) == pytest.approx(0.0)
+
+    def test_cv_nan_when_insufficient(self):
+        rec = recorder_from([(0, 0, 0)])
+        assert math.isnan(isi_cv(rec))
+
+    def test_cv_poisson_near_one(self):
+        rng = np.random.default_rng(0)
+        ticks = np.cumsum(rng.geometric(0.05, size=400))
+        rec = recorder_from([(int(t), 0, 0) for t in ticks])
+        assert 0.8 < isi_cv(rec) < 1.2
+
+
+class TestRates:
+    def test_population_rate(self):
+        rec = recorder_from([(0, 0, 0), (0, 0, 1), (2, 0, 0)])
+        rate = population_rate(rec, n_neurons=4, ticks=3)
+        assert list(rate) == [500.0, 0.0, 250.0]
+
+    def test_region_rates(self):
+        rec = recorder_from([(0, 0, 0), (0, 3, 0), (1, 3, 1)])
+        rates = region_rates(
+            rec, {"A": (0, 2), "B": (2, 4)}, ticks=10, neurons_per_core=256
+        )
+        assert rates["A"] == pytest.approx(1 / (2 * 256) / 0.01)
+        assert rates["B"] == pytest.approx(2 / (2 * 256) / 0.01)
+
+    def test_fano_poissonish_near_one(self):
+        rng = np.random.default_rng(1)
+        spikes = [(int(t), 0, 0) for t in np.sort(rng.integers(0, 1000, size=500))]
+        rec = recorder_from(spikes)
+        assert 0.5 < fano_factor(rec, window=50, ticks=1000) < 2.0
+
+    def test_fano_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            fano_factor(SpikeRecorder(), window=0, ticks=10)
+
+    def test_synchrony_bursty_exceeds_asynchronous(self):
+        burst = recorder_from([(5, 0, n) for n in range(50)])
+        rng = np.random.default_rng(2)
+        spread = recorder_from(
+            [(int(rng.integers(0, 50)), 0, n) for n in range(50)]
+        )
+        assert synchrony_index(burst, 50, 50) > synchrony_index(spread, 50, 50)
+
+
+class TestSummary:
+    def test_spike_train_stats(self):
+        rec = recorder_from([(0, 0, 0), (5, 0, 0), (1, 0, 1)])
+        s = spike_train_stats(rec, n_neurons=4, ticks=10)
+        assert s.total_spikes == 3
+        assert s.active_fraction == pytest.approx(0.5)
+        assert s.mean_rate_hz == pytest.approx(3 / 4 / 0.01)
+
+
+class TestRaster:
+    def test_raster_matrix(self):
+        rec = recorder_from([(2, 1, 7), (3, 0, 1)])
+        m = raster_matrix(rec, gid=1, ticks=5, n_neurons=16)
+        assert m[2, 7] and m.sum() == 1
+
+    def test_ascii_raster_marks(self):
+        rec = recorder_from([(0, 0, 3), (2, 0, 3)])
+        text = ascii_raster(rec, gid=0, ticks=4, n_neurons=8)
+        assert "n003 |.|." in text
+
+    def test_ascii_raster_empty(self):
+        assert "no spikes" in ascii_raster(SpikeRecorder(), 0, 4)
+
+    def test_ascii_raster_skips_silent(self):
+        rec = recorder_from([(0, 0, 5)])
+        text = ascii_raster(rec, gid=0, ticks=2, n_neurons=8)
+        assert "n005" in text and "n004" not in text

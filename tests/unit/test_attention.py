@@ -1,0 +1,75 @@
+"""Unit tests for the saliency attention mechanism."""
+
+import numpy as np
+import pytest
+
+from repro.apps.attention import (
+    GRID,
+    RETINA,
+    SaliencyAttention,
+    patch_of_pixel,
+    scene_with_object,
+)
+
+
+class TestGeometry:
+    def test_patch_of_pixel(self):
+        assert patch_of_pixel(0) == 0
+        assert patch_of_pixel(RETINA - 1) == GRID - 1  # top-right pixel
+        assert patch_of_pixel(RETINA * RETINA - 1) == GRID * GRID - 1
+
+    def test_patch_bounds(self):
+        assert SaliencyAttention.patch_bounds(0, 0) == (0, 0, 4, 4)
+        assert SaliencyAttention.patch_bounds(3, 3) == (12, 12, 16, 16)
+
+    def test_scene_has_object(self):
+        img = scene_with_object(1, 2, noise=0.0)
+        assert img[4:8, 8:12].all()
+        assert img.sum() == 16
+
+
+class TestAttention:
+    @pytest.fixture(scope="class")
+    def attention(self):
+        return SaliencyAttention()
+
+    def test_finds_clean_object(self, attention):
+        for pos in [(0, 0), (1, 2), (3, 3)]:
+            img = scene_with_object(*pos, noise=0.0)
+            assert attention.attend(img) == pos
+
+    def test_finds_object_in_noise(self, attention):
+        hits = 0
+        for seed in range(6):
+            img = scene_with_object(2, 1, noise=0.08, seed=seed)
+            hits += attention.attend(img) == (2, 1)
+        assert hits >= 5
+
+    def test_blank_scene_flat_map(self, attention):
+        sal = attention.saliency_map(np.zeros((RETINA, RETINA), dtype=bool))
+        assert sal.sum() == 0
+
+    def test_saliency_peaks_at_object(self, attention):
+        img = scene_with_object(0, 3, noise=0.0)
+        sal = attention.saliency_map(img)
+        assert sal[0, 3] == sal.max()
+        assert sal[0, 3] > 0
+
+    def test_rejects_wrong_shape(self, attention):
+        with pytest.raises(ValueError):
+            attention.attend(np.zeros((8, 8), dtype=bool))
+
+    def test_surround_suppresses_diffuse_light(self):
+        """With inhibition, full-field illumination is less salient than a
+        single object relative to the no-inhibition core."""
+        with_surround = SaliencyAttention(surround_inhibition=True)
+        without = SaliencyAttention(surround_inhibition=False)
+        full = np.ones((RETINA, RETINA), dtype=bool)
+        sal_w = with_surround.saliency_map(full).sum()
+        sal_wo = without.saliency_map(full).sum()
+        assert sal_w < sal_wo
+
+    def test_no_surround_variant_still_attends(self):
+        plain = SaliencyAttention(surround_inhibition=False)
+        img = scene_with_object(2, 2, noise=0.0)
+        assert plain.attend(img) == (2, 2)

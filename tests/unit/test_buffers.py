@@ -1,0 +1,78 @@
+"""Unit tests for spike aggregation buffers."""
+
+import numpy as np
+
+from repro.core.buffers import LocalBuffer, RemoteSendBuffers
+
+
+class TestLocalBuffer:
+    def test_push_drain(self):
+        buf = LocalBuffer()
+        buf.push(np.array([1, 2]), np.array([10, 20], dtype=np.int32), np.array([1, 2], dtype=np.int32))
+        buf.push(np.array([3]), np.array([30], dtype=np.int32), np.array([3], dtype=np.int32))
+        assert buf.count == 3
+        g, a, d = buf.drain()
+        assert list(g) == [1, 2, 3]
+        assert list(a) == [10, 20, 30]
+        assert list(d) == [1, 2, 3]
+        assert buf.count == 0
+
+    def test_empty_drain(self):
+        g, a, d = LocalBuffer().drain()
+        assert g.size == a.size == d.size == 0
+
+    def test_empty_push_ignored(self):
+        buf = LocalBuffer()
+        buf.push(np.array([], dtype=np.int64), np.array([], dtype=np.int32), np.array([], dtype=np.int32))
+        assert buf.count == 0
+
+
+class TestRemoteSendBuffers:
+    def test_aggregation_one_message_per_destination(self):
+        bufs = RemoteSendBuffers(4, own_rank=0)
+        dests = np.array([1, 2, 1, 3, 1])
+        bufs.push(
+            dests,
+            np.arange(5, dtype=np.int64),
+            np.arange(5, dtype=np.int32),
+            np.ones(5, dtype=np.int32),
+        )
+        msgs = bufs.flush(tick=7)
+        assert set(msgs) == {1, 2, 3}
+        assert msgs[1].count == 3
+        assert msgs[2].count == 1
+        # spikes for rank 1 kept their payloads
+        assert sorted(msgs[1].tgt_gid) == [0, 2, 4]
+        assert (msgs[1].tick == 7).all()
+
+    def test_flush_resets(self):
+        bufs = RemoteSendBuffers(2, own_rank=0)
+        bufs.push(
+            np.array([1]), np.array([5], dtype=np.int64),
+            np.array([6], dtype=np.int32), np.array([1], dtype=np.int32),
+        )
+        assert bufs.flush(0)
+        assert bufs.flush(1) == {}
+
+    def test_send_counts(self):
+        bufs = RemoteSendBuffers(3, own_rank=0)
+        bufs.push(
+            np.array([2, 2]), np.zeros(2, dtype=np.int64),
+            np.zeros(2, dtype=np.int32), np.ones(2, dtype=np.int32),
+        )
+        assert list(bufs.send_counts()) == [0, 0, 1]
+
+    def test_empty_push(self):
+        bufs = RemoteSendBuffers(2, own_rank=0)
+        bufs.push(np.array([], dtype=np.int64), np.array([], dtype=np.int64),
+                  np.array([], dtype=np.int32), np.array([], dtype=np.int32))
+        assert bufs.flush(0) == {}
+
+    def test_ordering_preserved_within_destination(self):
+        bufs = RemoteSendBuffers(2, own_rank=0)
+        bufs.push(
+            np.array([1, 1]), np.array([10, 11], dtype=np.int64),
+            np.array([0, 1], dtype=np.int32), np.array([1, 1], dtype=np.int32),
+        )
+        msg = bufs.flush(0)[1]
+        assert list(msg.tgt_gid) == [10, 11]

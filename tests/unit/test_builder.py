@@ -1,0 +1,142 @@
+"""Unit tests for the population-level NetworkBuilder."""
+
+import numpy as np
+import pytest
+
+from repro.arch.builder import NetworkBuilder
+from repro.arch.params import NeuronParameters
+from repro.core.config import CompassConfig
+from repro.core.simulator import Compass
+from repro.errors import WiringError
+
+
+def relay_params() -> NeuronParameters:
+    return NeuronParameters(weights=(1, 0, 0, 0), threshold=1, floor=0)
+
+
+class TestDeclaration:
+    def test_duplicate_population_rejected(self):
+        b = NetworkBuilder()
+        b.add_population("a", 1)
+        with pytest.raises(WiringError, match="duplicate"):
+            b.add_population("a", 1)
+
+    def test_unknown_population_in_connect(self):
+        b = NetworkBuilder()
+        b.add_population("a", 1)
+        with pytest.raises(WiringError, match="unknown"):
+            b.connect("a", "zz", 1)
+
+    def test_bad_delay(self):
+        b = NetworkBuilder()
+        b.add_population("a", 1)
+        with pytest.raises(WiringError):
+            b.connect("a", "a", 1, delay=0)
+
+    def test_builder_single_use(self):
+        b = NetworkBuilder()
+        b.add_population("a", 1)
+        b.build()
+        with pytest.raises(WiringError, match="consumed"):
+            b.build()
+
+
+class TestBuild:
+    def test_layout_contiguous(self):
+        b = NetworkBuilder()
+        b.add_population("x", 2)
+        b.add_population("y", 3)
+        net, pops, _ = b.build()
+        assert net.n_cores == 5
+        assert (pops["x"].gid_lo, pops["x"].gid_hi) == (0, 2)
+        assert (pops["y"].gid_lo, pops["y"].gid_hi) == (2, 5)
+
+    def test_identity_crossbar_pattern(self):
+        b = NetworkBuilder()
+        b.add_population("x", 1, crossbar="identity")
+        net, _, _ = b.build()
+        assert net.get_crossbar(0).get(7, 7)
+        assert not net.get_crossbar(0).get(7, 8)
+
+    def test_density_crossbar(self):
+        b = NetworkBuilder(seed=1)
+        b.add_population("x", 2, crossbar=0.25)
+        net, _, _ = b.build()
+        assert abs(net.get_crossbar(0).density - 0.25) < 0.03
+
+    def test_explicit_crossbar(self):
+        dense = np.zeros((256, 256), dtype=bool)
+        dense[0, 5] = True
+        b = NetworkBuilder()
+        b.add_population("x", 2, crossbar=dense)
+        net, _, _ = b.build()
+        assert net.get_crossbar(1).get(0, 5)
+
+    def test_axon_type_fractions(self):
+        b = NetworkBuilder()
+        b.add_population("x", 1, axon_types=(0.5, 0.5, 0.0, 0.0))
+        net, _, _ = b.build()
+        counts = np.bincount(net.axon_types[0], minlength=4)
+        assert list(counts) == [128, 128, 0, 0]
+
+    def test_connections_wired_and_exclusive(self):
+        b = NetworkBuilder()
+        b.add_population("src", 2, crossbar="identity", neuron=relay_params())
+        b.add_population("dst", 2, crossbar="identity", neuron=relay_params())
+        b.connect("src", "dst", 100, delay=2)
+        net, _, _ = b.build()
+        assert net.connected_neuron_count == 100
+        connected = net.target_gid >= 0
+        pairs = list(
+            zip(net.target_gid[connected], net.target_axon[connected])
+        )
+        assert len(pairs) == len(set(pairs))
+        assert (net.target_delay[connected] == 2).all()
+
+    def test_over_capacity_raises(self):
+        b = NetworkBuilder()
+        b.add_population("a", 1)
+        b.add_population("b", 1)
+        b.connect("a", "b", 300)
+        with pytest.raises(WiringError, match="exhausted"):
+            b.build()
+
+
+class TestInputPorts:
+    def test_ports_disjoint_from_wiring(self):
+        b = NetworkBuilder()
+        b.add_population("in", 1, crossbar="identity", neuron=relay_params())
+        b.connect("in", "in", 100)
+        b.reserve_inputs("in", 32)
+        net, _, ports = b.build()
+        port = ports[0]
+        assert port.width == 32
+        wired = set(
+            zip(
+                net.target_gid[net.target_gid >= 0],
+                net.target_axon[net.target_gid >= 0],
+            )
+        )
+        reserved = set(zip(port.gids, port.axons))
+        assert not wired & reserved
+
+    def test_port_schedule_drives_simulation(self):
+        b = NetworkBuilder()
+        pop = b.add_population("in", 1, crossbar="identity", neuron=relay_params())
+        b.reserve_inputs(pop, 8)
+        net, _, (port,) = b.build()
+        sim = Compass(net, CompassConfig(record_spikes=True))
+        sim.attach_schedule(port.schedule_for({0: np.array([0, 3])}))
+        sim.run(3)
+        t, g, n = sim.recorder.to_arrays()
+        fired_neurons = set(n.tolist())
+        # identity crossbar: reserved axons 0 and 3 drive neurons 0 and 3
+        assert fired_neurons == {int(port.axons[0]), int(port.axons[3])}
+
+    def test_lane_out_of_range(self):
+        b = NetworkBuilder()
+        b.add_population("in", 1)
+        b.reserve_inputs("in", 4)
+        _, _, (port,) = b.build()
+        with pytest.raises(WiringError):
+            list(port.schedule_for({0: np.array([4])}))

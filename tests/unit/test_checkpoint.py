@@ -1,0 +1,67 @@
+"""Unit tests for checkpoint save/restore."""
+
+import numpy as np
+import pytest
+
+from repro.apps.quicknet import build_quickstart_network
+from repro.core.checkpoint import load_checkpoint, save_checkpoint
+from repro.core.config import CompassConfig
+from repro.core.simulator import Compass
+from repro.errors import CheckpointError
+
+
+class TestCheckpoint:
+    def test_resume_is_bit_exact(self, tmp_path):
+        net = build_quickstart_network()
+        path = tmp_path / "ckpt.npz"
+
+        ref = Compass(net, CompassConfig(n_processes=2, record_spikes=True))
+        ref.run(60)
+
+        first = Compass(net, CompassConfig(n_processes=2))
+        first.run(30)
+        save_checkpoint(first, path)
+
+        resumed = Compass(net, CompassConfig(n_processes=2, record_spikes=True))
+        load_checkpoint(resumed, path)
+        assert resumed.tick == 30
+        resumed.run(30)
+
+        # Compare the last 30 ticks of the reference with the resumed run.
+        t_ref, g_ref, n_ref = ref.recorder.to_arrays()
+        sel = t_ref >= 30
+        t_res, g_res, n_res = resumed.recorder.to_arrays()
+        assert np.array_equal(t_ref[sel], t_res)
+        assert np.array_equal(g_ref[sel], g_res)
+        assert np.array_equal(n_ref[sel], n_res)
+
+    def test_rejects_different_network(self, tmp_path):
+        path = tmp_path / "ckpt.npz"
+        a = Compass(build_quickstart_network(seed=1), CompassConfig(n_processes=2))
+        a.run(5)
+        save_checkpoint(a, path)
+        b = Compass(build_quickstart_network(seed=2), CompassConfig(n_processes=2))
+        with pytest.raises(CheckpointError, match="different network"):
+            load_checkpoint(b, path)
+
+    def test_rejects_different_rank_count(self, tmp_path):
+        path = tmp_path / "ckpt.npz"
+        net = build_quickstart_network()
+        a = Compass(net, CompassConfig(n_processes=2))
+        save_checkpoint(a, path)
+        b = Compass(net, CompassConfig(n_processes=4))
+        with pytest.raises(CheckpointError, match="ranks"):
+            load_checkpoint(b, path)
+
+    def test_missing_file(self, tmp_path):
+        net = build_quickstart_network()
+        sim = Compass(net, CompassConfig(n_processes=2))
+        with pytest.raises(CheckpointError, match="does not exist"):
+            load_checkpoint(sim, tmp_path / "nope.npz")
+
+    def test_rejects_pending_injections(self, tmp_path):
+        net = build_quickstart_network()
+        sim = Compass(net, CompassConfig(n_processes=2))
+        sim.inject(0, 0, tick=5)
+        with pytest.raises(CheckpointError, match="injections"):
+            save_checkpoint(sim, tmp_path / "x.npz")

@@ -1,0 +1,68 @@
+"""Unit tests for the spiking template classifier."""
+
+import numpy as np
+import pytest
+
+from repro.apps.classify import (
+    DIGIT_GLYPHS,
+    TemplateClassifier,
+    glyph_to_array,
+    noisy_glyph,
+)
+
+
+@pytest.fixture(scope="module")
+def classifier():
+    return TemplateClassifier(DIGIT_GLYPHS)
+
+
+class TestGlyphs:
+    def test_shapes(self):
+        for glyph in DIGIT_GLYPHS.values():
+            assert glyph_to_array(glyph).shape == (8, 8)
+
+    def test_glyphs_distinct(self):
+        arrays = [glyph_to_array(g) for g in DIGIT_GLYPHS.values()]
+        for i in range(len(arrays)):
+            for j in range(i + 1, len(arrays)):
+                assert not np.array_equal(arrays[i], arrays[j])
+
+    def test_noisy_glyph_flips_exact_count(self):
+        clean = glyph_to_array(DIGIT_GLYPHS[0])
+        noisy = noisy_glyph(0, flips=5, seed=3)
+        assert (clean != noisy).sum() == 5
+
+
+class TestClassification:
+    def test_clean_glyphs_classified_correctly(self, classifier):
+        for label in DIGIT_GLYPHS:
+            img = glyph_to_array(DIGIT_GLYPHS[label])
+            assert classifier.classify(img) == label
+
+    def test_robust_to_small_noise(self, classifier):
+        correct = 0
+        cases = 0
+        for label in DIGIT_GLYPHS:
+            for seed in range(3):
+                img = noisy_glyph(label, flips=3, seed=seed)
+                correct += classifier.classify(img) == label
+                cases += 1
+        assert correct / cases >= 0.8
+
+    def test_accuracy_helper(self, classifier):
+        samples = [
+            (glyph_to_array(DIGIT_GLYPHS[k]), k) for k in DIGIT_GLYPHS
+        ]
+        assert classifier.accuracy(samples) == 1.0
+
+    def test_rejects_wrong_shape(self, classifier):
+        with pytest.raises(ValueError):
+            classifier.classify(np.zeros((4, 4)))
+
+    def test_rejects_empty_templates(self):
+        with pytest.raises(ValueError):
+            TemplateClassifier({})
+
+    def test_rejects_empty_accuracy(self, classifier):
+        with pytest.raises(ValueError):
+            classifier.accuracy([])

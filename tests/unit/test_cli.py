@@ -1,0 +1,124 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.compiler.coreobject import ConnectionSpec, CoreObject, RegionSpec
+
+
+@pytest.fixture()
+def coreobject_file(tmp_path):
+    obj = CoreObject(
+        "cli-test",
+        regions=[RegionSpec("A", 2), RegionSpec("B", 2)],
+        connections=[ConnectionSpec("A", "B", 64)],
+        seed=1,
+    )
+    path = tmp_path / "model.json"
+    obj.to_json(path)
+    return path
+
+
+class TestInfo:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "256 axons x 256 neurons" in out
+        assert "BlueGene/Q" in out and "BlueGene/P" in out
+
+
+class TestCompile:
+    def test_compile_and_verify(self, coreobject_file, capsys):
+        assert main(["compile", str(coreobject_file), "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "compiled 'cli-test'" in out
+        assert "PASS" in out
+
+    def test_compile_to_file_then_run(self, coreobject_file, tmp_path, capsys):
+        model_path = tmp_path / "explicit.npz"
+        assert main(["compile", str(coreobject_file), "-o", str(model_path)]) == 0
+        assert model_path.exists()
+        assert main(["run", str(model_path), "--ticks", "10", "--processes", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "ran 10 ticks" in out
+
+
+class TestRun:
+    def test_run_quickstart(self, capsys):
+        assert main(["run", "quickstart", "--ticks", "30", "--processes", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "spikes" in out and "(mpi)" in out
+
+    def test_run_pgas(self, capsys):
+        assert main(["run", "quickstart", "--ticks", "20", "--pgas"]) == 0
+        assert "(pgas)" in capsys.readouterr().out
+
+    def test_run_with_stats(self, capsys):
+        assert main(["run", "quickstart", "--ticks", "60", "--stats"]) == 0
+        assert "isi_cv" in capsys.readouterr().out
+
+    def test_run_with_profile(self, capsys):
+        assert main(
+            ["run", "quickstart", "--ticks", "40", "--processes", "2", "--profile"]
+        ) == 0
+        assert "per-rank load profile" in capsys.readouterr().out
+
+    def test_run_with_trace(self, capsys, tmp_path):
+        trace = tmp_path / "run.spk"
+        assert main(
+            ["run", "quickstart", "--ticks", "40", "--stats", "--trace", str(trace)]
+        ) == 0
+        assert trace.exists()
+        from repro.core.trace import read_trace
+
+        t, g, n = read_trace(trace)
+        assert t.size > 0
+
+    def test_trace_requires_stats(self, tmp_path):
+        assert main(
+            ["run", "quickstart", "--ticks", "10", "--trace", str(tmp_path / "x.spk")]
+        ) == 1
+
+
+class TestMacaque:
+    def test_macaque_small(self, capsys):
+        assert main(["macaque", "--cores", "77", "--ticks", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "77 regions" in out
+
+
+class TestFigures:
+    @pytest.mark.parametrize(
+        "name", ["fig4a", "fig4b", "fig5", "fig6", "fig7", "headline"]
+    )
+    def test_single_figure(self, capsys, name):
+        assert main(["figures", name]) == 0
+        out = capsys.readouterr().out
+        assert out.strip()
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figures", "fig99"])
+
+    def test_csv_export(self, capsys, tmp_path):
+        out = tmp_path / "csv"
+        assert main(["figures", "--csv", str(out)]) == 0
+        assert (out / "fig4.csv").exists()
+        assert (out / "fig7.csv").exists()
+
+
+class TestExport:
+    def test_export_cocomac(self, capsys, tmp_path):
+        out = tmp_path / "export"
+        assert main(["export", str(out), "--cores", "128"]) == 0
+        assert (out / "reduced_graph.graphml").exists()
+        assert (out / "regions.csv").exists()
+        assert (out / "coreobject.json").exists()
+
+
+def test_version(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["--version"])
+    assert exc.value.code == 0

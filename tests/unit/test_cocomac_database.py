@@ -1,0 +1,87 @@
+"""Unit tests for the synthetic CoCoMac database."""
+
+import networkx as nx
+
+from repro.cocomac.database import (
+    FULL_EDGES,
+    FULL_REGIONS,
+    ConnectivityDatabase,
+    Region,
+    synthetic_cocomac,
+)
+
+
+class TestPublishedStatistics:
+    def test_region_count(self):
+        # §V-B: 383 hierarchically organised regions.
+        assert synthetic_cocomac().n_regions == FULL_REGIONS == 383
+
+    def test_edge_count(self):
+        # §V-B: 6,602 directed edges.
+        assert synthetic_cocomac().n_edges == FULL_EDGES == 6602
+
+    def test_classes_span_cortex_thalamus_basal_ganglia(self):
+        db = synthetic_cocomac()
+        classes = {r.region_class for r in db.regions}
+        assert classes == {"cortical", "thalamic", "basal_ganglia"}
+
+    def test_top_level_count(self):
+        db = synthetic_cocomac()
+        assert len(db.top_level()) == 102
+
+    def test_deterministic_given_seed(self):
+        a, b = synthetic_cocomac(5), synthetic_cocomac(5)
+        assert a.edges == b.edges
+
+    def test_different_seed_differs(self):
+        assert synthetic_cocomac(1).edges != synthetic_cocomac(2).edges
+
+
+class TestStructure:
+    def test_no_self_loops(self):
+        db = synthetic_cocomac()
+        assert all(a != b for a, b in db.edges)
+
+    def test_hierarchy_parents_valid(self):
+        db = synthetic_cocomac()
+        indices = {r.index for r in db.regions}
+        for r in db.regions:
+            assert r.parent == -1 or r.parent in indices
+
+    def test_edges_only_between_reporting_regions(self):
+        db = synthetic_cocomac()
+        reporting = {r.index for r in db.regions if r.reports}
+        for a, b in db.edges:
+            assert a in reporting and b in reporting
+
+    def test_children_of(self):
+        db = synthetic_cocomac()
+        some_parent = next(r for r in db.regions if r.reports and r.parent == -1)
+        for child in db.children_of(some_parent.index):
+            assert child.parent == some_parent.index
+
+    def test_graph_view(self):
+        db = synthetic_cocomac()
+        g = db.graph()
+        assert isinstance(g, nx.DiGraph)
+        assert g.number_of_nodes() == 383
+        assert g.number_of_edges() == 6602
+
+    def test_adjacency_matches_edges(self):
+        db = ConnectivityDatabase(
+            regions=[
+                Region(0, "a", "cortical", -1, True),
+                Region(1, "b", "cortical", -1, True),
+            ],
+            edges={(0, 1)},
+        )
+        m = db.adjacency()
+        assert m[0, 1] == 1 and m[1, 0] == 0
+
+    def test_degree_distribution_is_skewed(self):
+        """Preferential attachment: hubs exist."""
+        db = synthetic_cocomac()
+        g = db.graph()
+        degrees = sorted((d for _, d in g.degree()), reverse=True)
+        top10 = sum(degrees[:10])
+        assert top10 > 0.15 * 2 * db.n_edges

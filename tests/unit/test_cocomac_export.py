@@ -1,0 +1,86 @@
+"""Unit tests for database/model exports."""
+
+import csv
+import io
+
+import networkx as nx
+import pytest
+
+from repro.cocomac.database import synthetic_cocomac
+from repro.cocomac.export import (
+    adjacency_csv,
+    export_model,
+    from_graphml,
+    region_table_csv,
+    to_graphml,
+)
+from repro.cocomac.model import build_macaque_coreobject
+from repro.cocomac.reduction import reduce_database
+
+
+@pytest.fixture(scope="module")
+def reduced():
+    return reduce_database(synthetic_cocomac())
+
+
+@pytest.fixture(scope="module")
+def model():
+    return build_macaque_coreobject(256, seed=2)
+
+
+class TestGraphml:
+    def test_round_trip_structure(self, reduced, tmp_path_factory):
+        path = tmp_path_factory.mktemp("gm") / "g.graphml"
+        to_graphml(reduced, path)
+        g = from_graphml(path)
+        assert g.number_of_nodes() == reduced.n_regions
+        assert g.number_of_edges() == reduced.n_edges
+
+    def test_node_metadata_preserved(self, reduced, tmp_path_factory):
+        path = tmp_path_factory.mktemp("gm2") / "g.graphml"
+        to_graphml(reduced, path)
+        g = from_graphml(path)
+        some = reduced.regions[0]
+        assert g.nodes[some.index]["name"] == some.name
+        assert g.nodes[some.index]["region_class"] == some.region_class
+
+
+class TestCsv:
+    def test_adjacency_shape(self, reduced):
+        rows = list(csv.reader(io.StringIO(adjacency_csv(reduced))))
+        assert len(rows) == reduced.n_regions + 1
+        assert len(rows[0]) == reduced.n_regions + 1
+
+    def test_adjacency_entries_match_edges(self, reduced):
+        rows = list(csv.reader(io.StringIO(adjacency_csv(reduced))))
+        total = sum(int(v) for row in rows[1:] for v in row[1:])
+        assert total == reduced.n_edges
+
+    def test_region_table(self, model):
+        rows = list(csv.DictReader(io.StringIO(region_table_csv(model))))
+        assert len(rows) == model.n_regions
+        assert sum(int(r["cores"]) for r in rows) == model.total_cores
+        imputed = sum(int(r["imputed"]) for r in rows)
+        assert imputed == 13  # 5 cortical + 8 thalamic
+
+    def test_gray_fraction_column_in_range(self, model):
+        rows = list(csv.DictReader(io.StringIO(region_table_csv(model))))
+        for r in rows:
+            assert 0.0 <= float(r["gray_fraction"]) <= 1.0
+
+
+class TestExportModel:
+    def test_writes_everything(self, model, tmp_path):
+        paths = export_model(model, tmp_path / "export")
+        names = {p.name for p in paths}
+        assert {"reduced_graph.graphml", "adjacency.csv", "regions.csv",
+                "coreobject.json"} <= names
+        for p in paths:
+            assert p.exists() and p.stat().st_size > 0
+
+    def test_coreobject_export_reloads(self, model, tmp_path):
+        from repro.compiler.coreobject import CoreObject
+
+        export_model(model, tmp_path / "e2")
+        obj = CoreObject.from_json(tmp_path / "e2" / "coreobject.json")
+        assert obj.n_cores == model.total_cores

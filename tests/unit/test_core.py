@@ -1,0 +1,96 @@
+"""Unit tests for the standalone NeurosynapticCore."""
+
+import numpy as np
+import pytest
+
+from repro.arch.core import NeurosynapticCore
+from repro.arch.crossbar import Crossbar
+from repro.arch.params import NeuronParameters
+
+
+def relay_core(seed: int = 0) -> NeurosynapticCore:
+    core = NeurosynapticCore(seed=seed)
+    core.set_crossbar(Crossbar.identity())
+    core.set_axon_types(np.zeros(256, dtype=np.uint8))
+    core.set_all_neurons(NeuronParameters(weights=(1, 0, 0, 0), threshold=1, floor=0))
+    return core
+
+
+class TestRelayBehaviour:
+    def test_injected_spike_relays_after_one_tick(self):
+        core = relay_core()
+        core.inject(axon=7, delay=1)
+        assert not core.step().any()  # injection lands at tick 1
+        fired = core.step()
+        assert fired[7] and fired.sum() == 1
+
+    def test_inject_many(self):
+        core = relay_core()
+        core.inject_many(np.array([1, 2, 3]))
+        core.step()
+        fired = core.step()
+        assert fired[[1, 2, 3]].all() and fired.sum() == 3
+
+    def test_run_with_schedule(self):
+        core = relay_core()
+        raster = core.run(5, inputs={0: np.array([4]), 2: np.array([9])})
+        assert raster[1, 4]
+        assert raster[3, 9]
+        assert raster.sum() == 2
+
+    def test_silent_without_input(self):
+        core = relay_core()
+        assert core.run(20).sum() == 0
+
+    def test_configuration_locked_after_first_tick(self):
+        core = relay_core()
+        core.step()
+        with pytest.raises(RuntimeError):
+            core.set_all_neurons(NeuronParameters())
+
+    def test_potentials_visible(self):
+        core = NeurosynapticCore()
+        core.set_crossbar(Crossbar.identity())
+        core.set_all_neurons(NeuronParameters(weights=(1, 0, 0, 0), threshold=5, floor=0))
+        core.inject(axon=0)
+        core.step()
+        core.step()
+        assert core.potentials[0] == 1
+
+
+class TestAxonTypes:
+    def test_inhibitory_axon_type(self):
+        core = NeurosynapticCore()
+        dense = np.zeros((256, 256), dtype=bool)
+        dense[0, 0] = True  # excitatory axon -> neuron 0
+        dense[1, 0] = True  # inhibitory axon -> neuron 0
+        core.set_crossbar(dense)
+        types = np.zeros(256, dtype=np.uint8)
+        types[1] = 1
+        core.set_axon_types(types)
+        core.set_all_neurons(
+            NeuronParameters(weights=(1, -1, 0, 0), threshold=1, floor=-4)
+        )
+        # Simultaneous excitation and inhibition cancel: no spike.
+        core.inject(0)
+        core.inject(1)
+        core.step()
+        assert not core.step().any()
+
+    def test_determinism_same_seed(self):
+        p = NeuronParameters(
+            weights=(128, 0, 0, 0),
+            stochastic_weights=(True, False, False, False),
+            threshold=2,
+            floor=0,
+        )
+        rasters = []
+        for _ in range(2):
+            core = NeurosynapticCore(seed=77)
+            core.set_crossbar(Crossbar.identity())
+            core.set_axon_types(np.zeros(256, dtype=np.uint8))
+            core.set_all_neurons(p)
+            rasters.append(
+                core.run(50, inputs={t: np.arange(16) for t in range(40)})
+            )
+        assert np.array_equal(rasters[0], rasters[1])

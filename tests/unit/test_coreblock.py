@@ -1,0 +1,111 @@
+"""Unit tests for CoreBlock: the vectorised per-process core group."""
+
+import numpy as np
+import pytest
+
+from repro.arch.coreblock import CoreBlock
+from repro.arch.crossbar import Crossbar
+from repro.arch.network import CoreNetwork, NeuronTarget
+from repro.arch.params import NeuronParameters
+
+
+def relay_network(n_cores: int = 4) -> CoreNetwork:
+    net = CoreNetwork(n_cores, seed=3)
+    for gid in range(n_cores):
+        net.set_crossbar(gid, Crossbar.identity())
+        net.set_neurons(
+            gid, NeuronParameters(weights=(1, 0, 0, 0), threshold=1, floor=0)
+        )
+        for j in range(net.num_neurons):
+            net.connect(gid, j, NeuronTarget((gid + 1) % n_cores, j))
+    return net
+
+
+class TestConstruction:
+    def test_slicing(self):
+        net = relay_network(6)
+        block = CoreBlock(net, 2, 5)
+        assert block.n_cores == 3
+        assert list(block.gids) == [2, 3, 4]
+
+    def test_rejects_bad_range(self):
+        net = relay_network(4)
+        with pytest.raises(ValueError):
+            CoreBlock(net, 2, 2)
+        with pytest.raises(ValueError):
+            CoreBlock(net, 0, 9)
+
+    def test_owns(self):
+        net = relay_network(6)
+        block = CoreBlock(net, 2, 5)
+        assert block.owns(2) and block.owns(4)
+        assert not block.owns(1) and not block.owns(5)
+
+    def test_block_copies_do_not_alias_network(self):
+        net = relay_network(2)
+        block = CoreBlock(net, 0, 2)
+        block.crossbars[...] = 0
+        assert net.synapse_count == 2 * 256
+
+
+class TestPhases:
+    def test_synapse_phase_counts(self):
+        net = relay_network(2)
+        block = CoreBlock(net, 0, 2)
+        block.buffers.schedule(np.array([0]), np.array([5]), np.array([1]), 0)
+        counts = block.synapse_phase(1)
+        assert counts[0, 5, 0] == 1
+        assert counts.sum() == 1
+        assert block.last_active_axons == 1
+
+    def test_neuron_phase_fires_relay(self):
+        net = relay_network(2)
+        block = CoreBlock(net, 0, 2)
+        block.buffers.schedule(np.array([1]), np.array([9]), np.array([1]), 0)
+        counts = block.synapse_phase(1)
+        fired = block.neuron_phase(counts)
+        assert fired[1, 9] and fired.sum() == 1
+
+    def test_outgoing_routing(self):
+        net = relay_network(3)
+        block = CoreBlock(net, 0, 3)
+        fired = np.zeros((3, 256), dtype=bool)
+        fired[2, 7] = True
+        out = block.outgoing(fired)
+        assert out.count == 1
+        assert out.src_gid[0] == 2
+        assert out.tgt_gid[0] == 0  # ring wraps
+        assert out.tgt_axon[0] == 7
+
+    def test_outgoing_drops_unconnected(self):
+        net = CoreNetwork(1)
+        block = CoreBlock(net, 0, 1)
+        fired = np.ones((1, 256), dtype=bool)
+        assert block.outgoing(fired).count == 0
+
+    def test_deliver_rejects_foreign_gids(self):
+        net = relay_network(4)
+        block = CoreBlock(net, 0, 2)
+        with pytest.raises(ValueError):
+            block.deliver(np.array([3]), np.array([0]), np.array([1]), 0)
+
+    def test_deliver_schedules_into_buffers(self):
+        net = relay_network(4)
+        block = CoreBlock(net, 2, 4)
+        block.deliver(np.array([3]), np.array([11]), np.array([2]), tick=5)
+        active = block.buffers.collect(7)
+        assert active[1, 11]  # gid 3 is local index 1
+
+
+class TestSnapshot:
+    def test_snapshot_restore_round_trip(self):
+        net = relay_network(2)
+        block = CoreBlock(net, 0, 2)
+        block.buffers.schedule(np.array([0]), np.array([1]), np.array([3]), 0)
+        block.state.potential[0, 0] = 42
+        snap = block.snapshot()
+        block.state.potential[0, 0] = 0
+        block.buffers.pending[...] = False
+        block.restore(snap)
+        assert block.state.potential[0, 0] == 42
+        assert block.buffers.peek(3)[0, 1]

@@ -1,0 +1,131 @@
+"""Unit tests for the CoreObject compact description format."""
+
+import pytest
+
+from repro.arch.params import NeuronParameters, ResetMode
+from repro.compiler.coreobject import ConnectionSpec, CoreObject, RegionSpec
+from repro.errors import ConfigurationError
+
+
+def tiny_object() -> CoreObject:
+    return CoreObject(
+        name="tiny",
+        regions=[
+            RegionSpec(name="A", n_cores=2, region_class="cortical"),
+            RegionSpec(name="B", n_cores=3, region_class="thalamic"),
+        ],
+        connections=[
+            ConnectionSpec("A", "B", count=100, delay=2),
+            ConnectionSpec("A", "A", count=50),
+            ConnectionSpec("B", "A", count=200, delay=3),
+        ],
+        seed=9,
+    )
+
+
+class TestValidation:
+    def test_duplicate_region_names_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            CoreObject(
+                "x",
+                regions=[RegionSpec("A", 1), RegionSpec("A", 1)],
+                connections=[],
+            )
+
+    def test_unknown_region_in_connection_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown region"):
+            CoreObject(
+                "x",
+                regions=[RegionSpec("A", 1)],
+                connections=[ConnectionSpec("A", "Z", 1)],
+            )
+
+    def test_region_fraction_sum_enforced(self):
+        with pytest.raises(ConfigurationError):
+            RegionSpec("A", 1, axon_type_fractions=(0.5, 0.1, 0.0, 0.0))
+
+    def test_bad_region_class(self):
+        with pytest.raises(ConfigurationError):
+            RegionSpec("A", 1, region_class="spinal")
+
+    def test_connection_delay_bounds(self):
+        with pytest.raises(ConfigurationError):
+            ConnectionSpec("A", "B", 1, delay=0)
+        with pytest.raises(ConfigurationError):
+            ConnectionSpec("A", "B", 1, delay=99)
+
+    def test_capacity_check_out_degree(self):
+        obj = CoreObject(
+            "x",
+            regions=[RegionSpec("A", 1), RegionSpec("B", 1)],
+            connections=[ConnectionSpec("A", "B", 257)],
+        )
+        with pytest.raises(ConfigurationError, match="outgoing"):
+            obj.validate_capacity(neurons_per_core=256)
+
+    def test_capacity_check_in_degree(self):
+        obj = CoreObject(
+            "x",
+            regions=[RegionSpec("A", 2), RegionSpec("B", 1)],
+            connections=[ConnectionSpec("A", "B", 300)],
+        )
+        with pytest.raises(ConfigurationError, match="incoming"):
+            obj.validate_capacity(axons_per_core=256)
+
+
+class TestDerived:
+    def test_n_cores(self):
+        assert tiny_object().n_cores == 5
+
+    def test_region_lookup(self):
+        obj = tiny_object()
+        assert obj.region("B").n_cores == 3
+        with pytest.raises(KeyError):
+            obj.region("Z")
+
+    def test_connection_matrix(self):
+        m = tiny_object().connection_matrix()
+        assert m[0, 1] == 100
+        assert m[0, 0] == 50
+        assert m[1, 0] == 200
+        assert m[1, 1] == 0
+
+
+class TestSerialisation:
+    def test_json_round_trip(self):
+        obj = tiny_object()
+        restored = CoreObject.from_json(obj.to_json())
+        assert restored.to_dict() == obj.to_dict()
+
+    def test_file_round_trip(self, tmp_path):
+        obj = tiny_object()
+        path = tmp_path / "model.json"
+        obj.to_json(path)
+        restored = CoreObject.from_json(path)
+        assert restored.name == "tiny"
+        assert restored.n_cores == 5
+
+    def test_neuron_parameters_preserved(self):
+        p = NeuronParameters(
+            weights=(7, -3, 1, 0),
+            stochastic_weights=(True, False, False, True),
+            leak=-9,
+            stochastic_leak=True,
+            threshold=44,
+            reset_mode=ResetMode.LINEAR,
+            floor=-77,
+        )
+        obj = CoreObject(
+            "x", regions=[RegionSpec("A", 1, neuron=p)], connections=[]
+        )
+        restored = CoreObject.from_json(obj.to_json())
+        assert restored.region("A").neuron == p
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ConfigurationError, match="format"):
+            CoreObject.from_dict({"format": "bogus/9"})
+
+    def test_description_is_compact(self):
+        # The whole point of §IV: kilobytes of description for an
+        # arbitrarily large explicit model.
+        assert tiny_object().description_nbytes() < 4096

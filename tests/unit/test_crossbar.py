@@ -1,0 +1,78 @@
+"""Unit tests for the binary synaptic crossbar."""
+
+import numpy as np
+import pytest
+
+from repro.arch.crossbar import Crossbar
+
+
+class TestConstruction:
+    def test_zeros(self):
+        cb = Crossbar.zeros()
+        assert cb.synapse_count == 0
+        assert cb.num_axons == 256
+        assert cb.num_neurons == 256
+
+    def test_from_dense_round_trip(self):
+        rng = np.random.default_rng(0)
+        dense = rng.random((256, 256)) < 0.2
+        cb = Crossbar.from_dense(dense)
+        assert np.array_equal(cb.to_dense(), dense)
+
+    def test_identity(self):
+        cb = Crossbar.identity(16)
+        dense = cb.to_dense()
+        assert np.array_equal(dense, np.eye(16, dtype=bool))
+
+    def test_random_density(self):
+        rng = np.random.default_rng(1)
+        cb = Crossbar.random(rng, density=0.25)
+        assert 0.2 < cb.density < 0.3
+
+    def test_random_rejects_bad_density(self):
+        rng = np.random.default_rng(1)
+        with pytest.raises(ValueError):
+            Crossbar.random(rng, density=1.5)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            Crossbar.from_dense(np.zeros(10))
+
+    def test_packed_storage_is_32x_smaller_than_c2_struct(self):
+        # §I: the synapse is a bit -> 32x less storage than C2's 4-byte
+        # synapse struct (256*256 synapses * 4 B vs packed bits).
+        cb = Crossbar.zeros()
+        c2_bytes = 256 * 256 * 4
+        assert c2_bytes / cb.nbytes == 32.0
+
+
+class TestAccess:
+    def test_set_get(self):
+        cb = Crossbar.zeros()
+        cb.set(3, 200, True)
+        assert cb.get(3, 200)
+        assert not cb.get(3, 201)
+        cb.set(3, 200, False)
+        assert not cb.get(3, 200)
+
+    def test_row_matches_dense(self):
+        rng = np.random.default_rng(2)
+        dense = rng.random((256, 256)) < 0.1
+        cb = Crossbar.from_dense(dense)
+        for axon in (0, 7, 255):
+            assert np.array_equal(cb.row(axon), dense[axon])
+
+    def test_synapse_count(self):
+        cb = Crossbar.zeros()
+        cb.set(0, 0)
+        cb.set(10, 20)
+        cb.set(255, 255)
+        assert cb.synapse_count == 3
+
+    def test_equality(self):
+        rng = np.random.default_rng(3)
+        dense = rng.random((256, 256)) < 0.1
+        assert Crossbar.from_dense(dense) == Crossbar.from_dense(dense)
+        other = dense.copy()
+        other[0, 0] = ~other[0, 0]
+        assert Crossbar.from_dense(dense) != Crossbar.from_dense(other)

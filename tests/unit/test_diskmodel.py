@@ -1,0 +1,85 @@
+"""Unit tests for explicit model files (the in-situ compiler's baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.diskmodel import (
+    explicit_model_nbytes,
+    read_model_file,
+    write_model_file,
+)
+from repro.compiler.pcc import ParallelCompassCompiler
+from repro.compiler.coreobject import ConnectionSpec, CoreObject, RegionSpec
+
+
+def small_network():
+    obj = CoreObject(
+        "disk-test",
+        regions=[RegionSpec("A", 2), RegionSpec("B", 2)],
+        connections=[ConnectionSpec("A", "B", 32), ConnectionSpec("B", "A", 16)],
+        seed=5,
+    )
+    return ParallelCompassCompiler().compile(obj).network
+
+
+class TestRoundTrip:
+    def test_read_back_identical(self, tmp_path):
+        net = small_network()
+        path = tmp_path / "model.npz"
+        write_model_file(net, path)
+        restored = read_model_file(path)
+        assert restored.n_cores == net.n_cores
+        assert np.array_equal(restored.crossbars, net.crossbars)
+        assert np.array_equal(restored.axon_types, net.axon_types)
+        assert np.array_equal(restored.target_gid, net.target_gid)
+        assert np.array_equal(restored.target_delay, net.target_delay)
+        assert np.array_equal(
+            restored.neuron_params.threshold, net.neuron_params.threshold
+        )
+
+    def test_restored_network_simulates_identically(self, tmp_path):
+        from repro.core.config import CompassConfig
+        from repro.core.simulator import Compass
+
+        net = small_network()
+        path = tmp_path / "model.npz"
+        write_model_file(net, path)
+        restored = read_model_file(path)
+        a = Compass(net, CompassConfig(n_processes=2, record_spikes=True))
+        b = Compass(restored, CompassConfig(n_processes=2, record_spikes=True))
+        a.inject(0, 3, tick=0)
+        b.inject(0, 3, tick=0)
+        a.run(20)
+        b.run(20)
+        for x, y in zip(a.recorder.to_arrays(), b.recorder.to_arrays()):
+            assert np.array_equal(x, y)
+
+    def test_bytes_written_positive(self, tmp_path):
+        net = small_network()
+        n = write_model_file(net, tmp_path / "m.npz")
+        assert n > 4 * 8192  # at least the crossbars
+
+    def test_bad_format_rejected(self, tmp_path):
+        path = tmp_path / "bogus.npz"
+        np.savez(path, format=np.frombuffer(b"not-a-model", dtype=np.uint8))
+        with pytest.raises(Exception):
+            read_model_file(path)
+
+
+class TestScaleEstimate:
+    def test_paper_scale_is_terabytes(self):
+        # §IV: explicit model for 256M cores is "on the order of several
+        # terabytes".
+        nbytes = explicit_model_nbytes(256 * 10**6)
+        assert 1e12 < nbytes < 20e12
+
+    def test_linear_in_cores(self):
+        assert explicit_model_nbytes(200) == 100 * explicit_model_nbytes(2)
+
+    def test_compact_description_is_orders_smaller(self):
+        from repro.cocomac.model import build_macaque_coreobject
+
+        model = build_macaque_coreobject(total_cores=256 * 10**6 // 16384 * 16384)
+        compact = model.coreobject.description_nbytes()
+        explicit = explicit_model_nbytes(model.total_cores)
+        assert explicit / compact > 1e6

@@ -1,0 +1,100 @@
+"""Unit tests for spike encoders and decoders."""
+
+import numpy as np
+import pytest
+
+from repro.apps.decoders import (
+    argmax_decode,
+    counts_by_gid,
+    raster_of_core,
+    rates_from_counts,
+    spike_counts,
+)
+from repro.apps.encoders import image_to_spikes, poisson_schedule, rate_encode
+from repro.core.simulator import SpikeRecorder
+
+
+class TestRateEncode:
+    def test_rate_tracks_value(self):
+        values = np.array([0.0, 0.5, 1.0])
+        schedule = rate_encode(values, ticks=4000, max_rate=0.5, seed=1)
+        counts = np.zeros(3)
+        for axons in schedule.values():
+            counts[axons] += 1
+        assert counts[0] == 0
+        assert counts[1] / 4000 == pytest.approx(0.25, abs=0.03)
+        assert counts[2] / 4000 == pytest.approx(0.5, abs=0.03)
+
+    def test_deterministic_given_seed(self):
+        v = np.array([0.3, 0.7])
+        a = rate_encode(v, 100, seed=5)
+        b = rate_encode(v, 100, seed=5)
+        assert set(a) == set(b)
+        assert all(np.array_equal(a[t], b[t]) for t in a)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            rate_encode(np.array([1.5]), 10)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            rate_encode(np.ones((2, 2)), 10)
+
+
+class TestPoisson:
+    def test_rate(self):
+        schedule = poisson_schedule(100, rate_hz=100.0, ticks=1000, seed=2)
+        total = sum(a.size for a in schedule.values())
+        # 100 axons x 0.1/tick x 1000 ticks = 10000 expected
+        assert total == pytest.approx(10000, rel=0.1)
+
+    def test_rejects_superunit_rate(self):
+        with pytest.raises(ValueError):
+            poisson_schedule(10, rate_hz=2000.0, ticks=10)
+
+
+class TestImageToSpikes:
+    def test_active_pixels_only(self):
+        img = np.zeros((4, 4))
+        img[1, 2] = 1
+        img[3, 3] = 1
+        schedule = image_to_spikes(img, repeats=2)
+        assert set(schedule) == {0, 1}
+        assert list(schedule[0]) == [6, 15]
+
+    def test_start_tick_offset(self):
+        img = np.ones((2, 2))
+        schedule = image_to_spikes(img, repeats=1, start_tick=5)
+        assert set(schedule) == {5}
+
+
+class TestDecoders:
+    def test_spike_counts(self):
+        raster = np.zeros((5, 3), dtype=bool)
+        raster[0, 1] = raster[2, 1] = raster[4, 2] = True
+        assert list(spike_counts(raster)) == [0, 2, 1]
+
+    def test_spike_counts_rejects_1d(self):
+        with pytest.raises(ValueError):
+            spike_counts(np.zeros(5))
+
+    def test_rates(self):
+        assert list(rates_from_counts(np.array([10]), ticks=1000)) == [10.0]
+        with pytest.raises(ValueError):
+            rates_from_counts(np.array([1]), 0)
+
+    def test_argmax_ties_break_low(self):
+        assert argmax_decode(np.array([3, 3, 1])) == 0
+
+    def test_counts_by_gid(self):
+        rec = SpikeRecorder()
+        rec.record(0, np.array([0, 1, 1]), np.array([0, 0, 1]))
+        rec.record(1, np.array([1]), np.array([5]))
+        assert list(counts_by_gid(rec, 3)) == [1, 3, 0]
+
+    def test_raster_of_core(self):
+        rec = SpikeRecorder()
+        rec.record(2, np.array([0, 1]), np.array([7, 9]))
+        raster = raster_of_core(rec, gid=1, ticks=5, n_neurons=16)
+        assert raster[2, 9]
+        assert raster.sum() == 1

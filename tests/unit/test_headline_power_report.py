@@ -1,0 +1,79 @@
+"""Unit tests for the headline summary, power model, and report tables."""
+
+import pytest
+
+from repro.perf.headline import PAPER, headline_summary
+from repro.perf.power import (
+    blue_gene_power_watts,
+    efficiency_ratio,
+    truenorth_power_watts,
+)
+from repro.perf.report import format_table, paper_vs_model
+
+
+class TestHeadline:
+    @pytest.fixture(scope="class")
+    def summary(self):
+        return headline_summary()
+
+    def test_scale_quantities_match_paper(self, summary):
+        m = summary["model"]
+        assert m["cores"] == pytest.approx(PAPER["cores"], rel=0.1)
+        assert m["neurons"] == pytest.approx(PAPER["neurons"], rel=0.1)
+        assert m["synapses"] == pytest.approx(PAPER["synapses"], rel=0.1)
+
+    def test_rate_matches(self, summary):
+        assert summary["model"]["mean_rate_hz"] == pytest.approx(8.1, rel=0.05)
+
+    def test_slowdown_within_band(self, summary):
+        # Paper: 388x slower than real time.
+        assert summary["model"]["slowdown"] == pytest.approx(388, rel=0.15)
+
+    def test_traffic_within_band(self, summary):
+        m = summary["model"]
+        assert m["spikes_per_tick"] == pytest.approx(22e6, rel=0.25)
+        assert m["gb_per_tick"] == pytest.approx(0.44, rel=0.25)
+        # §VI-B: well below the 2 GB/s torus link bandwidth per tick-second.
+        assert m["gb_per_tick"] < 2.0
+
+
+class TestPower:
+    def test_truenorth_far_below_simulator(self):
+        # The architecture's raison d'être: orders of magnitude less power
+        # than the supercomputer simulating it.
+        assert efficiency_ratio(256_000_000, 8.1, racks=16) > 100
+
+    def test_power_scales_with_rate(self):
+        lo = truenorth_power_watts(1000, 1.0)
+        hi = truenorth_power_watts(1000, 10.0)
+        assert hi > lo
+
+    def test_static_floor(self):
+        assert truenorth_power_watts(1000, 0.0) == pytest.approx(1000 * 50e-9)
+
+    def test_blue_gene_power(self):
+        assert blue_gene_power_watts(16) == pytest.approx(16 * 85e3)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            truenorth_power_watts(0, 1.0)
+        with pytest.raises(ValueError):
+            blue_gene_power_watts(0)
+
+
+class TestReport:
+    def test_format_table_aligns(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [10, 0.25]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert len({len(line) for line in lines[1:]}) == 1  # aligned
+
+    def test_format_table_values(self):
+        out = format_table(["x"], [[True], [1234567.0]])
+        assert "yes" in out
+        assert "1.23e+06" in out
+
+    def test_paper_vs_model(self):
+        out = paper_vs_model({"speed": 2.0}, {"speed": 1.0})
+        assert "model/paper" in out
+        assert "0.5" in out

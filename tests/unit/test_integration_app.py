@@ -1,0 +1,83 @@
+"""Unit tests for the multi-modal sensor-integration application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.classify import DIGIT_GLYPHS, noisy_glyph
+from repro.apps.integration import (
+    AudioClassifier,
+    MultiModalClassifier,
+    default_audio_signatures,
+)
+
+
+@pytest.fixture(scope="module")
+def fused():
+    return MultiModalClassifier(seed=3)
+
+
+class TestSignatures:
+    def test_signature_shape(self):
+        sigs = default_audio_signatures([0, 1, 2], seed=0)
+        assert set(sigs) == {0, 1, 2}
+        assert all(s.size == 64 for s in sigs.values())
+
+    def test_signatures_distinct(self):
+        sigs = default_audio_signatures(list(range(5)), seed=0)
+        keys = list(sigs)
+        for i in range(len(keys)):
+            for j in range(i + 1, len(keys)):
+                assert not np.array_equal(sigs[keys[i]], sigs[keys[j]])
+
+    def test_deterministic(self):
+        a = default_audio_signatures([0, 1], seed=7)
+        b = default_audio_signatures([0, 1], seed=7)
+        assert all(np.array_equal(a[k], b[k]) for k in a)
+
+
+class TestAudioClassifier:
+    def test_clean_signatures_classified(self):
+        sigs = default_audio_signatures(list(range(4)), seed=1)
+        clf = AudioClassifier(sigs)
+        for label, sig in sigs.items():
+            evidence = clf.evidence(sig)
+            assert clf.labels[int(np.argmax(evidence))] == label
+
+    def test_rejects_wrong_width(self):
+        clf = AudioClassifier(default_audio_signatures([0], seed=0))
+        with pytest.raises(ValueError):
+            clf.evidence(np.zeros(32, dtype=bool))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            AudioClassifier({})
+
+
+class TestFusion:
+    def test_both_modalities_clean(self, fused):
+        for label in list(DIGIT_GLYPHS)[:3]:
+            img, spec = fused.sample_for(label)
+            assert fused.classify(image=img, spectrum=spec) == label
+
+    def test_single_modality_fallback(self, fused):
+        img, spec = fused.sample_for(2)
+        assert fused.classify(image=img) == 2
+        assert fused.classify(spectrum=spec) == 2
+
+    def test_requires_some_modality(self, fused):
+        with pytest.raises(ValueError):
+            fused.classify()
+
+    def test_fusion_rescues_corrupted_vision(self, fused):
+        """Heavy image noise + clean audio must still win via fusion."""
+        label = 1
+        _, spec = fused.sample_for(label)
+        bad_img = noisy_glyph(label, flips=20, seed=5)
+        assert fused.classify(image=bad_img, spectrum=spec) == label
+
+    def test_label_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            MultiModalClassifier(
+                glyphs={0: DIGIT_GLYPHS[0]},
+                signatures=default_audio_signatures([0, 1]),
+            )

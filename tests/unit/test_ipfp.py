@@ -1,0 +1,105 @@
+"""Unit tests for IPFP / Sinkhorn–Knopp matrix balancing."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.ipfp import balance_matrix, round_preserving_sums
+from repro.errors import CompilationError
+
+
+class TestBalance:
+    def test_doubly_stochastic(self):
+        rng = np.random.default_rng(0)
+        m = rng.random((6, 6)) + 0.05
+        r = balance_matrix(m, np.ones(6), np.ones(6))
+        assert np.allclose(r.matrix.sum(axis=1), 1.0, atol=1e-8)
+        assert np.allclose(r.matrix.sum(axis=0), 1.0, atol=1e-8)
+        assert r.converged
+
+    def test_arbitrary_marginals(self):
+        rng = np.random.default_rng(1)
+        m = rng.random((4, 5)) + 0.01
+        rows = np.array([1.0, 2.0, 3.0, 4.0])
+        cols = np.array([2.0, 2.0, 2.0, 2.0, 2.0])
+        r = balance_matrix(m, rows, cols)
+        assert np.allclose(r.matrix.sum(axis=1), rows, rtol=1e-8)
+        assert np.allclose(r.matrix.sum(axis=0), cols, rtol=1e-8)
+
+    def test_scaling_is_diagonal(self):
+        """The result must be D1 @ M @ D2 for positive diagonals."""
+        rng = np.random.default_rng(2)
+        m = rng.random((5, 5)) + 0.1
+        r = balance_matrix(m, np.ones(5), np.ones(5))
+        reconstructed = np.diag(r.row_scale) @ m @ np.diag(r.col_scale)
+        assert np.allclose(reconstructed, r.matrix, rtol=1e-6)
+
+    def test_preserves_zero_pattern(self):
+        m = np.array([[1.0, 1.0, 0.0], [0.0, 1.0, 1.0], [1.0, 0.0, 1.0]])
+        r = balance_matrix(m, np.ones(3), np.ones(3))
+        assert np.array_equal(r.matrix == 0, m == 0)
+
+    def test_inconsistent_targets_rejected(self):
+        with pytest.raises(CompilationError, match="inconsistent"):
+            balance_matrix(np.ones((2, 2)), np.array([1.0, 1.0]), np.array([3.0, 3.0]))
+
+    def test_zero_row_with_positive_target_rejected(self):
+        m = np.array([[0.0, 0.0], [1.0, 1.0]])
+        with pytest.raises(CompilationError, match="zero row/column"):
+            balance_matrix(m, np.ones(2), np.ones(2))
+
+    def test_negative_input_rejected(self):
+        with pytest.raises(CompilationError):
+            balance_matrix(np.array([[-1.0]]), np.ones(1), np.ones(1))
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(CompilationError):
+            balance_matrix(np.ones(4), np.ones(4), np.ones(4))
+
+    def test_infeasible_pattern_fails_to_converge(self):
+        # A block-diagonal zero pattern cannot satisfy cross-block targets.
+        m = np.array([[1.0, 0.0], [0.0, 1.0]])
+        # Feasible trivially: diag scaling. Use a pattern that cannot move
+        # mass where targets need it.
+        m2 = np.array([[1.0, 1.0], [0.0, 1.0]])
+        rows = np.array([10.0, 1.0])
+        cols = np.array([10.0, 1.0])
+        # col 0 can only be fed by row 0, but row 0 must total 10 with
+        # col 1 receiving 1 at most from row 1... this is feasible; use a
+        # genuinely infeasible one:
+        m3 = np.array([[0.0, 1.0], [1.0, 1.0]])
+        rows3 = np.array([5.0, 1.0])
+        cols3 = np.array([5.0, 1.0])
+        # row 0 only reaches col 1 (target 1) but must place 5.
+        with pytest.raises(CompilationError, match="IPFP"):
+            balance_matrix(m3, rows3, cols3, max_iterations=500)
+        del m, m2, rows, cols
+
+
+class TestRounding:
+    def test_row_sums_preserved(self):
+        rng = np.random.default_rng(3)
+        m = rng.random((5, 5)) * 10
+        targets = m.sum(axis=1).round()
+        balanced = balance_matrix(m, targets, np.full(5, targets.sum() / 5))
+        out = round_preserving_sums(balanced.matrix, targets)
+        assert np.array_equal(out.sum(axis=1), targets.astype(np.int64))
+
+    def test_integer_output(self):
+        m = np.array([[0.4, 0.6], [1.3, 0.7]])
+        out = round_preserving_sums(m, np.array([1, 2]))
+        assert out.dtype == np.int64
+        assert list(out.sum(axis=1)) == [1, 2]
+
+    def test_zero_entries_stay_zero_when_possible(self):
+        m = np.array([[2.5, 0.0, 2.5]])
+        out = round_preserving_sums(m, np.array([5]))
+        assert out[0, 1] == 0
+        assert out.sum() == 5
+
+    def test_column_overshoot_bounded_by_rows(self):
+        """Each column exceeds its float sum by at most the row count."""
+        rng = np.random.default_rng(4)
+        m = rng.random((20, 20)) * 3
+        targets = np.ceil(m.sum(axis=1))
+        out = round_preserving_sums(m, targets)
+        assert (out.sum(axis=0) <= m.sum(axis=0) + 20).all()

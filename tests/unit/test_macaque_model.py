@@ -1,0 +1,108 @@
+"""Unit tests for the macaque model builder (§V)."""
+
+import numpy as np
+import pytest
+
+from repro.arch.params import NUM_NEURONS
+from repro.cocomac.model import (
+    WHITE_FRACTION,
+    build_macaque_coreobject,
+    default_neuron_prototype,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return build_macaque_coreobject(total_cores=512, seed=3)
+
+
+class TestStructure:
+    def test_77_regions(self, model):
+        assert model.n_regions == 77
+        assert len(model.coreobject.regions) == 77
+
+    def test_total_cores(self, model):
+        assert model.total_cores == 512
+
+    def test_matrix_diagonal_is_gray(self, model):
+        counts = model.connection_counts
+        for i, cls in enumerate(model.region_classes):
+            if counts[i].sum() == 0:
+                continue
+            gray = counts[i, i] / counts[i].sum()
+            expected_gray = 1.0 - WHITE_FRACTION[cls]
+            # IPFP balancing shifts the exact split; it stays in the
+            # neighbourhood of the prescribed ratio.
+            assert abs(gray - expected_gray) < 0.35
+
+    def test_white_matter_only_on_cocomac_edges(self, model):
+        counts = model.connection_counts.copy()
+        np.fill_diagonal(counts, 0)
+        off_pattern = counts[model.binary_matrix == 0]
+        assert (off_pattern == 0).all()
+
+    def test_overall_white_fraction_near_prescription(self, model):
+        # Mixture of 60% (cortical) and 80% (subcortical) prescriptions.
+        assert 0.45 < model.white_matter_fraction < 0.85
+
+
+class TestRealizability:
+    def test_row_sums_within_neuron_capacity(self, model):
+        out_degree = model.connection_counts.sum(axis=1)
+        capacity = model.cores * NUM_NEURONS
+        assert (out_degree <= capacity).all()
+
+    def test_col_sums_within_axon_capacity(self, model):
+        in_degree = model.connection_counts.sum(axis=0)
+        capacity = model.cores * NUM_NEURONS
+        assert (in_degree <= capacity).all()
+
+    def test_coreobject_passes_capacity_validation(self, model):
+        model.coreobject.validate_capacity()
+
+    def test_balanced_matrix_marginals_equal(self, model):
+        rows = model.balanced_matrix.sum(axis=1)
+        cols = model.balanced_matrix.sum(axis=0)
+        assert np.allclose(rows, cols, rtol=1e-6)
+
+
+class TestCompiled:
+    def test_compiles_and_simulates(self, macaque_small):
+        from repro.core.config import CompassConfig
+        from repro.core.simulator import Compass
+
+        net = macaque_small.compiled.network
+        sim = Compass(net, CompassConfig(n_processes=4))
+        result = sim.run(100)
+        assert result.total_spikes > 0
+
+    def test_region_ranges_cover_network(self, macaque_small):
+        cm = macaque_small.compiled
+        spans = sorted(cm.region_ranges.values())
+        assert spans[0][0] == 0
+        assert spans[-1][1] == cm.network.n_cores
+        for (_, hi), (lo, _) in zip(spans, spans[1:]):
+            assert hi == lo
+
+
+class TestNeuronPrototype:
+    def test_self_driving(self):
+        p = default_neuron_prototype("cortical")
+        assert p.stochastic_leak and p.leak > 0
+
+    def test_subcortical_higher_threshold(self):
+        assert (
+            default_neuron_prototype("thalamic").threshold
+            > default_neuron_prototype("cortical").threshold
+        )
+
+    def test_deterministic_build(self):
+        a = build_macaque_coreobject(128, seed=1)
+        b = build_macaque_coreobject(128, seed=1)
+        assert np.array_equal(a.connection_counts, b.connection_counts)
+        assert np.array_equal(a.cores, b.cores)
+
+    def test_seed_changes_model(self):
+        a = build_macaque_coreobject(128, seed=1)
+        b = build_macaque_coreobject(128, seed=2)
+        assert not np.array_equal(a.connection_counts, b.connection_counts)

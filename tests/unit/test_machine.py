@@ -1,0 +1,60 @@
+"""Unit tests for machine specs and run configurations."""
+
+import pytest
+
+from repro.runtime.machine import BLUE_GENE_P, BLUE_GENE_Q, MachineConfig
+
+
+class TestBlueGeneQ:
+    def test_paper_geometry(self):
+        # §VI-A: 16 app cores, 4 HW threads, 16 GB/node, 1024 nodes/rack,
+        # 5D torus with 2 GB/s links.
+        assert BLUE_GENE_Q.cpu_cores_per_node == 16
+        assert BLUE_GENE_Q.hw_threads_per_core == 4
+        assert BLUE_GENE_Q.memory_per_node == 16 * 2**30
+        assert BLUE_GENE_Q.nodes_per_rack == 1024
+        assert BLUE_GENE_Q.torus_dims == 5
+        assert BLUE_GENE_Q.link_bandwidth == 2e9
+
+    def test_full_system_cpu_count(self):
+        # 16 racks = 262144 application CPUs.
+        assert BLUE_GENE_Q.cpus_for_racks(16) == 262144
+
+    def test_max_threads(self):
+        assert BLUE_GENE_Q.max_threads_per_node == 64
+
+
+class TestBlueGeneP:
+    def test_paper_geometry(self):
+        # §VII: 4 CPUs and 4 GB per node; 4 racks = 16384 CPUs.
+        assert BLUE_GENE_P.cpu_cores_per_node == 4
+        assert BLUE_GENE_P.memory_per_node == 4 * 2**30
+        assert BLUE_GENE_P.cpus_for_racks(4) == 16384
+
+
+class TestMachineConfig:
+    def test_paper_standard_config(self):
+        mc = MachineConfig(BLUE_GENE_Q, nodes=1024, procs_per_node=1, threads_per_proc=32)
+        assert mc.n_processes == 1024
+        assert mc.racks == 1.0
+        assert "32 threads" in mc.describe()
+
+    def test_rejects_thread_oversubscription(self):
+        with pytest.raises(ValueError):
+            MachineConfig(BLUE_GENE_Q, nodes=1, procs_per_node=4, threads_per_proc=32)
+
+    def test_effective_threads_monotone(self):
+        effs = [
+            MachineConfig(BLUE_GENE_Q, nodes=1, threads_per_proc=t).effective_threads
+            for t in (1, 2, 4, 8, 16, 32)
+        ]
+        assert all(b > a for a, b in zip(effs, effs[1:]))
+
+    def test_effective_threads_sublinear_beyond_cores(self):
+        mc32 = MachineConfig(BLUE_GENE_Q, nodes=1, threads_per_proc=32)
+        mc16 = MachineConfig(BLUE_GENE_Q, nodes=1, threads_per_proc=16)
+        assert mc32.effective_threads < 2 * mc16.effective_threads
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(Exception):
+            MachineConfig(BLUE_GENE_Q, nodes=0)

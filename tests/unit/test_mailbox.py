@@ -1,0 +1,68 @@
+"""Unit tests for mailboxes and message matching."""
+
+import pytest
+
+from repro.errors import CommunicationError
+from repro.runtime.mailbox import ANY_SOURCE, ANY_TAG, Mailbox, Message
+
+
+def msg(source=0, dest=1, tag=0, payload="x", nbytes=1) -> Message:
+    return Message(source, dest, tag, payload, nbytes)
+
+
+class TestDelivery:
+    def test_deliver_and_pop(self):
+        mb = Mailbox(1)
+        mb.deliver(msg(payload="hello"))
+        assert mb.pop().payload == "hello"
+        assert len(mb) == 0
+
+    def test_wrong_destination_rejected(self):
+        mb = Mailbox(2)
+        with pytest.raises(CommunicationError):
+            mb.deliver(msg(dest=1))
+
+    def test_fifo_per_pair(self):
+        mb = Mailbox(1)
+        mb.deliver(msg(payload="a"))
+        mb.deliver(msg(payload="b"))
+        assert mb.pop().payload == "a"
+        assert mb.pop().payload == "b"
+
+
+class TestMatching:
+    def test_probe_by_source(self):
+        mb = Mailbox(1)
+        mb.deliver(msg(source=3, payload="three"))
+        mb.deliver(msg(source=5, payload="five"))
+        assert mb.probe(source=5).payload == "five"
+        assert mb.probe(source=9) is None
+
+    def test_probe_by_tag(self):
+        mb = Mailbox(1)
+        mb.deliver(msg(tag=7, payload="t7"))
+        assert mb.probe(tag=7).payload == "t7"
+        assert mb.probe(tag=8) is None
+
+    def test_wildcards(self):
+        mb = Mailbox(1)
+        mb.deliver(msg(source=2, tag=9))
+        assert mb.probe(ANY_SOURCE, ANY_TAG) is not None
+
+    def test_pop_unmatched_raises(self):
+        mb = Mailbox(1)
+        with pytest.raises(CommunicationError):
+            mb.pop(source=4)
+
+    def test_pop_skips_non_matching(self):
+        mb = Mailbox(1)
+        mb.deliver(msg(source=2, payload="first"))
+        mb.deliver(msg(source=3, payload="second"))
+        assert mb.pop(source=3).payload == "second"
+        assert mb.pop().payload == "first"
+
+    def test_clear(self):
+        mb = Mailbox(1)
+        mb.deliver(msg())
+        mb.clear()
+        assert len(mb) == 0

@@ -1,0 +1,101 @@
+"""Unit tests for the closed-loop spiking navigator."""
+
+import numpy as np
+import pytest
+
+from repro.apps.navigation import (
+    ACTIONS,
+    GridWorld,
+    SpikingNavigator,
+    navigate,
+    render,
+)
+
+
+class TestGridWorld:
+    def test_corridor_shape(self):
+        w = GridWorld.corridor(length=20, width=7)
+        assert w.grid.shape == (7, 20)
+        assert w.grid[0].all() and w.grid[-1].all()
+        assert not w.grid[w.y, w.x]
+
+    def test_sense_open_space(self):
+        grid = np.zeros((9, 9), dtype=bool)
+        w = GridWorld(grid=grid, y=4, x=4, heading=1)
+        assert (w.sense() == 0).all()
+
+    def test_sense_wall_ahead(self):
+        grid = np.zeros((5, 5), dtype=bool)
+        grid[2, 4] = True
+        w = GridWorld(grid=grid, y=2, x=2, heading=1)  # facing east
+        left, front, right = w.sense()
+        assert front > 0
+        assert front > left and front > right
+
+    def test_sense_closer_is_stronger(self):
+        grid = np.zeros((5, 9), dtype=bool)
+        w_far = GridWorld(grid=grid.copy(), y=2, x=1, heading=1)
+        w_far.grid[2, 4] = True
+        w_near = GridWorld(grid=grid.copy(), y=2, x=1, heading=1)
+        w_near.grid[2, 2] = True
+        assert w_near.sense()[1] > w_far.sense()[1]
+
+    def test_act_moves_forward(self):
+        grid = np.zeros((5, 5), dtype=bool)
+        w = GridWorld(grid=grid, y=2, x=2, heading=1)
+        w.act("straight")
+        assert (w.y, w.x) == (2, 3)
+        assert w.collisions == 0
+
+    def test_act_turn_changes_heading(self):
+        grid = np.zeros((5, 5), dtype=bool)
+        w = GridWorld(grid=grid, y=2, x=2, heading=1)
+        w.act("left")
+        assert w.heading == 0  # now facing north, moved north
+        assert (w.y, w.x) == (1, 2)
+
+    def test_collision_counted(self):
+        grid = np.zeros((3, 3), dtype=bool)
+        grid[1, 2] = True
+        w = GridWorld(grid=grid, y=1, x=1, heading=1)
+        w.act("straight")
+        assert w.collisions == 1
+        assert (w.y, w.x) == (1, 1)
+
+
+class TestNavigator:
+    def test_open_space_goes_straight(self):
+        nav = SpikingNavigator(seed=1)
+        action = nav.decide(np.zeros(3), seed=0)
+        assert action == "straight"
+
+    def test_obstacle_ahead_forces_turn(self):
+        nav = SpikingNavigator(seed=1)
+        votes = [nav.decide(np.array([0.0, 1.0, 0.0]), seed=s) for s in range(5)]
+        assert all(v in ("left", "right") for v in votes)
+
+    def test_obstacle_left_avoids_left(self):
+        nav = SpikingNavigator(seed=1)
+        votes = [nav.decide(np.array([1.0, 0.0, 0.4]), seed=s) for s in range(5)]
+        assert votes.count("left") == 0
+
+    def test_actions_valid(self):
+        nav = SpikingNavigator(seed=2)
+        rng = np.random.default_rng(0)
+        for s in range(5):
+            action = nav.decide(rng.random(3), seed=s)
+            assert action in ACTIONS
+
+
+class TestClosedLoop:
+    def test_navigates_corridor(self):
+        world = navigate(max_steps=80, seed=3)
+        # Reaches (or nearly reaches) the corridor end with few collisions.
+        assert world.progress >= world.grid.shape[1] // 2
+        assert world.collisions <= world.steps // 4
+
+    def test_render(self):
+        world = navigate(max_steps=10, seed=1)
+        art = render(world)
+        assert "#" in art
+        assert any(m in art for m in "^>v<")

@@ -1,0 +1,126 @@
+"""Unit tests for the CoreNetwork model container."""
+
+import numpy as np
+import pytest
+
+from repro.arch.crossbar import Crossbar
+from repro.arch.network import CoreNetwork, NeuronTarget
+from repro.arch.params import MAX_DELAY, NeuronParameters
+from repro.errors import WiringError
+
+
+class TestConstruction:
+    def test_basic_shapes(self):
+        net = CoreNetwork(4)
+        assert net.n_cores == 4
+        assert net.n_neurons == 4 * 256
+        assert net.crossbars.shape == (4, 256, 32)
+        assert (net.target_gid == -1).all()
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ValueError):
+            CoreNetwork(0)
+
+    def test_core_seeds_derived_from_network_seed(self):
+        a = CoreNetwork(3, seed=1)
+        b = CoreNetwork(3, seed=1)
+        c = CoreNetwork(3, seed=2)
+        assert np.array_equal(a.core_seeds, b.core_seeds)
+        assert not np.array_equal(a.core_seeds, c.core_seeds)
+
+
+class TestConfiguration:
+    def test_set_get_crossbar(self):
+        net = CoreNetwork(2)
+        cb = Crossbar.identity()
+        net.set_crossbar(1, cb)
+        assert net.get_crossbar(1) == cb
+
+    def test_set_crossbar_from_dense(self):
+        net = CoreNetwork(1)
+        dense = np.eye(256, dtype=bool)
+        net.set_crossbar(0, dense)
+        assert net.get_crossbar(0).get(5, 5)
+
+    def test_rejects_wrong_geometry_crossbar(self):
+        net = CoreNetwork(1)
+        with pytest.raises(WiringError):
+            net.set_crossbar(0, np.eye(16, dtype=bool))
+
+    def test_axon_types_validation(self):
+        net = CoreNetwork(1)
+        with pytest.raises(WiringError):
+            net.set_axon_types(0, np.full(256, 7, dtype=np.uint8))
+        with pytest.raises(WiringError):
+            net.set_axon_types(0, np.zeros(100, dtype=np.uint8))
+
+    def test_set_neuron(self):
+        net = CoreNetwork(1)
+        p = NeuronParameters(threshold=9)
+        net.set_neuron(0, 42, p)
+        assert net.neuron_params.get_neuron(0, 42) == p
+
+
+class TestConnectivity:
+    def test_connect_and_get_target(self):
+        net = CoreNetwork(3)
+        net.connect(0, 5, NeuronTarget(2, 100, delay=4))
+        t = net.get_target(0, 5)
+        assert t == NeuronTarget(2, 100, 4)
+
+    def test_unconnected_returns_none(self):
+        net = CoreNetwork(1)
+        assert net.get_target(0, 0) is None
+
+    def test_connect_rejects_bad_gid(self):
+        net = CoreNetwork(2)
+        with pytest.raises(WiringError):
+            net.connect(0, 0, NeuronTarget(5, 0))
+
+    def test_connect_rejects_bad_axon(self):
+        net = CoreNetwork(2)
+        with pytest.raises(WiringError):
+            net.connect(0, 0, NeuronTarget(1, 256))
+
+    def test_connect_rejects_bad_delay(self):
+        net = CoreNetwork(2)
+        with pytest.raises(WiringError):
+            net.connect(0, 0, NeuronTarget(1, 0, delay=0))
+        with pytest.raises(WiringError):
+            net.connect(0, 0, NeuronTarget(1, 0, delay=MAX_DELAY + 1))
+
+    def test_connect_many(self):
+        net = CoreNetwork(4)
+        src = np.array([0, 0, 1])
+        neu = np.array([0, 1, 2])
+        tgt = np.array([1, 2, 3])
+        ax = np.array([10, 20, 30])
+        net.connect_many(src, neu, tgt, ax, delay=2)
+        assert net.get_target(0, 1) == NeuronTarget(2, 20, 2)
+        assert net.connected_neuron_count == 3
+
+    def test_connect_many_validates(self):
+        net = CoreNetwork(2)
+        with pytest.raises(WiringError):
+            net.connect_many(
+                np.array([0]), np.array([0]), np.array([9]), np.array([0])
+            )
+
+    def test_validate_detects_corruption(self):
+        net = CoreNetwork(2)
+        net.connect(0, 0, NeuronTarget(1, 0))
+        net.target_axon[0, 0] = 999  # simulated corruption
+        with pytest.raises(WiringError):
+            net.validate()
+
+
+class TestAccounting:
+    def test_synapse_count(self):
+        net = CoreNetwork(2)
+        net.set_crossbar(0, Crossbar.identity())
+        assert net.synapse_count == 256
+
+    def test_model_nbytes_scales_with_cores(self):
+        small = CoreNetwork(2).model_nbytes()
+        large = CoreNetwork(8).model_nbytes()
+        assert large == 4 * small

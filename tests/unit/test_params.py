@@ -1,0 +1,108 @@
+"""Unit tests for neuron/core parameter objects."""
+
+import numpy as np
+import pytest
+
+from repro.arch.params import (
+    DELAY_SLOTS,
+    MAX_DELAY,
+    NUM_AXON_TYPES,
+    NUM_AXONS,
+    NUM_NEURONS,
+    CoreParameters,
+    NeuronArrayParameters,
+    NeuronParameters,
+    ResetMode,
+)
+from repro.errors import ConfigurationError
+
+
+class TestGeometry:
+    def test_paper_core_geometry(self):
+        # §II: 256 axons, 256 neurons, 256x256 crossbar, 4 axon types.
+        assert NUM_AXONS == 256
+        assert NUM_NEURONS == 256
+        assert NUM_AXON_TYPES == 4
+        assert DELAY_SLOTS == MAX_DELAY + 1
+
+
+class TestNeuronParameters:
+    def test_defaults_valid(self):
+        p = NeuronParameters()
+        assert p.threshold == 1
+        assert p.reset_mode == ResetMode.ZERO
+
+    def test_rejects_bad_weight_count(self):
+        with pytest.raises(ConfigurationError):
+            NeuronParameters(weights=(1, 2, 3))
+
+    def test_rejects_out_of_range_weight(self):
+        with pytest.raises(ConfigurationError):
+            NeuronParameters(weights=(300, 0, 0, 0))
+        with pytest.raises(ConfigurationError):
+            NeuronParameters(weights=(-256, 0, 0, 0))
+
+    def test_rejects_nonpositive_threshold(self):
+        with pytest.raises(ConfigurationError):
+            NeuronParameters(threshold=0)
+
+    def test_rejects_positive_floor(self):
+        with pytest.raises(ConfigurationError):
+            NeuronParameters(floor=1)
+
+    def test_rejects_reset_below_floor(self):
+        with pytest.raises(ConfigurationError):
+            NeuronParameters(floor=-4, reset_value=-5)
+
+    def test_frozen(self):
+        p = NeuronParameters()
+        with pytest.raises(AttributeError):
+            p.threshold = 5
+
+
+class TestCoreParameters:
+    def test_defaults(self):
+        c = CoreParameters()
+        assert c.num_axons == NUM_AXONS
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            CoreParameters(num_axons=0)
+
+
+class TestNeuronArrayParameters:
+    def test_empty_shapes(self):
+        block = NeuronArrayParameters.empty(3, 16)
+        assert block.shape == (3, 16)
+        assert block.weights.shape == (3, 16, NUM_AXON_TYPES)
+
+    def test_set_get_round_trip(self):
+        block = NeuronArrayParameters.empty(2, 8)
+        p = NeuronParameters(
+            weights=(5, -3, 0, 7),
+            stochastic_weights=(True, False, True, False),
+            leak=-2,
+            stochastic_leak=True,
+            threshold=9,
+            reset_mode=ResetMode.LINEAR,
+            reset_value=0,
+            floor=-100,
+        )
+        block.set_neuron(1, 3, p)
+        assert block.get_neuron(1, 3) == p
+
+    def test_homogeneous_broadcast(self):
+        p = NeuronParameters(threshold=4)
+        block = NeuronArrayParameters.homogeneous(p, 3, 8)
+        assert (block.threshold == 4).all()
+
+    def test_slice_cores_copies(self):
+        block = NeuronArrayParameters.empty(4, 8)
+        sub = block.slice_cores(slice(1, 3))
+        sub.threshold[...] = 99
+        assert (block.threshold == 1).all()
+        assert sub.shape == (2, 8)
+
+    def test_default_neuron_is_relay_like(self):
+        block = NeuronArrayParameters.empty(1, 4)
+        assert np.array_equal(block.weights[0, 0], [1, 1, 1, 1])

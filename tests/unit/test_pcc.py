@@ -1,0 +1,157 @@
+"""Unit tests for the Parallel Compass Compiler."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.coreobject import ConnectionSpec, CoreObject, RegionSpec
+from repro.compiler.pcc import ParallelCompassCompiler, _apportion
+from repro.errors import WiringError
+
+
+def two_region_object(a_cores=2, b_cores=3, ab=64, aa=32, ba=48) -> CoreObject:
+    return CoreObject(
+        name="two",
+        regions=[
+            RegionSpec("A", a_cores, crossbar_density=0.25),
+            RegionSpec(
+                "B",
+                b_cores,
+                crossbar_density=0.0625,
+                region_class="thalamic",
+                axon_type_fractions=(0.5, 0.25, 0.25, 0.0),
+            ),
+        ],
+        connections=[
+            ConnectionSpec("A", "B", ab, delay=2),
+            ConnectionSpec("A", "A", aa),
+            ConnectionSpec("B", "A", ba, delay=4),
+        ],
+        seed=3,
+    )
+
+
+class TestCompile:
+    def test_layout_contiguous_in_region_order(self):
+        cm = ParallelCompassCompiler().compile(two_region_object())
+        assert cm.region_ranges == {"A": (0, 2), "B": (2, 5)}
+        assert cm.network.n_cores == 5
+
+    def test_region_of_gid(self):
+        cm = ParallelCompassCompiler().compile(two_region_object())
+        assert cm.region_of_gid(0) == "A"
+        assert cm.region_of_gid(4) == "B"
+        with pytest.raises(KeyError):
+            cm.region_of_gid(5)
+
+    def test_connection_counts_realised(self):
+        obj = two_region_object()
+        cm = ParallelCompassCompiler().compile(obj)
+        assert cm.network.connected_neuron_count == 64 + 32 + 48
+        assert cm.metrics.white_matter_connections == 64 + 48
+        assert cm.metrics.gray_matter_connections == 32
+
+    def test_white_matter_lands_in_target_region(self):
+        cm = ParallelCompassCompiler().compile(two_region_object())
+        net = cm.network
+        # A -> B spikes: source neurons in gids [0,2), targets in [2,5).
+        src_gids, src_neurons = np.nonzero(net.target_gid >= 0)
+        for g, n in zip(src_gids, src_neurons):
+            tgt = net.target_gid[g, n]
+            if g < 2:  # region A source
+                assert tgt < 5
+            else:  # region B sources all go to A
+                assert 0 <= tgt < 2
+
+    def test_delays_respected(self):
+        cm = ParallelCompassCompiler().compile(two_region_object())
+        net = cm.network
+        b_sources = net.target_gid[2:5] >= 0
+        assert (net.target_delay[2:5][b_sources] == 4).all()
+
+    def test_axon_exclusivity(self):
+        """No two neurons may drive the same target axon."""
+        cm = ParallelCompassCompiler().compile(two_region_object())
+        net = cm.network
+        connected = net.target_gid >= 0
+        pairs = list(
+            zip(net.target_gid[connected].ravel(), net.target_axon[connected].ravel())
+        )
+        assert len(pairs) == len(set(pairs))
+
+    def test_crossbar_density_applied(self):
+        cm = ParallelCompassCompiler().compile(two_region_object())
+        a_density = cm.network.get_crossbar(0).density
+        b_density = cm.network.get_crossbar(3).density
+        assert abs(a_density - 0.25) < 0.02
+        assert abs(b_density - 0.0625) < 0.02
+
+    def test_axon_type_mix(self):
+        cm = ParallelCompassCompiler().compile(two_region_object())
+        types_b = cm.network.axon_types[3]
+        counts = np.bincount(types_b, minlength=4)
+        assert list(counts) == [128, 64, 64, 0]
+
+    def test_exchange_message_accounting(self):
+        cm = ParallelCompassCompiler().compile(two_region_object())
+        # Two inter-region connection specs -> two aggregated exchanges.
+        assert cm.metrics.exchange_messages == 2
+        assert cm.metrics.exchange_bytes == (64 + 48) * 12
+
+    def test_deterministic_model(self):
+        a = ParallelCompassCompiler().compile(two_region_object())
+        b = ParallelCompassCompiler().compile(two_region_object())
+        assert np.array_equal(a.network.crossbars, b.network.crossbars)
+        assert np.array_equal(a.network.target_gid, b.network.target_gid)
+
+    def test_overcommitted_object_rejected(self):
+        obj = CoreObject(
+            "over",
+            regions=[RegionSpec("A", 1), RegionSpec("B", 1)],
+            connections=[ConnectionSpec("A", "B", 300)],
+        )
+        with pytest.raises(Exception):
+            ParallelCompassCompiler().compile(obj)
+
+    def test_unvalidated_compile_hits_allocator_guard(self):
+        obj = CoreObject(
+            "over",
+            regions=[RegionSpec("A", 1), RegionSpec("B", 1)],
+            connections=[ConnectionSpec("A", "B", 300)],
+        )
+        with pytest.raises(WiringError):
+            ParallelCompassCompiler(validate=False).compile(obj)
+
+
+class TestPartitionFor:
+    def test_region_aligned(self):
+        obj = two_region_object(a_cores=4, b_cores=12)
+        cm = ParallelCompassCompiler().compile(obj)
+        part = cm.partition_for(4)
+        assert part.n_ranks == 4
+        # No rank straddles the region boundary at gid 4.
+        boundaries = [part.range_of_rank(r) for r in range(4)]
+        assert any(lo == 4 for lo, hi in boundaries)
+
+    def test_fallback_uniform_when_fewer_procs_than_regions(self):
+        cm = ParallelCompassCompiler().compile(two_region_object())
+        part = cm.partition_for(1)
+        assert part.n_ranks == 1
+
+    def test_process_counts_proportional(self):
+        obj = two_region_object(a_cores=4, b_cores=12)
+        cm = ParallelCompassCompiler().compile(obj)
+        part = cm.partition_for(8)
+        ranks_in_a = sum(
+            1 for r in range(8) if part.range_of_rank(r)[1] <= 4
+        )
+        assert ranks_in_a == 2  # 4/16 of 8
+
+
+class TestApportion:
+    def test_sums_to_total(self):
+        out = _apportion((0.3, 0.3, 0.4), 255)
+        assert out.sum() == 255
+
+    def test_exact_fractions(self):
+        out = _apportion((0.5, 0.25, 0.25, 0.0), 256)
+        assert list(out) == [128, 64, 64, 0]

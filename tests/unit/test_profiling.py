@@ -1,0 +1,65 @@
+"""Unit tests for per-rank profiling."""
+
+import pytest
+
+from repro.apps.quicknet import build_quickstart_network
+from repro.core.config import CompassConfig
+from repro.core.pgas_simulator import PgasCompass
+from repro.core.profiling import imbalance, profile_ranks, profile_report
+from repro.core.simulator import Compass
+
+
+@pytest.fixture(scope="module")
+def sim():
+    net = build_quickstart_network(n_cores=8, seed=2)
+    s = Compass(net, CompassConfig(n_processes=4))
+    s.run(80)
+    return s
+
+
+class TestProfiles:
+    def test_counters_consistent_with_metrics(self, sim):
+        profiles = profile_ranks(sim)
+        assert sum(p.fired for p in profiles) == sim.metrics.total_fired
+        assert (
+            sum(p.remote_spikes for p in profiles)
+            == sim.metrics.total_remote_spikes
+        )
+        assert (
+            sum(p.local_spikes for p in profiles)
+            == sim.metrics.total_local_spikes
+        )
+        assert (
+            sum(p.active_axons for p in profiles)
+            == sim.metrics.total_active_axons
+        )
+
+    def test_per_rank_shapes(self, sim):
+        profiles = profile_ranks(sim)
+        assert [p.rank for p in profiles] == [0, 1, 2, 3]
+        assert all(p.cores == 2 for p in profiles)
+        assert all(p.neurons == 512 for p in profiles)
+
+    def test_mpi_message_counters(self, sim):
+        profiles = profile_ranks(sim)
+        assert sum(p.messages_sent for p in profiles) == sim.metrics.total_messages
+
+    def test_pgas_profiles(self):
+        net = build_quickstart_network(n_cores=4, seed=1)
+        s = PgasCompass(net, CompassConfig(n_processes=2))
+        s.run(40)
+        profiles = profile_ranks(s)
+        assert sum(p.messages_sent for p in profiles) == s.metrics.total_messages
+
+
+class TestImbalance:
+    def test_imbalance_at_least_one(self, sim):
+        imb = imbalance(profile_ranks(sim))
+        assert imb.fired >= 1.0
+        assert imb.worst >= 1.0
+
+    def test_report_renders(self, sim):
+        text = profile_report(sim, region_of_rank=lambda r: f"R{r}")
+        assert "per-rank load profile" in text
+        assert "imbalance" in text
+        assert "R0" in text

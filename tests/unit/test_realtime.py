@@ -1,0 +1,66 @@
+"""Unit tests for the PGAS-vs-MPI real-time driver (Fig 7 shape)."""
+
+import pytest
+
+from repro.perf.realtime import (
+    MPI_CONFIGS,
+    RealtimePoint,
+    max_realtime_cores,
+    realtime_series,
+)
+
+
+@pytest.fixture(scope="module")
+def series():
+    return realtime_series()
+
+
+class TestSeriesShape:
+    def test_pgas_beats_mpi_everywhere(self, series):
+        by_racks: dict[float, dict[str, RealtimePoint]] = {}
+        for p in series:
+            by_racks.setdefault(p.racks, {})[p.backend] = p
+        for racks, pair in by_racks.items():
+            assert pair["pgas"].seconds < pair["mpi"].seconds
+
+    def test_strong_scaling_monotone(self, series):
+        pgas = sorted(
+            (p for p in series if p.backend == "pgas"), key=lambda p: p.racks
+        )
+        secs = [p.seconds for p in pgas]
+        assert all(b < a for a, b in zip(secs, secs[1:]))
+
+    def test_mpi_ratio_near_paper(self, series):
+        """At four racks the paper reports MPI 2.1x slower than PGAS."""
+        four = {p.backend: p for p in series if p.racks == 4}
+        ratio = four["mpi"].seconds / four["pgas"].seconds
+        assert 1.5 < ratio < 3.0
+
+    def test_pgas_real_time_at_four_racks(self, series):
+        four = {p.backend: p for p in series if p.racks == 4}
+        assert four["pgas"].realtime
+        assert not four["mpi"].realtime
+
+    def test_best_config_selected(self, series):
+        for p in series:
+            if p.backend == "mpi":
+                assert (p.procs_per_node, p.threads_per_proc) in MPI_CONFIGS
+            else:
+                assert (p.procs_per_node, p.threads_per_proc) == (4, 1)
+
+
+class TestMaxRealtimeCores:
+    def test_pgas_near_81k(self):
+        """The paper's real-time frontier is 81K cores on four racks."""
+        cores = max_realtime_cores("pgas", racks=4)
+        assert 60_000 < cores < 120_000
+
+    def test_mpi_frontier_smaller(self):
+        assert max_realtime_cores("mpi", racks=4) < max_realtime_cores(
+            "pgas", racks=4
+        )
+
+    def test_more_racks_more_cores(self):
+        assert max_realtime_cores("pgas", racks=4) > max_realtime_cores(
+            "pgas", racks=1
+        )

@@ -1,0 +1,105 @@
+"""Unit tests for hierarchy reduction (383 → 102 regions)."""
+
+from repro.cocomac.database import (
+    REDUCED_CONNECTED,
+    REDUCED_REGIONS,
+    ConnectivityDatabase,
+    Region,
+    synthetic_cocomac,
+)
+from repro.cocomac.reduction import reduce_database
+
+
+class TestPaperCounts:
+    def test_reduces_to_102_regions(self):
+        reduced = reduce_database(synthetic_cocomac())
+        assert reduced.n_regions == REDUCED_REGIONS == 102
+
+    def test_77_regions_report_connections(self):
+        reduced = reduce_database(synthetic_cocomac())
+        assert len(reduced.connected_regions()) == REDUCED_CONNECTED == 77
+
+    def test_connected_regions_all_report(self):
+        reduced = reduce_database(synthetic_cocomac())
+        assert all(r.reports for r in reduced.connected_regions())
+
+
+class TestMergeSemantics:
+    def _db(self, regions, edges):
+        return ConnectivityDatabase(regions=regions, edges=set(edges))
+
+    def test_child_edges_ored_into_parent(self):
+        db = self._db(
+            [
+                Region(0, "P", "cortical", -1, True),
+                Region(1, "C", "cortical", 0, True),
+                Region(2, "X", "cortical", -1, True),
+            ],
+            [(1, 2)],  # child C -> X
+        )
+        red = reduce_database(db)
+        names = {r.name for r in red.regions}
+        assert names == {"P", "X"}
+        idx = {r.name: r.index for r in red.regions}
+        assert (idx["P"], idx["X"]) in red.edges
+
+    def test_non_reporting_parent_keeps_child(self):
+        db = self._db(
+            [
+                Region(0, "P", "cortical", -1, False),
+                Region(1, "C", "cortical", 0, True),
+                Region(2, "X", "cortical", -1, True),
+            ],
+            [(1, 2)],
+        )
+        red = reduce_database(db)
+        assert {r.name for r in red.regions} == {"P", "C", "X"}
+
+    def test_deep_hierarchy_collapses_to_fixpoint(self):
+        db = self._db(
+            [
+                Region(0, "P", "cortical", -1, True),
+                Region(1, "C", "cortical", 0, True),
+                Region(2, "G", "cortical", 1, True),
+                Region(3, "X", "cortical", -1, True),
+            ],
+            [(2, 3)],  # grandchild -> X
+        )
+        red = reduce_database(db)
+        assert {r.name for r in red.regions} == {"P", "X"}
+        idx = {r.name: r.index for r in red.regions}
+        assert (idx["P"], idx["X"]) in red.edges
+
+    def test_self_loops_dropped_on_merge(self):
+        db = self._db(
+            [
+                Region(0, "P", "cortical", -1, True),
+                Region(1, "C1", "cortical", 0, True),
+                Region(2, "C2", "cortical", 0, True),
+            ],
+            [(1, 2)],  # sibling edge collapses into P -> P
+        )
+        red = reduce_database(db)
+        assert red.n_regions == 1
+        assert red.n_edges == 0
+
+    def test_duplicate_edges_collapse(self):
+        db = self._db(
+            [
+                Region(0, "P", "cortical", -1, True),
+                Region(1, "C1", "cortical", 0, True),
+                Region(2, "X", "cortical", -1, True),
+            ],
+            [(0, 2), (1, 2)],  # both become P -> X
+        )
+        red = reduce_database(db)
+        assert red.n_edges == 1
+
+    def test_indices_renumbered_densely(self):
+        red = reduce_database(synthetic_cocomac())
+        assert sorted(r.index for r in red.regions) == list(range(red.n_regions))
+
+    def test_classes_preserved(self):
+        red = reduce_database(synthetic_cocomac())
+        classes = {r.region_class for r in red.regions}
+        assert classes == {"cortical", "thalamic", "basal_ganglia"}

@@ -1,0 +1,93 @@
+"""Unit tests for the spiking reservoir (spatio-temporal features)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.reservoir import (
+    RidgeReadout,
+    SpikingReservoir,
+    lsm_experiment,
+    temporal_pattern,
+)
+
+
+class TestPatterns:
+    def test_kinds_differ(self):
+        r = temporal_pattern("rising", 16, 30, seed=1)
+        f = temporal_pattern("falling", 16, 30, seed=1)
+        assert r.shape == f.shape == (30, 16)
+        assert not np.array_equal(r, f)
+
+    def test_rising_moves_centre_of_mass(self):
+        stream = temporal_pattern("rising", 16, 40, seed=2)
+        lanes = np.arange(16)
+        early = stream[:10].sum(axis=0)
+        late = stream[-10:].sum(axis=0)
+        if early.sum() and late.sum():
+            com_early = (early * lanes).sum() / early.sum()
+            com_late = (late * lanes).sum() / late.sum()
+            assert com_late > com_early
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            temporal_pattern("sideways", 16, 10)
+
+
+class TestReservoir:
+    @pytest.fixture(scope="class")
+    def reservoir(self):
+        return SpikingReservoir(seed=4)
+
+    def test_states_shape(self, reservoir):
+        stream = temporal_pattern("steady", reservoir.n_inputs, 30, seed=0)
+        feats = reservoir.states(stream, bin_width=5)
+        assert feats.shape == ((30 + 2) // 5 * 256,)
+
+    def test_input_drives_activity(self, reservoir):
+        stream = temporal_pattern("steady", reservoir.n_inputs, 30, seed=1)
+        active = reservoir.states(stream)
+        silent = reservoir.states(np.zeros_like(stream))
+        assert active.sum() > silent.sum()
+
+    def test_deterministic(self, reservoir):
+        stream = temporal_pattern("rising", reservoir.n_inputs, 20, seed=3)
+        a = reservoir.states(stream)
+        b = reservoir.states(stream)
+        assert np.array_equal(a, b)
+
+    def test_different_patterns_different_states(self, reservoir):
+        a = reservoir.states(temporal_pattern("rising", 16, 30, seed=5))
+        b = reservoir.states(temporal_pattern("falling", 16, 30, seed=5))
+        assert not np.array_equal(a, b)
+
+    def test_rejects_wrong_width(self, reservoir):
+        with pytest.raises(ValueError):
+            reservoir.states(np.zeros((10, 7), dtype=bool))
+
+    def test_rejects_bad_input_count(self):
+        with pytest.raises(ValueError):
+            SpikingReservoir(n_inputs=0)
+
+
+class TestReadout:
+    def test_fits_separable_data(self):
+        rng = np.random.default_rng(0)
+        x0 = rng.normal(0, 1, size=(20, 8))
+        x1 = rng.normal(4, 1, size=(20, 8))
+        x = np.vstack([x0, x1])
+        y = np.array([0] * 20 + [1] * 20)
+        readout = RidgeReadout().fit(x, y)
+        assert (readout.predict(x) == y).mean() > 0.95
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            RidgeReadout().predict(np.zeros((1, 4)))
+
+
+class TestEndToEnd:
+    def test_lsm_separates_temporal_patterns(self):
+        accuracy = lsm_experiment(
+            train_per_class=4, test_per_class=2, ticks=24, seed=1
+        )
+        # Three classes, chance = 1/3; the liquid must do much better.
+        assert accuracy >= 0.66

@@ -1,0 +1,121 @@
+"""Unit tests for the weak/strong/thread scaling drivers (shape checks).
+
+Absolute anchors are checked in tests/integration/test_calibration_anchors;
+here we verify the structural properties that make the curves *curves*.
+"""
+
+import pytest
+
+from repro.perf.strong_scaling import strong_scaling_series
+from repro.perf.thread_scaling import procs_threads_tradeoff, thread_scaling_series
+from repro.perf.weak_scaling import weak_scaling_point, weak_scaling_series
+
+# Scaled-down sweeps keep the unit tests fast; the model is analytic so
+# the structure is scale-independent.
+SMALL_RACKS = (1, 2, 4)
+
+
+@pytest.fixture(scope="module")
+def weak():
+    return weak_scaling_series(racks=SMALL_RACKS, cores_per_node=2048, ticks=100)
+
+
+@pytest.fixture(scope="module")
+def strong():
+    return strong_scaling_series(
+        total_cores=2 * 2**20, racks=SMALL_RACKS, ticks=100
+    )
+
+
+class TestWeakScaling:
+    def test_total_time_near_constant(self, weak):
+        totals = [p.times.total for p in weak]
+        assert max(totals) / min(totals) < 1.35
+
+    def test_compute_phases_constant(self, weak):
+        syn = [p.times.synapse for p in weak]
+        neu = [p.times.neuron for p in weak]
+        assert max(syn) / min(syn) < 1.05
+        assert max(neu) / min(neu) < 1.05
+
+    def test_network_phase_grows(self, weak):
+        nets = [p.times.network for p in weak]
+        assert all(b > a for a, b in zip(nets, nets[1:]))
+
+    def test_spikes_scale_with_model(self, weak):
+        spikes = [p.spikes_per_tick for p in weak]
+        assert spikes[1] == pytest.approx(2 * spikes[0], rel=0.05)
+
+    def test_messages_sublinear(self, weak):
+        msgs = [p.messages_per_tick for p in weak]
+        assert msgs[2] > msgs[0]
+        per_proc = [m / p.nodes for m, p in zip(msgs, weak)]
+        # messages per process grow less than linearly with system size
+        assert per_proc[2] < 4 * per_proc[0]
+
+    def test_point_metadata(self, weak):
+        p = weak[0]
+        assert p.cpus == p.nodes * 16
+        assert p.neurons == p.cores * 256
+        assert p.slowdown == pytest.approx(p.times.total / 0.1)
+
+
+class TestStrongScaling:
+    def test_monotone_speedup(self, strong):
+        speeds = [p.speedup for p in strong]
+        assert speeds[0] == 1.0
+        assert all(b > a for a, b in zip(speeds, speeds[1:]))
+
+    def test_sublinear_at_scale(self, strong):
+        # Perfect scaling is inhibited by the communication-intense phases.
+        assert strong[-1].speedup < SMALL_RACKS[-1] / SMALL_RACKS[0] * 1.6
+
+    def test_cores_per_node_halves(self, strong):
+        assert strong[1].cores_per_node == pytest.approx(
+            strong[0].cores_per_node / 2
+        )
+
+
+class TestThreadScaling:
+    @pytest.fixture(scope="class")
+    def series(self):
+        return thread_scaling_series(
+            total_cores=2 * 2**20, nodes=512, threads=(1, 2, 4, 8, 16, 32), ticks=100
+        )
+
+    def test_baseline_is_one(self, series):
+        assert series[0].speedup_total == 1.0
+
+    def test_speedup_monotone(self, series):
+        speeds = [p.speedup_total for p in series]
+        assert all(b > a for a, b in zip(speeds, speeds[1:]))
+
+    def test_not_perfect(self, series):
+        # §VI-D: a serial critical section prevents perfect scaling.
+        assert series[-1].speedup_total < 32
+
+    def test_compute_scales_better_than_network(self, series):
+        last = series[-1]
+        assert last.speedup_neuron > last.speedup_network
+
+
+class TestTradeoff:
+    def test_configs_near_equal(self):
+        points = procs_threads_tradeoff(
+            total_cores=2 * 2**20, nodes=512, ticks=100
+        )
+        totals = [p.times.total for p in points]
+        assert max(totals) / min(totals) < 1.5
+
+    def test_all_configs_present(self):
+        points = procs_threads_tradeoff(
+            total_cores=2 * 2**20, nodes=512, ticks=100
+        )
+        assert [(p.procs_per_node, p.threads) for p in points] == [
+            (1, 32), (2, 16), (4, 8), (8, 4), (16, 2),
+        ]
+
+
+def test_weak_point_headline_consistency():
+    p = weak_scaling_point(nodes=256, cores_per_node=2048, ticks=100)
+    assert p.mean_rate_hz == pytest.approx(8.1)

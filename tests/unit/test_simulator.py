@@ -1,0 +1,140 @@
+"""Unit tests for the MPI-backend Compass simulator."""
+
+import numpy as np
+import pytest
+
+from repro.apps.quicknet import build_quickstart_network
+from repro.arch.crossbar import Crossbar
+from repro.arch.network import CoreNetwork, NeuronTarget
+from repro.arch.params import NeuronParameters
+from repro.core.config import CompassConfig
+from repro.core.simulator import Compass, SpikeRecorder
+
+
+def two_core_relay() -> CoreNetwork:
+    """Core 0 relays to core 1; core 1's outputs are unconnected."""
+    net = CoreNetwork(2, seed=1)
+    for gid in range(2):
+        net.set_crossbar(gid, Crossbar.identity())
+        net.set_neurons(
+            gid, NeuronParameters(weights=(1, 0, 0, 0), threshold=1, floor=0)
+        )
+    for j in range(256):
+        net.connect(0, j, NeuronTarget(1, j, delay=2))
+    return net
+
+
+class TestStepSemantics:
+    def test_injected_spike_propagates_through_two_cores(self):
+        net = two_core_relay()
+        sim = Compass(net, CompassConfig(n_processes=2, record_spikes=True))
+        sim.inject(gid=0, axon=5, tick=1)
+        for _ in range(5):
+            sim.step()
+        t, g, n = sim.recorder.to_arrays()
+        # core 0 neuron 5 fires at tick 1; delay 2 -> core 1 axon 5 at
+        # tick 3 -> core 1 neuron 5 fires at tick 3.
+        assert list(zip(t, g, n)) == [(1, 0, 5), (3, 1, 5)]
+
+    def test_remote_spike_crosses_rank_boundary(self):
+        net = two_core_relay()
+        sim = Compass(net, CompassConfig(n_processes=2))
+        sim.inject(0, 0, tick=1)
+        for _ in range(5):
+            sim.step()
+        # one aggregated message carried the cross-rank spike
+        assert sim.metrics.total_messages == 1
+        assert sim.metrics.total_remote_spikes == 1
+        assert sim.metrics.total_bytes == 20
+
+    def test_single_rank_has_no_messages(self):
+        net = two_core_relay()
+        sim = Compass(net, CompassConfig(n_processes=1))
+        sim.inject(0, 0, tick=1)
+        for _ in range(5):
+            sim.step()
+        assert sim.metrics.total_messages == 0
+        assert sim.metrics.total_local_spikes == 1
+
+    def test_cannot_inject_into_past(self):
+        net = two_core_relay()
+        sim = Compass(net)
+        sim.step()
+        with pytest.raises(ValueError):
+            sim.inject(0, 0, tick=0)
+
+    def test_run_returns_result(self):
+        net = build_quickstart_network()
+        sim = Compass(net, CompassConfig(n_processes=2))
+        result = sim.run(32)
+        assert result.metrics.ticks == 32
+        assert result.n_neurons == net.n_neurons
+        assert result.total_spikes > 0
+
+    def test_reseed_guard(self):
+        net = build_quickstart_network()
+        with pytest.raises(ValueError):
+            Compass.from_network(net, seed=net.seed + 1)
+
+    def test_from_network_accepts_matching_seed(self):
+        net = build_quickstart_network()
+        sim = Compass.from_network(net, n_processes=2, seed=net.seed)
+        assert sim.config.n_processes == 2
+
+
+class TestDeterminism:
+    def test_identical_runs(self):
+        net = build_quickstart_network()
+        runs = []
+        for _ in range(2):
+            sim = Compass(net, CompassConfig(n_processes=2, record_spikes=True))
+            sim.run(50)
+            runs.append(sim.recorder.to_arrays())
+        for a, b in zip(runs[0], runs[1]):
+            assert np.array_equal(a, b)
+
+    def test_different_network_seed_differs(self):
+        a = build_quickstart_network(seed=1)
+        b = build_quickstart_network(seed=2)
+        ra = Compass(a, CompassConfig(record_spikes=True))
+        rb = Compass(b, CompassConfig(record_spikes=True))
+        ra.run(50)
+        rb.run(50)
+        assert ra.recorder.to_arrays()[0].shape != rb.recorder.to_arrays()[0].shape or not np.array_equal(
+            ra.recorder.to_arrays()[1], rb.recorder.to_arrays()[1]
+        )
+
+
+class TestSimulatedTiming:
+    def test_machine_config_produces_times(self):
+        net = build_quickstart_network()
+        cfg = CompassConfig.for_blue_gene_q(nodes=2, threads_per_proc=16)
+        sim = Compass(net, cfg)
+        sim.run(10)
+        assert sim.metrics.simulated.total > 0
+        assert sim.metrics.simulated.neuron > 0
+
+    def test_no_machine_config_no_times(self):
+        net = build_quickstart_network()
+        sim = Compass(net, CompassConfig(n_processes=2))
+        sim.run(10)
+        assert sim.metrics.simulated.total == 0.0
+
+
+class TestSpikeRecorder:
+    def test_canonical_sorting(self):
+        rec = SpikeRecorder()
+        rec.record(5, np.array([3, 1]), np.array([2, 9]))
+        rec.record(2, np.array([7]), np.array([0]))
+        t, g, n = rec.to_arrays()
+        assert list(t) == [2, 5, 5]
+        assert list(g) == [7, 1, 3]
+
+    def test_empty(self):
+        t, g, n = SpikeRecorder().to_arrays()
+        assert t.size == 0
+
+    def test_count(self):
+        rec = SpikeRecorder()
+        rec.record(0, np.array([1, 2, 3]), np.array([0, 0, 0]))
+        assert rec.count == 3

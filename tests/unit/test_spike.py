@@ -1,0 +1,61 @@
+"""Unit tests for the spike wire format."""
+
+import numpy as np
+import pytest
+
+from repro.arch.spike import SPIKE_WIRE_BYTES, SpikeBatch
+
+
+def make_batch(n: int = 5, tick: int = 3) -> SpikeBatch:
+    return SpikeBatch(
+        np.arange(n, dtype=np.int64) * 1000,
+        np.arange(n, dtype=np.int32) % 256,
+        (np.arange(n, dtype=np.int32) % 15) + 1,
+        tick,
+    )
+
+
+class TestWireFormat:
+    def test_paper_spike_size(self):
+        assert SPIKE_WIRE_BYTES == 20
+
+    def test_nbytes(self):
+        assert make_batch(7).nbytes == 7 * 20
+
+    def test_encode_decode_round_trip(self):
+        b = make_batch(100, tick=9)
+        assert SpikeBatch.decode(b.encode()) == b
+
+    def test_empty_batch(self):
+        e = SpikeBatch.empty()
+        assert e.count == 0
+        assert e.nbytes == 0
+        assert SpikeBatch.decode(e.encode()) == e
+
+    def test_encode_length(self):
+        assert len(make_batch(13).encode()) == 13 * 20
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            SpikeBatch(
+                np.zeros(3, dtype=np.int64),
+                np.zeros(2, dtype=np.int32),
+                np.zeros(3, dtype=np.int32),
+                0,
+            )
+
+
+class TestConcatenate:
+    def test_concatenate(self):
+        a, b = make_batch(3, tick=1), make_batch(4, tick=2)
+        c = SpikeBatch.concatenate([a, b])
+        assert c.count == 7
+        assert list(c.tick[:3]) == [1, 1, 1]
+        assert list(c.tick[3:]) == [2, 2, 2, 2]
+
+    def test_concatenate_skips_empty(self):
+        c = SpikeBatch.concatenate([SpikeBatch.empty(), make_batch(2)])
+        assert c.count == 2
+
+    def test_concatenate_all_empty(self):
+        assert SpikeBatch.concatenate([SpikeBatch.empty()]).count == 0

@@ -1,0 +1,51 @@
+"""Unit tests for CSV experiment exports."""
+
+import csv
+import io
+
+import pytest
+
+from repro.perf.sweep import (
+    EXPORTERS,
+    export_all,
+    realtime_csv,
+    strong_scaling_csv,
+    thread_scaling_csv,
+    weak_scaling_csv,
+)
+
+
+def parse(text: str) -> list[dict]:
+    return list(csv.DictReader(io.StringIO(text)))
+
+
+class TestExporters:
+    def test_weak_scaling_rows(self):
+        rows = parse(weak_scaling_csv())
+        assert len(rows) == 5
+        assert float(rows[0]["racks"]) == 1.0
+        assert float(rows[-1]["slowdown_x"]) > 300
+
+    def test_strong_scaling_rows(self):
+        rows = parse(strong_scaling_csv())
+        assert float(rows[0]["speedup_x"]) == 1.0
+        assert float(rows[-1]["speedup_x"]) > 5
+
+    def test_thread_scaling_contains_both_series(self):
+        rows = parse(thread_scaling_csv())
+        series = {r["series"] for r in rows}
+        assert series == {"fig6", "tradeoff"}
+
+    def test_realtime_rows(self):
+        rows = parse(realtime_csv())
+        backends = {r["backend"] for r in rows}
+        assert backends == {"mpi", "pgas"}
+        rt = [r for r in rows if r["realtime"] == "1"]
+        assert rt and all(r["backend"] == "pgas" for r in rt)
+
+    def test_export_all(self, tmp_path):
+        paths = export_all(tmp_path / "csv")
+        assert {p.stem for p in paths} == set(EXPORTERS)
+        for p in paths:
+            assert p.exists()
+            assert len(parse(p.read_text())) > 0

@@ -1,0 +1,91 @@
+"""Unit tests for the cost model."""
+
+import math
+
+import pytest
+
+from repro.runtime.machine import BLUE_GENE_P, BLUE_GENE_Q
+from repro.runtime.timing import CostModel, scale
+
+COST = BLUE_GENE_Q.cost
+
+
+class TestPhaseCosts:
+    def test_synapse_scales_with_axons(self):
+        assert COST.synapse_time(2000, 8) == pytest.approx(2 * COST.synapse_time(1000, 8))
+
+    def test_synapse_divided_by_threads(self):
+        assert COST.synapse_time(1000, 10) == pytest.approx(
+            COST.synapse_time(1000, 1) / 10
+        )
+
+    def test_neuron_includes_sends_serially(self):
+        base = COST.neuron_time(1000, 8)
+        with_sends = COST.neuron_time(1000, 8, messages_sent=10)
+        assert with_sends == pytest.approx(base + 10 * COST.msg_overhead)
+
+    def test_reduce_scatter_linear_in_ranks(self):
+        t1 = COST.reduce_scatter_time(1024)
+        t2 = COST.reduce_scatter_time(2048)
+        assert t2 - t1 == pytest.approx(1024 * COST.rs_beta_per_rank)
+
+    def test_barrier_logarithmic(self):
+        t1 = COST.barrier_time(1024)
+        t2 = COST.barrier_time(2048)
+        assert t2 - t1 == pytest.approx(COST.barrier_beta_log)
+
+    def test_barrier_cheaper_than_reduce_scatter_at_scale(self):
+        # §VII-A: the PGAS barrier replaces a collective that scales with
+        # communicator size.
+        assert COST.barrier_time(16384) < COST.reduce_scatter_time(16384) / 10
+
+    def test_wire_time(self):
+        assert COST.wire_time(2e9) == pytest.approx(2e9 / COST.node_bandwidth)
+
+
+class TestNetworkPhase:
+    def test_overlap_hides_local_delivery(self):
+        # When local delivery is cheaper than the Reduce-Scatter it is free.
+        with_few = COST.network_time_mpi(4096, 100, 0, 0, 0, 32)
+        with_none = COST.network_time_mpi(4096, 0, 0, 0, 0, 32)
+        assert with_few == pytest.approx(with_none)
+
+    def test_overlap_ablation_serialises(self):
+        overlap = COST.network_time_mpi(4096, 10000, 0, 0, 0, 32, overlap=True)
+        serial = COST.network_time_mpi(4096, 10000, 0, 0, 0, 32, overlap=False)
+        assert serial > overlap
+
+    def test_critical_section_serial_in_messages(self):
+        a = COST.network_time_mpi(64, 0, 100, 0, 0, 32)
+        b = COST.network_time_mpi(64, 0, 200, 0, 0, 32)
+        assert b - a == pytest.approx(100 * COST.c_crit)
+
+    def test_pgas_has_no_critical_section(self):
+        mpi = COST.network_time_mpi(4096, 0, 1000, 1000, 20000, 4)
+        pgas = COST.network_time_pgas(4096, 0, 1000, 1000, 20000, 4)
+        assert pgas < mpi
+
+
+class TestMemoryFactor:
+    def test_in_cache_is_one(self):
+        assert COST.memory_factor(COST.cache_bytes / 2) == 1.0
+
+    def test_saturates_at_dram_factor(self):
+        assert COST.memory_factor(COST.cache_bytes * 100) == pytest.approx(
+            COST.dram_factor
+        )
+
+    def test_monotone(self):
+        sizes = [COST.cache_bytes * f for f in (0.5, 1.0, 1.5, 2.0, 4.0, 64.0)]
+        factors = [COST.memory_factor(s) for s in sizes]
+        assert all(b >= a for a, b in zip(factors, factors[1:]))
+
+
+class TestScale:
+    def test_scale_doubles_costs(self):
+        doubled = scale(COST, 2.0)
+        assert doubled.c_neuron == pytest.approx(2 * COST.c_neuron)
+        assert doubled.node_bandwidth == pytest.approx(COST.node_bandwidth / 2)
+
+    def test_machines_have_distinct_calibrations(self):
+        assert BLUE_GENE_P.cost != BLUE_GENE_Q.cost

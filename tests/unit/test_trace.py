@@ -1,0 +1,105 @@
+"""Unit tests for spike trace export/import/compare/replay."""
+
+import numpy as np
+import pytest
+
+from repro.apps.quicknet import build_quickstart_network
+from repro.core.config import CompassConfig
+from repro.core.simulator import Compass, SpikeRecorder
+from repro.core.trace import (
+    compare_traces,
+    read_trace,
+    replay_as_input,
+    write_trace,
+)
+from repro.errors import CheckpointError
+
+
+@pytest.fixture()
+def recorded():
+    net = build_quickstart_network()
+    sim = Compass(net, CompassConfig(n_processes=2, record_spikes=True))
+    sim.run(60)
+    return sim.recorder
+
+
+class TestRoundTrip:
+    def test_write_read(self, recorded, tmp_path):
+        path = tmp_path / "run.spk"
+        nbytes = write_trace(recorded, path)
+        assert nbytes == 16 + 16 * recorded.count
+        trace = read_trace(path)
+        for a, b in zip(trace, recorded.to_arrays()):
+            assert np.array_equal(a, b)
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.spk"
+        write_trace(SpikeRecorder(), path)
+        t, g, n = read_trace(path)
+        assert t.size == 0
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bogus.spk"
+        path.write_bytes(b"NOPE" + b"\0" * 32)
+        with pytest.raises(CheckpointError, match="not a Compass trace"):
+            read_trace(path)
+
+    def test_truncated(self, recorded, tmp_path):
+        path = tmp_path / "trunc.spk"
+        write_trace(recorded, path)
+        data = path.read_bytes()
+        path.write_bytes(data[:-8])
+        with pytest.raises(CheckpointError, match="truncated"):
+            read_trace(path)
+
+
+class TestCompare:
+    def test_equal(self, recorded):
+        a = recorded.to_arrays()
+        assert compare_traces(a, a).equal
+
+    def test_divergence_located(self, recorded):
+        a = recorded.to_arrays()
+        b = tuple(x.copy() for x in a)
+        b[2][5] += 1  # corrupt neuron id of record 5
+        diff = compare_traces(a, b)
+        assert not diff.equal
+        assert "record 5" in diff.detail
+        assert diff.first_divergence_tick == a[0][5]
+
+    def test_length_mismatch(self, recorded):
+        a = recorded.to_arrays()
+        b = tuple(x[:-2] for x in a)
+        diff = compare_traces(a, b)
+        assert not diff.equal
+        assert "length mismatch" in diff.detail
+
+
+class TestReplay:
+    def test_replay_drives_target(self, recorded, tmp_path):
+        """A recorded trace replayed into a fresh network produces input."""
+        path = tmp_path / "run.spk"
+        write_trace(recorded, path)
+        trace = read_trace(path)
+
+        target = build_quickstart_network(n_cores=2, seed=99)
+        sim = Compass(target, CompassConfig(record_spikes=True))
+        # Map every recorded spike from gid 0 onto target core 0's axons.
+        triples = list(
+            replay_as_input(
+                trace,
+                lambda gid, neuron: (0, neuron % 256) if gid == 0 else None,
+            )
+        )
+        future = [(g, a, t) for g, a, t in triples if t >= 0]
+        sim.attach_schedule(future)
+        sim.run(70)
+        assert sim.metrics.total_active_axons > 0
+
+    def test_tick_offset(self, recorded):
+        trace = recorded.to_arrays()
+        shifted = list(
+            replay_as_input(trace, lambda g, n: (0, 0), tick_offset=100)
+        )
+        if shifted:
+            assert min(t for _, _, t in shifted) >= 100

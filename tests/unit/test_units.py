@@ -1,0 +1,47 @@
+"""Unit tests for formatting and unit helpers."""
+
+import pytest
+
+from repro.util.units import (
+    SPIKE_BYTES,
+    fmt_bytes,
+    fmt_count,
+    fmt_seconds,
+    slowdown_vs_realtime,
+)
+
+
+class TestFormatting:
+    def test_fmt_count_suffixes(self):
+        assert fmt_count(256e6) == "256M"
+        assert fmt_count(65e9) == "65B"
+        assert fmt_count(16e12) == "16T"
+        assert fmt_count(1500) == "1.5K"
+        assert fmt_count(12) == "12"
+
+    def test_fmt_bytes(self):
+        assert fmt_bytes(2048) == "2 KiB"
+        assert fmt_bytes(3 * 2**30) == "3 GiB"
+        assert fmt_bytes(10) == "10 B"
+
+    def test_fmt_seconds(self):
+        assert fmt_seconds(194.0) == "194 s"
+        assert fmt_seconds(0.002) == "2 ms"
+        assert fmt_seconds(5e-6) == "5 us"
+        assert fmt_seconds(3e-9) == "3 ns"
+
+
+class TestSlowdown:
+    def test_paper_headline(self):
+        # 194 s for 500 one-millisecond ticks = 388x slower than real time.
+        assert slowdown_vs_realtime(194.0, 500) == pytest.approx(388.0)
+
+    def test_realtime_is_one(self):
+        assert slowdown_vs_realtime(1.0, 1000) == pytest.approx(1.0)
+
+    def test_rejects_nonpositive_ticks(self):
+        with pytest.raises(ValueError):
+            slowdown_vs_realtime(1.0, 0)
+
+    def test_spike_wire_size_matches_paper(self):
+        assert SPIKE_BYTES == 20

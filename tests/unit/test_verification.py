@@ -1,0 +1,73 @@
+"""Unit tests for compiled-model verification."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.coreobject import ConnectionSpec, CoreObject, RegionSpec
+from repro.compiler.pcc import ParallelCompassCompiler
+from repro.compiler.verification import verify_compiled
+from repro.errors import CompilationError
+
+
+@pytest.fixture()
+def compiled():
+    obj = CoreObject(
+        "verify-me",
+        regions=[
+            RegionSpec("A", 2, crossbar_density=0.25),
+            RegionSpec("B", 2, crossbar_density=0.125, region_class="thalamic"),
+        ],
+        connections=[
+            ConnectionSpec("A", "B", 100, delay=2),
+            ConnectionSpec("B", "B", 40, delay=1),
+        ],
+        seed=4,
+    )
+    return ParallelCompassCompiler().compile(obj)
+
+
+class TestVerification:
+    def test_clean_compile_passes(self, compiled):
+        report = verify_compiled(compiled)
+        assert report.passed, report.failures()
+
+    def test_detects_count_tampering(self, compiled):
+        compiled.network.target_gid[0, 0] = -1  # drop one connection
+        report = verify_compiled(compiled)
+        assert not report.checks["connection_counts"]
+
+    def test_detects_exclusivity_violation(self, compiled):
+        net = compiled.network
+        src = np.argwhere(net.target_gid >= 0)
+        (g0, n0), (g1, n1) = src[0], src[1]
+        net.target_gid[g1, n1] = net.target_gid[g0, n0]
+        net.target_axon[g1, n1] = net.target_axon[g0, n0]
+        report = verify_compiled(compiled)
+        assert not report.checks["axon_exclusivity"]
+
+    def test_detects_delay_corruption(self, compiled):
+        net = compiled.network
+        g, n = np.argwhere(net.target_gid >= 0)[0]
+        net.target_delay[g, n] = 9
+        report = verify_compiled(compiled)
+        assert not report.checks["delays_match_spec"]
+
+    def test_detects_density_drift(self, compiled):
+        compiled.network.crossbars[0:2] = 0xFF  # region A fully dense
+        report = verify_compiled(compiled)
+        assert not report.checks["crossbar_density"]
+
+    def test_strict_raises(self, compiled):
+        compiled.network.target_gid[0, 0] = -1
+        with pytest.raises(CompilationError, match="verification"):
+            verify_compiled(compiled, strict=True)
+
+    def test_report_details(self, compiled):
+        compiled.network.target_gid[0, 0] = -1
+        report = verify_compiled(compiled)
+        assert "connection_counts" in report.failures()
+        assert report.details.get("connection_counts")
+
+    def test_macaque_model_verifies(self, macaque_small):
+        report = verify_compiled(macaque_small.compiled)
+        assert report.passed, report.failures()
