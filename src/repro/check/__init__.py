@@ -1,0 +1,36 @@
+"""Determinism sanitizer: static and dynamic correctness tooling.
+
+Compass's headline results — perfect weak scaling and one-to-one spike
+correspondence across partitionings — only hold if the simulation is
+bit-deterministic across rank counts and interleavings.  This package is
+the tooling that keeps that property enforced rather than assumed:
+
+* :mod:`repro.check.lint` — an AST-based lint engine with determinism
+  rules (no wall-clock or global-RNG calls in simulation paths, no
+  unordered iteration in rank-visible code, no mutable default
+  arguments, no broad exception handlers);
+* :mod:`repro.check.races` — a happens-before race detector for the
+  virtual cluster, built on vector clocks attached to simulated ranks
+  and threads;
+* :mod:`repro.check.model` — a compile-time model checker run at the end
+  of every PCC compilation (dangling axon targets, crossbar index
+  bounds, IPFP balance, placement capacity).
+
+All three are exposed through ``repro-compass check {lint,races,model}``.
+"""
+
+from repro.check.lint import LintReport, run_lint
+from repro.check.model import Diagnostic, ModelCheckReport, check_model
+from repro.check.races import HappensBeforeDetector, Race, RaceReport, VectorClock
+
+__all__ = [
+    "Diagnostic",
+    "HappensBeforeDetector",
+    "LintReport",
+    "ModelCheckReport",
+    "Race",
+    "RaceReport",
+    "VectorClock",
+    "check_model",
+    "run_lint",
+]

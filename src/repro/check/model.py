@@ -1,0 +1,391 @@
+"""Compile-time model checking with structured diagnostics.
+
+:mod:`repro.compiler.verification` answers "does the compiled network
+deliver what its CoreObject promised?" — a statistical regression check.
+This module asks a stricter, structural question: **can this model be
+simulated at all without undefined behaviour?**  Every check produces a
+:class:`Diagnostic` (a stable ``check_id``, a severity, and a machine-
+readable context dict) so callers and CI can diff reports across runs.
+
+Checks:
+
+* ``region_layout``        — region gid ranges contiguous, ordered, and
+  matching the CoreObject's core counts;
+* ``dangling_axon_target`` — every connected neuron points at a core
+  and axon that exist, with a legal delay;
+* ``crossbar_index_bounds`` — crossbar storage has the right packed
+  shape, padding bits beyond ``num_neurons`` are clear, and every axon
+  type indexes a real entry of the 4-type weight table;
+* ``ipfp_balance``         — region in/out connection degrees fit the
+  neuron/axon capacity (the invariant the IPFP step establishes);
+  explicit marginal targets can be supplied for balanced models;
+* ``placement_capacity``   — the region-aligned partition gives every
+  rank at least one core (a region cannot be split across more
+  processes than it has cores).
+
+:class:`ParallelCompassCompiler` runs :func:`check_model` automatically
+at the end of every compilation unless constructed with
+``model_check=False``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.arch.params import MAX_DELAY, NUM_AXON_TYPES
+from repro.compiler.pcc import CompiledModel
+from repro.errors import CompilationError
+
+#: Number of offending entries echoed into a diagnostic's context.
+_MAX_EXAMPLES = 5
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One model-checker finding."""
+
+    check_id: str
+    severity: str  #: "error", "warning", or "info"
+    message: str
+    context: dict = field(default_factory=dict)
+
+    def format(self) -> str:
+        return f"{self.severity.upper()} [{self.check_id}] {self.message}"
+
+
+@dataclass
+class ModelCheckReport:
+    """All diagnostics from one :func:`check_model` run."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "error"]
+
+    @property
+    def passed(self) -> bool:
+        return not self.errors
+
+    def add(self, check_id: str, severity: str, message: str, **context) -> None:
+        self.diagnostics.append(Diagnostic(check_id, severity, message, context))
+
+    def format(self) -> str:
+        lines = [d.format() for d in self.diagnostics]
+        lines.append(
+            "model check passed"
+            if self.passed
+            else f"model check failed: {len(self.errors)} error(s)"
+        )
+        return "\n".join(lines)
+
+    def raise_if_failed(self) -> None:
+        if not self.passed:
+            summary = "; ".join(f"{d.check_id}: {d.message}" for d in self.errors)
+            raise CompilationError(f"model check failed: {summary}")
+
+
+def check_model(
+    compiled: CompiledModel,
+    ipfp_tolerance: float = 0.05,
+    row_targets: np.ndarray | None = None,
+    col_targets: np.ndarray | None = None,
+) -> ModelCheckReport:
+    """Run every structural check on a compiled model."""
+    report = ModelCheckReport()
+    _check_region_layout(compiled, report)
+    _check_dangling_targets(compiled.network, report)
+    _check_crossbar_bounds(compiled.network, report)
+    matrix = compiled.coreobject.connection_matrix()
+    out_caps = np.array(
+        [r.n_cores * compiled.network.num_neurons for r in compiled.coreobject.regions],
+        dtype=np.int64,
+    )
+    in_caps = np.array(
+        [r.n_cores * compiled.network.num_axons for r in compiled.coreobject.regions],
+        dtype=np.int64,
+    )
+    names = [r.name for r in compiled.coreobject.regions]
+    for diag in check_ipfp_balance(
+        matrix,
+        out_caps,
+        in_caps,
+        names=names,
+        tolerance=ipfp_tolerance,
+        row_targets=row_targets,
+        col_targets=col_targets,
+    ):
+        report.diagnostics.append(diag)
+    _check_placement(compiled, report)
+    return report
+
+
+# -- individual checks ---------------------------------------------------------
+
+
+def _check_region_layout(compiled: CompiledModel, report: ModelCheckReport) -> None:
+    cursor = 0
+    for region in compiled.coreobject.regions:
+        span = compiled.region_ranges.get(region.name)
+        if span is None:
+            report.add(
+                "region_layout",
+                "error",
+                f"region {region.name!r} has no gid range",
+                region=region.name,
+            )
+            return
+        lo, hi = span
+        if lo != cursor or hi - lo != region.n_cores:
+            report.add(
+                "region_layout",
+                "error",
+                f"region {region.name!r} occupies [{lo}, {hi}) but should "
+                f"occupy [{cursor}, {cursor + region.n_cores})",
+                region=region.name,
+                expected=(cursor, cursor + region.n_cores),
+                actual=(lo, hi),
+            )
+            return
+        cursor = hi
+    if cursor != compiled.network.n_cores:
+        report.add(
+            "region_layout",
+            "error",
+            f"regions cover {cursor} cores but the network has "
+            f"{compiled.network.n_cores}",
+            covered=cursor,
+            n_cores=compiled.network.n_cores,
+        )
+
+
+def _check_dangling_targets(network, report: ModelCheckReport) -> None:
+    src_core, src_neuron = np.nonzero(network.target_gid >= 0)
+    gid = network.target_gid[src_core, src_neuron]
+    axon = network.target_axon[src_core, src_neuron]
+    delay = network.target_delay[src_core, src_neuron]
+    bad = (
+        (gid >= network.n_cores)
+        | (axon < 0)
+        | (axon >= network.num_axons)
+        | (delay < 1)
+        | (delay > MAX_DELAY)
+    )
+    n_bad = int(bad.sum())
+    if n_bad == 0:
+        report.add(
+            "dangling_axon_target",
+            "info",
+            f"all {gid.size} connections target existing (core, axon) pairs",
+            connections=int(gid.size),
+        )
+        return
+    idx = np.nonzero(bad)[0][:_MAX_EXAMPLES]
+    examples = [
+        {
+            "src_core": int(src_core[i]),
+            "src_neuron": int(src_neuron[i]),
+            "target_gid": int(gid[i]),
+            "target_axon": int(axon[i]),
+            "delay": int(delay[i]),
+        }
+        for i in idx
+    ]
+    report.add(
+        "dangling_axon_target",
+        "error",
+        f"{n_bad} connection(s) point outside the network "
+        f"(cores < {network.n_cores}, axons < {network.num_axons}, "
+        f"delays 1..{MAX_DELAY})",
+        count=n_bad,
+        examples=examples,
+    )
+
+
+def _check_crossbar_bounds(network, report: ModelCheckReport) -> None:
+    expected_shape = (
+        network.n_cores,
+        network.num_axons,
+        (network.num_neurons + 7) // 8,
+    )
+    if network.crossbars.shape != expected_shape:
+        report.add(
+            "crossbar_index_bounds",
+            "error",
+            f"crossbar storage has shape {network.crossbars.shape}, "
+            f"expected {expected_shape}",
+            actual=tuple(network.crossbars.shape),
+            expected=expected_shape,
+        )
+        return
+    pad_bits = network.crossbars.shape[-1] * 8 - network.num_neurons
+    if pad_bits:
+        # Set bits beyond num_neurons would address nonexistent neurons
+        # when the packed rows are expanded in the synapse phase.
+        pad_mask = (0xFF << (8 - pad_bits)) & 0xFF
+        dirty = int((network.crossbars[..., -1] & pad_mask).any())
+        if dirty:
+            report.add(
+                "crossbar_index_bounds",
+                "error",
+                f"crossbar padding bits beyond neuron {network.num_neurons} "
+                "are set; packed rows would address nonexistent neurons",
+                pad_bits=pad_bits,
+            )
+            return
+    max_type = int(network.axon_types.max(initial=0))
+    if max_type >= NUM_AXON_TYPES:
+        bad_cores = np.unique(
+            np.nonzero(network.axon_types >= NUM_AXON_TYPES)[0]
+        )[:_MAX_EXAMPLES]
+        report.add(
+            "crossbar_index_bounds",
+            "error",
+            f"axon type {max_type} indexes past the {NUM_AXON_TYPES}-entry "
+            "weight table",
+            max_type=max_type,
+            example_cores=[int(c) for c in bad_cores],
+        )
+        return
+    report.add(
+        "crossbar_index_bounds",
+        "info",
+        "crossbar shape, padding bits, and axon types are in bounds",
+    )
+
+
+def check_ipfp_balance(
+    matrix: np.ndarray,
+    out_caps: np.ndarray,
+    in_caps: np.ndarray,
+    names: list[str] | None = None,
+    tolerance: float = 0.05,
+    row_targets: np.ndarray | None = None,
+    col_targets: np.ndarray | None = None,
+) -> list[Diagnostic]:
+    """Check a region connection matrix against capacity and balance.
+
+    Capacity overflow (a region demanding more neurons or axons than it
+    has) is always an **error** — the wiring stage would raise
+    :class:`~repro.errors.WiringError` mid-compile.  When explicit
+    ``row_targets`` / ``col_targets`` are given (a model that claims IPFP
+    balance, like the CoCoMac pipeline's), marginals deviating beyond
+    ``tolerance`` (relative) are errors too; without targets, imbalance
+    between a region's in- and out-utilisation is reported as info.
+    """
+    matrix = np.asarray(matrix, dtype=np.int64)
+    row_sums = matrix.sum(axis=1)
+    col_sums = matrix.sum(axis=0)
+    n = matrix.shape[0]
+    names = names if names is not None else [str(i) for i in range(n)]
+    diags: list[Diagnostic] = []
+    for i in range(n):
+        if row_sums[i] > out_caps[i]:
+            diags.append(
+                Diagnostic(
+                    "ipfp_balance",
+                    "error",
+                    f"region {names[i]!r}: {int(row_sums[i])} outgoing "
+                    f"connections exceed {int(out_caps[i])} neurons",
+                    {"region": names[i], "out": int(row_sums[i]), "cap": int(out_caps[i])},
+                )
+            )
+        if col_sums[i] > in_caps[i]:
+            diags.append(
+                Diagnostic(
+                    "ipfp_balance",
+                    "error",
+                    f"region {names[i]!r}: {int(col_sums[i])} incoming "
+                    f"connections exceed {int(in_caps[i])} axons",
+                    {"region": names[i], "in": int(col_sums[i]), "cap": int(in_caps[i])},
+                )
+            )
+    if row_targets is not None or col_targets is not None:
+        for targets, sums, which in (
+            (row_targets, row_sums, "row"),
+            (col_targets, col_sums, "column"),
+        ):
+            if targets is None:
+                continue
+            targets = np.asarray(targets, dtype=float)
+            scale = np.where(targets > 0, targets, 1.0)
+            rel = np.abs(sums - targets) / scale
+            worst = int(np.argmax(rel))
+            if rel[worst] > tolerance:
+                diags.append(
+                    Diagnostic(
+                        "ipfp_balance",
+                        "error",
+                        f"{which} marginal of region {names[worst]!r} is "
+                        f"{int(sums[worst])}, off its balance target "
+                        f"{targets[worst]:g} by {rel[worst]:.1%} "
+                        f"(tolerance {tolerance:.1%})",
+                        {
+                            "region": names[worst],
+                            "actual": int(sums[worst]),
+                            "target": float(targets[worst]),
+                            "relative_error": float(rel[worst]),
+                        },
+                    )
+                )
+    if not any(d.severity == "error" for d in diags):
+        out_util = row_sums / np.maximum(out_caps, 1)
+        in_util = col_sums / np.maximum(in_caps, 1)
+        diags.append(
+            Diagnostic(
+                "ipfp_balance",
+                "info",
+                f"capacities respected; peak utilisation out={out_util.max():.0%} "
+                f"in={in_util.max():.0%}",
+                {
+                    "max_out_utilisation": float(out_util.max()),
+                    "max_in_utilisation": float(in_util.max()),
+                },
+            )
+        )
+    return diags
+
+
+def _check_placement(compiled: CompiledModel, report: ModelCheckReport) -> None:
+    n_regions = len(compiled.coreobject.regions)
+    try:
+        partition = compiled.partition_for(n_regions)
+    except ValueError as exc:
+        # A degenerate layout (e.g. a zero-width region) cannot even
+        # produce boundaries; report it rather than crash the checker.
+        report.add(
+            "placement_capacity",
+            "error",
+            f"region-aligned partition for {n_regions} processes is "
+            f"degenerate: {exc}",
+            n_processes=n_regions,
+        )
+        return
+    sizes = np.array(
+        [
+            partition.range_of_rank(r)[1] - partition.range_of_rank(r)[0]
+            for r in range(partition.n_ranks)
+        ]
+    )
+    covered = int(sizes.sum())
+    if covered != compiled.network.n_cores or (sizes <= 0).any():
+        empty = [int(r) for r in np.nonzero(sizes <= 0)[0][:_MAX_EXAMPLES]]
+        report.add(
+            "placement_capacity",
+            "error",
+            f"region-aligned partition for {n_regions} processes covers "
+            f"{covered}/{compiled.network.n_cores} cores with "
+            f"{len(empty)} empty rank(s)",
+            empty_ranks=empty,
+            covered=covered,
+        )
+        return
+    report.add(
+        "placement_capacity",
+        "info",
+        f"region-aligned partition for {n_regions} processes is full and "
+        "non-empty",
+        n_processes=n_regions,
+    )

@@ -1,0 +1,371 @@
+"""Happens-before race detection for the virtual cluster.
+
+The paper's one-to-one spike correspondence across partitionings holds
+because Compass's Network phase is insensitive to message arrival order:
+spike delivery is a bitwise OR into axon buffers (§VII-A).  Any *other*
+order-sensitive consumption of wildcard receives — or any unsynchronized
+write to a buffer shared between OpenMP threads — would silently break
+bit-determinism at scale, exactly the failure mode CoreNEURON's
+reproducibility checks and the Fudan low-latency design guard against.
+
+This module attaches a **vector clock** to every simulated rank and
+thread and builds the happens-before relation from the event stream the
+runtime emits when a sanitizer is installed:
+
+* program order — each actor's events tick its own component;
+* message order — a receive merges the send-time clock snapshot;
+* collective order — a Reduce-Scatter (or barrier) acts as an
+  all-to-all fence: every fetch merges all contributions
+  (:func:`repro.runtime.collectives.collective_merge`);
+* fork/join — per-tick OpenMP-style teams branch from and re-join the
+  owning rank's clock.
+
+Two race classes are reported, each with the witnessing clocks:
+
+* ``wildcard-recv`` — an ``Iprobe``/``Recv`` with ``MPI_ANY_SOURCE``
+  while two or more *concurrent* (mutually unordered) messages from
+  distinct sources are pending, outside a delivery context declared
+  commutative.  Real MPI may deliver either first, so downstream state
+  becomes interleaving-dependent.
+* ``shared-buffer`` — overlapping writes (or a write racing a read) to
+  the same shared region by two actors whose clocks are concurrent.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.runtime.collectives import collective_merge
+from repro.runtime.mailbox import ANY_SOURCE
+
+
+class VectorClock:
+    """A map actor → event count, partially ordered componentwise."""
+
+    __slots__ = ("_clock",)
+
+    def __init__(self, init: dict[str, int] | None = None) -> None:
+        self._clock: dict[str, int] = dict(init) if init else {}
+
+    def tick(self, actor: str) -> None:
+        self._clock[actor] = self._clock.get(actor, 0) + 1
+
+    def merge(self, other: "VectorClock | dict[str, int]") -> None:
+        items = other.items() if isinstance(other, VectorClock) else other.items()
+        for actor, t in items:
+            if t > self._clock.get(actor, 0):
+                self._clock[actor] = t
+
+    def get(self, actor: str) -> int:
+        return self._clock.get(actor, 0)
+
+    def items(self):
+        return self._clock.items()
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(self._clock)
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self._clock)
+
+    def dominates(self, other: "VectorClock") -> bool:
+        """True when every component is >= the other's (other ≼ self)."""
+        return all(self._clock.get(a, 0) >= t for a, t in other.items())
+
+    def happens_before(self, other: "VectorClock") -> bool:
+        return other.dominates(self) and self._clock != other._clock
+
+    def concurrent(self, other: "VectorClock") -> bool:
+        return not self.dominates(other) and not other.dominates(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        inner = ", ".join(f"{a}:{t}" for a, t in sorted(self._clock.items()))
+        return f"VectorClock({inner})"
+
+
+@dataclass(frozen=True)
+class Race:
+    """One detected race, with its vector-clock witness."""
+
+    kind: str  #: "wildcard-recv" or "shared-buffer"
+    actors: tuple[str, ...]
+    detail: str
+    #: event label -> clock snapshot proving the events are concurrent.
+    witness: dict[str, dict[str, int]]
+
+    def format(self) -> str:
+        lines = [f"RACE[{self.kind}] {self.detail}"]
+        for label in sorted(self.witness):
+            clock = self.witness[label]
+            inner = ", ".join(f"{a}:{t}" for a, t in sorted(clock.items()))
+            lines.append(f"    {label}: {{{inner}}}")
+        return "\n".join(lines)
+
+
+@dataclass
+class RaceReport:
+    """Everything the detector observed, plus the races it found."""
+
+    races: list[Race] = field(default_factory=list)
+    events: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def passed(self) -> bool:
+        return not self.races
+
+    def format(self) -> str:
+        lines = [
+            "race detector: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(self.events.items()))
+        ]
+        for race in self.races:
+            lines.append(race.format())
+        lines.append(
+            "0 races detected"
+            if self.passed
+            else f"{len(self.races)} race(s) detected"
+        )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class _Access:
+    actor: str
+    lo: int
+    hi: int
+    is_write: bool
+    clock: VectorClock
+
+
+class HappensBeforeDetector:
+    """Vector-clock sanitizer driven by the runtime's instrumentation hooks.
+
+    Install via ``VirtualMpiCluster(n_ranks, sanitizer=detector)`` or, at
+    a higher level, ``Compass(network, config, sanitize=True)``.
+    """
+
+    def __init__(self, n_ranks: int, threads_per_rank: int = 1) -> None:
+        self.n_ranks = n_ranks
+        self.threads_per_rank = threads_per_rank
+        self.clocks: dict[str, VectorClock] = {
+            self.rank_actor(r): VectorClock() for r in range(n_ranks)
+        }
+        self.races: list[Race] = []
+        self.events: dict[str, int] = {}
+        #: seq -> (source rank, clock snapshot at send time).
+        self._msg_clocks: dict[int, tuple[int, VectorClock]] = {}
+        #: staged collective contributions: actor -> clock snapshot.
+        self._collective_stage: dict[str, VectorClock] = {}
+        #: shared-region access log: region key -> accesses this epoch.
+        self._accesses: dict[object, list[_Access]] = {}
+        #: dedup keys of already-reported races.
+        self._reported: set = set()
+        self._commutative_depth = 0
+
+    # -- actors ------------------------------------------------------------
+
+    @staticmethod
+    def rank_actor(rank: int) -> str:
+        return f"rank{rank}"
+
+    @staticmethod
+    def thread_actor(rank: int, thread: int) -> str:
+        return f"rank{rank}.t{thread}"
+
+    def _clock_of(self, actor: str) -> VectorClock:
+        if actor not in self.clocks:
+            self.clocks[actor] = VectorClock()
+        return self.clocks[actor]
+
+    def _count(self, event: str) -> None:
+        self.events[event] = self.events.get(event, 0) + 1
+
+    # -- commutative delivery windows -------------------------------------
+
+    @contextmanager
+    def commutative_delivery(self):
+        """Declare that receives inside the block consume messages
+        commutatively (e.g. bitwise-OR spike delivery, §VII-A), so
+        wildcard ordering cannot influence results."""
+        self._commutative_depth += 1
+        try:
+            yield self
+        finally:
+            self._commutative_depth -= 1
+
+    @property
+    def _in_commutative(self) -> bool:
+        return self._commutative_depth > 0
+
+    # -- point-to-point hooks ----------------------------------------------
+
+    def on_send(self, source: int, dest: int, tag: int, seq: int) -> None:
+        self._count("sends")
+        clock = self._clock_of(self.rank_actor(source))
+        clock.tick(self.rank_actor(source))
+        self._msg_clocks[seq] = (source, clock.copy())
+
+    def on_iprobe(self, rank: int, source: int, tag: int, candidates) -> None:
+        self._count("iprobes")
+        self._check_wildcard(rank, source, candidates, "iprobe")
+
+    def on_recv(
+        self,
+        rank: int,
+        seq: int,
+        source: int,
+        candidates,
+        commutative: bool = False,
+    ) -> None:
+        self._count("recvs")
+        if not commutative:
+            self._check_wildcard(rank, source, candidates, "recv")
+        actor = self.rank_actor(rank)
+        entry = self._msg_clocks.get(seq)
+        if entry is not None:
+            self._clock_of(actor).merge(entry[1])
+        self._clock_of(actor).tick(actor)
+
+    def _check_wildcard(self, rank: int, source: int, candidates, where: str) -> None:
+        """Flag a wildcard match while concurrent messages from distinct
+        sources are pending — the Iprobe-order-dependent receive."""
+        if source != ANY_SOURCE or self._in_commutative:
+            return
+        seqs = [m.seq for m in candidates if m.seq in self._msg_clocks]
+        for i, sa in enumerate(seqs):
+            src_a, clk_a = self._msg_clocks[sa]
+            for sb in seqs[i + 1 :]:
+                src_b, clk_b = self._msg_clocks[sb]
+                if src_a == src_b or not clk_a.concurrent(clk_b):
+                    continue
+                key = (rank, frozenset((sa, sb)))
+                if key in self._reported:
+                    continue
+                self._reported.add(key)
+                self.races.append(
+                    Race(
+                        kind="wildcard-recv",
+                        actors=(self.rank_actor(src_a), self.rank_actor(src_b)),
+                        detail=(
+                            f"rank{rank} {where} with ANY_SOURCE while "
+                            f"concurrent messages #{sa} (from rank{src_a}) and "
+                            f"#{sb} (from rank{src_b}) are pending; arrival "
+                            "order is interleaving-dependent"
+                        ),
+                        witness={
+                            f"send#{sa}@rank{src_a}": clk_a.as_dict(),
+                            f"send#{sb}@rank{src_b}": clk_b.as_dict(),
+                        },
+                    )
+                )
+
+    # -- mailbox observer hooks --------------------------------------------
+
+    def on_mailbox_deliver(self, rank: int, message) -> None:
+        self._count("deliveries")
+
+    def on_mailbox_pop(self, rank: int, message) -> None:
+        self._count("pops")
+
+    # -- collective hooks ---------------------------------------------------
+
+    def on_collective_contribute(self, rank: int) -> None:
+        self._count("collective_contributions")
+        actor = self.rank_actor(rank)
+        clock = self._clock_of(actor)
+        clock.tick(actor)
+        self._collective_stage[actor] = clock.copy()
+
+    def on_collective_fetch(self, rank: int) -> None:
+        self._count("collective_fetches")
+        actor = self.rank_actor(rank)
+        merged = collective_merge(
+            self._collective_stage[a] for a in sorted(self._collective_stage)
+        )
+        clock = self._clock_of(actor)
+        clock.merge(merged)
+        clock.tick(actor)
+
+    def on_collective_finish(self) -> None:
+        """The collective is a fence: pre-fence accesses are ordered before
+        every later event, so the shared-access log can be dropped."""
+        self._collective_stage.clear()
+        self._accesses.clear()
+        self._msg_clocks.clear()
+
+    # -- simulated OpenMP teams --------------------------------------------
+
+    def fork_threads(self, rank: int, n_threads: int) -> list[str]:
+        """Branch ``n_threads`` thread clocks off the rank's clock."""
+        parent = self._clock_of(self.rank_actor(rank))
+        actors = []
+        for t in range(n_threads):
+            actor = self.thread_actor(rank, t)
+            clock = parent.copy()
+            clock.tick(actor)
+            self.clocks[actor] = clock
+            actors.append(actor)
+        return actors
+
+    def join_threads(self, rank: int, n_threads: int) -> None:
+        """Merge the team's clocks back into the owning rank."""
+        actor = self.rank_actor(rank)
+        clock = self._clock_of(actor)
+        for t in range(n_threads):
+            clock.merge(self._clock_of(self.thread_actor(rank, t)))
+        clock.tick(actor)
+
+    # -- shared-buffer hooks -------------------------------------------------
+
+    def on_shared_write(self, actor: str, region: object, lo: int, hi: int) -> None:
+        self._count("shared_writes")
+        self._record_access(actor, region, lo, hi, is_write=True)
+
+    def on_shared_read(self, actor: str, region: object, lo: int, hi: int) -> None:
+        self._count("shared_reads")
+        self._record_access(actor, region, lo, hi, is_write=False)
+
+    def _record_access(
+        self, actor: str, region: object, lo: int, hi: int, is_write: bool
+    ) -> None:
+        clock = self._clock_of(actor)
+        clock.tick(actor)
+        snapshot = clock.copy()
+        log = self._accesses.setdefault(region, [])
+        for prior in log:
+            if prior.actor == actor:
+                continue
+            if not (is_write or prior.is_write):
+                continue  # read/read never conflicts
+            if prior.hi <= lo or hi <= prior.lo:
+                continue  # disjoint spans
+            if not prior.clock.concurrent(snapshot):
+                continue
+            key = (region, frozenset((prior.actor, actor)), prior.lo, prior.hi, lo, hi)
+            if key in self._reported:
+                continue
+            self._reported.add(key)
+            a_kind = "write" if prior.is_write else "read"
+            b_kind = "write" if is_write else "read"
+            self.races.append(
+                Race(
+                    kind="shared-buffer",
+                    actors=(prior.actor, actor),
+                    detail=(
+                        f"unsynchronized {a_kind} [{prior.lo}, {prior.hi}) by "
+                        f"{prior.actor} and {b_kind} [{lo}, {hi}) by {actor} "
+                        f"on shared region {region!r}"
+                    ),
+                    witness={
+                        f"{a_kind}@{prior.actor}": prior.clock.as_dict(),
+                        f"{b_kind}@{actor}": snapshot.as_dict(),
+                    },
+                )
+            )
+        log.append(_Access(actor, lo, hi, is_write, snapshot))
+
+    # -- results ----------------------------------------------------------
+
+    def report(self) -> RaceReport:
+        return RaceReport(races=list(self.races), events=dict(self.events))

@@ -1,0 +1,254 @@
+"""The determinism lint rules (DET101–DET105).
+
+Each rule enforces one discipline that keeps the simulator
+bit-deterministic across rank counts and thread interleavings — the
+property behind the paper's one-to-one spike correspondence claim:
+
+* DET101 — no wall-clock reads in simulation paths;
+* DET102 — no module-level (globally seeded) RNG in simulation paths;
+* DET103 — no iteration over unordered ``set`` / ``dict.values()`` /
+  ``dict.keys()`` in rank-visible code without ``sorted()``;
+* DET104 — no mutable default arguments;
+* DET105 — no bare or broad exception handlers.
+
+``time.perf_counter`` is explicitly allowed: host-time measurement is
+observational (it feeds metrics, never rank-visible state).  Likewise
+``np.random.default_rng`` and friends are allowed — they construct
+explicitly seeded generators, which is exactly the discipline DET102
+exists to push code towards.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.check.rules.base import ModuleContext, Rule, register
+
+#: ``time.<attr>`` calls that read the wall clock.
+_WALL_CLOCK_TIME_ATTRS = frozenset(
+    {"time", "time_ns", "monotonic", "monotonic_ns", "localtime", "gmtime"}
+)
+
+#: ``datetime``/``date`` constructors that read the wall clock.
+_WALL_CLOCK_DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
+
+#: ``np.random.<attr>`` names that are explicitly-seeded constructors,
+#: not draws from the hidden global stream.
+_NP_RANDOM_CONSTRUCTORS = frozenset(
+    {"default_rng", "Generator", "SeedSequence", "PCG64", "Philox", "SFC64", "MT19937"}
+)
+
+_MUTABLE_FACTORIES = frozenset({"list", "dict", "set", "bytearray"})
+
+
+def _attr_chain(node: ast.AST) -> list[str]:
+    """``a.b.c`` -> ["a", "b", "c"]; empty when the base is not a Name."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return []
+
+
+@register
+class WallClockRule(Rule):
+    rule_id = "DET101"
+    title = "wall-clock read in a simulation path"
+    rationale = (
+        "time.time()/datetime.now() make behaviour depend on when the "
+        "simulation runs; simulated time must come from the tick counter "
+        "and the timing model.  time.perf_counter() is allowed for host "
+        "metrics."
+    )
+    rank_visible_only = True
+
+    def check(self, ctx: ModuleContext):
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _attr_chain(node.func)
+            if len(chain) < 2:
+                continue
+            if chain[0] == "time" and chain[-1] in _WALL_CLOCK_TIME_ATTRS:
+                yield self.violation(
+                    ctx, node, f"wall-clock call time.{chain[-1]}() in simulation path"
+                )
+            elif chain[-1] in _WALL_CLOCK_DATETIME_ATTRS and (
+                "datetime" in chain[:-1] or "date" in chain[:-1]
+            ):
+                yield self.violation(
+                    ctx, node, f"wall-clock call {'.'.join(chain)}() in simulation path"
+                )
+
+
+@register
+class GlobalRngRule(Rule):
+    rule_id = "DET102"
+    title = "module-level RNG in a simulation path"
+    rationale = (
+        "random.* and np.random.* draw from hidden global state shared "
+        "across the process, so results depend on call order and on "
+        "unrelated code; use an explicitly seeded np.random.default_rng "
+        "or repro.util.rng streams."
+    )
+    rank_visible_only = True
+
+    def check(self, ctx: ModuleContext):
+        imports_random = any(
+            (isinstance(n, ast.Import) and any(a.name == "random" for a in n.names))
+            or (isinstance(n, ast.ImportFrom) and n.module == "random")
+            for n in ast.walk(ctx.tree)
+        )
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _attr_chain(node.func)
+            if len(chain) == 2 and chain[0] == "random" and imports_random:
+                yield self.violation(
+                    ctx, node, f"global-state RNG call random.{chain[1]}()"
+                )
+            elif (
+                len(chain) == 3
+                and chain[0] in ("np", "numpy")
+                and chain[1] == "random"
+                and chain[2] not in _NP_RANDOM_CONSTRUCTORS
+            ):
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"global-state RNG call {chain[0]}.random.{chain[2]}(); "
+                    "use an explicitly seeded default_rng",
+                )
+
+
+@register
+class UnorderedIterationRule(Rule):
+    rule_id = "DET103"
+    title = "iteration over an unordered collection in rank-visible code"
+    rationale = (
+        "set iteration order is not specified, and dict view order "
+        "encodes insertion history that may differ across ranks; wrap "
+        "the iterable in sorted() or suppress with a comment explaining "
+        "why the order is deterministic."
+    )
+    rank_visible_only = True
+
+    def check(self, ctx: ModuleContext):
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                yield from self._scan_iterable(ctx, node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                for gen in node.generators:
+                    yield from self._scan_iterable(ctx, gen.iter)
+
+    def _scan_iterable(self, ctx: ModuleContext, expr: ast.AST):
+        """Flag unordered sources anywhere in the iterable expression,
+        skipping subtrees already wrapped in ``sorted()``."""
+        stack = [expr]
+        while stack:
+            node = stack.pop()
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "sorted"
+            ):
+                continue  # sorted(...) fixes the order; don't descend
+            if isinstance(node, (ast.Set, ast.SetComp)):
+                yield self.violation(
+                    ctx, node, "iteration over a set has unspecified order; use sorted()"
+                )
+            elif isinstance(node, ast.Call):
+                if isinstance(node.func, ast.Name) and node.func.id in ("set", "frozenset"):
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f"iteration over {node.func.id}() has unspecified order; use sorted()",
+                    )
+                elif isinstance(node.func, ast.Attribute) and node.func.attr in (
+                    "values",
+                    "keys",
+                ):
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f".{node.func.attr}() iteration order encodes insertion "
+                        "history; use sorted() or suppress with a reason",
+                    )
+            stack.extend(ast.iter_child_nodes(node))
+
+
+@register
+class MutableDefaultRule(Rule):
+    rule_id = "DET104"
+    title = "mutable default argument"
+    rationale = (
+        "a mutable default is shared across calls, so one call's state "
+        "leaks into the next — hidden cross-call (and cross-rank) "
+        "coupling; default to None and construct inside the function."
+    )
+
+    def check(self, ctx: ModuleContext):
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            args = node.args
+            for default in list(args.defaults) + [
+                d for d in args.kw_defaults if d is not None
+            ]:
+                if self._is_mutable(default):
+                    name = getattr(node, "name", "<lambda>")
+                    yield self.violation(
+                        ctx, default, f"mutable default argument in {name}()"
+                    )
+
+    @staticmethod
+    def _is_mutable(node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _MUTABLE_FACTORIES
+        )
+
+
+@register
+class BroadExceptRule(Rule):
+    rule_id = "DET105"
+    title = "bare or broad exception handler"
+    rationale = (
+        "except Exception swallows programming errors (TypeError, "
+        "KeyError) along with expected failures, letting a silently "
+        "corrupted rank diverge; catch the specific ReproError subclasses "
+        "from repro.errors and let the rest propagate."
+    )
+
+    def check(self, ctx: ModuleContext):
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            broad = node.type is None or (
+                isinstance(node.type, ast.Name)
+                and node.type.id in ("Exception", "BaseException")
+            )
+            if not broad:
+                continue
+            if self._reraises(node):
+                continue
+            what = "bare except:" if node.type is None else f"except {node.type.id}"
+            yield self.violation(
+                ctx,
+                node,
+                f"{what} without re-raise; catch specific repro.errors types",
+            )
+
+    @staticmethod
+    def _reraises(handler: ast.ExceptHandler) -> bool:
+        """True when the handler body contains a bare ``raise``."""
+        return any(
+            isinstance(n, ast.Raise) and n.exc is None for n in ast.walk(handler)
+        )

@@ -8,7 +8,10 @@ Subcommands:
 * ``run <model>``               — simulate an explicit model file (or the
   built-in quickstart network) and print run statistics;
 * ``macaque``                   — build, compile, and run a macaque model;
-* ``figures [name|all]``        — regenerate the paper's evaluation tables.
+* ``figures [name|all]``        — regenerate the paper's evaluation tables;
+* ``check lint|races|model``    — the determinism sanitizer (see
+  ``docs/checker.md``): static lint rules, the happens-before race
+  detector on a live run, and the structural model checker.
 """
 
 from __future__ import annotations
@@ -139,6 +142,85 @@ def _cmd_macaque(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check_lint(args: argparse.Namespace) -> int:
+    from repro.check.lint import run_lint
+    from repro.check.rules import rules_by_id
+
+    paths = args.paths
+    if not paths:
+        # Default to linting the installed package itself.
+        from pathlib import Path
+
+        import repro
+
+        paths = [Path(repro.__file__).parent]
+    try:
+        rules = rules_by_id(args.rule) if args.rule else None
+        report = run_lint(paths, rules=rules)
+    except (KeyError, FileNotFoundError) as exc:
+        # str(KeyError) wraps its argument in quotes; unwrap for display.
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    print(report.format())
+    return 0 if report.passed else 1
+
+
+def _cmd_check_races(args: argparse.Namespace) -> int:
+    from repro.core.config import CompassConfig
+    from repro.core.simulator import Compass
+
+    if args.model == "macaque":
+        from repro.cocomac.model import build_macaque_model
+
+        cores = args.cores if args.cores is not None else 128
+        network = build_macaque_model(
+            total_cores=cores, seed=args.seed
+        ).compiled.network
+    else:
+        from repro.apps.quicknet import build_quickstart_network
+
+        cores = args.cores if args.cores is not None else 16
+        network = build_quickstart_network(n_cores=cores, seed=args.seed)
+
+    cfg = CompassConfig(
+        n_processes=args.processes, threads_per_process=args.threads
+    )
+    sim = Compass(network, cfg, sanitize=True)
+    sim.run(args.ticks)
+    report = sim.race_report()
+    print(
+        f"ran {args.ticks} sanitized ticks on {args.processes} ranks x "
+        f"{args.threads} threads ({args.model}, {network.n_cores} cores)"
+    )
+    print(report.format())
+    return 0 if report.passed else 1
+
+
+def _cmd_check_model(args: argparse.Namespace) -> int:
+    from repro.check.model import check_model
+    from repro.compiler.coreobject import CoreObject
+    from repro.compiler.pcc import ParallelCompassCompiler
+
+    from repro.errors import ReproError
+
+    try:
+        obj = CoreObject.from_json(args.coreobject)
+        # The checker is run explicitly below so a failing model still
+        # produces a full diagnostic listing instead of a raised error.
+        compiled = ParallelCompassCompiler(model_check=False).compile(obj)
+    except FileNotFoundError:
+        print(f"error: no such file: {args.coreobject}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        # The model is broken before the structural checks can even run.
+        print(f"ERROR [compile] {exc}")
+        print("model check failed: model does not compile")
+        return 1
+    report = check_model(compiled)
+    print(report.format())
+    return 0 if report.passed else 1
+
+
 _FIGURES = ("fig4a", "fig4b", "fig5", "fig6", "fig7", "headline")
 
 
@@ -262,6 +344,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cores", type=int, default=1024)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_export)
+
+    p = sub.add_parser("check", help="determinism sanitizer (lint, races, model)")
+    check_sub = p.add_subparsers(dest="check_command", required=True)
+
+    q = check_sub.add_parser("lint", help="run the determinism lint rules")
+    q.add_argument("paths", nargs="*", help="files/directories (default: repro pkg)")
+    q.add_argument(
+        "--rule",
+        action="append",
+        metavar="ID",
+        help="restrict to specific rule ids (repeatable, e.g. --rule DET103)",
+    )
+    q.set_defaults(func=_cmd_check_lint)
+
+    q = check_sub.add_parser(
+        "races", help="run a sanitized simulation and report races"
+    )
+    q.add_argument("--ticks", type=int, default=50)
+    q.add_argument("--processes", type=int, default=4)
+    q.add_argument("--threads", type=int, default=4)
+    q.add_argument(
+        "--cores",
+        type=int,
+        default=None,
+        help="network size (default: 16 quickstart, 128 macaque)",
+    )
+    q.add_argument("--seed", type=int, default=0)
+    q.add_argument(
+        "--model", choices=("quickstart", "macaque"), default="quickstart"
+    )
+    q.set_defaults(func=_cmd_check_races)
+
+    q = check_sub.add_parser("model", help="model-check a CoreObject compile")
+    q.add_argument("coreobject", help="path to a CoreObject .json")
+    q.set_defaults(func=_cmd_check_model)
 
     p = sub.add_parser("figures", help="regenerate paper evaluation tables")
     p.add_argument("name", choices=_FIGURES + ("all",), nargs="?", default="all")

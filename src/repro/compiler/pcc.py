@@ -89,7 +89,9 @@ class CompiledModel:
         if n_processes < n_regions:
             return Partition(self.network.n_cores, n_processes)
         sizes = np.array(
-            [hi - lo for (lo, hi) in self.region_ranges.values()], dtype=float
+            # repro: allow[DET103] region_ranges view order is the layout order.
+            [hi - lo for (lo, hi) in self.region_ranges.values()],
+            dtype=float,
         )
         share = sizes / sizes.sum() * n_processes
         procs = np.maximum(1, np.floor(share)).astype(int)
@@ -100,6 +102,7 @@ class CompiledModel:
             over = np.where(procs > 1)[0]
             procs[over[np.argmin((share - procs)[over])]] -= 1
         boundaries = [0]
+        # repro: allow[DET103] region_ranges view order is the layout order.
         for (lo, hi), p in zip(self.region_ranges.values(), procs):
             splits = np.linspace(lo, hi, p + 1).astype(np.int64)[1:]
             boundaries.extend(int(s) for s in splits)
@@ -107,10 +110,17 @@ class CompiledModel:
 
 
 class ParallelCompassCompiler:
-    """Compile CoreObjects into explicit TrueNorth networks."""
+    """Compile CoreObjects into explicit TrueNorth networks.
 
-    def __init__(self, validate: bool = True) -> None:
+    ``model_check=True`` (the default) runs the structural model checker
+    (:func:`repro.check.model.check_model`) on the result and raises
+    :class:`~repro.errors.CompilationError` with the diagnostics when
+    the compiled network could not be simulated soundly.
+    """
+
+    def __init__(self, validate: bool = True, model_check: bool = True) -> None:
         self.validate = validate
+        self.model_check = model_check
 
     def compile(self, obj: CoreObject) -> CompiledModel:
         t_start = time.perf_counter()
@@ -177,13 +187,18 @@ class ParallelCompassCompiler:
 
         if self.validate:
             network.validate()
-        metrics.wall_seconds = time.perf_counter() - t_start
-        return CompiledModel(
+        compiled = CompiledModel(
             network=network,
             coreobject=obj,
             region_ranges=region_ranges,
             metrics=metrics,
         )
+        if self.model_check:
+            from repro.check.model import check_model
+
+            check_model(compiled).raise_if_failed()
+        metrics.wall_seconds = time.perf_counter() - t_start
+        return compiled
 
     # -- helpers ---------------------------------------------------------------
 

@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.arch.params import NUM_AXON_TYPES
 from repro.compiler.pcc import CompiledModel
-from repro.errors import CompilationError
+from repro.errors import CompilationError, WiringError
 from repro.util.bitops import popcount_rows
 
 
@@ -61,11 +61,12 @@ def verify_compiled(
     )
     report.record("layout_contiguous", contiguous)
 
-    # 2. Dangling references.
+    # 2. Dangling references.  Only the expected wiring failure is caught
+    # and reported; anything else is a genuine bug and must propagate.
     try:
         net.validate()
         report.record("no_dangling_targets", True)
-    except Exception as exc:  # noqa: BLE001 - report, don't crash
+    except WiringError as exc:
         report.record("no_dangling_targets", False, str(exc))
 
     # 3. Connection counts per region pair match the CoreObject.

@@ -38,11 +38,12 @@ class PgasCompass(CompassBase):
         network: CoreNetwork,
         config: CompassConfig | None = None,
         partition=None,
+        sanitize: bool = False,
     ) -> None:
         from repro.runtime.pgas import PgasCluster
 
         config = config or CompassConfig()
-        super().__init__(network, config, partition)
+        super().__init__(network, config, partition, sanitize=sanitize)
         self.cluster = PgasCluster(config.n_processes)
 
     def step(self) -> TickMetrics:
@@ -82,6 +83,15 @@ class PgasCompass(CompassBase):
         # Global barrier: write epoch -> read epoch.
         for rs in self.ranks:
             self.cluster.endpoints[rs.rank].barrier()
+        if self.detector is not None:
+            # The barrier is an all-to-all fence: model it as a
+            # contribute/fetch pair so the happens-before graph orders
+            # this tick's thread-team writes before the next tick's.
+            for rs in self.ranks:
+                self.detector.on_collective_contribute(rs.rank)
+            for rs in self.ranks:
+                self.detector.on_collective_fetch(rs.rank)
+            self.detector.on_collective_finish()
 
         # Read epoch: each rank drains its own window.
         for rs in self.ranks:

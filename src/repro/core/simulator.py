@@ -21,6 +21,7 @@ tick *t+1* state before every rank finished tick *t*.
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -142,14 +143,28 @@ class CompassBase:
         network: CoreNetwork,
         config: CompassConfig,
         partition: Partition | None = None,
+        sanitize: bool = False,
     ) -> None:
         """``partition`` overrides the uniform implicit core→process map,
         e.g. with the region-aligned boundaries of
         :meth:`repro.compiler.pcc.CompiledModel.partition_for` so that
         intra-region (gray matter) spiking stays in shared memory (§IV).
+
+        ``sanitize=True`` attaches a happens-before race detector
+        (:class:`repro.check.races.HappensBeforeDetector`) to the run:
+        every message, collective, and modelled thread-team write is
+        tracked with vector clocks, and :meth:`race_report` returns what
+        it found.  Functional results are unchanged; the run is slower.
         """
         self.network = network
         self.config = config
+        self.detector = None
+        if sanitize:
+            from repro.check.races import HappensBeforeDetector
+
+            self.detector = HappensBeforeDetector(
+                config.n_processes, config.threads_per_process
+            )
         if partition is not None:
             if partition.n_cores != network.n_cores:
                 raise ValueError(
@@ -258,6 +273,12 @@ class CompassBase:
             spikes=self.recorder,
         )
 
+    def race_report(self):
+        """The sanitizer's findings, or ``None`` when ``sanitize=False``."""
+        if self.detector is None:
+            return None
+        return self.detector.report()
+
     # -- shared compute phase -------------------------------------------------
 
     def _compute_phase(
@@ -270,6 +291,15 @@ class CompassBase:
         host = PhaseTimes()
         per_rank_msgs: list[dict[int, SpikeBatch]] = []
         for rs in self.ranks:
+            if self.detector is not None:
+                from repro.runtime.threads import sanitize_thread_writes
+
+                sanitize_thread_writes(
+                    self.detector,
+                    rs.rank,
+                    rs.block.n_cores,
+                    self.config.threads_per_process,
+                )
             t0 = time.perf_counter()
             counts = rs.block.synapse_phase(tick)
             t1 = time.perf_counter()
@@ -327,12 +357,13 @@ class Compass(CompassBase):
         network: CoreNetwork,
         config: CompassConfig | None = None,
         partition=None,
+        sanitize: bool = False,
     ) -> None:
         from repro.runtime.mpi import VirtualMpiCluster
 
         config = config or CompassConfig()
-        super().__init__(network, config, partition)
-        self.cluster = VirtualMpiCluster(config.n_processes)
+        super().__init__(network, config, partition, sanitize=sanitize)
+        self.cluster = VirtualMpiCluster(config.n_processes, sanitizer=self.detector)
 
     def step(self) -> TickMetrics:
         tick = self.tick
@@ -371,17 +402,26 @@ class Compass(CompassBase):
             spikes_received = 0
             bytes_received = 0
             n_msgs = recv_counts[rs.rank]
-            for _ in range(n_msgs):
-                if not ep.iprobe():
-                    raise RuntimeError(
-                        f"rank {rs.rank}: Reduce-Scatter promised a message "
-                        "that never arrived"
-                    )
-                msg = ep.recv()
-                batch: SpikeBatch = msg.payload
-                rs.block.deliver(batch.tgt_gid, batch.tgt_axon, batch.delay, tick)
-                spikes_received += batch.count
-                bytes_received += batch.nbytes
+            # Spike delivery is a bitwise OR into axon buffers (§VII-A),
+            # so consuming wildcard receives in arrival order is
+            # commutative — declare it, or the sanitizer would flag
+            # every multi-sender tick.
+            with (
+                self.detector.commutative_delivery()
+                if self.detector is not None
+                else nullcontext()
+            ):
+                for _ in range(n_msgs):
+                    if not ep.iprobe():
+                        raise RuntimeError(
+                            f"rank {rs.rank}: Reduce-Scatter promised a message "
+                            "that never arrived"
+                        )
+                    msg = ep.recv(commutative=True)
+                    batch: SpikeBatch = msg.payload
+                    rs.block.deliver(batch.tgt_gid, batch.tgt_axon, batch.delay, tick)
+                    spikes_received += batch.count
+                    bytes_received += batch.nbytes
             if self.timer is not None:
                 self.timer.rank_network(
                     self.config.n_processes,

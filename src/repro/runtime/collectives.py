@@ -16,6 +16,14 @@ algorithms, rather than asserting it:
 
 `validate_against` quantifies how well the calibrated constants agree
 with the derivation over a range of communicator sizes.
+
+Also here: :func:`collective_merge`, the happens-before semantics of the
+collectives themselves.  A Reduce-Scatter (or a barrier) is an
+all-to-all fence: every participant's post-collective state causally
+depends on *every* contribution, so a participant's clock after the
+collective is the componentwise maximum over all contributed clocks.
+The race detector (:mod:`repro.check.races`) leans on this to order
+events across ticks.
 """
 
 from __future__ import annotations
@@ -65,6 +73,22 @@ def dissemination_barrier(
         return 0.0
     rounds = math.ceil(math.log2(ranks))
     return rounds * (latency + message_bytes / bandwidth)
+
+
+def collective_merge(clocks) -> dict[str, int]:
+    """Componentwise maximum over an iterable of vector clocks.
+
+    ``clocks`` may yield any objects with ``.items()`` (mappings or
+    :class:`repro.check.races.VectorClock` instances).  The result is the
+    clock every participant holds immediately after an all-to-all
+    collective completes — the fence edge of the happens-before graph.
+    """
+    merged: dict[str, int] = {}
+    for clock in clocks:
+        for actor, t in clock.items():
+            if t > merged.get(actor, 0):
+                merged[actor] = t
+    return merged
 
 
 def fit_linear(ranks: np.ndarray, times: np.ndarray) -> tuple[float, float]:

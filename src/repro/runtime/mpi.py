@@ -17,6 +17,15 @@ deterministically in one OS process:
 The cluster also detects collective misuse (a rank contributing twice, or
 reading a result before all ranks contributed), which turns subtle
 deadlocks of the real library into immediate errors.
+
+Passing ``sanitizer=`` (a
+:class:`repro.check.races.HappensBeforeDetector`) instruments every
+``send``/``isend``/``iprobe``/``recv`` and both collective halves with
+happens-before bookkeeping: messages get cluster-wide sequence numbers,
+wildcard receives are checked against their candidate sets, and the
+Reduce-Scatter acts as the vector-clock fence.  Receive sites whose
+payload consumption is order-insensitive (bitwise-OR spike delivery,
+§VII-A) pass ``commutative=True`` to opt out of the wildcard check.
 """
 
 from __future__ import annotations
@@ -53,13 +62,15 @@ class TrafficCounters:
 class VirtualMpiCluster:
     """A deterministic in-process cluster of ``n_ranks`` MPI endpoints."""
 
-    def __init__(self, n_ranks: int) -> None:
+    def __init__(self, n_ranks: int, sanitizer: Any = None) -> None:
         if n_ranks <= 0:
             raise ValueError("n_ranks must be positive")
         self.n_ranks = n_ranks
-        self.mailboxes = [Mailbox(r) for r in range(n_ranks)]
+        self.sanitizer = sanitizer
+        self.mailboxes = [Mailbox(r, observer=sanitizer) for r in range(n_ranks)]
         self.counters = [TrafficCounters() for _ in range(n_ranks)]
         self._rs_contributions: dict[int, np.ndarray] = {}
+        self._next_seq = 0
         self.endpoints = [MpiEndpoint(self, r) for r in range(n_ranks)]
 
     # -- point to point ------------------------------------------------------
@@ -67,7 +78,14 @@ class VirtualMpiCluster:
     def send(self, source: int, dest: int, tag: int, payload: Any, nbytes: int) -> None:
         if not 0 <= dest < self.n_ranks:
             raise CommunicationError(f"send to invalid rank {dest}")
-        msg = Message(source=source, dest=dest, tag=tag, payload=payload, nbytes=nbytes)
+        seq = -1
+        if self.sanitizer is not None:
+            seq = self._next_seq
+            self._next_seq += 1
+            self.sanitizer.on_send(source, dest, tag, seq)
+        msg = Message(
+            source=source, dest=dest, tag=tag, payload=payload, nbytes=nbytes, seq=seq
+        )
         self.mailboxes[dest].deliver(msg)
         c = self.counters[source]
         c.messages_sent += 1
@@ -84,6 +102,8 @@ class VirtualMpiCluster:
         if rank in self._rs_contributions:
             raise CommunicationError(f"rank {rank} contributed twice to reduce_scatter")
         self._rs_contributions[rank] = counts.copy()
+        if self.sanitizer is not None:
+            self.sanitizer.on_collective_contribute(rank)
 
     def reduce_scatter_result(self, rank: int) -> int:
         if len(self._rs_contributions) != self.n_ranks:
@@ -91,13 +111,19 @@ class VirtualMpiCluster:
             raise CommunicationError(
                 f"reduce_scatter incomplete; missing ranks {sorted(missing)[:8]}"
             )
-        total = int(sum(c[rank] for c in self._rs_contributions.values()))
+        total = int(
+            sum(self._rs_contributions[r][rank] for r in sorted(self._rs_contributions))
+        )
         self.counters[rank].reduce_scatters += 1
+        if self.sanitizer is not None:
+            self.sanitizer.on_collective_fetch(rank)
         return total
 
     def reduce_scatter_finish(self) -> None:
         """Reset collective state once every rank has read its result."""
         self._rs_contributions.clear()
+        if self.sanitizer is not None:
+            self.sanitizer.on_collective_finish()
 
     # -- introspection -----------------------------------------------------------
 
@@ -146,7 +172,11 @@ class MpiEndpoint:
         return self.cluster.reduce_scatter_result(self.rank)
 
     def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
-        return self.cluster.mailboxes[self.rank].probe(source, tag) is not None
+        mailbox = self.cluster.mailboxes[self.rank]
+        sanitizer = self.cluster.sanitizer
+        if sanitizer is not None:
+            sanitizer.on_iprobe(self.rank, source, tag, mailbox.matching(source, tag))
+        return mailbox.probe(source, tag) is not None
 
     def get_count(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> int:
         msg = self.cluster.mailboxes[self.rank].probe(source, tag)
@@ -154,8 +184,26 @@ class MpiEndpoint:
             raise CommunicationError(f"rank {self.rank}: get_count with no message")
         return msg.nbytes
 
-    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Message:
-        msg = self.cluster.mailboxes[self.rank].pop(source, tag)
+    def recv(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        commutative: bool = False,
+    ) -> Message:
+        """Blocking receive.
+
+        ``commutative=True`` asserts the caller consumes the payload in an
+        order-insensitive way (Compass's bit-OR spike delivery), waiving
+        the sanitizer's wildcard-order race check for this receive.
+        """
+        mailbox = self.cluster.mailboxes[self.rank]
+        sanitizer = self.cluster.sanitizer
+        candidates = (
+            mailbox.matching(source, tag) if sanitizer is not None else ()
+        )
+        msg = mailbox.pop(source, tag)
+        if sanitizer is not None:
+            sanitizer.on_recv(self.rank, msg.seq, source, candidates, commutative)
         c = self.cluster.counters[self.rank]
         c.messages_received += 1
         c.bytes_received += msg.nbytes

@@ -14,7 +14,9 @@ keep thread scaling from being perfect (§VI-D):
 Also here: :func:`partition_cores`, the uniform core→thread partition of
 §III ("Compass distributes simulated cores uniformly across the available
 threads"), used by both the functional simulator and the load-imbalance
-metrics.
+metrics, and :func:`sanitize_thread_writes`, the race-detector
+instrumentation that models one tick of the OpenMP team's writes to the
+rank's shared buffer region.
 """
 
 from __future__ import annotations
@@ -72,6 +74,28 @@ def partition_cores(n_cores: int, n_threads: int) -> list[range]:
         parts.append(range(start, start + size))
         start += size
     return parts
+
+
+def sanitize_thread_writes(
+    detector, rank: int, n_cores: int, n_threads: int, region: str = "pending"
+) -> None:
+    """Model one tick of the rank's OpenMP team for the race detector.
+
+    Compass's Synapse and Neuron phases run one thread per contiguous
+    core slice, all writing the *same* shared per-rank buffer region
+    (axon pending bits, potentials).  Correctness rests on those slices
+    being disjoint — the invariant :func:`partition_cores` is supposed to
+    provide.  This hook re-derives the slices each tick and records them
+    as shared writes on the detector: a future change that makes two
+    threads' slices overlap (or hands one core to two threads) surfaces
+    as a ``shared-buffer`` race with a vector-clock witness instead of a
+    silent nondeterminism.
+    """
+    actors = detector.fork_threads(rank, n_threads)
+    for actor, span in zip(actors, partition_cores(n_cores, n_threads)):
+        if span.stop > span.start:
+            detector.on_shared_write(actor, (rank, region), span.start, span.stop)
+    detector.join_threads(rank, n_threads)
 
 
 def load_imbalance(costs_per_core: np.ndarray, n_threads: int) -> float:

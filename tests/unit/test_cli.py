@@ -89,6 +89,39 @@ class TestMacaque:
         assert "77 regions" in out
 
 
+class TestCheck:
+    def test_lint_repo_is_clean(self, capsys):
+        assert main(["check", "lint"]) == 0
+        out = capsys.readouterr().out
+        assert "0 violation(s)" in out
+
+    def test_lint_flags_violations_with_rule_ids(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\n\ndef f():\n    return time.time()\n")
+        assert main(["check", "lint", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "DET101" in out and "1 violation(s)" in out
+
+    def test_lint_rule_filter(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\n\ndef f(acc=[]):\n    return time.time()\n")
+        assert main(["check", "lint", str(bad), "--rule", "DET104"]) == 1
+        out = capsys.readouterr().out
+        assert "DET104" in out and "DET101" not in out
+
+    def test_races_quickstart_clean(self, capsys):
+        assert main(["check", "races", "--ticks", "20", "--processes", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "0 races detected" in out
+        assert "sanitized ticks" in out
+
+    def test_model_check_valid_coreobject(self, coreobject_file, capsys):
+        assert main(["check", "model", str(coreobject_file)]) == 0
+        out = capsys.readouterr().out
+        assert "model check passed" in out
+        assert "[ipfp_balance]" in out
+
+
 class TestFigures:
     @pytest.mark.parametrize(
         "name", ["fig4a", "fig4b", "fig5", "fig6", "fig7", "headline"]

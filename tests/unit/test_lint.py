@@ -1,0 +1,251 @@
+"""Unit tests for the determinism lint engine (DET100–DET105).
+
+Each rule gets a positive case (the violation is reported with its rule
+id and location) and a suppressed case (the same construct with a
+``# repro: allow[DETxxx]`` marker passes).  The engine itself is covered
+for path scoping, rule filtering, and the syntax-error path — and the
+installed ``repro`` package must lint clean, since that is what CI runs.
+"""
+
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.check.lint import (
+    iter_python_files,
+    lint_source,
+    path_is_rank_visible,
+    run_lint,
+)
+from repro.check.rules import all_rules, rules_by_id
+
+
+def rule_ids(violations):
+    return [v.rule_id for v in violations]
+
+
+class TestRegistry:
+    def test_all_rules_registered(self):
+        ids = [r.rule_id for r in all_rules()]
+        assert ids == ["DET101", "DET102", "DET103", "DET104", "DET105"]
+
+    def test_rules_by_id_selects(self):
+        (rule,) = rules_by_id(["DET103"])
+        assert rule.rule_id == "DET103"
+
+    def test_rules_by_id_rejects_unknown(self):
+        with pytest.raises(KeyError, match="DET999"):
+            rules_by_id(["DET999"])
+
+    def test_every_rule_documents_itself(self):
+        for rule in all_rules():
+            assert rule.title and rule.rationale
+
+
+class TestSyntaxError:
+    def test_unparseable_module_is_det100(self):
+        violations = lint_source("def f(:\n    pass\n", path="bad.py")
+        assert rule_ids(violations) == ["DET100"]
+        assert "syntax error" in violations[0].message
+
+
+class TestWallClock:
+    def test_time_time_flagged(self):
+        src = "import time\n\ndef f():\n    return time.time()\n"
+        violations = lint_source(src, path="x.py")
+        assert rule_ids(violations) == ["DET101"]
+        assert violations[0].line == 4
+
+    def test_datetime_now_flagged(self):
+        src = "import datetime\n\nstamp = datetime.datetime.now()\n"
+        assert rule_ids(lint_source(src, path="x.py")) == ["DET101"]
+
+    def test_perf_counter_allowed(self):
+        src = "import time\n\ndef f():\n    return time.perf_counter()\n"
+        assert lint_source(src, path="x.py") == []
+
+    def test_suppressed_on_same_line(self):
+        src = (
+            "import time\n\ndef f():\n"
+            "    return time.time()  # repro: allow[DET101] host log stamp\n"
+        )
+        assert lint_source(src, path="x.py") == []
+
+
+class TestGlobalRng:
+    def test_random_module_flagged(self):
+        src = "import random\n\ndef f():\n    return random.random()\n"
+        assert rule_ids(lint_source(src, path="x.py")) == ["DET102"]
+
+    def test_np_random_draw_flagged(self):
+        src = "import numpy as np\n\ndef f():\n    return np.random.rand(4)\n"
+        violations = lint_source(src, path="x.py")
+        assert rule_ids(violations) == ["DET102"]
+        assert "default_rng" in violations[0].message
+
+    def test_seeded_default_rng_allowed(self):
+        src = (
+            "import numpy as np\n\ndef f(seed):\n"
+            "    return np.random.default_rng(seed).random(4)\n"
+        )
+        assert lint_source(src, path="x.py") == []
+
+    def test_unimported_random_namespace_not_flagged(self):
+        # A local object that happens to be called `random` is not the
+        # stdlib module unless the module imports it.
+        src = "def f(random):\n    return random.random()\n"
+        assert lint_source(src, path="x.py") == []
+
+    def test_suppressed(self):
+        src = (
+            "import random\n\ndef f():\n"
+            "    # repro: allow[DET102] demo script, not simulation state\n"
+            "    return random.random()\n"
+        )
+        assert lint_source(src, path="x.py") == []
+
+
+class TestUnorderedIteration:
+    def test_dict_values_flagged(self):
+        src = "def f(table):\n    return [v + 1 for v in table.values()]\n"
+        assert rule_ids(lint_source(src, path="x.py")) == ["DET103"]
+
+    def test_set_literal_flagged(self):
+        src = "def f():\n    for x in {3, 1, 2}:\n        print(x)\n"
+        assert rule_ids(lint_source(src, path="x.py")) == ["DET103"]
+
+    def test_set_call_flagged(self):
+        src = "def f(items):\n    return [x for x in set(items)]\n"
+        assert rule_ids(lint_source(src, path="x.py")) == ["DET103"]
+
+    def test_sorted_wrapper_allowed(self):
+        src = (
+            "def f(table, items):\n"
+            "    for k in sorted(table.keys()):\n"
+            "        print(k)\n"
+            "    return [x for x in sorted(set(items))]\n"
+        )
+        assert lint_source(src, path="x.py") == []
+
+    def test_not_applied_outside_rank_visible_paths(self):
+        src = "def f(table):\n    return [v for v in table.values()]\n"
+        path = str(Path("src") / "repro" / "apps" / "report.py")
+        assert lint_source(src, path=path) == []
+
+    def test_suppressed_on_line_above(self):
+        src = (
+            "def f(table):\n"
+            "    # repro: allow[DET103] insertion order is the layout order\n"
+            "    return [v for v in table.values()]\n"
+        )
+        assert lint_source(src, path="x.py") == []
+
+
+class TestMutableDefault:
+    def test_list_default_flagged(self):
+        src = "def f(acc=[]):\n    return acc\n"
+        assert rule_ids(lint_source(src, path="x.py")) == ["DET104"]
+
+    def test_factory_call_and_kwonly_flagged(self):
+        src = "def f(*, cache=dict()):\n    return cache\n"
+        assert rule_ids(lint_source(src, path="x.py")) == ["DET104"]
+
+    def test_none_default_allowed(self):
+        src = "def f(acc=None):\n    return acc or []\n"
+        assert lint_source(src, path="x.py") == []
+
+    def test_applies_even_off_simulation_paths(self):
+        src = "def f(acc=[]):\n    return acc\n"
+        path = str(Path("src") / "repro" / "apps" / "report.py")
+        assert rule_ids(lint_source(src, path=path)) == ["DET104"]
+
+    def test_suppressed(self):
+        src = (
+            "# repro: allow[DET104] sentinel list, never mutated\n"
+            "def f(acc=[]):\n    return acc\n"
+        )
+        assert lint_source(src, path="x.py") == []
+
+
+class TestBroadExcept:
+    def test_bare_except_flagged(self):
+        src = "def f():\n    try:\n        g()\n    except:\n        pass\n"
+        assert rule_ids(lint_source(src, path="x.py")) == ["DET105"]
+
+    def test_except_exception_flagged(self):
+        src = (
+            "def f():\n    try:\n        g()\n"
+            "    except Exception:\n        return None\n"
+        )
+        assert rule_ids(lint_source(src, path="x.py")) == ["DET105"]
+
+    def test_specific_exception_allowed(self):
+        src = (
+            "def f():\n    try:\n        g()\n"
+            "    except ValueError:\n        return None\n"
+        )
+        assert lint_source(src, path="x.py") == []
+
+    def test_reraise_allowed(self):
+        src = (
+            "def f():\n    try:\n        g()\n"
+            "    except Exception:\n        cleanup()\n        raise\n"
+        )
+        assert lint_source(src, path="x.py") == []
+
+    def test_suppressed(self):
+        src = (
+            "def f():\n    try:\n        g()\n"
+            "    # repro: allow[DET105] top-level CLI guard\n"
+            "    except Exception:\n        return 1\n"
+        )
+        assert lint_source(src, path="x.py") == []
+
+
+class TestEngine:
+    def test_path_classification(self):
+        assert path_is_rank_visible("src/repro/runtime/mpi.py")
+        assert path_is_rank_visible("src/repro/core/simulator.py")
+        assert not path_is_rank_visible("src/repro/apps/quicknet.py")
+        assert not path_is_rank_visible("src/repro/cli.py")
+        assert not path_is_rank_visible("src/repro/check/lint.py")
+        # Unknown paths default strict.
+        assert path_is_rank_visible("tests/fixtures/whatever.py")
+
+    def test_run_lint_over_directory(self, tmp_path):
+        (tmp_path / "bad.py").write_text(
+            "import time\n\ndef f(acc=[]):\n    return time.time(), acc\n"
+        )
+        (tmp_path / "clean.py").write_text("def f():\n    return 1\n")
+        report = run_lint([tmp_path])
+        assert report.files_checked == 2
+        assert rule_ids(report.violations) == ["DET104", "DET101"]
+        assert not report.passed
+        assert "2 violation(s) in 2 file(s)" in report.format()
+
+    def test_violations_sorted_and_formatted(self, tmp_path):
+        path = tmp_path / "bad.py"
+        path.write_text("import time\nt = time.time()\nu = time.time()\n")
+        report = run_lint([path])
+        lines = [v.line for v in report.violations]
+        assert lines == sorted(lines)
+        assert report.violations[0].format().startswith(f"{path}:2:")
+
+    def test_rule_filter(self, tmp_path):
+        path = tmp_path / "bad.py"
+        path.write_text("import time\n\ndef f(acc=[]):\n    return time.time()\n")
+        report = run_lint([path], rules=rules_by_id(["DET104"]))
+        assert rule_ids(report.violations) == ["DET104"]
+
+    def test_iter_python_files_rejects_non_python(self, tmp_path):
+        other = tmp_path / "notes.txt"
+        other.write_text("hi")
+        with pytest.raises(FileNotFoundError):
+            iter_python_files([other])
+
+    def test_installed_repro_package_is_clean(self):
+        """The acceptance gate CI runs: the repo lints clean."""
+        report = run_lint([Path(repro.__file__).parent])
+        assert report.files_checked > 50
+        assert report.passed, report.format()

@@ -1,0 +1,189 @@
+"""Unit tests for the compile-time model checker.
+
+A freshly compiled model passes every structural check; each test then
+corrupts one aspect of a (function-scoped) compiled model and asserts the
+checker rejects it with the right ``check_id`` and a machine-readable
+context — the structured diagnostic the acceptance gate requires.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch.params import NUM_AXON_TYPES
+from repro.check.model import (
+    Diagnostic,
+    ModelCheckReport,
+    check_ipfp_balance,
+    check_model,
+)
+from repro.compiler.coreobject import ConnectionSpec, CoreObject, RegionSpec
+from repro.compiler.pcc import ParallelCompassCompiler
+from repro.errors import CompilationError
+
+
+@pytest.fixture()
+def compiled():
+    """A small two-region model, recompiled per test so mutation is safe."""
+    obj = CoreObject(
+        "model-check-test",
+        regions=[RegionSpec("A", 2), RegionSpec("B", 2)],
+        connections=[ConnectionSpec("A", "B", 64), ConnectionSpec("B", "A", 32)],
+        seed=3,
+    )
+    return ParallelCompassCompiler(model_check=False).compile(obj)
+
+
+def error_ids(report):
+    return {d.check_id for d in report.errors}
+
+
+class TestValidModel:
+    def test_fresh_compile_passes(self, compiled):
+        report = check_model(compiled)
+        assert report.passed
+        assert not report.errors
+        infos = {d.check_id for d in report.diagnostics if d.severity == "info"}
+        assert infos == {
+            "dangling_axon_target",
+            "crossbar_index_bounds",
+            "ipfp_balance",
+            "placement_capacity",
+        }
+        assert "model check passed" in report.format()
+
+    def test_compiler_runs_checker_by_default(self):
+        obj = CoreObject(
+            "auto-check",
+            regions=[RegionSpec("A", 2)],
+            connections=[ConnectionSpec("A", "A", 16)],
+            seed=5,
+        )
+        compiled = ParallelCompassCompiler().compile(obj)
+        assert compiled.network.n_cores == 2
+
+    def test_compiler_raises_on_failed_check(self, monkeypatch):
+        import repro.check.model as model_mod
+
+        failing = ModelCheckReport()
+        failing.add("dangling_axon_target", "error", "injected failure")
+        monkeypatch.setattr(model_mod, "check_model", lambda compiled: failing)
+        obj = CoreObject(
+            "auto-check",
+            regions=[RegionSpec("A", 2)],
+            connections=[ConnectionSpec("A", "A", 16)],
+            seed=5,
+        )
+        with pytest.raises(CompilationError, match="dangling_axon_target"):
+            ParallelCompassCompiler().compile(obj)
+        # model_check=False skips the checker entirely.
+        compiled = ParallelCompassCompiler(model_check=False).compile(obj)
+        assert compiled.network.n_cores == 2
+
+
+class TestDanglingTarget:
+    def test_dangling_gid_rejected_with_structured_diagnostic(self, compiled):
+        src_core, src_neuron = np.nonzero(compiled.network.target_gid >= 0)
+        compiled.network.target_gid[src_core[0], src_neuron[0]] = 999
+        report = check_model(compiled)
+        assert not report.passed
+        (diag,) = [d for d in report.errors if d.check_id == "dangling_axon_target"]
+        assert diag.context["count"] == 1
+        (example,) = diag.context["examples"]
+        assert example["target_gid"] == 999
+        assert example["src_core"] == int(src_core[0])
+        with pytest.raises(CompilationError, match="dangling_axon_target"):
+            report.raise_if_failed()
+
+    def test_out_of_range_axon_rejected(self, compiled):
+        src_core, src_neuron = np.nonzero(compiled.network.target_gid >= 0)
+        compiled.network.target_axon[src_core[0], src_neuron[0]] = (
+            compiled.network.num_axons
+        )
+        assert "dangling_axon_target" in error_ids(check_model(compiled))
+
+    def test_illegal_delay_rejected(self, compiled):
+        src_core, src_neuron = np.nonzero(compiled.network.target_gid >= 0)
+        compiled.network.target_delay[src_core[0], src_neuron[0]] = 0
+        assert "dangling_axon_target" in error_ids(check_model(compiled))
+
+
+class TestCrossbarBounds:
+    def test_axon_type_past_weight_table_rejected(self, compiled):
+        compiled.network.axon_types[1, 0] = NUM_AXON_TYPES
+        report = check_model(compiled)
+        (diag,) = [d for d in report.errors if d.check_id == "crossbar_index_bounds"]
+        assert diag.context["max_type"] == NUM_AXON_TYPES
+        assert diag.context["example_cores"] == [1]
+
+    def test_wrong_packed_shape_rejected(self, compiled):
+        compiled.network.crossbars = compiled.network.crossbars[:, :, :-1]
+        report = check_model(compiled)
+        (diag,) = [d for d in report.errors if d.check_id == "crossbar_index_bounds"]
+        assert diag.context["expected"][0] == compiled.network.n_cores
+
+
+class TestRegionLayoutAndPlacement:
+    def test_tampered_range_rejected(self, compiled):
+        compiled.region_ranges["A"] = (0, 3)
+        assert "region_layout" in error_ids(check_model(compiled))
+
+    def test_collapsed_region_breaks_placement(self, compiled):
+        compiled.region_ranges["B"] = (2, 2)
+        ids = error_ids(check_model(compiled))
+        assert "region_layout" in ids
+        assert "placement_capacity" in ids
+
+
+class TestIpfpBalance:
+    def test_capacity_overflow_is_error(self):
+        matrix = np.array([[0, 70000], [0, 0]], dtype=np.int64)
+        diags = check_ipfp_balance(
+            matrix,
+            out_caps=np.array([512, 512]),
+            in_caps=np.array([512, 512]),
+            names=["A", "B"],
+        )
+        errors = [d for d in diags if d.severity == "error"]
+        assert {d.context["region"] for d in errors} == {"A", "B"}
+        assert any("outgoing" in d.message for d in errors)
+        assert any("incoming" in d.message for d in errors)
+
+    def test_marginal_targets_enforced(self):
+        matrix = np.array([[0, 100], [100, 0]], dtype=np.int64)
+        diags = check_ipfp_balance(
+            matrix,
+            out_caps=np.array([512, 512]),
+            in_caps=np.array([512, 512]),
+            names=["A", "B"],
+            tolerance=0.05,
+            row_targets=np.array([200.0, 100.0]),
+        )
+        (err,) = [d for d in diags if d.severity == "error"]
+        assert err.context["region"] == "A"
+        assert err.context["relative_error"] == pytest.approx(0.5)
+
+    def test_balanced_matrix_reports_utilisation(self):
+        matrix = np.array([[0, 100], [100, 0]], dtype=np.int64)
+        (info,) = check_ipfp_balance(
+            matrix,
+            out_caps=np.array([512, 512]),
+            in_caps=np.array([512, 512]),
+        )
+        assert info.severity == "info"
+        assert info.context["max_out_utilisation"] == pytest.approx(100 / 512)
+
+
+class TestReport:
+    def test_diagnostic_format(self):
+        d = Diagnostic("ipfp_balance", "error", "too many connections")
+        assert d.format() == "ERROR [ipfp_balance] too many connections"
+
+    def test_report_counts_errors_only(self):
+        report = ModelCheckReport()
+        report.add("x", "info", "fine")
+        assert report.passed
+        report.add("y", "warning", "odd")
+        assert report.passed
+        report.add("z", "error", "broken")
+        assert not report.passed
+        assert "model check failed: 1 error(s)" in report.format()

@@ -1,0 +1,248 @@
+"""Unit tests for the happens-before race detector.
+
+Covers the vector-clock algebra, the two race classes (wildcard-recv and
+shared-buffer) with their vector-clock witnesses, the orderings that must
+*not* be flagged (causal chains, collective fences, fork/join), and the
+end-to-end contract: a sanitized Compass run reports zero races and
+bit-identical spikes.
+"""
+
+import numpy as np
+
+from repro.check.races import HappensBeforeDetector, VectorClock
+from repro.core.config import CompassConfig
+from repro.core.simulator import Compass
+from repro.runtime.mpi import VirtualMpiCluster
+from repro.runtime.threads import sanitize_thread_writes
+
+
+class TestVectorClock:
+    def test_tick_and_get(self):
+        c = VectorClock()
+        assert c.get("a") == 0
+        c.tick("a")
+        c.tick("a")
+        assert c.get("a") == 2
+
+    def test_merge_is_componentwise_max(self):
+        a = VectorClock({"x": 3, "y": 1})
+        b = VectorClock({"y": 5, "z": 2})
+        a.merge(b)
+        assert a.as_dict() == {"x": 3, "y": 5, "z": 2}
+
+    def test_happens_before_after_message(self):
+        sender = VectorClock()
+        sender.tick("s")  # the send event
+        receiver = VectorClock()
+        receiver.merge(sender)
+        receiver.tick("r")  # the receive event
+        assert sender.happens_before(receiver)
+        assert not receiver.happens_before(sender)
+        assert not sender.concurrent(receiver)
+
+    def test_concurrent_when_neither_dominates(self):
+        a = VectorClock({"a": 1})
+        b = VectorClock({"b": 1})
+        assert a.concurrent(b)
+        assert b.concurrent(a)
+
+    def test_equal_clocks_not_happens_before(self):
+        a = VectorClock({"a": 1})
+        b = VectorClock({"a": 1})
+        assert not a.happens_before(b)
+        assert a.dominates(b) and b.dominates(a)
+
+    def test_copy_is_independent(self):
+        a = VectorClock({"a": 1})
+        b = a.copy()
+        b.tick("a")
+        assert a.get("a") == 1 and b.get("a") == 2
+
+
+def cluster_with_detector(n_ranks):
+    det = HappensBeforeDetector(n_ranks)
+    return VirtualMpiCluster(n_ranks, sanitizer=det), det
+
+
+class TestWildcardRecvRace:
+    def inject(self, probe=True):
+        """Two concurrent senders, then a wildcard match at rank 0."""
+        cluster, det = cluster_with_detector(3)
+        cluster.endpoints[1].isend(0, "a", nbytes=8, tag=0)
+        cluster.endpoints[2].isend(0, "b", nbytes=8, tag=0)
+        ep = cluster.endpoints[0]
+        if probe:
+            ep.iprobe()
+        else:
+            ep.recv()
+        return det.report()
+
+    def test_injected_iprobe_race_detected(self):
+        report = self.inject(probe=True)
+        assert not report.passed
+        (race,) = report.races
+        assert race.kind == "wildcard-recv"
+        assert set(race.actors) == {"rank1", "rank2"}
+
+    def test_witness_clocks_are_concurrent(self):
+        """The report must carry a vector-clock witness: the two send
+        snapshots, mutually unordered."""
+        (race,) = self.inject(probe=True).races
+        assert len(race.witness) == 2
+        a, b = (VectorClock(c) for c in race.witness.values())
+        assert a.concurrent(b)
+        assert "ANY_SOURCE" in race.detail
+        assert "RACE[wildcard-recv]" in race.format()
+
+    def test_recv_path_detects_too(self):
+        report = self.inject(probe=False)
+        assert [r.kind for r in report.races] == ["wildcard-recv"]
+
+    def test_race_deduplicated_across_probe_and_recv(self):
+        cluster, det = cluster_with_detector(3)
+        cluster.endpoints[1].isend(0, "a", nbytes=8)
+        cluster.endpoints[2].isend(0, "b", nbytes=8)
+        ep = cluster.endpoints[0]
+        ep.iprobe()
+        ep.recv()
+        ep.iprobe()
+        ep.recv()
+        assert len(det.report().races) == 1
+
+    def test_commutative_context_suppresses(self):
+        cluster, det = cluster_with_detector(3)
+        cluster.endpoints[1].isend(0, "a", nbytes=8)
+        cluster.endpoints[2].isend(0, "b", nbytes=8)
+        ep = cluster.endpoints[0]
+        with det.commutative_delivery():
+            while ep.iprobe():
+                ep.recv(commutative=True)
+        assert det.report().passed
+
+    def test_specific_source_recv_is_not_wildcard(self):
+        cluster, det = cluster_with_detector(3)
+        cluster.endpoints[1].isend(0, "a", nbytes=8)
+        cluster.endpoints[2].isend(0, "b", nbytes=8)
+        cluster.endpoints[0].recv(source=1)
+        cluster.endpoints[0].recv(source=2)
+        assert det.report().passed
+
+    def test_same_source_messages_never_race(self):
+        cluster, det = cluster_with_detector(2)
+        cluster.endpoints[1].isend(0, "a", nbytes=8)
+        cluster.endpoints[1].isend(0, "b", nbytes=8)
+        cluster.endpoints[0].iprobe()
+        assert det.report().passed
+
+    def test_causally_ordered_sends_never_race(self):
+        """rank1 → rank0, then a token rank1 → rank2, then rank2 → rank0:
+        the two pending messages at rank 0 are ordered through the token,
+        so the wildcard receive is safe."""
+        cluster, det = cluster_with_detector(3)
+        cluster.endpoints[1].isend(0, "first", nbytes=8)
+        cluster.endpoints[1].isend(2, "token", nbytes=8)
+        cluster.endpoints[2].recv(source=1)
+        cluster.endpoints[2].isend(0, "second", nbytes=8)
+        cluster.endpoints[0].iprobe()
+        cluster.endpoints[0].recv()
+        cluster.endpoints[0].recv()
+        assert det.report().passed, det.report().format()
+
+    def test_collective_is_a_fence(self):
+        """A message sent before a Reduce-Scatter cannot race one sent
+        after it — the collective orders every rank past every send."""
+        cluster, det = cluster_with_detector(3)
+        cluster.endpoints[1].isend(0, "pre", nbytes=8)
+        counts = np.zeros(3, dtype=np.int64)
+        for ep in cluster.endpoints:
+            ep.reduce_scatter(counts)
+        for ep in cluster.endpoints:
+            ep.reduce_scatter_fetch()
+        cluster.reduce_scatter_finish()
+        cluster.endpoints[2].isend(0, "post", nbytes=8)
+        cluster.endpoints[0].iprobe()
+        assert det.report().passed
+
+
+class TestSharedBufferRace:
+    def test_overlapping_concurrent_writes_detected(self):
+        det = HappensBeforeDetector(1, threads_per_rank=2)
+        t0, t1 = det.fork_threads(0, 2)
+        det.on_shared_write(t0, ("pending", 0), 0, 10)
+        det.on_shared_write(t1, ("pending", 0), 5, 15)
+        report = det.report()
+        (race,) = report.races
+        assert race.kind == "shared-buffer"
+        assert set(race.actors) == {t0, t1}
+        a, b = (VectorClock(c) for c in race.witness.values())
+        assert a.concurrent(b)
+
+    def test_write_read_conflict_detected(self):
+        det = HappensBeforeDetector(1, threads_per_rank=2)
+        t0, t1 = det.fork_threads(0, 2)
+        det.on_shared_write(t0, "buf", 0, 10)
+        det.on_shared_read(t1, "buf", 0, 10)
+        assert [r.kind for r in det.report().races] == ["shared-buffer"]
+
+    def test_disjoint_spans_do_not_race(self):
+        det = HappensBeforeDetector(1, threads_per_rank=2)
+        t0, t1 = det.fork_threads(0, 2)
+        det.on_shared_write(t0, "buf", 0, 10)
+        det.on_shared_write(t1, "buf", 10, 20)
+        assert det.report().passed
+
+    def test_reads_never_race_reads(self):
+        det = HappensBeforeDetector(1, threads_per_rank=2)
+        t0, t1 = det.fork_threads(0, 2)
+        det.on_shared_read(t0, "buf", 0, 10)
+        det.on_shared_read(t1, "buf", 0, 10)
+        assert det.report().passed
+
+    def test_join_orders_successive_teams(self):
+        """A write in tick N's team happens-before any write in tick N+1's
+        team: the join/fork chain orders them, so no race."""
+        det = HappensBeforeDetector(1, threads_per_rank=2)
+        t0, _ = det.fork_threads(0, 2)
+        det.on_shared_write(t0, "buf", 0, 10)
+        det.join_threads(0, 2)
+        _, t1 = det.fork_threads(0, 2)
+        det.on_shared_write(t1, "buf", 0, 10)
+        assert det.report().passed
+
+    def test_sanitize_thread_writes_partition_is_race_free(self):
+        det = HappensBeforeDetector(2, threads_per_rank=4)
+        for tick in range(3):
+            for rank in range(2):
+                sanitize_thread_writes(det, rank, n_cores=16, n_threads=4)
+        report = det.report()
+        assert report.passed
+        assert report.events["shared_writes"] == 3 * 2 * 4
+
+
+class TestSanitizedSimulation:
+    def test_sanitized_run_is_race_free_and_bit_identical(self, quicknet):
+        """The paper's main loop under the sanitizer: zero races, and the
+        instrumentation must not perturb the spike raster."""
+        cfg = CompassConfig(n_processes=4, record_spikes=True)
+        plain = Compass(quicknet, cfg)
+        plain.run(40)
+        sanitized = Compass(quicknet, cfg, sanitize=True)
+        sanitized.run(40)
+        report = sanitized.race_report()
+        assert report.passed, report.format()
+        assert report.events["sends"] > 0
+        assert report.events["collective_contributions"] == 40 * 4
+        for a, b in zip(plain.recorder.to_arrays(), sanitized.recorder.to_arrays()):
+            assert np.array_equal(a, b)
+
+    def test_unsanitized_run_has_no_detector(self, quicknet):
+        sim = Compass(quicknet, CompassConfig(n_processes=2))
+        assert sim.race_report() is None
+
+    def test_pgas_backend_sanitized(self, quicknet):
+        from repro.core.pgas_simulator import PgasCompass
+
+        sim = PgasCompass(quicknet, CompassConfig(n_processes=4), sanitize=True)
+        sim.run(20)
+        report = sim.race_report()
+        assert report.passed, report.format()
