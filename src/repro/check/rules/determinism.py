@@ -1,4 +1,4 @@
-"""The determinism lint rules (DET101–DET105).
+"""The determinism lint rules (DET101–DET106).
 
 Each rule enforces one discipline that keeps the simulator
 bit-deterministic across rank counts and thread interleavings — the
@@ -9,7 +9,12 @@ property behind the paper's one-to-one spike correspondence claim:
 * DET103 — no iteration over unordered ``set`` / ``dict.values()`` /
   ``dict.keys()`` in rank-visible code without ``sorted()``;
 * DET104 — no mutable default arguments;
-* DET105 — no bare or broad exception handlers.
+* DET105 — no bare or broad exception handlers;
+* DET106 — no host-clock waits or timeouts in recovery/simulation paths
+  (``time.sleep``, ``signal.alarm``, socket timeouts, blocking-call
+  ``timeout=`` arguments): failure detection and recovery backoff must
+  advance on the simulated clock (:mod:`repro.runtime.timing`), or a
+  faulted run's result would depend on host scheduling.
 
 ``time.perf_counter`` is explicitly allowed: host-time measurement is
 observational (it feeds metrics, never rank-visible state).  Likewise
@@ -252,3 +257,66 @@ class BroadExceptRule(Rule):
         return any(
             isinstance(n, ast.Raise) and n.exc is None for n in ast.walk(handler)
         )
+
+
+#: ``signal.<attr>`` calls that arm host-clock timers.
+_HOST_TIMER_SIGNAL_ATTRS = frozenset({"alarm", "setitimer"})
+
+#: Attribute calls that install host-clock deadlines on I/O objects.
+_HOST_TIMEOUT_METHODS = frozenset({"settimeout", "setdefaulttimeout"})
+
+
+@register
+class HostClockWaitRule(Rule):
+    rule_id = "DET106"
+    title = "host-clock wait or timeout in a recovery/simulation path"
+    rationale = (
+        "time.sleep(), signal.alarm()/setitimer(), socket timeouts, and "
+        "timeout= arguments gate progress on the host scheduler, so a "
+        "faulted run's behaviour (which retry fires, which rank is "
+        "declared dead first) would vary run to run; recovery backoff "
+        "and failure detection must advance on the simulated clock "
+        "(repro.runtime.timing / the tick counter)."
+    )
+    rank_visible_only = True
+
+    def check(self, ctx: ModuleContext):
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _attr_chain(node.func)
+            if len(chain) == 2 and chain[0] == "time" and chain[1] == "sleep":
+                yield self.violation(
+                    ctx, node, "time.sleep() blocks on the host clock; model the "
+                    "wait in simulated seconds instead"
+                )
+            elif (
+                len(chain) == 2
+                and chain[0] == "signal"
+                and chain[1] in _HOST_TIMER_SIGNAL_ATTRS
+            ):
+                yield self.violation(
+                    ctx, node, f"signal.{chain[1]}() arms a host-clock timer; use "
+                    "a simulated-time deadline (runtime.collectives.phase_timeout)"
+                )
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _HOST_TIMEOUT_METHODS
+            ):
+                yield self.violation(
+                    ctx, node, f".{node.func.attr}() installs a host-clock "
+                    "deadline; failure detection must use simulated time"
+                )
+            else:
+                yield from self._timeout_kwarg(ctx, node)
+
+    def _timeout_kwarg(self, ctx: ModuleContext, node: ast.Call):
+        for kw in node.keywords:
+            if kw.arg != "timeout":
+                continue
+            if isinstance(kw.value, ast.Constant) and kw.value.value is None:
+                continue  # timeout=None means "wait forever", not a deadline
+            yield self.violation(
+                ctx, node, "timeout= gates a blocking call on the host clock; "
+                "derive deadlines from the simulated timing model"
+            )

@@ -11,7 +11,10 @@ Subcommands:
 * ``figures [name|all]``        — regenerate the paper's evaluation tables;
 * ``check lint|races|model``    — the determinism sanitizer (see
   ``docs/checker.md``): static lint rules, the happens-before race
-  detector on a live run, and the structural model checker.
+  detector on a live run, and the structural model checker;
+* ``resilience inject|report``  — run under an injected fault schedule
+  and recover (see ``docs/resilience.md``): ``inject`` verifies the
+  recovered spike raster, ``report`` prints the recovery-overhead table.
 """
 
 from __future__ import annotations
@@ -20,6 +23,53 @@ import argparse
 import sys
 
 from repro.version import __version__
+
+
+def _positive_int(text: str) -> int:
+    """argparse type for counts that must be >= 1 (ticks, ranks, cores)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {value}")
+    return value
+
+
+def _crash_spec(text: str) -> tuple[int, int]:
+    """Parse a ``TICK:RANK`` crash specification (e.g. ``40:1``)."""
+    parts = text.split(":")
+    if len(parts) != 2:
+        raise argparse.ArgumentTypeError(
+            f"expected TICK:RANK (e.g. 40:1), got {text!r}"
+        )
+    try:
+        tick, rank = int(parts[0]), int(parts[1])
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected TICK:RANK as integers, got {text!r}"
+        )
+    if tick < 0 or rank < 0:
+        raise argparse.ArgumentTypeError(f"tick and rank must be >= 0: {text!r}")
+    return tick, rank
+
+
+def _message_spec(text: str) -> tuple[int, int, int]:
+    """Parse a ``TICK:SRC:DEST`` message-fault specification."""
+    parts = text.split(":")
+    if len(parts) != 3:
+        raise argparse.ArgumentTypeError(
+            f"expected TICK:SRC:DEST (e.g. 12:0:1), got {text!r}"
+        )
+    try:
+        tick, src, dest = (int(p) for p in parts)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected TICK:SRC:DEST as integers, got {text!r}"
+        )
+    if tick < 0 or src < 0 or dest < 0:
+        raise argparse.ArgumentTypeError(f"fields must be >= 0: {text!r}")
+    return tick, src, dest
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
@@ -301,6 +351,111 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resilience_network(args: argparse.Namespace):
+    if args.model == "macaque":
+        from repro.cocomac.model import build_macaque_model
+
+        cores = args.cores if args.cores is not None else 128
+        return build_macaque_model(
+            total_cores=cores, seed=args.seed
+        ).compiled.network
+    from repro.apps.quicknet import build_quickstart_network
+
+    cores = args.cores if args.cores is not None else 8
+    return build_quickstart_network(n_cores=cores, seed=args.seed)
+
+
+def _resilience_schedule(args: argparse.Namespace):
+    from repro.resilience import (
+        FaultSchedule,
+        MessageCorruption,
+        MessageDrop,
+        MessageDuplicate,
+        RankCrash,
+    )
+
+    events = []
+    for tick, rank in args.crash_at or ():
+        events.append(RankCrash(tick=tick, rank=rank))
+    for kind, specs in (
+        (MessageDrop, args.drop_at),
+        (MessageDuplicate, args.dup_at),
+        (MessageCorruption, args.corrupt_at),
+    ):
+        for tick, src, dest in specs or ():
+            events.append(kind(tick=tick, source=src, dest=dest))
+    if events:
+        return FaultSchedule(events)
+    return FaultSchedule.random(
+        seed=args.fault_seed,
+        ticks=args.ticks,
+        n_ranks=args.processes,
+        crashes=args.crashes,
+        drops=args.drops,
+        duplicates=args.duplicates,
+        corruptions=args.corruptions,
+    )
+
+
+def _resilience_run(args: argparse.Namespace):
+    """Shared machinery of ``resilience inject`` and ``resilience report``."""
+    from repro.core.config import CompassConfig
+    from repro.core.simulator import Compass
+    from repro.resilience import RecoveryPolicy, ResilientRunner
+
+    network = _resilience_network(args)
+    cfg = CompassConfig(n_processes=args.processes, record_spikes=True)
+
+    def factory():
+        return Compass(network, cfg)
+
+    runner = ResilientRunner(
+        factory,
+        schedule=_resilience_schedule(args),
+        checkpoint_interval=args.interval,
+        policy=RecoveryPolicy(kind=args.policy),
+    )
+    result = runner.run(args.ticks)
+    return factory, runner, result
+
+
+def _cmd_resilience_inject(args: argparse.Namespace) -> int:
+    from repro.resilience import spike_digest
+
+    factory, runner, result = _resilience_run(args)
+    inj = runner.injector
+    print(
+        f"ran {args.ticks} ticks on {args.processes} ranks under "
+        f"{len(runner.schedule)} fault event(s) (policy={args.policy}, "
+        f"interval={args.interval})"
+    )
+    print(
+        f"faults: {len(inj.crashes)} crash(es), {inj.dropped} dropped, "
+        f"{inj.duplicated} duplicated, {inj.corrupted} corrupted; "
+        f"{len(runner.report.failures)} recovery(ies), "
+        f"{runner.report.lost_ticks} lost tick(s)"
+    )
+    digest = spike_digest(result.spikes)
+    print(f"spike digest: {digest}")
+    if args.verify:
+        clean = factory().run(args.ticks)
+        ok = spike_digest(clean.spikes) == digest
+        print(f"verify vs uninterrupted run: {'MATCH' if ok else 'MISMATCH'}")
+        if not ok:
+            return 1
+    return 0
+
+
+def _cmd_resilience_report(args: argparse.Namespace) -> int:
+    _, runner, result = _resilience_run(args)
+    print(runner.report.format())
+    sim_total = result.metrics.simulated.total
+    if sim_total > 0:
+        frac = runner.report.overhead_fraction(sim_total)
+        print(f"\noverhead fraction of simulated run time: {frac:.1%}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-compass",
@@ -321,9 +476,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("run", help="simulate a model")
     p.add_argument("model", help="explicit model .npz, or 'quickstart'")
-    p.add_argument("--ticks", type=int, default=100)
-    p.add_argument("--processes", type=int, default=1)
-    p.add_argument("--threads", type=int, default=1)
+    p.add_argument("--ticks", type=_positive_int, default=100)
+    p.add_argument("--processes", type=_positive_int, default=1)
+    p.add_argument("--threads", type=_positive_int, default=1)
     p.add_argument("--pgas", action="store_true", help="use the PGAS backend")
     p.add_argument("--stats", action="store_true", help="spike-train statistics")
     p.add_argument("--profile", action="store_true", help="per-rank load profile")
@@ -331,9 +486,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_run)
 
     p = sub.add_parser("macaque", help="build + compile + run a macaque model")
-    p.add_argument("--cores", type=int, default=128)
-    p.add_argument("--ticks", type=int, default=200)
-    p.add_argument("--processes", type=int, default=4)
+    p.add_argument("--cores", type=_positive_int, default=128)
+    p.add_argument("--ticks", type=_positive_int, default=200)
+    p.add_argument("--processes", type=_positive_int, default=4)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_macaque)
 
@@ -341,7 +496,7 @@ def build_parser() -> argparse.ArgumentParser:
         "export", help="export the synthetic CoCoMac model (GraphML/CSV/JSON)"
     )
     p.add_argument("directory", help="output directory")
-    p.add_argument("--cores", type=int, default=1024)
+    p.add_argument("--cores", type=_positive_int, default=1024)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_export)
 
@@ -361,12 +516,12 @@ def build_parser() -> argparse.ArgumentParser:
     q = check_sub.add_parser(
         "races", help="run a sanitized simulation and report races"
     )
-    q.add_argument("--ticks", type=int, default=50)
-    q.add_argument("--processes", type=int, default=4)
-    q.add_argument("--threads", type=int, default=4)
+    q.add_argument("--ticks", type=_positive_int, default=50)
+    q.add_argument("--processes", type=_positive_int, default=4)
+    q.add_argument("--threads", type=_positive_int, default=4)
     q.add_argument(
         "--cores",
-        type=int,
+        type=_positive_int,
         default=None,
         help="network size (default: 16 quickstart, 128 macaque)",
     )
@@ -384,13 +539,104 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("name", choices=_FIGURES + ("all",), nargs="?", default="all")
     p.add_argument("--csv", metavar="DIR", help="export all series as CSV instead")
     p.set_defaults(func=_cmd_figures)
+
+    p = sub.add_parser(
+        "resilience", help="fault injection and checkpoint-based recovery"
+    )
+    res_sub = p.add_subparsers(dest="resilience_command", required=True)
+    for name, helptext, func in (
+        (
+            "inject",
+            "run under a fault schedule; recover and verify the raster",
+            _cmd_resilience_inject,
+        ),
+        (
+            "report",
+            "run under a fault schedule; print the recovery-overhead report",
+            _cmd_resilience_report,
+        ),
+    ):
+        q = res_sub.add_parser(name, help=helptext)
+        q.add_argument("--ticks", type=_positive_int, default=60)
+        q.add_argument("--processes", type=_positive_int, default=2)
+        q.add_argument(
+            "--interval",
+            type=_positive_int,
+            default=10,
+            help="checkpoint every N ticks",
+        )
+        q.add_argument("--policy", choices=("restart", "spare"), default="restart")
+        q.add_argument(
+            "--model", choices=("quickstart", "macaque"), default="quickstart"
+        )
+        q.add_argument(
+            "--cores",
+            type=_positive_int,
+            default=None,
+            help="network size (default: 8 quickstart, 128 macaque)",
+        )
+        q.add_argument("--seed", type=int, default=0, help="model seed")
+        q.add_argument(
+            "--crash-at",
+            action="append",
+            type=_crash_spec,
+            metavar="TICK:RANK",
+            help="kill RANK at TICK (repeatable)",
+        )
+        q.add_argument(
+            "--drop-at",
+            action="append",
+            type=_message_spec,
+            metavar="TICK:SRC:DEST",
+            help="drop the first SRC→DEST message at/after TICK (repeatable)",
+        )
+        q.add_argument(
+            "--dup-at",
+            action="append",
+            type=_message_spec,
+            metavar="TICK:SRC:DEST",
+            help="duplicate a SRC→DEST message (repeatable)",
+        )
+        q.add_argument(
+            "--corrupt-at",
+            action="append",
+            type=_message_spec,
+            metavar="TICK:SRC:DEST",
+            help="corrupt a SRC→DEST message (repeatable)",
+        )
+        q.add_argument(
+            "--fault-seed",
+            type=int,
+            default=0,
+            help="seed for a random schedule (when no explicit events given)",
+        )
+        q.add_argument("--crashes", type=int, default=1)
+        q.add_argument("--drops", type=int, default=0)
+        q.add_argument("--duplicates", type=int, default=0)
+        q.add_argument("--corruptions", type=int, default=0)
+        if name == "inject":
+            q.add_argument(
+                "--verify",
+                action="store_true",
+                help="also run uninterrupted and compare spike digests",
+            )
+        q.set_defaults(func=func)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
+    from repro.errors import ReproError
+
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: no such file: {exc.filename or exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

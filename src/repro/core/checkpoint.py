@@ -7,12 +7,23 @@ the tick counter — so a restored run continues bit-exactly.  Static model
 configuration is *not* stored; the caller re-creates the simulator from the
 same :class:`~repro.arch.network.CoreNetwork` (a fingerprint guards against
 restoring onto a different model).
+
+Two layers:
+
+* :func:`capture_state` / :func:`restore_state` — in-memory coordinated
+  snapshots (deep copies), taken at a tick boundary where the virtual
+  cluster is quiescent (mailboxes drained, collectives finished).  The
+  resilience subsystem's periodic-checkpoint driver uses these directly —
+  restart-from-checkpoint is a pure state copy, no disk round-trip.
+* :func:`save_checkpoint` / :func:`load_checkpoint` — the on-disk ``.npz``
+  format layered on top, with a model fingerprint guard.
 """
 
 from __future__ import annotations
 
 import hashlib
 from pathlib import Path
+from typing import Any
 
 import numpy as np
 
@@ -20,6 +31,47 @@ from repro.core.simulator import CompassBase
 from repro.errors import CheckpointError
 
 _FORMAT_VERSION = 1
+
+
+def capture_state(sim: CompassBase) -> dict[str, Any]:
+    """Deep-copy the complete dynamic state of ``sim`` (tick boundary).
+
+    Includes pending external injections, so a rollback replays the same
+    inputs the abandoned segment saw — a requirement of the bit-exact
+    recovery contract.
+    """
+    return {
+        "tick": sim.tick,
+        "blocks": [rs.block.snapshot() for rs in sim.ranks],
+        "injections": {t: list(v) for t, v in sim._injections.items()},
+    }
+
+
+def restore_state(sim: CompassBase, state: dict[str, Any]) -> None:
+    """Restore a :func:`capture_state` snapshot into ``sim`` in place."""
+    blocks = state["blocks"]
+    if len(blocks) != len(sim.ranks):
+        raise CheckpointError(
+            f"snapshot has {len(blocks)} ranks, simulator has {len(sim.ranks)}"
+        )
+    for rs, snap in zip(sim.ranks, blocks):
+        rs.block.restore(snap)
+        # An aborted tick leaves spikes staged between the compute and
+        # network phases; at the checkpointed tick boundary these buffers
+        # were empty, so discard the strays or the replay delivers them.
+        rs.local_buf.drain()
+        rs.remote_bufs.flush(0)
+    sim.tick = int(state["tick"])
+    sim._injections = {t: list(v) for t, v in state["injections"].items()}
+
+
+def state_nbytes(sim: CompassBase) -> int:
+    """Checkpoint payload size: what a coordinated snapshot writes."""
+    total = 0
+    for rs in sim.ranks:
+        snap = rs.block.snapshot()
+        total += sum(snap[k].nbytes for k in sorted(snap))
+    return total
 
 
 def _network_fingerprint(sim: CompassBase) -> str:

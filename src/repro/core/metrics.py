@@ -80,6 +80,11 @@ class RunMetrics:
     simulated: PhaseTimes = field(default_factory=PhaseTimes)
     host: PhaseTimes = field(default_factory=PhaseTimes)
     per_tick: list[TickMetrics] = field(default_factory=list)
+    #: Simulated seconds spent on resilience machinery rather than the
+    #: simulation proper: coordinated checkpoints, failure detection,
+    #: restart/spare takeover, and replayed work.  Populated by
+    #: :class:`repro.resilience.recovery.ResilientRunner`.
+    overhead_s: float = 0.0
 
     def record_tick(self, tm: TickMetrics) -> None:
         self.ticks += 1
@@ -90,6 +95,25 @@ class RunMetrics:
         self.total_bytes += tm.bytes_sent
         self.total_active_axons += tm.active_axons
         self.per_tick.append(tm)
+
+    def rollback_to(self, tick: int) -> None:
+        """Discard per-tick records at ticks >= ``tick``; recompute totals.
+
+        Checkpoint-rollback support: event counters must match what an
+        uninterrupted run would report, so the abandoned segment's counts
+        are removed (the replay re-records them).  Host and simulated
+        *time* are deliberately kept — work thrown away still cost time,
+        and that cost is exactly what the recovery report accounts for.
+        """
+        kept = [tm for tm in self.per_tick if tm.tick < tick]
+        self.per_tick = kept
+        self.ticks = len(kept)
+        self.total_fired = sum(tm.fired for tm in kept)
+        self.total_local_spikes = sum(tm.local_spikes for tm in kept)
+        self.total_remote_spikes = sum(tm.remote_spikes for tm in kept)
+        self.total_messages = sum(tm.messages for tm in kept)
+        self.total_bytes = sum(tm.bytes_sent for tm in kept)
+        self.total_active_axons = sum(tm.active_axons for tm in kept)
 
     # -- paper-facing derived quantities -------------------------------------
 
@@ -124,6 +148,7 @@ class RunMetrics:
             "bytes_per_tick": self.bytes_per_tick(),
             "simulated_total_s": self.simulated.total,
             "host_total_s": self.host.total,
+            "overhead_s": self.overhead_s,
         }
 
 

@@ -39,6 +39,7 @@ from repro.core.metrics import (
     estimate_bytes,
 )
 from repro.core.partition import Partition
+from repro.errors import MessageLossError
 
 
 class SpikeRecorder:
@@ -55,6 +56,33 @@ class SpikeRecorder:
         self._ticks.append(np.full(gids.shape, tick, dtype=np.int64))
         self._gids.append(np.asarray(gids, dtype=np.int64))
         self._neurons.append(np.asarray(neurons, dtype=np.int64))
+
+    def truncate(self, tick: int) -> int:
+        """Drop every recorded spike at ticks >= ``tick``; return count.
+
+        Checkpoint rollback support: when the resilience driver restores
+        a failed run to its last coordinated checkpoint, spikes recorded
+        by the abandoned segment must be discarded so the replay
+        re-records them exactly once and the final trace matches an
+        uninterrupted run bit for bit.
+        """
+        kept_t: list[np.ndarray] = []
+        kept_g: list[np.ndarray] = []
+        kept_n: list[np.ndarray] = []
+        removed = 0
+        for t, g, n in zip(self._ticks, self._gids, self._neurons):
+            sel = t < tick
+            removed += int((~sel).sum())
+            if sel.all():
+                kept_t.append(t)
+                kept_g.append(g)
+                kept_n.append(n)
+            elif sel.any():
+                kept_t.append(t[sel])
+                kept_g.append(g[sel])
+                kept_n.append(n[sel])
+        self._ticks, self._gids, self._neurons = kept_t, kept_g, kept_n
+        return removed
 
     def to_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Canonically sorted (tick, gid, neuron) arrays.
@@ -413,7 +441,11 @@ class Compass(CompassBase):
             ):
                 for _ in range(n_msgs):
                     if not ep.iprobe():
-                        raise RuntimeError(
+                        # Message-loss detection: the count collective is
+                        # the ground truth, so an empty mailbox here means
+                        # the wire dropped a promised message (injected
+                        # fault) — surface it as a detectable failure.
+                        raise MessageLossError(
                             f"rank {rs.rank}: Reduce-Scatter promised a message "
                             "that never arrived"
                         )

@@ -39,3 +39,36 @@ class CompilationError(ReproError):
 
 class CheckpointError(ReproError):
     """A checkpoint could not be saved or restored consistently."""
+
+
+class FailureDetectedError(ReproError):
+    """A *simulated hardware failure* was detected, not a programming error.
+
+    Raised by the virtual cluster when an injected fault
+    (:mod:`repro.resilience.faults`) manifests: a crashed rank missing the
+    tick collective, a message the Reduce-Scatter promised that never
+    arrived, or a payload whose checksum no longer matches.  The recovery
+    driver (:class:`repro.resilience.recovery.ResilientRunner`) catches
+    this hierarchy and rolls back to the last coordinated checkpoint;
+    anything else propagating out of a step is a genuine bug.
+    """
+
+
+class RankFailureError(FailureDetectedError):
+    """One or more simulated ranks crashed and missed a phase deadline."""
+
+    def __init__(self, message: str, ranks: tuple[int, ...] = ()) -> None:
+        super().__init__(message)
+        self.ranks = tuple(ranks)
+
+
+class MessageLossError(FailureDetectedError):
+    """A message announced by the count collective was never delivered."""
+
+
+class MessageCorruptionError(FailureDetectedError):
+    """A received payload failed its end-to-end checksum."""
+
+
+class RecoveryExhaustedError(ReproError):
+    """Recovery retries exceeded the policy's bound without progress."""

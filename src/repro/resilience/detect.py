@@ -1,0 +1,127 @@
+"""Simulated failure detection: heartbeats and per-phase timeouts.
+
+Two complementary detectors, both advancing on **simulated time** (the
+tick counter plus the :mod:`repro.runtime.timing` cost model — never the
+host clock; rule DET106 enforces this discipline statically):
+
+* **Per-phase timeouts** — the tick collective is a natural deadline:
+  every live rank contributes every tick, so a crashed rank's missing
+  contribution surfaces within the same tick as a
+  :class:`repro.errors.RankFailureError` instead of the silent hang the
+  real machine would produce (:func:`repro.runtime.collectives.phase_timeout`
+  models the deadline's slack).
+* **Heartbeats** — a liveness word piggybacked on the tick collective
+  (:func:`repro.runtime.collectives.heartbeat_allreduce_time` charges its
+  cost).  :class:`HeartbeatMonitor` counts consecutive missed beats per
+  rank and declares failure past a miss threshold; this is the backstop
+  for failures that never reach a collective, and the source of the
+  detection-latency term in the recovery report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.runtime.collectives import heartbeat_allreduce_time
+
+
+@dataclass(frozen=True)
+class HeartbeatConfig:
+    """Tuning of the simulated heartbeat protocol."""
+
+    #: Beats are emitted every this many ticks (piggybacked on the
+    #: tick collective, so 1 costs nothing extra per tick).
+    period_ticks: int = 1
+    #: Consecutive missed beats before a rank is declared failed.
+    miss_threshold: int = 3
+    #: Floor for the simulated duration of one tick when no machine
+    #: model is configured (a TrueNorth tick is 1 ms of biology).
+    nominal_tick_s: float = 1e-3
+
+    def __post_init__(self) -> None:
+        if self.period_ticks <= 0:
+            raise ValueError("period_ticks must be positive")
+        if self.miss_threshold <= 0:
+            raise ValueError("miss_threshold must be positive")
+        if self.nominal_tick_s <= 0:
+            raise ValueError("nominal_tick_s must be positive")
+
+    @property
+    def detection_latency_ticks(self) -> int:
+        """Worst-case ticks between a crash and its declaration."""
+        return self.period_ticks * self.miss_threshold
+
+    def detection_latency_s(self, n_ranks: int, mean_tick_s: float = 0.0) -> float:
+        """Simulated seconds from crash to declaration.
+
+        ``mean_tick_s`` is the run's observed simulated tick duration
+        (0 when no machine model is attached; the nominal 1 ms floor
+        applies), plus the liveness allreduce the declaration rides on.
+        """
+        tick_s = max(mean_tick_s, self.nominal_tick_s)
+        return self.detection_latency_ticks * tick_s + heartbeat_allreduce_time(
+            max(n_ranks, 2)
+        )
+
+
+@dataclass(frozen=True)
+class RankFailure:
+    """One declared rank failure (the event the tick loop surfaces)."""
+
+    rank: int
+    #: First tick whose heartbeat the rank missed (the crash tick).
+    crash_tick: int
+    #: Tick at which the miss count crossed the threshold.
+    detected_tick: int
+
+
+class HeartbeatMonitor:
+    """Counts consecutive missed heartbeats and declares failures.
+
+    Drive it once per simulated tick with the set of ranks that
+    participated; it returns newly declared failures.  A rank that
+    resumes beating (spare takeover, reboot) before crossing the
+    threshold is forgiven; a declared rank must be explicitly
+    :meth:`reset` after recovery.
+    """
+
+    def __init__(self, n_ranks: int, config: HeartbeatConfig | None = None) -> None:
+        if n_ranks <= 0:
+            raise ValueError("n_ranks must be positive")
+        self.n_ranks = n_ranks
+        self.config = config or HeartbeatConfig()
+        self._misses = [0] * n_ranks
+        self._declared = [False] * n_ranks
+        self.failures: list[RankFailure] = []
+
+    def observe_tick(self, tick: int, alive) -> list[RankFailure]:
+        """Record one tick's heartbeats; return newly declared failures.
+
+        ``alive`` is any container supporting ``rank in alive``.
+        """
+        if tick % self.config.period_ticks != 0:
+            return []
+        newly: list[RankFailure] = []
+        for rank in range(self.n_ranks):
+            if self._declared[rank]:
+                continue
+            if rank in alive:
+                self._misses[rank] = 0
+                continue
+            self._misses[rank] += 1
+            if self._misses[rank] >= self.config.miss_threshold:
+                self._declared[rank] = True
+                failure = RankFailure(
+                    rank=rank,
+                    crash_tick=tick
+                    - (self._misses[rank] - 1) * self.config.period_ticks,
+                    detected_tick=tick,
+                )
+                self.failures.append(failure)
+                newly.append(failure)
+        return newly
+
+    def reset(self, rank: int) -> None:
+        """Forget a rank's failure after recovery reinstates it."""
+        self._misses[rank] = 0
+        self._declared[rank] = False

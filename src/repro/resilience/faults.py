@@ -1,0 +1,334 @@
+"""Deterministic fault schedules and the runtime fault injector.
+
+The failure model covers what actually breaks on a 16-rack, hours-long
+Compass run (§VI; Pastorelli et al. arXiv:1511.09325 report the same
+operational pressure for distributed SNN simulation):
+
+* **rank crashes** — a node dies at simulated tick *t*; its in-flight
+  messages vanish and it stops participating in the tick collective;
+* **message faults** — the wire drops, duplicates, or corrupts one
+  aggregated spike buffer between a (source, dest) pair;
+* **link degradation** — a torus dimension runs at reduced bandwidth for
+  a window of ticks (timing-only: functional results are unaffected);
+* **straggler threads** — one rank's OpenMP team is slowed for a window
+  of ticks (timing-only).
+
+Everything is *deterministic*: a :class:`FaultSchedule` is an immutable,
+canonically ordered tuple of events, either written explicitly or drawn
+up front from a seeded generator — the same seed always yields the same
+schedule, so a faulted run is exactly reproducible (the bit-determinism
+contract extends to the unhappy path).
+
+Each discrete event fires **once**.  After the recovery driver rolls the
+simulation back to a checkpoint, the replayed ticks pass the event's tick
+without re-firing it — modelling a transient hardware event pinned to a
+point in (simulated) real time, not to the tick counter.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.arch.spike import SpikeBatch
+
+
+@dataclass(frozen=True)
+class RankCrash:
+    """The node hosting ``rank`` dies at the start of ``tick``."""
+
+    tick: int
+    rank: int
+
+
+@dataclass(frozen=True)
+class MessageDrop:
+    """The wire eats the first source→dest message at or after ``tick``."""
+
+    tick: int
+    source: int
+    dest: int
+
+
+@dataclass(frozen=True)
+class MessageDuplicate:
+    """A link-level retransmission delivers one message twice."""
+
+    tick: int
+    source: int
+    dest: int
+
+
+@dataclass(frozen=True)
+class MessageCorruption:
+    """Bit flips in one payload; caught by the end-to-end checksum."""
+
+    tick: int
+    source: int
+    dest: int
+
+
+@dataclass(frozen=True)
+class LinkDegrade:
+    """Torus dimension ``dim`` runs ``factor``× slower for ``duration`` ticks."""
+
+    tick: int
+    duration: int
+    dim: int
+    factor: float
+
+
+@dataclass(frozen=True)
+class StragglerThread:
+    """One thread of ``rank``'s team runs ``factor``× slower for a window."""
+
+    tick: int
+    duration: int
+    rank: int
+    factor: float
+
+
+_MESSAGE_FAULTS = (MessageDrop, MessageDuplicate, MessageCorruption)
+_MESSAGE_ACTIONS = {
+    MessageDrop: "drop",
+    MessageDuplicate: "duplicate",
+    MessageCorruption: "corrupt",
+}
+_WINDOW_FAULTS = (LinkDegrade, StragglerThread)
+
+
+def _event_key(event: Any) -> tuple:
+    """Canonical total order: (tick, kind, fields)."""
+    return (event.tick, type(event).__name__) + tuple(
+        sorted(
+            (k, float(v)) for k, v in vars(event).items() if k != "tick"
+        )
+    )
+
+
+class FaultSchedule:
+    """An immutable, canonically ordered set of fault events."""
+
+    def __init__(self, events=()) -> None:
+        events = tuple(events)
+        for ev in events:
+            if ev.tick < 0:
+                raise ValueError(f"fault event at negative tick: {ev}")
+            if isinstance(ev, _WINDOW_FAULTS) and ev.duration <= 0:
+                raise ValueError(f"window fault needs positive duration: {ev}")
+            if isinstance(ev, _WINDOW_FAULTS) and ev.factor < 1.0:
+                raise ValueError(f"slowdown factor must be >= 1: {ev}")
+        self.events = tuple(sorted(events, key=_event_key))
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        ticks: int,
+        n_ranks: int,
+        crashes: int = 1,
+        drops: int = 0,
+        duplicates: int = 0,
+        corruptions: int = 0,
+        degrades: int = 0,
+        stragglers: int = 0,
+        torus_dims: int = 5,
+    ) -> "FaultSchedule":
+        """Draw a schedule up front from a seeded generator.
+
+        The same arguments always produce the same schedule; combined
+        with the one-shot firing rule this makes an entire faulted run a
+        pure function of (model seed, fault seed).
+        """
+        if ticks <= 0 or n_ranks <= 0:
+            raise ValueError("ticks and n_ranks must be positive")
+        rng = np.random.default_rng(seed)
+        events: list[Any] = []
+        for _ in range(crashes):
+            events.append(
+                RankCrash(
+                    tick=int(rng.integers(1, ticks)) if ticks > 1 else 0,
+                    rank=int(rng.integers(n_ranks)),
+                )
+            )
+        for kind, count in (
+            (MessageDrop, drops),
+            (MessageDuplicate, duplicates),
+            (MessageCorruption, corruptions),
+        ):
+            for _ in range(count):
+                source = int(rng.integers(n_ranks))
+                dest = int(rng.integers(n_ranks))
+                events.append(
+                    kind(tick=int(rng.integers(ticks)), source=source, dest=dest)
+                )
+        for _ in range(degrades):
+            events.append(
+                LinkDegrade(
+                    tick=int(rng.integers(ticks)),
+                    duration=int(rng.integers(1, max(ticks // 4, 2))),
+                    dim=int(rng.integers(torus_dims)),
+                    factor=float(2.0 + 6.0 * rng.random()),
+                )
+            )
+        for _ in range(stragglers):
+            events.append(
+                StragglerThread(
+                    tick=int(rng.integers(ticks)),
+                    duration=int(rng.integers(1, max(ticks // 4, 2))),
+                    rank=int(rng.integers(n_ranks)),
+                    factor=float(1.5 + 2.5 * rng.random()),
+                )
+            )
+        return cls(events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"FaultSchedule({len(self.events)} events)"
+
+
+class FaultInjector:
+    """Applies a :class:`FaultSchedule` to a live virtual cluster.
+
+    The recovery driver calls :meth:`begin_tick` before and
+    :meth:`end_tick` after every ``sim.step()``; the cluster consults
+    :meth:`on_send` from inside
+    :meth:`repro.runtime.mpi.VirtualMpiCluster.send`.  Consumed-event
+    bookkeeping lives here (the schedule stays immutable) and survives
+    checkpoint rollbacks, which is what makes each discrete fault
+    one-shot across replays.
+    """
+
+    def __init__(self, schedule: FaultSchedule) -> None:
+        self.schedule = schedule
+        self.tick = -1
+        self._consumed: set[int] = set()
+        self._armed: dict[tuple[int, int], tuple[int, Any]] = {}
+        # Cumulative event counters (reporting).
+        self.crashes: list[tuple[int, int]] = []  # (tick fired, rank)
+        self.dropped = 0
+        self.duplicated = 0
+        self.corrupted = 0
+        self.duplicates_discarded = 0
+
+    # -- tick lifecycle -----------------------------------------------------
+
+    def begin_tick(self, cluster, tick: int) -> None:
+        """Fire due crashes and arm this tick's message faults."""
+        self.tick = tick
+        self._armed = {}
+        for idx, ev in enumerate(self.schedule.events):
+            if idx in self._consumed or ev.tick > tick:
+                continue
+            if isinstance(ev, RankCrash):
+                self._consumed.add(idx)
+                cluster.fail_rank(ev.rank)
+                self.crashes.append((tick, ev.rank))
+            elif isinstance(ev, _MESSAGE_FAULTS):
+                # First matching send wins; an event whose tick has
+                # passed stays armed until traffic actually flows on
+                # its (source, dest) pair.
+                self._armed.setdefault((ev.source, ev.dest), (idx, ev))
+
+    def end_tick(self, cluster) -> int:
+        """Transport-level dedup: discard surviving duplicate copies.
+
+        Spike delivery is a bitwise OR (§VII-A), so a duplicate that *was*
+        consumed in place of its original had no observable effect; the
+        copy still queued after the receive loop is purged here so it
+        cannot leak into the next tick.  Returns the number discarded.
+        """
+        purged = 0
+        for mb in cluster.mailboxes:
+            purged += mb.purge(lambda m: m.duplicate)
+        self.duplicates_discarded += purged
+        return purged
+
+    # -- cluster-facing hooks -------------------------------------------------
+
+    def on_send(self, source: int, dest: int) -> str | None:
+        """Action for this message: None, 'drop', 'duplicate', or 'corrupt'."""
+        entry = self._armed.pop((source, dest), None)
+        if entry is None:
+            return None
+        idx, ev = entry
+        self._consumed.add(idx)
+        action = _MESSAGE_ACTIONS[type(ev)]
+        if action == "drop":
+            self.dropped += 1
+        elif action == "duplicate":
+            self.duplicated += 1
+        else:
+            self.corrupted += 1
+        return action
+
+    @staticmethod
+    def payload_checksum(payload: Any) -> int:
+        """End-to-end payload digest (crc32 of the wire encoding)."""
+        if isinstance(payload, SpikeBatch):
+            return zlib.crc32(payload.encode())
+        if isinstance(payload, (bytes, bytearray)):
+            return zlib.crc32(payload)
+        return zlib.crc32(repr(payload).encode())
+
+    @staticmethod
+    def corrupt(payload: Any) -> Any:
+        """A bit-flipped *copy* of the payload (the original is untouched)."""
+        if isinstance(payload, SpikeBatch) and payload.count > 0:
+            axon = payload.tgt_axon.copy()
+            axon[0] ^= 1
+            return SpikeBatch(
+                payload.tgt_gid.copy(), axon, payload.delay.copy(), payload.tick
+            )
+        return payload
+
+    # -- timing-only faults ---------------------------------------------------
+
+    def _active_windows(self, kinds, tick: int):
+        return [
+            ev
+            for ev in self.schedule.events
+            if isinstance(ev, kinds) and ev.tick <= tick < ev.tick + ev.duration
+        ]
+
+    def compute_factor(self, tick: int, rank: int, n_threads: int) -> float:
+        """Compute-phase multiplier for ``rank`` at ``tick`` (stragglers)."""
+        from repro.runtime.threads import straggler_team_factor
+
+        factor = 1.0
+        for ev in self._active_windows(StragglerThread, tick):
+            if ev.rank == rank:
+                factor = max(
+                    factor, straggler_team_factor(n_threads, ev.factor)
+                )
+        return factor
+
+    def network_factor(self, tick: int, topology=None) -> float:
+        """Network-phase multiplier at ``tick`` (degraded torus links).
+
+        With a topology, a degraded dimension slows the fraction of
+        pairwise traffic that routes across it
+        (:meth:`repro.runtime.torus.TorusTopology.fraction_crossing`);
+        without one, the whole phase is scaled conservatively.
+        """
+        factor = 1.0
+        for ev in self._active_windows(LinkDegrade, tick):
+            share = 1.0
+            if topology is not None and ev.dim < len(topology.dims):
+                share = topology.fraction_crossing(ev.dim)
+            factor *= 1.0 + share * (ev.factor - 1.0)
+        return factor
+
+    def max_straggler_factor(self, tick: int, n_ranks: int, n_threads: int) -> float:
+        """Slowest rank's compute multiplier — what bounds a lock-step tick."""
+        return max(
+            self.compute_factor(tick, rank, n_threads) for rank in range(n_ranks)
+        )

@@ -1,0 +1,275 @@
+"""Coordinated checkpoint/restart: the recovery driver.
+
+:class:`ResilientRunner` wraps a simulator in the classic HPC resilience
+loop — periodic coordinated checkpoints, failure detection, rollback
+recovery — while preserving Compass's bit-determinism contract:
+
+    same model seed + same fault schedule  ⇒  identical spike raster
+
+Checkpoints are in-memory coordinated snapshots
+(:func:`repro.core.checkpoint.capture_state`) taken at tick boundaries,
+where the virtual cluster is quiescent by construction.  When a step
+raises a :class:`repro.errors.FailureDetectedError` (crashed rank,
+dropped or corrupted message), the runner rolls the simulator — state,
+spike recorder, and metrics — back to the last checkpoint and replays.
+Because fault events are one-shot (:mod:`repro.resilience.faults`), the
+replay runs clean, so the recovered trace is bitwise identical to an
+uninterrupted run's.
+
+Two recovery policies:
+
+* ``restart`` — the failed node reboots and rejoins; the run waits a
+  bounded, exponentially backed-off *simulated* interval per consecutive
+  failure (host time is never consulted — rule DET106).
+* ``spare``  — a spare node takes over the failed rank's partition slice
+  immediately; a fresh simulator is built, the rolled-back recorder and
+  metrics are carried over, and the checkpoint is restored into it.
+
+All costs — checkpoint writes, detection latency, reboot/takeover waits,
+restored-state reads, replayed work — are charged to the run's simulated
+clock and itemised in a :class:`repro.resilience.report.RecoveryReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.checkpoint import capture_state, restore_state, state_nbytes
+from repro.core.simulator import RunResult
+from repro.errors import FailureDetectedError, RecoveryExhaustedError
+from repro.resilience.detect import HeartbeatConfig, HeartbeatMonitor
+from repro.resilience.faults import FaultInjector, FaultSchedule
+from repro.resilience.report import (
+    CheckpointCostModel,
+    FailureRecord,
+    RecoveryReport,
+)
+
+_POLICIES = ("restart", "spare")
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """How, and how persistently, to recover from detected failures."""
+
+    #: ``restart`` (reboot the failed node) or ``spare`` (spare takeover).
+    kind: str = "restart"
+    #: Consecutive recoveries without forward progress before giving up.
+    max_retries: int = 3
+    #: Simulated reboot wait for the restart policy; doubles per
+    #: consecutive failure (bounded exponential backoff).
+    backoff_base_s: float = 0.5
+    #: Simulated spare-node activation latency for the spare policy.
+    spare_takeover_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.kind not in _POLICIES:
+            raise ValueError(f"unknown recovery policy {self.kind!r}")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_base_s < 0 or self.spare_takeover_s < 0:
+            raise ValueError("recovery waits must be >= 0")
+
+    def wait_s(self, consecutive_failures: int) -> float:
+        """Simulated wait before the replacement rank is serviceable."""
+        if self.kind == "spare":
+            return self.spare_takeover_s
+        return self.backoff_base_s * (2.0 ** max(consecutive_failures - 1, 0))
+
+
+class ResilientRunner:
+    """Drives a simulator tick by tick under a fault schedule.
+
+    ``factory`` builds a fresh simulator positioned at tick 0 — it is
+    called once up front and again on every spare-rank takeover, so it
+    must be deterministic (build from the same network and config).
+    """
+
+    def __init__(
+        self,
+        factory,
+        schedule: FaultSchedule | None = None,
+        checkpoint_interval: int = 10,
+        policy: RecoveryPolicy | None = None,
+        heartbeat: HeartbeatConfig | None = None,
+        costs: CheckpointCostModel | None = None,
+    ) -> None:
+        if checkpoint_interval <= 0:
+            raise ValueError("checkpoint_interval must be positive")
+        self.factory = factory
+        self.schedule = schedule or FaultSchedule()
+        self.interval = checkpoint_interval
+        self.policy = policy or RecoveryPolicy()
+        self.costs = costs or CheckpointCostModel()
+        self.injector = FaultInjector(self.schedule)
+        self.sim = self._build()
+        self.monitor = HeartbeatMonitor(
+            self.sim.config.n_processes, heartbeat
+        )
+        self.report = RecoveryReport(
+            checkpoint_interval=checkpoint_interval, policy=self.policy.kind
+        )
+        self._state_bytes_per_rank = state_nbytes(self.sim) / max(
+            len(self.sim.ranks), 1
+        )
+        # The initial state is the zeroth checkpoint: a failure before the
+        # first periodic checkpoint rolls back to tick 0.
+        self._ckpt_state = capture_state(self.sim)
+        self._ckpt_tick = 0
+        self._consecutive_failures = 0
+        self._topology = self._machine_topology()
+
+    # -- construction helpers -------------------------------------------------
+
+    def _build(self):
+        sim = self.factory()
+        if getattr(sim, "detector", None) is not None:
+            raise ValueError(
+                "fault injection and the happens-before sanitizer cannot be "
+                "combined: injected drops/crashes violate the sanitizer's "
+                "send/recv accounting by design"
+            )
+        if not hasattr(sim, "cluster") or not hasattr(sim.cluster, "fail_rank"):
+            raise ValueError(
+                "ResilientRunner requires the MPI backend (fault hooks live "
+                "in the two-sided virtual cluster)"
+            )
+        sim.cluster.injector = self.injector
+        return sim
+
+    def _machine_topology(self):
+        machine = self.sim.config.machine
+        if machine is None:
+            return None
+        from repro.runtime.torus import TorusTopology
+
+        return TorusTopology.for_nodes(
+            machine.nodes, machine.machine.torus_dims
+        )
+
+    # -- main loop ------------------------------------------------------------
+
+    def run(self, ticks: int) -> RunResult:
+        """Advance ``ticks`` ticks, recovering from every injected fault."""
+        target = self.sim.tick + ticks
+        while self.sim.tick < target:
+            tick = self.sim.tick
+            self.injector.begin_tick(self.sim.cluster, tick)
+            self.monitor.observe_tick(
+                tick,
+                [
+                    r
+                    for r in range(self.sim.config.n_processes)
+                    if r not in self.sim.cluster.dead
+                ],
+            )
+            sim_before = self._simulated_snapshot()
+            try:
+                self.sim.step()
+            except FailureDetectedError as exc:
+                self._recover(exc, tick)
+                continue
+            self.injector.end_tick(self.sim.cluster)
+            self.report.duplicates_discarded = self.injector.duplicates_discarded
+            self._charge_slowdowns(tick, sim_before)
+            self._consecutive_failures = 0
+            if self.sim.tick % self.interval == 0 and self.sim.tick < target:
+                self._checkpoint()
+        return RunResult(
+            metrics=self.sim.metrics,
+            n_neurons=self.sim.network.n_neurons,
+            spikes=self.sim.recorder,
+        )
+
+    # -- checkpointing ---------------------------------------------------------
+
+    def _checkpoint(self) -> None:
+        self._ckpt_state = capture_state(self.sim)
+        self._ckpt_tick = self.sim.tick
+        cost = self.costs.checkpoint_time(self._state_bytes_per_rank)
+        self.report.note_checkpoint(self.sim.tick, cost)
+        self.sim.metrics.overhead_s += cost
+
+    # -- recovery --------------------------------------------------------------
+
+    def _recover(self, exc: FailureDetectedError, crash_tick: int) -> None:
+        self._consecutive_failures += 1
+        if self._consecutive_failures > self.policy.max_retries:
+            raise RecoveryExhaustedError(
+                f"{self._consecutive_failures} consecutive failed recoveries "
+                f"(policy allows {self.policy.max_retries} retries): {exc}"
+            ) from exc
+        failed_ranks = tuple(getattr(exc, "ranks", ()))
+        lost = crash_tick - self._ckpt_tick
+        mean_tick_s = self.sim.metrics.simulated.total / max(
+            self.sim.metrics.ticks, 1
+        )
+        detect_s = self.monitor.config.detection_latency_s(
+            self.sim.config.n_processes, mean_tick_s
+        )
+        wait_s = self.policy.wait_s(self._consecutive_failures)
+        restore_s = self.costs.restore_time(self._state_bytes_per_rank)
+        replay_s = lost * mean_tick_s
+
+        if self.policy.kind == "spare":
+            # A spare node adopts the failed rank's partition slice: build
+            # fresh hardware, carry over the run's history, restore state.
+            old = self.sim
+            self.sim = self._build()
+            self.sim.recorder = old.recorder
+            self.sim.metrics = old.metrics
+        else:
+            # The failed node reboots and rejoins after the backoff.
+            for rank in sorted(self.sim.cluster.dead):
+                self.sim.cluster.revive_rank(rank)
+            self.sim.cluster.reset_communication()
+        for rank in failed_ranks:
+            self.monitor.reset(rank)
+
+        restore_state(self.sim, self._ckpt_state)
+        if self.sim.recorder is not None:
+            self.sim.recorder.truncate(self._ckpt_tick)
+        self.sim.metrics.rollback_to(self._ckpt_tick)
+
+        record = FailureRecord(
+            kind=type(exc).__name__,
+            tick=crash_tick,
+            ranks=failed_ranks,
+            lost_ticks=lost,
+            detect_s=detect_s,
+            wait_s=wait_s,
+            restore_s=restore_s,
+            replay_s=replay_s,
+        )
+        self.report.note_failure(record)
+        self.sim.metrics.overhead_s += record.time_to_recover_s
+
+    # -- timing-only faults ----------------------------------------------------
+
+    def _simulated_snapshot(self) -> tuple[float, float, float]:
+        s = self.sim.metrics.simulated
+        return (s.synapse, s.neuron, s.network)
+
+    def _charge_slowdowns(
+        self, tick: int, before: tuple[float, float, float]
+    ) -> None:
+        """Stretch this tick's simulated phases by active fault windows."""
+        s = self.sim.metrics.simulated
+        d_synapse = s.synapse - before[0]
+        d_neuron = s.neuron - before[1]
+        d_network = s.network - before[2]
+        compute_factor = self.injector.max_straggler_factor(
+            tick,
+            self.sim.config.n_processes,
+            self.sim.config.threads_per_process,
+        )
+        if compute_factor > 1.0:
+            extra = (compute_factor - 1.0) * (d_synapse + d_neuron)
+            s.synapse += (compute_factor - 1.0) * d_synapse
+            s.neuron += (compute_factor - 1.0) * d_neuron
+            self.report.straggler_extra_s += extra
+        network_factor = self.injector.network_factor(tick, self._topology)
+        if network_factor > 1.0:
+            extra = (network_factor - 1.0) * d_network
+            s.network += extra
+            self.report.degraded_extra_s += extra

@@ -75,6 +75,39 @@ def dissemination_barrier(
     return rounds * (latency + message_bytes / bandwidth)
 
 
+def heartbeat_allreduce_time(
+    ranks: int,
+    latency: float = 2e-6,
+    message_bytes: float = 8.0,
+    bandwidth: float = 1e9,
+) -> float:
+    """Per-tick cost of the liveness allreduce the failure detector rides.
+
+    Heartbeats piggyback on the tick collective: each rank contributes one
+    alive-bitmask word, combined in ``ceil(log2 P)`` recursive-doubling
+    rounds of constant payload — the same shape as the dissemination
+    barrier, which is exactly what we charge.  This is the steady-state
+    overhead of failure *detection* (the fault-free cost of resilience);
+    the detector adds it to every simulated tick it monitors.
+    """
+    return dissemination_barrier(ranks, latency, message_bytes, bandwidth)
+
+
+def phase_timeout(expected_time: float, slack_factor: float = 4.0) -> float:
+    """Deadline for one phase of the semi-synchronous tick loop.
+
+    A rank that has not completed a phase within ``slack_factor`` times
+    the modelled phase time is declared failed — the per-phase timeout
+    that turns a silent hang of the real machine into a
+    :class:`repro.errors.RankFailureError` in simulated time.
+    """
+    if expected_time < 0:
+        raise ValueError("expected_time must be non-negative")
+    if slack_factor < 1.0:
+        raise ValueError("slack_factor must be >= 1")
+    return expected_time * slack_factor
+
+
 def collective_merge(clocks) -> dict[str, int]:
     """Componentwise maximum over an iterable of vector clocks.
 

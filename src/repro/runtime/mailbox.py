@@ -21,6 +21,12 @@ class Message:
     sending side; the race detector uses it to associate a message with
     the sender's vector-clock snapshot.  ``-1`` means unsequenced
     (no sanitizer installed).
+
+    ``checksum`` is an end-to-end payload digest stamped at send time
+    when fault injection is active (``-1`` otherwise); the receive side
+    re-computes it to detect injected corruption.  ``duplicate`` marks
+    the extra copy produced by a link-retransmission fault so the
+    transport's dedup pass can discard whichever copy survives the tick.
     """
 
     source: int
@@ -29,6 +35,8 @@ class Message:
     payload: Any
     nbytes: int
     seq: int = -1
+    checksum: int = -1
+    duplicate: bool = False
 
 
 @dataclass
@@ -89,6 +97,20 @@ class Mailbox:
     @staticmethod
     def _matches(msg: Message, source: int, tag: int) -> bool:
         return (source in (ANY_SOURCE, msg.source)) and (tag in (ANY_TAG, msg.tag))
+
+    def purge(self, predicate) -> int:
+        """Remove every queued message matching ``predicate``; return count.
+
+        Used by the fault-injection layer: a crashed rank's in-flight
+        traffic vanishes with the node, and duplicate copies left behind
+        after the tick's receive loop are discarded by the transport's
+        dedup pass.  The observer is *not* notified — these removals model
+        the network, not an application receive.
+        """
+        kept = deque(m for m in self._queue if not predicate(m))
+        removed = len(self._queue) - len(kept)
+        self._queue = kept
+        return removed
 
     def __len__(self) -> int:
         return len(self._queue)

@@ -35,7 +35,11 @@ from typing import Any
 
 import numpy as np
 
-from repro.errors import CommunicationError
+from repro.errors import (
+    CommunicationError,
+    MessageCorruptionError,
+    RankFailureError,
+)
 from repro.runtime.mailbox import ANY_SOURCE, ANY_TAG, Mailbox, Message
 
 
@@ -67,33 +71,104 @@ class VirtualMpiCluster:
             raise ValueError("n_ranks must be positive")
         self.n_ranks = n_ranks
         self.sanitizer = sanitizer
+        #: Optional :class:`repro.resilience.faults.FaultInjector` — when
+        #: set, every send consults it for drop/duplicate/corrupt actions
+        #: and payloads are checksummed end to end.
+        self.injector: Any = None
+        #: Ranks whose simulated node has crashed (fault injection).
+        self.dead: set[int] = set()
         self.mailboxes = [Mailbox(r, observer=sanitizer) for r in range(n_ranks)]
         self.counters = [TrafficCounters() for _ in range(n_ranks)]
         self._rs_contributions: dict[int, np.ndarray] = {}
         self._next_seq = 0
         self.endpoints = [MpiEndpoint(self, r) for r in range(n_ranks)]
 
+    # -- fault injection ------------------------------------------------------
+
+    def fail_rank(self, rank: int) -> None:
+        """Crash ``rank``: it stops participating and its mailbox is lost."""
+        if not 0 <= rank < self.n_ranks:
+            raise CommunicationError(f"cannot fail invalid rank {rank}")
+        self.dead.add(rank)
+        self.mailboxes[rank].clear()
+
+    def revive_rank(self, rank: int) -> None:
+        """The node hosting ``rank`` rejoins (reboot or spare takeover)."""
+        self.dead.discard(rank)
+
+    def reset_communication(self) -> None:
+        """Drop all in-flight state so a restored tick starts clean.
+
+        Called by the recovery driver after a mid-tick failure: partially
+        delivered messages and partial collective contributions belong to
+        the abandoned tick and must not leak into the replay.
+        """
+        for mb in self.mailboxes:
+            mb.clear()
+        self._rs_contributions.clear()
+
     # -- point to point ------------------------------------------------------
 
     def send(self, source: int, dest: int, tag: int, payload: Any, nbytes: int) -> None:
         if not 0 <= dest < self.n_ranks:
             raise CommunicationError(f"send to invalid rank {dest}")
+        if source in self.dead:
+            raise RankFailureError(
+                f"rank {source} crashed before posting its sends",
+                ranks=(source,),
+            )
         seq = -1
         if self.sanitizer is not None:
             seq = self._next_seq
             self._next_seq += 1
             self.sanitizer.on_send(source, dest, tag, seq)
-        msg = Message(
-            source=source, dest=dest, tag=tag, payload=payload, nbytes=nbytes, seq=seq
-        )
-        self.mailboxes[dest].deliver(msg)
+        action = None
+        checksum = -1
+        if self.injector is not None:
+            action = self.injector.on_send(source, dest)
+            checksum = self.injector.payload_checksum(payload)
+            if action == "corrupt":
+                payload = self.injector.corrupt(payload)
         c = self.counters[source]
         c.messages_sent += 1
         c.bytes_sent += nbytes
+        if dest in self.dead or action == "drop":
+            return  # the wire ate it; the count collective still promised it
+        msg = Message(
+            source=source,
+            dest=dest,
+            tag=tag,
+            payload=payload,
+            nbytes=nbytes,
+            seq=seq,
+            checksum=checksum,
+        )
+        self.mailboxes[dest].deliver(msg)
+        if action == "duplicate":
+            self.mailboxes[dest].deliver(
+                Message(
+                    source=source,
+                    dest=dest,
+                    tag=tag,
+                    payload=payload,
+                    nbytes=nbytes,
+                    seq=seq,
+                    checksum=checksum,
+                    duplicate=True,
+                )
+            )
 
     # -- collective ------------------------------------------------------------
 
     def reduce_scatter_contribute(self, rank: int, counts: np.ndarray) -> None:
+        if rank in self.dead:
+            # The per-phase timeout of the tick loop: live ranks block on
+            # the collective until the dead rank's contribution times out.
+            raise RankFailureError(
+                f"rank {rank} crashed; tick collective timed out waiting "
+                f"for dead ranks {sorted(self.dead)}",
+                ranks=tuple(sorted(self.dead)),
+            )
         counts = np.asarray(counts, dtype=np.int64)
         if counts.shape != (self.n_ranks,):
             raise CommunicationError(
@@ -108,6 +183,12 @@ class VirtualMpiCluster:
     def reduce_scatter_result(self, rank: int) -> int:
         if len(self._rs_contributions) != self.n_ranks:
             missing = set(range(self.n_ranks)) - set(self._rs_contributions)
+            if missing <= self.dead:
+                raise RankFailureError(
+                    f"tick collective timed out; dead ranks "
+                    f"{sorted(missing)[:8]} never contributed",
+                    ranks=tuple(sorted(missing)),
+                )
             raise CommunicationError(
                 f"reduce_scatter incomplete; missing ranks {sorted(missing)[:8]}"
             )
@@ -204,6 +285,13 @@ class MpiEndpoint:
         msg = mailbox.pop(source, tag)
         if sanitizer is not None:
             sanitizer.on_recv(self.rank, msg.seq, source, candidates, commutative)
+        injector = self.cluster.injector
+        if injector is not None and msg.checksum != -1:
+            if injector.payload_checksum(msg.payload) != msg.checksum:
+                raise MessageCorruptionError(
+                    f"rank {self.rank}: payload from rank {msg.source} "
+                    "failed its end-to-end checksum"
+                )
         c = self.cluster.counters[self.rank]
         c.messages_received += 1
         c.bytes_received += msg.nbytes

@@ -151,6 +151,84 @@ class TestExport:
         assert (out / "coreobject.json").exists()
 
 
+class TestResilience:
+    def test_inject_with_verify(self, capsys):
+        assert main(
+            [
+                "resilience", "inject",
+                "--ticks", "30", "--interval", "10",
+                "--crash-at", "12:1", "--verify",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "1 crash(es)" in out
+        assert "spike digest:" in out
+        assert "MATCH" in out
+
+    def test_inject_spare_policy(self, capsys):
+        assert main(
+            [
+                "resilience", "inject",
+                "--ticks", "30", "--policy", "spare",
+                "--crash-at", "12:0", "--drop-at", "20:0:1", "--verify",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "policy=spare" in out
+        assert "2 recovery(ies)" in out
+        assert "MATCH" in out
+
+    def test_report_prints_overhead_table(self, capsys):
+        assert main(
+            ["resilience", "report", "--ticks", "30", "--crash-at", "12:1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "checkpoint overhead" in out
+        assert "lost ticks" in out
+        assert "time to recover" in out
+        assert "per-failure breakdown" in out
+
+    def test_bad_crash_spec_exits_cleanly(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["resilience", "inject", "--crash-at", "12"])
+        assert exc.value.code == 2
+        assert "TICK:RANK" in capsys.readouterr().err
+
+
+class TestArgumentValidation:
+    """Invalid counts must produce a clean usage error, never a traceback."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["run", "quickstart", "--ticks", "-5"],
+            ["run", "quickstart", "--ticks", "abc"],
+            ["run", "quickstart", "--processes", "0"],
+            ["macaque", "--cores", "-1"],
+            ["check", "races", "--threads", "0"],
+            ["resilience", "inject", "--interval", "0"],
+        ],
+    )
+    def test_invalid_count_is_usage_error(self, capsys, argv):
+        with pytest.raises(SystemExit) as exc:
+            main(argv)
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "usage:" in err
+        assert "integer" in err
+
+    def test_missing_model_file_is_clean_error(self, capsys):
+        assert main(["run", "no-such-model.npz"]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_repro_error_is_clean_error(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"regions": []}')  # valid JSON, not a CoreObject
+        assert main(["compile", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+
+
 def test_version(capsys):
     with pytest.raises(SystemExit) as exc:
         main(["--version"])

@@ -69,3 +69,30 @@ class TestValidation:
         # software (hundreds of wire-times per element is typical of
         # small-element MPI reductions).
         assert result["implied_software_overhead"] > 10
+
+
+class TestFailureDetectionCosts:
+    """Heartbeat and timeout cost helpers for the resilience subsystem."""
+
+    def test_heartbeat_rides_the_barrier(self):
+        from repro.runtime.collectives import (
+            dissemination_barrier,
+            heartbeat_allreduce_time,
+        )
+
+        t = heartbeat_allreduce_time(64)
+        assert t > 0
+        assert t >= dissemination_barrier(64, latency=2e-6)
+
+    def test_heartbeat_grows_with_ranks(self):
+        from repro.runtime.collectives import heartbeat_allreduce_time
+
+        assert heartbeat_allreduce_time(1024) > heartbeat_allreduce_time(4)
+
+    def test_phase_timeout_slack(self):
+        from repro.runtime.collectives import phase_timeout
+
+        assert phase_timeout(0.01) == pytest.approx(0.04)
+        assert phase_timeout(0.01, slack_factor=2.0) == pytest.approx(0.02)
+        with pytest.raises(ValueError):
+            phase_timeout(-1.0)

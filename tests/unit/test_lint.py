@@ -1,4 +1,4 @@
-"""Unit tests for the determinism lint engine (DET100–DET105).
+"""Unit tests for the determinism lint engine (DET100–DET106).
 
 Each rule gets a positive case (the violation is reported with its rule
 id and location) and a suppressed case (the same construct with a
@@ -28,7 +28,7 @@ def rule_ids(violations):
 class TestRegistry:
     def test_all_rules_registered(self):
         ids = [r.rule_id for r in all_rules()]
-        assert ids == ["DET101", "DET102", "DET103", "DET104", "DET105"]
+        assert ids == ["DET101", "DET102", "DET103", "DET104", "DET105", "DET106"]
 
     def test_rules_by_id_selects(self):
         (rule,) = rules_by_id(["DET103"])
@@ -138,6 +138,47 @@ class TestUnorderedIteration:
             "def f(table):\n"
             "    # repro: allow[DET103] insertion order is the layout order\n"
             "    return [v for v in table.values()]\n"
+        )
+        assert lint_source(src, path="x.py") == []
+
+
+class TestHostClockWait:
+    def test_time_sleep_flagged(self):
+        src = "import time\n\ndef backoff():\n    time.sleep(0.5)\n"
+        violations = lint_source(src, path="x.py")
+        assert rule_ids(violations) == ["DET106"]
+        assert violations[0].line == 4
+
+    def test_signal_alarm_flagged(self):
+        src = "import signal\n\ndef watchdog():\n    signal.alarm(30)\n"
+        assert rule_ids(lint_source(src, path="x.py")) == ["DET106"]
+
+    def test_settimeout_flagged(self):
+        src = "def connect(sock):\n    sock.settimeout(2.0)\n"
+        assert rule_ids(lint_source(src, path="x.py")) == ["DET106"]
+
+    def test_timeout_kwarg_flagged(self):
+        src = "def wait(q):\n    return q.get(timeout=5)\n"
+        assert rule_ids(lint_source(src, path="x.py")) == ["DET106"]
+
+    def test_timeout_none_allowed(self):
+        src = "def wait(q):\n    return q.get(timeout=None)\n"
+        assert lint_source(src, path="x.py") == []
+
+    def test_not_applied_outside_rank_visible_paths(self):
+        src = "import time\n\ndef poll():\n    time.sleep(1)\n"
+        path = str(Path("src") / "repro" / "apps" / "monitor.py")
+        assert lint_source(src, path=path) == []
+
+    def test_resilience_paths_are_rank_visible(self):
+        src = "import time\n\ndef backoff():\n    time.sleep(1)\n"
+        path = str(Path("src") / "repro" / "resilience" / "recovery.py")
+        assert rule_ids(lint_source(src, path=path)) == ["DET106"]
+
+    def test_suppressed(self):
+        src = (
+            "import time\n\ndef backoff():\n"
+            "    time.sleep(0.5)  # repro: allow[DET106] host-side CLI wait\n"
         )
         assert lint_source(src, path="x.py") == []
 
