@@ -26,7 +26,7 @@ def _model():
     return build_macaque_coreobject(NODES * CORES_PER_NODE, seed=0)
 
 
-def test_ablation_spike_aggregation(benchmark, write_result):
+def test_ablation_spike_aggregation(benchmark, write_result, write_bench_json):
     model = _model()
     mc = MachineConfig(BLUE_GENE_Q, nodes=NODES, threads_per_proc=32)
 
@@ -48,6 +48,16 @@ def test_ablation_spike_aggregation(benchmark, write_result):
             rows,
             title="ablation: spike aggregation (§III)",
         ),
+    )
+    write_bench_json(
+        "ablations",
+        params={"nodes": NODES, "cores_per_node": CORES_PER_NODE},
+        samples=[t_agg.network, t_per.network],
+        derived={
+            "network_s_aggregated": t_agg.network,
+            "network_s_per_spike": t_per.network,
+            "slowdown_without_aggregation": t_per.network / t_agg.network,
+        },
     )
     assert t_per.network > t_agg.network
 

@@ -16,7 +16,7 @@ from repro.perf.report import format_table
 MODEL_CORES = 4096
 
 
-def test_fig3_region_allocation(benchmark, write_result):
+def test_fig3_region_allocation(benchmark, write_result, write_bench_json):
     model = build_macaque_coreobject(MODEL_CORES, seed=0)
 
     # Benchmark the realizability step: IPFP on the 77x77 macaque matrix.
@@ -51,4 +51,10 @@ def test_fig3_region_allocation(benchmark, write_result):
 
     # The normalisation must track the atlas within rounding.
     corr = np.corrcoef(vols_norm, cores_norm)[0, 1]
+    write_bench_json(
+        "fig3_region_allocation",
+        params={"model_cores": MODEL_CORES, "regions": len(model.region_names)},
+        samples=[corr],
+        derived={"atlas_allocation_correlation": float(corr)},
+    )
     assert corr > 0.99

@@ -12,7 +12,7 @@ from repro.perf.weak_scaling import weak_scaling_point, weak_scaling_series
 PAPER_ANCHORS = {1: 165.0, 16: 194.0}  # seconds, read off Fig 4(a)
 
 
-def test_fig4a_weak_scaling(benchmark, write_result):
+def test_fig4a_weak_scaling(benchmark, write_result, write_bench_json):
     benchmark(lambda: weak_scaling_point(nodes=16384))
 
     series = weak_scaling_series()
@@ -39,5 +39,16 @@ def test_fig4a_weak_scaling(benchmark, write_result):
     write_result("fig4a_weak_scaling", table)
 
     by_racks = {p.racks: p for p in series}
+    write_bench_json(
+        "fig4a_weak_scaling",
+        params={"cores_per_node": 16384, "ticks": 500,
+                "racks": [p.racks for p in series]},
+        samples=[p.times.total for p in series],
+        derived={
+            "total_s_1_rack": by_racks[1].times.total,
+            "total_s_16_racks": by_racks[16].times.total,
+            "slowdown_16_racks": by_racks[16].slowdown,
+        },
+    )
     assert abs(by_racks[1].times.total - PAPER_ANCHORS[1]) / PAPER_ANCHORS[1] < 0.2
     assert abs(by_racks[16].times.total - PAPER_ANCHORS[16]) / PAPER_ANCHORS[16] < 0.2

@@ -13,7 +13,7 @@ from repro.perf.weak_scaling import weak_scaling_series
 from repro.runtime.machine import BLUE_GENE_Q
 
 
-def test_fig4b_messaging(benchmark, write_result):
+def test_fig4b_messaging(benchmark, write_result, write_bench_json):
     model = build_macaque_coreobject(16384 * 16384, seed=0)
     traffic = CocomacTraffic(model)
     benchmark(lambda: traffic.summary(16384))
@@ -40,6 +40,16 @@ def test_fig4b_messaging(benchmark, write_result):
     write_result("fig4b_messaging", table)
 
     largest = series[-1]
+    write_bench_json(
+        "fig4b_messaging",
+        params={"cores_per_node": 16384, "racks": [p.racks for p in series]},
+        samples=[p.messages_per_tick for p in series],
+        derived={
+            "messages_per_tick_largest": largest.messages_per_tick,
+            "spikes_per_tick_largest": largest.spikes_per_tick,
+            "bytes_per_tick_largest": largest.bytes_per_tick,
+        },
+    )
     assert largest.bytes_per_tick < BLUE_GENE_Q.link_bandwidth  # §VI-B
     # Sub-linear per-process message growth.
     growth_pp = (largest.messages_per_tick / largest.nodes) / (

@@ -8,7 +8,7 @@ from repro.perf.report import format_table
 from repro.perf.strong_scaling import strong_scaling_series
 
 
-def test_fig5_strong_scaling(benchmark, write_result):
+def test_fig5_strong_scaling(benchmark, write_result, write_bench_json):
     series = benchmark(strong_scaling_series)
 
     rows = [
@@ -35,5 +35,16 @@ def test_fig5_strong_scaling(benchmark, write_result):
     assert abs(series[0].times.total - 324) / 324 < 0.15
     p8 = next(p for p in series if p.racks == 8)
     p16 = next(p for p in series if p.racks == 16)
+    write_bench_json(
+        "fig5_strong_scaling",
+        params={"cores": 32 * 2**20, "ticks": 500,
+                "racks": [p.racks for p in series]},
+        samples=[p.times.total for p in series],
+        derived={
+            "total_s_baseline": series[0].times.total,
+            "speedup_8_racks": p8.speedup,
+            "speedup_16_racks": p16.speedup,
+        },
+    )
     assert 5.0 < p8.speedup < 9.0
     assert p8.speedup < p16.speedup < 14.0

@@ -10,7 +10,7 @@ from repro.perf.report import format_table
 from repro.perf.thread_scaling import procs_threads_tradeoff, thread_scaling_series
 
 
-def test_fig6_thread_scaling(benchmark, write_result):
+def test_fig6_thread_scaling(benchmark, write_result, write_bench_json):
     series = benchmark(thread_scaling_series)
 
     rows = [
@@ -35,6 +35,17 @@ def test_fig6_thread_scaling(benchmark, write_result):
     last = series[-1]
     assert 10 < last.speedup_total < 28
     assert last.speedup_network < last.speedup_neuron  # the serial bottleneck
+    write_bench_json(
+        "fig6_thread_scaling",
+        params={"cores": 64 * 2**20, "nodes": 4096,
+                "threads": [p.threads for p in series]},
+        samples=[p.times.total for p in series],
+        derived={
+            "speedup_total_max_threads": last.speedup_total,
+            "speedup_network_max_threads": last.speedup_network,
+            "speedup_neuron_max_threads": last.speedup_neuron,
+        },
+    )
 
 
 def test_procs_threads_tradeoff(write_result):

@@ -46,7 +46,7 @@ def test_pgas_backend_throughput(benchmark, network):
     assert fired > 0
 
 
-def test_fig7_series(write_result):
+def test_fig7_series(write_result, write_bench_json):
     series = realtime_series()
     rows = [
         (
@@ -76,5 +76,16 @@ def test_fig7_series(write_result):
     four = {p.backend: p for p in series if p.racks == 4}
     assert four["pgas"].realtime
     ratio = four["mpi"].seconds / four["pgas"].seconds
+    write_bench_json(
+        "fig7_pgas_vs_mpi",
+        params={"cores": 81 * 1024, "ticks": 1000,
+                "racks": sorted({p.racks for p in series})},
+        samples=[p.seconds for p in series],
+        derived={
+            "mpi_over_pgas_4_racks": ratio,
+            "frontier_pgas_cores": frontier_pgas,
+            "frontier_mpi_cores": frontier_mpi,
+        },
+    )
     assert 1.5 < ratio < 3.0
     assert 60_000 < frontier_pgas < 120_000

@@ -9,7 +9,7 @@ from repro.perf.power import blue_gene_power_watts, truenorth_power_watts
 from repro.perf.report import paper_vs_model
 
 
-def test_headline_scale(benchmark, write_result):
+def test_headline_scale(benchmark, write_result, write_bench_json):
     summary = benchmark(headline_summary)
     table = paper_vs_model(summary["paper"], summary["model"])
 
@@ -24,5 +24,16 @@ def test_headline_scale(benchmark, write_result):
     write_result("headline_scale", "Headline (256M-core run)\n" + table)
 
     model = summary["model"]
+    write_bench_json(
+        "headline_scale",
+        params={"cores": model["cores"]},
+        samples=[model["slowdown"]],
+        derived={
+            "slowdown": model["slowdown"],
+            "mean_rate_hz": model["mean_rate_hz"],
+            "truenorth_power_w": tn,
+            "blue_gene_power_w": bg,
+        },
+    )
     assert abs(model["slowdown"] - 388) / 388 < 0.15
     assert abs(model["mean_rate_hz"] - 8.1) < 0.1

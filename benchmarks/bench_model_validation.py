@@ -17,13 +17,15 @@ from repro.runtime.machine import BLUE_GENE_Q
 from repro.runtime.threads import effective_threads
 
 
-def test_reduce_scatter_shape(benchmark, write_result):
+def test_reduce_scatter_shape(benchmark, write_result, write_bench_json):
     cost = BLUE_GENE_Q.cost
     result = benchmark(lambda: validate_against(cost))
 
     rows = []
+    derived_us = []
     for p in (1024, 4096, 16384, 65536):
         derived = reduce_scatter_recursive_halving(p, 8.0, 2e-6, 1.8e9)
+        derived_us.append(derived * 1e6)
         calibrated = cost.reduce_scatter_time(p)
         barrier = dissemination_barrier(p, 1e-6)
         rows.append(
@@ -37,6 +39,15 @@ def test_reduce_scatter_shape(benchmark, write_result):
         f"overhead, ~{result['implied_software_overhead']:.0f}x wire time)",
     )
     write_result("validation_reduce_scatter", table)
+    write_bench_json(
+        "model_validation",
+        params={"ranks": [1024, 4096, 16384, 65536]},
+        samples=derived_us,
+        derived={
+            "shape_mismatch": result["shape_mismatch"],
+            "implied_software_overhead": result["implied_software_overhead"],
+        },
+    )
     assert result["shape_mismatch"] < 0.6
 
 

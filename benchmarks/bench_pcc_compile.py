@@ -27,7 +27,7 @@ from repro.util.units import fmt_bytes
 CORES = 128
 
 
-def test_pcc_in_situ_compile(benchmark, write_result, tmp_path):
+def test_pcc_in_situ_compile(benchmark, write_result, write_bench_json, tmp_path):
     model = build_macaque_coreobject(CORES, seed=7)
     compiler = ParallelCompassCompiler()
 
@@ -74,6 +74,20 @@ def test_pcc_in_situ_compile(benchmark, write_result, tmp_path):
         "256M-core compile took 107 s)",
     )
     write_result("pcc_compile", table)
+    write_bench_json(
+        "pcc_compile",
+        params={"cores": CORES},
+        samples=[t_compile],
+        derived={
+            "explicit_write_read_s": t_write + t_read,
+            "compact_description_bytes": compact,
+            "explicit_model_bytes": explicit,
+            "explicit_model_bytes_paper": explicit_paper,
+            "compile_s_paper": t_compile_paper,
+            "disk_s_paper_parallel_fs": t_disk_parallel,
+            "disk_s_paper_single_writer": t_disk_serial,
+        },
+    )
 
     # The explicit paper-scale model must be in the terabytes (§IV).
     assert explicit_paper > 1e12

@@ -57,12 +57,13 @@ def test_recovery_overhead_vs_interval(benchmark, interval):
     assert runner.report.lost_ticks == CRASH_TICK - (CRASH_TICK // interval) * interval
 
 
-def test_interval_sweep_report(write_result):
+def test_interval_sweep_report(write_result, write_bench_json):
     make = _factory()
     clean = make().run(TICKS)
     digest = spike_digest(clean.spikes)
 
     rows = []
+    derived = {}
     for interval in (5, 10, 20):
         runner = ResilientRunner(
             make,
@@ -72,6 +73,8 @@ def test_interval_sweep_report(write_result):
         result = runner.run(TICKS)
         r = runner.report
         assert spike_digest(result.spikes) == digest
+        derived[f"interval_{interval}_lost_ticks"] = r.lost_ticks
+        derived[f"interval_{interval}_total_overhead_s"] = r.total_overhead_s
         rows.append(
             (
                 interval,
@@ -92,3 +95,11 @@ def test_interval_sweep_report(write_result):
         ),
     )
     write_result("recovery_overhead", table)
+    write_bench_json(
+        "recovery_overhead",
+        params={"ticks": TICKS, "crash_tick": CRASH_TICK,
+                "n_cores": N_CORES, "n_ranks": N_RANKS,
+                "intervals": [5, 10, 20]},
+        samples=[derived[f"interval_{i}_total_overhead_s"] for i in (5, 10, 20)],
+        derived=derived,
+    )

@@ -7,11 +7,14 @@ pure-Python Compass actually achieves (EXPERIMENTS.md quotes these
 numbers alongside the modelled Blue Gene figures).
 """
 
+import time
+
 import pytest
 
 from repro.cocomac.model import build_macaque_model
 from repro.core.config import CompassConfig
 from repro.core.simulator import Compass
+from repro.obs import Observability
 from repro.perf.report import format_table
 
 TICKS = 50
@@ -29,6 +32,45 @@ def test_functional_tick_throughput(benchmark, cores):
 
     sim = benchmark(run)
     assert sim.metrics.ticks == TICKS
+
+
+def test_tracing_overhead(write_result, write_bench_json, macaque_128):
+    """Cost of span tracing over the disabled-tracer fast path.
+
+    Recorded, not asserted: the pure-Python hot loop makes the ratio
+    hardware-sensitive, and the number exists to be tracked over time.
+    """
+    net = macaque_128.compiled.network
+    reps = 3
+
+    def run_once(obs):
+        sim = Compass(net, CompassConfig(n_processes=4), obs=obs)
+        t0 = time.perf_counter()
+        sim.run(TICKS)
+        return time.perf_counter() - t0
+
+    run_once(Observability.off())  # warm-up
+    disabled = min(run_once(Observability.off()) for _ in range(reps))
+    enabled = min(run_once(Observability.with_tracing()) for _ in range(reps))
+    frac = enabled / disabled - 1.0
+
+    write_bench_json(
+        "tick_throughput",
+        params={"cores": 128, "ticks": TICKS, "n_processes": 4, "reps": reps},
+        samples=[disabled, enabled],
+        derived={
+            "s_per_tick_disabled": disabled / TICKS,
+            "s_per_tick_enabled": enabled / TICKS,
+            "tracing_overhead_frac": frac,
+        },
+    )
+    write_result(
+        "tracing_overhead",
+        f"span tracing overhead, 128-core macaque, {TICKS} ticks: "
+        f"off {disabled / TICKS * 1e3:.2f} ms/tick, "
+        f"on {enabled / TICKS * 1e3:.2f} ms/tick ({frac:+.1%})",
+    )
+    assert disabled > 0 and enabled > 0
 
 
 def test_phase_split_report(write_result, macaque_128):

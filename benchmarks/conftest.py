@@ -3,11 +3,15 @@
 Every figure bench both *measures* something real with pytest-benchmark
 and *regenerates* the paper artefact (the same rows/series the figure
 plots), writing it to ``benchmarks/results/<name>.txt`` so the output
-survives pytest's stdout capture.
+survives pytest's stdout capture.  Each bench additionally emits a
+machine-readable ``benchmarks/results/BENCH_<name>.json`` (via
+``write_bench_json``) so CI can archive and diff the numbers without
+parsing tables.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
@@ -24,6 +28,46 @@ def write_result():
         path = RESULTS_DIR / f"{name}.txt"
         path.write_text(text + "\n")
         print(f"\n{text}\n[written to {path}]")
+        return path
+
+    return _write
+
+
+@pytest.fixture(scope="session")
+def write_bench_json():
+    """Callable: write_bench_json(name, params, samples, derived) -> path.
+
+    Writes ``BENCH_<name>.json`` with a stable schema: the benchmark's
+    configuration (``params``), its raw measurements (``samples``, a flat
+    list of floats), summary ``stats`` computed from the samples, and any
+    bench-specific ``derived`` quantities.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _write(name: str, params: dict, samples, derived: dict | None = None) -> Path:
+        samples = [float(s) for s in samples]
+        stats: dict[str, float] = {}
+        if samples:
+            n = len(samples)
+            mean = sum(samples) / n
+            var = sum((s - mean) ** 2 for s in samples) / n
+            stats = {
+                "n": n,
+                "min": min(samples),
+                "max": max(samples),
+                "mean": mean,
+                "stddev": var**0.5,
+            }
+        payload = {
+            "schema": 1,
+            "name": name,
+            "params": dict(params),
+            "samples": samples,
+            "stats": stats,
+            "derived": dict(derived or {}),
+        }
+        path = RESULTS_DIR / f"BENCH_{name}.json"
+        path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
         return path
 
     return _write

@@ -1,4 +1,4 @@
-"""The determinism lint rules (DET101–DET106).
+"""The determinism lint rules (DET101–DET107).
 
 Each rule enforces one discipline that keeps the simulator
 bit-deterministic across rank counts and thread interleavings — the
@@ -14,7 +14,12 @@ property behind the paper's one-to-one spike correspondence claim:
   (``time.sleep``, ``signal.alarm``, socket timeouts, blocking-call
   ``timeout=`` arguments): failure detection and recovery backoff must
   advance on the simulated clock (:mod:`repro.runtime.timing`), or a
-  faulted run's result would depend on host scheduling.
+  faulted run's result would depend on host scheduling;
+* DET107 — no file writes in rank-visible code outside a declared flush
+  boundary: exporting is an observation, not a simulation effect, so
+  every write must happen inside a function marked ``# repro: obs-flush``
+  (on the ``def`` line or the line above) — the discipline that keeps
+  tracing/metrics emission side-effect-free on the simulation path.
 
 ``time.perf_counter`` is explicitly allowed: host-time measurement is
 observational (it feeds metrics, never rank-visible state).  Likewise
@@ -26,6 +31,7 @@ exists to push code towards.
 from __future__ import annotations
 
 import ast
+import re
 
 from repro.check.rules.base import ModuleContext, Rule, register
 
@@ -319,4 +325,101 @@ class HostClockWaitRule(Rule):
             yield self.violation(
                 ctx, node, "timeout= gates a blocking call on the host clock; "
                 "derive deadlines from the simulated timing model"
+            )
+
+
+#: Marks a function as a declared observability flush boundary.
+_OBS_FLUSH_RE = re.compile(r"#\s*repro:\s*obs-flush")
+
+#: Two-part attribute chains that serialise straight to a file.
+_FILE_DUMP_CHAINS = frozenset(
+    {
+        ("json", "dump"),
+        ("pickle", "dump"),
+        ("np", "save"),
+        ("np", "savez"),
+        ("np", "savez_compressed"),
+        ("np", "savetxt"),
+        ("numpy", "save"),
+        ("numpy", "savez"),
+        ("numpy", "savez_compressed"),
+        ("numpy", "savetxt"),
+    }
+)
+
+#: Path-object methods that write their receiver's file.
+_FILE_WRITE_METHODS = frozenset({"write_text", "write_bytes"})
+
+
+@register
+class FlushBoundaryRule(Rule):
+    rule_id = "DET107"
+    title = "file write outside an observability flush boundary"
+    rationale = (
+        "simulation-path code must stay side-effect-free: exporting "
+        "traces, metrics, models, or checkpoints is an *observation* and "
+        "belongs in a function explicitly marked '# repro: obs-flush' (on "
+        "the def line or the line above), so every byte leaving the "
+        "process goes through a declared, auditable flush boundary."
+    )
+    rank_visible_only = True
+
+    def check(self, ctx: ModuleContext):
+        lines = ctx.source.splitlines()
+        yield from self._scan(ctx, ctx.tree, False, lines)
+
+    def _scan(self, ctx: ModuleContext, node: ast.AST, exempt: bool, lines):
+        for child in ast.iter_child_nodes(node):
+            child_exempt = exempt
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                child_exempt = exempt or self._is_flush(child, lines)
+            if isinstance(child, ast.Call) and not child_exempt:
+                yield from self._check_call(ctx, child)
+            yield from self._scan(ctx, child, child_exempt, lines)
+
+    @staticmethod
+    def _is_flush(node: ast.AST, lines: list[str]) -> bool:
+        """Marked on the ``def`` line or the line immediately above it."""
+        for lineno in (node.lineno, node.lineno - 1):
+            if 1 <= lineno <= len(lines) and _OBS_FLUSH_RE.search(lines[lineno - 1]):
+                return True
+        return False
+
+    def _check_call(self, ctx: ModuleContext, node: ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "open":
+            mode = node.args[1] if len(node.args) >= 2 else None
+            for kw in node.keywords:
+                if kw.arg == "mode":
+                    mode = kw.value
+            if mode is None:
+                return  # default mode "r" only reads
+            if (
+                isinstance(mode, ast.Constant)
+                and isinstance(mode.value, str)
+                and not any(c in mode.value for c in "wax+")
+            ):
+                return  # provably read-only
+            yield self.violation(
+                ctx,
+                node,
+                "open() for writing outside an obs-flush function; mark the "
+                "enclosing function '# repro: obs-flush' or route output "
+                "through the repro.obs exporters",
+            )
+            return
+        if isinstance(func, ast.Attribute) and func.attr in _FILE_WRITE_METHODS:
+            yield self.violation(
+                ctx,
+                node,
+                f".{func.attr}() writes a file outside an obs-flush function",
+            )
+            return
+        chain = _attr_chain(func)
+        if len(chain) == 2 and (chain[0], chain[1]) in _FILE_DUMP_CHAINS:
+            yield self.violation(
+                ctx,
+                node,
+                f"{chain[0]}.{chain[1]}() serialises to a file outside an "
+                "obs-flush function",
             )

@@ -14,7 +14,11 @@ Subcommands:
   detector on a live run, and the structural model checker;
 * ``resilience inject|report``  — run under an injected fault schedule
   and recover (see ``docs/resilience.md``): ``inject`` verifies the
-  recovered spike raster, ``report`` prints the recovery-overhead table.
+  recovered spike raster, ``report`` prints the recovery-overhead table;
+* ``obs trace|metrics|diff``    — the observability layer (see
+  ``docs/observability.md``): deterministic span traces
+  (Perfetto/JSONL), Prometheus metric export, and first-divergence
+  localisation between two event logs.
 """
 
 from __future__ import annotations
@@ -162,11 +166,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
         print(profile_report(sim))
     if args.trace:
+        # --trace without --stats is rejected at parse time in main().
         from repro.core.trace import write_trace
 
-        if sim.recorder is None:
-            print("--trace requires --stats (spike recording)", file=sys.stderr)
-            return 1
         nbytes = write_trace(sim.recorder, args.trace)
         print(f"wrote spike trace: {args.trace} ({nbytes} bytes)")
     return 0
@@ -446,6 +448,147 @@ def _cmd_resilience_inject(args: argparse.Namespace) -> int:
     return 0
 
 
+def _obs_network(args: argparse.Namespace, obs):
+    """Build the model for an observed run; macaque compiles under ``obs``."""
+    if args.model == "macaque":
+        from repro.cocomac.model import build_macaque_coreobject
+        from repro.compiler.pcc import ParallelCompassCompiler
+
+        cores = args.cores if args.cores is not None else 128
+        model = build_macaque_coreobject(total_cores=cores, seed=args.seed)
+        return ParallelCompassCompiler(obs=obs).compile(model.coreobject).network
+    from repro.apps.quicknet import build_quickstart_network
+
+    cores = args.cores if args.cores is not None else 16
+    return build_quickstart_network(n_cores=cores, seed=args.seed)
+
+
+def _obs_run(args: argparse.Namespace, obs):
+    """Run the configured simulation under ``obs``; returns the simulator.
+
+    Explicit fault options route the run through the resilience driver so
+    the trace carries fault/checkpoint/recovery instants; otherwise the
+    simulator runs directly on the chosen backend.
+    """
+    from repro.core.config import CompassConfig
+    from repro.core.pgas_simulator import PgasCompass
+    from repro.core.simulator import Compass
+
+    network = _obs_network(args, obs)
+    cfg = CompassConfig(
+        n_processes=args.processes, threads_per_process=args.threads
+    )
+    has_faults = any(
+        spec for spec in (args.crash_at, args.drop_at, args.dup_at, args.corrupt_at)
+    )
+    if has_faults:
+        if args.pgas:
+            print(
+                "error: fault injection requires the MPI backend (drop --pgas)",
+                file=sys.stderr,
+            )
+            return None
+        from repro.resilience import RecoveryPolicy, ResilientRunner
+
+        def factory():
+            return Compass(network, cfg, obs=obs)
+
+        runner = ResilientRunner(
+            factory,
+            schedule=_resilience_schedule(args),
+            checkpoint_interval=args.interval,
+            policy=RecoveryPolicy(kind=args.policy),
+        )
+        runner.run(args.ticks)
+        return runner.sim
+    sim_cls = PgasCompass if args.pgas else Compass
+    sim = sim_cls(network, cfg, obs=obs)
+    sim.run(args.ticks)
+    return sim
+
+
+def _cmd_obs_trace(args: argparse.Namespace) -> int:
+    from repro.obs import Observability
+    from repro.obs.jsonl import write_event_log
+    from repro.obs.perfetto import (
+        to_chrome_trace,
+        validate_chrome_trace,
+        write_chrome_trace,
+    )
+    from repro.obs.prometheus import write_textfile
+
+    obs = Observability.with_tracing()
+    sim = _obs_run(args, obs)
+    if sim is None:
+        return 2
+    tr = obs.tracer
+    errors = validate_chrome_trace(to_chrome_trace(tr))
+    if errors:
+        for err in errors:
+            print(f"error: invalid trace: {err}", file=sys.stderr)
+        return 1
+    backend = "pgas" if args.pgas else "mpi"
+    print(
+        f"traced {args.ticks} ticks on {args.processes} processes ({backend}): "
+        f"{len(tr.events)} events ({tr.count(ph='X')} spans, "
+        f"{tr.count(ph='i')} instants)"
+    )
+    path = write_chrome_trace(tr, args.out)
+    print(f"wrote chrome trace: {path} (load in ui.perfetto.dev)")
+    if args.jsonl:
+        path = write_event_log(tr, args.jsonl)
+        print(f"wrote event log: {path}")
+    if args.prom:
+        path = write_textfile(obs.registry, args.prom)
+        print(f"wrote prometheus textfile: {path}")
+    return 0
+
+
+def _cmd_obs_metrics(args: argparse.Namespace) -> int:
+    from repro.obs import Observability
+    from repro.obs.prometheus import render_textfile, write_textfile
+
+    # Metrics need only the registry; the tracer stays the null tracer,
+    # which is also the zero-overhead configuration being demonstrated.
+    obs = Observability.off()
+    sim = _obs_run(args, obs)
+    if sim is None:
+        return 2
+    if args.out:
+        path = write_textfile(obs.registry, args.out)
+        print(
+            f"ran {args.ticks} ticks on {args.processes} processes: "
+            f"{len(obs.registry)} instruments"
+        )
+        print(f"wrote prometheus textfile: {path}")
+    else:
+        print(render_textfile(obs.registry), end="")
+    return 0
+
+
+def _cmd_obs_diff(args: argparse.Namespace) -> int:
+    from repro.obs.jsonl import first_divergence, read_event_log
+
+    try:
+        a = read_event_log(args.log_a)
+        b = read_event_log(args.log_b)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    div = first_divergence(a, b, name=args.name)
+    if div is None:
+        n = (
+            sum(1 for r in a if r.get("name") == args.name)
+            if args.name
+            else len(a)
+        )
+        scope = f" named {args.name!r}" if args.name else ""
+        print(f"logs are identical: {n} records{scope}")
+        return 0
+    print(div.describe())
+    return 1
+
+
 def _cmd_resilience_report(args: argparse.Namespace) -> int:
     _, runner, result = _resilience_run(args)
     print(runner.report.format())
@@ -621,6 +764,96 @@ def build_parser() -> argparse.ArgumentParser:
                 help="also run uninterrupted and compare spike digests",
             )
         q.set_defaults(func=func)
+
+    p = sub.add_parser(
+        "obs", help="deterministic span tracing and metrics export"
+    )
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+    for name, helptext, func in (
+        (
+            "trace",
+            "run with span tracing; export Perfetto/JSONL/Prometheus",
+            _cmd_obs_trace,
+        ),
+        (
+            "metrics",
+            "run with the metric registry; export Prometheus text",
+            _cmd_obs_metrics,
+        ),
+    ):
+        q = obs_sub.add_parser(name, help=helptext)
+        q.add_argument(
+            "--model", choices=("quickstart", "macaque"), default="quickstart"
+        )
+        q.add_argument(
+            "--cores",
+            type=_positive_int,
+            default=None,
+            help="network size (default: 16 quickstart, 128 macaque)",
+        )
+        q.add_argument("--ticks", type=_positive_int, default=20)
+        q.add_argument("--processes", type=_positive_int, default=2)
+        q.add_argument("--threads", type=_positive_int, default=1)
+        q.add_argument("--seed", type=int, default=0, help="model seed")
+        q.add_argument("--pgas", action="store_true", help="use the PGAS backend")
+        q.add_argument(
+            "--interval",
+            type=_positive_int,
+            default=10,
+            help="checkpoint every N ticks (fault runs)",
+        )
+        q.add_argument("--policy", choices=("restart", "spare"), default="restart")
+        q.add_argument(
+            "--crash-at",
+            action="append",
+            type=_crash_spec,
+            metavar="TICK:RANK",
+            help="kill RANK at TICK; runs under the recovery driver (repeatable)",
+        )
+        q.add_argument(
+            "--drop-at",
+            action="append",
+            type=_message_spec,
+            metavar="TICK:SRC:DEST",
+            help="drop the first SRC→DEST message at/after TICK (repeatable)",
+        )
+        q.add_argument(
+            "--dup-at",
+            action="append",
+            type=_message_spec,
+            metavar="TICK:SRC:DEST",
+            help="duplicate a SRC→DEST message (repeatable)",
+        )
+        q.add_argument(
+            "--corrupt-at",
+            action="append",
+            type=_message_spec,
+            metavar="TICK:SRC:DEST",
+            help="corrupt a SRC→DEST message (repeatable)",
+        )
+        if name == "trace":
+            q.add_argument(
+                "--out", default="trace.json", help="chrome-trace output path"
+            )
+            q.add_argument("--jsonl", help="also write the JSONL event log")
+            q.add_argument("--prom", help="also write a Prometheus textfile")
+        else:
+            q.add_argument(
+                "--out", help="write Prometheus text here (default: stdout)"
+            )
+        q.set_defaults(func=func)
+
+    q = obs_sub.add_parser(
+        "diff", help="first divergence between two JSONL event logs"
+    )
+    q.add_argument("log_a", help="baseline event log (.jsonl)")
+    q.add_argument("log_b", help="comparison event log (.jsonl)")
+    q.add_argument(
+        "--name",
+        help="compare only events with this name (e.g. 'tick' for the "
+        "partition-invariant per-tick summaries)",
+    )
+    q.set_defaults(func=_cmd_obs_diff)
     return parser
 
 
@@ -629,6 +862,10 @@ def main(argv: list[str] | None = None) -> int:
 
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.command == "run" and args.trace and not args.stats:
+        # Reject the misconfiguration before any work happens, not after
+        # the (possibly long) run has already completed.
+        parser.error("--trace requires --stats (spike recording)")
     try:
         return args.func(args)
     except ReproError as exc:

@@ -18,7 +18,7 @@ from repro.cocomac.database import ConnectivityDatabase
 from repro.cocomac.model import MacaqueModel
 
 
-def to_graphml(db: ConnectivityDatabase, path: str | Path) -> Path:
+def to_graphml(db: ConnectivityDatabase, path: str | Path) -> Path:  # repro: obs-flush
     """Write the region graph as GraphML (nodes carry all metadata)."""
     path = Path(path)
     nx.write_graphml(db.graph(), path)
@@ -68,7 +68,9 @@ def region_table_csv(model: MacaqueModel) -> str:
     return buf.getvalue()
 
 
-def export_model(model: MacaqueModel, directory: str | Path) -> list[Path]:
+def export_model(  # repro: obs-flush
+    model: MacaqueModel, directory: str | Path
+) -> list[Path]:
     """Write every export for one macaque model; returns the paths."""
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)

@@ -190,7 +190,7 @@ class CoreObject:
             seed=data.get("seed", 0),
         )
 
-    def to_json(self, path: str | Path | None = None) -> str:
+    def to_json(self, path: str | Path | None = None) -> str:  # repro: obs-flush
         text = json.dumps(self.to_dict(), indent=1)
         if path is not None:
             Path(path).write_text(text)

@@ -25,7 +25,7 @@ from repro.errors import ConfigurationError
 _FORMAT = "compass-explicit/1"
 
 
-def write_model_file(network: CoreNetwork, path: str | Path) -> int:
+def write_model_file(network: CoreNetwork, path: str | Path) -> int:  # repro: obs-flush
     """Serialise the complete explicit model; returns bytes written."""
     path = Path(path)
     np.savez(

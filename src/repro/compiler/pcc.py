@@ -34,6 +34,7 @@ from repro.compiler.allocator import AxonAllocator, NeuronAllocator
 from repro.compiler.coreobject import CoreObject
 from repro.core.partition import Partition
 from repro.errors import CompilationError
+from repro.obs import Observability
 from repro.runtime.mpi import VirtualMpiCluster
 from repro.util.bitops import pack_bits
 from repro.util.rng import derive_seed
@@ -118,12 +119,32 @@ class ParallelCompassCompiler:
     the compiled network could not be simulated soundly.
     """
 
-    def __init__(self, validate: bool = True, model_check: bool = True) -> None:
+    def __init__(
+        self,
+        validate: bool = True,
+        model_check: bool = True,
+        obs: Observability | None = None,
+    ) -> None:
         self.validate = validate
         self.model_check = model_check
+        self.obs = obs if obs is not None else Observability.off()
 
     def compile(self, obj: CoreObject) -> CompiledModel:
         t_start = time.perf_counter()
+        tr = self.obs.tracer
+        if tr.enabled:
+            # Compile spans live on their own trace process track (the
+            # Perfetto exporter routes cat="compile" to pid 1), laid out
+            # in the tick-0 window; attributes are counts, never host
+            # times, so compile traces stay deterministic too.
+            tr.begin_tick(0)
+            tr.begin(
+                "compile",
+                rank=-1,
+                cat="compile",
+                regions=len(obj.regions),
+                connections=len(obj.connections),
+            )
         if self.validate:
             obj.validate_capacity(NUM_NEURONS, NUM_AXONS)
 
@@ -135,10 +156,28 @@ class ParallelCompassCompiler:
             cursor += r.n_cores
         network = CoreNetwork(cursor, seed=obj.seed)
         metrics = CompileMetrics()
+        if tr.enabled:
+            tr.instant(
+                "pcc.layout",
+                rank=-1,
+                phase="tick",
+                cat="compile",
+                cores=cursor,
+                regions=len(region_ranges),
+            )
 
         # 2. Local per-region configuration.
-        for r in obj.regions:
+        for i, r in enumerate(obj.regions):
             self._configure_region(network, obj, r, region_ranges[r.name])
+            if tr.enabled:
+                tr.instant(
+                    "pcc.configure",
+                    rank=i,
+                    phase="tick",
+                    cat="compile",
+                    region=r.name,
+                    cores=r.n_cores,
+                )
 
         # 3. Wiring, with one simulated PCC process per region.
         cluster = VirtualMpiCluster(max(len(obj.regions), 1))
@@ -184,6 +223,17 @@ class ParallelCompassCompiler:
             network.connect_many(
                 src_gids, src_neurons, tgt_gids, tgt_axons, conn.delay
             )
+            if tr.enabled:
+                tr.instant(
+                    "pcc.wire",
+                    rank=region_rank[conn.dst],
+                    phase="tick",
+                    cat="compile",
+                    src=conn.src,
+                    dst=conn.dst,
+                    count=conn.count,
+                    white=conn.src != conn.dst,
+                )
 
         if self.validate:
             network.validate()
@@ -197,6 +247,33 @@ class ParallelCompassCompiler:
             from repro.check.model import check_model
 
             check_model(compiled).raise_if_failed()
+            if tr.enabled:
+                tr.instant(
+                    "pcc.model_check",
+                    rank=-1,
+                    phase="tick",
+                    cat="compile",
+                    cores=network.n_cores,
+                )
+        reg = self.obs.registry
+        reg.counter(
+            "pcc_exchange_messages_total",
+            help="Inter-process wiring handshake messages during compilation.",
+        ).inc(value=metrics.exchange_messages)
+        reg.counter(
+            "pcc_exchange_bytes_total",
+            help="Bytes exchanged in wiring handshakes during compilation.",
+            unit="bytes",
+        ).inc(value=metrics.exchange_bytes)
+        if tr.enabled:
+            tr.end(
+                rank=-1,
+                cat="compile",
+                exchange_messages=metrics.exchange_messages,
+                exchange_bytes=metrics.exchange_bytes,
+                white=metrics.white_matter_connections,
+                gray=metrics.gray_matter_connections,
+            )
         metrics.wall_seconds = time.perf_counter() - t_start
         return compiled
 

@@ -38,12 +38,16 @@ def capture_state(sim: CompassBase) -> dict[str, Any]:
 
     Includes pending external injections, so a rollback replays the same
     inputs the abandoned segment saw — a requirement of the bit-exact
-    recovery contract.
+    recovery contract.  The simulator's metric-registry instruments
+    (``compass_*``) are snapshotted too, so a restored run's per-rank
+    profile matches an uninterrupted run; resilience meta-counters are
+    deliberately excluded and stay monotone across rollbacks.
     """
     return {
         "tick": sim.tick,
         "blocks": [rs.block.snapshot() for rs in sim.ranks],
         "injections": {t: list(v) for t, v in sim._injections.items()},
+        "registry": sim.obs.registry.snapshot(prefix="compass_"),
     }
 
 
@@ -63,6 +67,9 @@ def restore_state(sim: CompassBase, state: dict[str, Any]) -> None:
         rs.remote_bufs.flush(0)
     sim.tick = int(state["tick"])
     sim._injections = {t: list(v) for t, v in state["injections"].items()}
+    registry_snap = state.get("registry")
+    if registry_snap is not None:
+        sim.obs.registry.restore(registry_snap)
 
 
 def state_nbytes(sim: CompassBase) -> int:
@@ -90,7 +97,7 @@ def _network_fingerprint(sim: CompassBase) -> str:
     return h.hexdigest()
 
 
-def save_checkpoint(sim: CompassBase, path: str | Path) -> None:
+def save_checkpoint(sim: CompassBase, path: str | Path) -> None:  # repro: obs-flush
     """Write the full dynamic state of ``sim`` to an ``.npz`` file."""
     arrays: dict[str, np.ndarray] = {
         "format_version": np.int64(_FORMAT_VERSION),

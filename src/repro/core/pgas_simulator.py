@@ -26,6 +26,7 @@ from repro.arch.spike import SpikeBatch
 from repro.core.config import CompassConfig
 from repro.core.metrics import TickMetrics
 from repro.core.simulator import CompassBase
+from repro.obs import Observability
 
 
 class PgasCompass(CompassBase):
@@ -39,15 +40,23 @@ class PgasCompass(CompassBase):
         config: CompassConfig | None = None,
         partition=None,
         sanitize: bool = False,
+        obs: Observability | None = None,
     ) -> None:
         from repro.runtime.pgas import PgasCluster
 
         config = config or CompassConfig()
-        super().__init__(network, config, partition, sanitize=sanitize)
+        super().__init__(network, config, partition, sanitize=sanitize, obs=obs)
         self.cluster = PgasCluster(config.n_processes)
+        self._attach_tracer()
+
+    def _attach_tracer(self) -> None:
+        self.cluster.tracer = self.obs.tracer if self.obs.tracer.enabled else None
 
     def step(self) -> TickMetrics:
         tick = self.tick
+        tr = self.obs.tracer
+        if tr.enabled:
+            tr.begin_tick(tick)
         if self.timer is not None:
             self.timer.reset_tick()
         self._apply_injections(tick)
@@ -68,6 +77,9 @@ class PgasCompass(CompassBase):
                 ep.put(dest, batch, batch.nbytes)
                 puts += 1
                 nbytes += batch.nbytes
+                self._m_msgs.inc(rs.rank)
+                self._m_bytes.inc(rs.rank, batch.nbytes)
+                self._h_bytes_send.observe(rs.rank, batch.nbytes)
             per_rank_puts.append(puts)
             per_rank_bytes.append(nbytes)
             tm.messages += puts
@@ -83,6 +95,16 @@ class PgasCompass(CompassBase):
         # Global barrier: write epoch -> read epoch.
         for rs in self.ranks:
             self.cluster.endpoints[rs.rank].barrier()
+        if tr.enabled:
+            for rs in self.ranks:
+                tr.span(
+                    "sync",
+                    rank=rs.rank,
+                    phase="sync",
+                    tick=tick,
+                    puts=per_rank_puts[rs.rank],
+                    model_s=self._sync_model_s,
+                )
         if self.detector is not None:
             # The barrier is an all-to-all fence: model it as a
             # contribute/fetch pair so the happens-before graph orders
@@ -98,11 +120,25 @@ class PgasCompass(CompassBase):
             ep = self.cluster.endpoints[rs.rank]
             spikes_received = 0
             bytes_received = 0
+            n_batches = 0
             for batch in ep.read_window():
                 assert isinstance(batch, SpikeBatch)
                 rs.block.deliver(batch.tgt_gid, batch.tgt_axon, batch.delay, tick)
                 spikes_received += batch.count
                 bytes_received += batch.nbytes
+                n_batches += 1
+            self._g_queue.set(rs.rank, n_batches)
+            if tr.enabled:
+                tr.span(
+                    "network",
+                    rank=rs.rank,
+                    phase="network",
+                    tick=tick,
+                    messages=n_batches,
+                    spikes_received=spikes_received,
+                    bytes_received=bytes_received,
+                    local_delivered=local_counts[rs.rank],
+                )
             if self.timer is not None:
                 self.timer.rank_network(
                     self.config.n_processes,
@@ -120,5 +156,14 @@ class PgasCompass(CompassBase):
         if self.timer is not None:
             self.metrics.simulated += self.timer.tick_times()
         self.metrics.record_tick(tm)
+        self._h_msgs_tick.observe(-1, tm.messages)
+        if tr.enabled:
+            tr.tick_summary(
+                tick,
+                fired=tm.fired,
+                spikes=tm.local_spikes + tm.remote_spikes,
+                neurons=tm.neurons_evaluated,
+                active_axons=tm.active_axons,
+            )
         self.tick += 1
         return tm

@@ -49,7 +49,18 @@ class ImbalanceSummary:
 
 
 def profile_ranks(sim: CompassBase) -> list[RankProfile]:
-    """Collect per-rank profiles from a simulator after (or during) a run."""
+    """Collect per-rank profiles from a simulator after (or during) a run.
+
+    Spike and axon counters come from the simulator's metric registry
+    (``repro.obs``) — the registry-backed instruments that replaced the
+    per-rank ``cum_*`` fields — so a profile taken after a checkpoint
+    rollback reflects the restored state, not the abandoned segment.
+    """
+    reg = sim.obs.registry
+    fired = reg.counter("compass_fired_total")
+    axons = reg.counter("compass_active_axons_total")
+    local = reg.counter("compass_local_spikes_total")
+    remote = reg.counter("compass_remote_spikes_total")
     profiles = []
     for rs in sim.ranks:
         counters = getattr(sim, "cluster", None)
@@ -65,10 +76,10 @@ def profile_ranks(sim: CompassBase) -> list[RankProfile]:
                 rank=rs.rank,
                 cores=rs.block.n_cores,
                 neurons=rs.block.n_cores * rs.block.num_neurons,
-                fired=rs.cum_fired,
-                active_axons=rs.cum_active_axons,
-                local_spikes=rs.cum_local_spikes,
-                remote_spikes=rs.cum_remote_spikes,
+                fired=int(fired.value(rs.rank)),
+                active_axons=int(axons.value(rs.rank)),
+                local_spikes=int(local.value(rs.rank)),
+                remote_spikes=int(remote.value(rs.rank)),
                 messages_sent=sent,
                 messages_received=received,
                 bytes_sent=nbytes,

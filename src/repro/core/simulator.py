@@ -40,6 +40,7 @@ from repro.core.metrics import (
 )
 from repro.core.partition import Partition
 from repro.errors import MessageLossError
+from repro.obs import Observability
 
 
 class SpikeRecorder:
@@ -137,11 +138,6 @@ class _RankState:
     local_buf: LocalBuffer
     remote_bufs: RemoteSendBuffers
     working_set_bytes: int = 0
-    # Cumulative per-rank counters (profiling / imbalance analysis).
-    cum_active_axons: int = 0
-    cum_fired: int = 0
-    cum_local_spikes: int = 0
-    cum_remote_spikes: int = 0
 
     @staticmethod
     def working_set(block: CoreBlock) -> int:
@@ -172,6 +168,7 @@ class CompassBase:
         config: CompassConfig,
         partition: Partition | None = None,
         sanitize: bool = False,
+        obs: Observability | None = None,
     ) -> None:
         """``partition`` overrides the uniform implicit core→process map,
         e.g. with the region-aligned boundaries of
@@ -183,6 +180,12 @@ class CompassBase:
         every message, collective, and modelled thread-team write is
         tracked with vector clocks, and :meth:`race_report` returns what
         it found.  Functional results are unchanged; the run is slower.
+
+        ``obs`` attaches an :class:`repro.obs.Observability` bundle.  The
+        metric registry in it is always live (profiling reads it); span
+        tracing records an event stream only when the bundle was built
+        with :meth:`Observability.with_tracing`.  Defaults to a private
+        metrics-only bundle.
         """
         self.network = network
         self.config = config
@@ -226,6 +229,76 @@ class CompassBase:
             SimulatedTimer(config.machine, self.backend) if config.machine else None
         )
         self._injections: dict[int, list[tuple[int, int]]] = {}
+        from repro.runtime.collectives import modelled_sync_cost
+
+        self._sync_model_s = modelled_sync_cost(self.backend, config.n_processes)
+        self.obs = obs if obs is not None else Observability.off()
+        self._bind_instruments()
+
+    def _bind_instruments(self) -> None:
+        """Resolve this simulator's instruments from the obs registry.
+
+        Lookups are idempotent, so rebinding against a registry that
+        already holds these names (spare-rank takeover, shared bundle)
+        continues the existing series instead of restarting them.
+        """
+        reg = self.obs.registry
+        self._m_axons = reg.counter(
+            "compass_active_axons_total", help="active axons processed (synapse phase)"
+        )
+        self._m_fired = reg.counter("compass_fired_total", help="neurons fired")
+        self._m_local = reg.counter(
+            "compass_local_spikes_total", help="spikes delivered via shared memory"
+        )
+        self._m_remote = reg.counter(
+            "compass_remote_spikes_total",
+            help="white-matter spikes aggregated into MPI/PGAS messages",
+        )
+        self._m_msgs = reg.counter(
+            "compass_messages_total", help="aggregated spike messages sent"
+        )
+        self._m_bytes = reg.counter(
+            "compass_bytes_sent_total", help="message payload bytes sent", unit="bytes"
+        )
+        self._h_msgs_tick = reg.histogram(
+            "compass_messages_per_tick",
+            buckets=(0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 1024.0),
+            help="cluster-wide messages per tick",
+        )
+        self._h_bytes_send = reg.histogram(
+            "compass_bytes_per_send",
+            buckets=(64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0, 262144.0),
+            help="payload bytes per aggregated send",
+            unit="bytes",
+        )
+        self._h_spikes_core = reg.histogram(
+            "compass_spikes_per_core_tick",
+            buckets=(0.0, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0),
+            help="neurons fired per core per tick",
+        )
+        self._g_queue = reg.gauge(
+            "compass_mailbox_depth",
+            help="pending messages at the start of the receive loop",
+        )
+
+    def _attach_tracer(self) -> None:
+        """Point backend communication objects at the live tracer.
+
+        Overridden hooks in the backends attach the tracer to the cluster
+        and mailboxes; the base implementation is a no-op so construction
+        order (cluster is created after ``super().__init__``) stays simple.
+        """
+
+    def adopt_obs(self, obs: Observability) -> None:
+        """Switch to ``obs``, rebinding instruments and the tracer.
+
+        Used by the resilience driver when a spare-rank takeover rebuilds
+        the simulator: the replacement adopts the original bundle so
+        metric series and the trace continue across the failure.
+        """
+        self.obs = obs
+        self._bind_instruments()
+        self._attach_tracer()
 
     # -- construction ----------------------------------------------------------
 
@@ -318,6 +391,7 @@ class CompassBase:
         """
         host = PhaseTimes()
         per_rank_msgs: list[dict[int, SpikeBatch]] = []
+        tr = self.obs.tracer
         for rs in self.ranks:
             if self.detector is not None:
                 from repro.runtime.threads import sanitize_thread_writes
@@ -354,15 +428,48 @@ class CompassBase:
 
             host.synapse += t1 - t0
             host.neuron += t2 - t1
+            n_active = rs.block.last_active_axons
+            n_fired = int(fired.sum())
+            n_local = int(local.sum())
             n_remote = int(remote.sum())
-            rs.cum_active_axons += rs.block.last_active_axons
-            rs.cum_fired += int(fired.sum())
-            rs.cum_local_spikes += int(local.sum())
-            rs.cum_remote_spikes += n_remote
-            tm.active_axons += rs.block.last_active_axons
+            self._m_axons.inc(rs.rank, n_active)
+            self._m_fired.inc(rs.rank, n_fired)
+            self._m_local.inc(rs.rank, n_local)
+            self._m_remote.inc(rs.rank, n_remote)
+            self._h_spikes_core.observe(rs.rank, n_fired / rs.block.n_cores)
+            if tr.enabled:
+                tr.span(
+                    "compute",
+                    rank=rs.rank,
+                    phase="compute",
+                    tick=tick,
+                    active_axons=n_active,
+                    fired=n_fired,
+                    local_spikes=n_local,
+                    remote_spikes=n_remote,
+                )
+                tr.span(
+                    "synapse", rank=rs.rank, phase="synapse", tick=tick,
+                    active_axons=n_active,
+                )
+                tr.span(
+                    "neuron", rank=rs.rank, phase="neuron", tick=tick,
+                    fired=n_fired, messages=len(msgs),
+                )
+                if self.config.threads_per_process > 1:
+                    from repro.runtime.threads import trace_thread_slices
+
+                    trace_thread_slices(
+                        tr,
+                        rs.rank,
+                        rs.block.n_cores,
+                        self.config.threads_per_process,
+                        tick=tick,
+                    )
+            tm.active_axons += n_active
             tm.neurons_evaluated += rs.block.n_cores * rs.block.num_neurons
-            tm.fired += int(fired.sum())
-            tm.local_spikes += int(local.sum())
+            tm.fired += n_fired
+            tm.local_spikes += n_local
             tm.remote_spikes += n_remote
             if self.timer is not None:
                 self.timer.rank_compute(
@@ -386,15 +493,26 @@ class Compass(CompassBase):
         config: CompassConfig | None = None,
         partition=None,
         sanitize: bool = False,
+        obs: Observability | None = None,
     ) -> None:
         from repro.runtime.mpi import VirtualMpiCluster
 
         config = config or CompassConfig()
-        super().__init__(network, config, partition, sanitize=sanitize)
+        super().__init__(network, config, partition, sanitize=sanitize, obs=obs)
         self.cluster = VirtualMpiCluster(config.n_processes, sanitizer=self.detector)
+        self._attach_tracer()
+
+    def _attach_tracer(self) -> None:
+        tracer = self.obs.tracer if self.obs.tracer.enabled else None
+        self.cluster.tracer = tracer
+        for mailbox in self.cluster.mailboxes:
+            mailbox.tracer = tracer
 
     def step(self) -> TickMetrics:
         tick = self.tick
+        tr = self.obs.tracer
+        if tr.enabled:
+            tr.begin_tick(tick)
         if self.timer is not None:
             self.timer.reset_tick()
         self._apply_injections(tick)
@@ -412,6 +530,9 @@ class Compass(CompassBase):
                 send_counts[rs.rank, dest] += 1
                 tm.messages += 1
                 tm.bytes_sent += batch.nbytes
+                self._m_msgs.inc(rs.rank)
+                self._m_bytes.inc(rs.rank, batch.nbytes)
+                self._h_bytes_send.observe(rs.rank, batch.nbytes)
 
         # Network phase: Reduce-Scatter, local delivery, receive loop.
         t0 = time.perf_counter()
@@ -422,9 +543,21 @@ class Compass(CompassBase):
             for r in range(self.config.n_processes)
         ]
         self.cluster.reduce_scatter_finish()
+        if tr.enabled:
+            for rs in self.ranks:
+                tr.span(
+                    "sync",
+                    rank=rs.rank,
+                    phase="sync",
+                    tick=tick,
+                    sent=int(send_counts[rs.rank].sum()),
+                    expected=int(recv_counts[rs.rank]),
+                    model_s=self._sync_model_s,
+                )
 
         for rs in self.ranks:
             ep = self.cluster.endpoints[rs.rank]
+            self._g_queue.set(rs.rank, ep.pending())
             gids, axons, delays = rs.local_buf.drain()
             rs.block.deliver(gids, axons, delays, tick)
             spikes_received = 0
@@ -463,11 +596,31 @@ class Compass(CompassBase):
                     bytes_received,
                     rs.working_set_bytes,
                 )
+            if tr.enabled:
+                tr.span(
+                    "network",
+                    rank=rs.rank,
+                    phase="network",
+                    tick=tick,
+                    messages=n_msgs,
+                    spikes_received=spikes_received,
+                    bytes_received=bytes_received,
+                    local_delivered=int(gids.size),
+                )
         host.network += time.perf_counter() - t0
 
         self.metrics.host += host
         if self.timer is not None:
             self.metrics.simulated += self.timer.tick_times()
         self.metrics.record_tick(tm)
+        self._h_msgs_tick.observe(-1, tm.messages)
+        if tr.enabled:
+            tr.tick_summary(
+                tick,
+                fired=tm.fired,
+                spikes=tm.local_spikes + tm.remote_spikes,
+                neurons=tm.neurons_evaluated,
+                active_axons=tm.active_axons,
+            )
         self.tick += 1
         return tm

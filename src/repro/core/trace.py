@@ -25,7 +25,7 @@ _VERSION = 1
 TRACE_DTYPE = np.dtype([("tick", "<i4"), ("gid", "<i8"), ("neuron", "<i4")])
 
 
-def write_trace(recorder: SpikeRecorder, path: str | Path) -> int:
+def write_trace(recorder: SpikeRecorder, path: str | Path) -> int:  # repro: obs-flush
     """Serialise a recorded spike trace; returns bytes written."""
     t, g, n = recorder.to_arrays()
     rec = np.empty(t.size, dtype=TRACE_DTYPE)

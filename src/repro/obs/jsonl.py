@@ -1,0 +1,136 @@
+"""JSONL event log with first-divergence-friendly stable ordering.
+
+Each trace event becomes one JSON object per line, keys sorted, floats
+untouched (they are exact sums of exact increments — see
+``repro.obs.span``).  Records appear in emission order, which for a
+deterministic simulation is itself deterministic, so two runs of the
+same configuration produce *byte-identical* logs and the first differing
+line localises the first behavioural divergence.
+
+The internal sequence counter is deliberately excluded from records:
+cross-layout comparisons (1 rank vs 4 ranks) filter to the cluster-track
+``tick`` summary events, whose fixed timestamps and partition-invariant
+attributes match across rank counts (see docs/observability.md).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.obs.span import NullTracer, SpanTracer, TraceEvent
+
+
+def event_record(event: TraceEvent) -> dict[str, Any]:
+    """The canonical JSON-ready dict for one event."""
+    return {
+        "name": event.name,
+        "cat": event.cat,
+        "ph": event.ph,
+        "ts": event.ts_us,
+        "dur": event.dur_us,
+        "rank": event.rank,
+        "thread": event.thread,
+        "tick": event.tick,
+        "args": dict(event.args),
+    }
+
+
+def iter_lines(tracer: SpanTracer | NullTracer) -> Iterator[str]:
+    """Canonical one-line serialisations, in deterministic emission order."""
+    for event in tracer.events:
+        yield json.dumps(event_record(event), sort_keys=True)
+
+
+def write_event_log(  # repro: obs-flush
+    tracer: SpanTracer | NullTracer, path: str | Path
+) -> Path:
+    """Write the JSONL log to ``path``; the obs flush boundary."""
+    path = Path(path)
+    text = "\n".join(iter_lines(tracer))
+    path.write_text(text + "\n" if text else "")
+    return path
+
+
+def read_event_log(path: str | Path) -> list[dict[str, Any]]:
+    """Parse a JSONL event log back into record dicts."""
+    records: list[dict[str, Any]] = []
+    for lineno, line in enumerate(Path(path).read_text().splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:{lineno}: not a JSON record: {exc}") from exc
+    return records
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """Where two event streams first disagree.
+
+    ``index`` is the position in the (filtered) record sequence; one of
+    ``a``/``b`` is None when a log is a strict prefix of the other.
+    """
+
+    index: int
+    a: dict[str, Any] | None
+    b: dict[str, Any] | None
+
+    @property
+    def tick(self) -> int:
+        for rec in (self.a, self.b):
+            if rec is not None:
+                return int(rec.get("tick", -1))
+        return -1
+
+    def describe(self) -> str:
+        if self.a is None:
+            rec = self.b or {}
+            return (
+                f"log A ends at record {self.index}; B continues with "
+                f"{rec.get('name')!r} (tick {rec.get('tick')}, rank {rec.get('rank')})"
+            )
+        if self.b is None:
+            rec = self.a
+            return (
+                f"log B ends at record {self.index}; A continues with "
+                f"{rec.get('name')!r} (tick {rec.get('tick')}, rank {rec.get('rank')})"
+            )
+        fields = sorted(
+            k
+            for k in {**self.a, **self.b}
+            if self.a.get(k) != self.b.get(k)
+        )
+        return (
+            f"first divergent event at record {self.index}: "
+            f"A={self.a.get('name')!r} vs B={self.b.get('name')!r} "
+            f"(tick {self.tick}, rank {self.a.get('rank')}, "
+            f"differing fields: {', '.join(fields)})"
+        )
+
+
+def first_divergence(
+    a: list[dict[str, Any]],
+    b: list[dict[str, Any]],
+    name: str | None = None,
+) -> Divergence | None:
+    """First record where the streams differ, or None when identical.
+
+    With ``name`` set, both streams are first filtered to events of that
+    name — e.g. ``name="tick"`` compares the partition-invariant per-tick
+    summaries across runs with different rank counts.
+    """
+    if name is not None:
+        a = [r for r in a if r.get("name") == name]
+        b = [r for r in b if r.get("name") == name]
+    for i in range(min(len(a), len(b))):
+        if a[i] != b[i]:
+            return Divergence(i, a[i], b[i])
+    if len(a) != len(b):
+        i = min(len(a), len(b))
+        return Divergence(i, a[i] if i < len(a) else None, b[i] if i < len(b) else None)
+    return None

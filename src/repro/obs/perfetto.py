@@ -1,0 +1,171 @@
+"""Chrome-trace / Perfetto JSON exporter.
+
+Emits the classic ``traceEvents`` JSON that both ``chrome://tracing`` and
+https://ui.perfetto.dev load directly.  Track layout:
+
+* pid 0 — the simulator: one thread row per rank (tid = rank + 1) plus a
+  ``cluster`` row (tid 0) for whole-tick and resilience events;
+* pid 1 — the PCC compiler (events with ``cat == "compile"``).
+
+Fault and recovery events are instant (``ph == "i"``) marks; phase spans
+are complete (``X``) events.  Timestamps are simulated microseconds (see
+``repro.obs.span``), so the rendered timeline is bit-deterministic.
+
+:func:`validate_chrome_trace` is a dependency-free structural validator
+used by the test suite and CI (the container has no ``jsonschema``); it
+checks the invariants the trace-event format requires rather than a full
+JSON-Schema document.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.obs.span import NullTracer, SpanTracer, TraceEvent
+
+_COMPILE_PID = 1
+_SIM_PID = 0
+
+#: Phase letters this exporter emits / the validator accepts.
+_KNOWN_PHASES = frozenset({"X", "B", "E", "i", "M", "C"})
+
+
+def _tid(event: TraceEvent) -> int:
+    # tid 0 is the cluster-wide track; ranks shift up by one.
+    return 0 if event.rank < 0 else event.rank + 1
+
+
+def _pid(event: TraceEvent) -> int:
+    return _COMPILE_PID if event.cat == "compile" else _SIM_PID
+
+
+def to_chrome_trace(
+    tracer: SpanTracer | NullTracer, label: str = "compass"
+) -> dict[str, Any]:
+    """Convert recorded events to a Chrome-trace JSON object."""
+    events: list[dict[str, Any]] = []
+    tracks: set[tuple[int, int, int]] = set()
+
+    for ev in tracer.events:
+        pid, tid = _pid(ev), _tid(ev)
+        tracks.add((pid, tid, ev.rank))
+        record: dict[str, Any] = {
+            "name": ev.name,
+            "cat": ev.cat,
+            "ph": ev.ph,
+            "ts": ev.ts_us,
+            "pid": pid,
+            "tid": tid,
+        }
+        if ev.ph == "X":
+            record["dur"] = ev.dur_us
+        if ev.ph == "i":
+            record["s"] = "t"  # thread-scoped instant
+        args = dict(ev.args)
+        args["tick"] = ev.tick
+        if ev.thread:
+            args["omp_thread"] = ev.thread
+        record["args"] = args
+        events.append(record)
+
+    # Stable sort: by timestamp, longest span first at equal ts so that
+    # enclosing X events precede the sub-spans they contain.
+    events.sort(key=lambda r: (r["ts"], -r.get("dur", 0.0)))
+
+    meta: list[dict[str, Any]] = []
+    pids = sorted({pid for pid, _, _ in tracks})
+    for pid in pids:
+        meta.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {
+                    "name": f"{label} simulator"
+                    if pid == _SIM_PID
+                    else f"{label} pcc compiler"
+                },
+            }
+        )
+    for pid, tid, rank in sorted(tracks):
+        meta.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": "cluster" if rank < 0 else f"rank {rank}"},
+            }
+        )
+        meta.append(
+            {"name": "thread_sort_index", "ph": "M", "pid": pid, "tid": tid,
+             "args": {"sort_index": tid}}
+        )
+
+    return {
+        "traceEvents": meta + events,
+        "displayTimeUnit": "ms",
+        "otherData": {"format": "repro.obs chrome-trace", "clock": "simulated-us"},
+    }
+
+
+def validate_chrome_trace(obj: Any) -> list[str]:
+    """Structural validation against the trace-event format; [] when valid."""
+    errors: list[str] = []
+    if not isinstance(obj, dict):
+        return ["top-level value must be a JSON object"]
+    events = obj.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-array 'traceEvents'"]
+    open_stacks: dict[tuple[int, int], int] = {}
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: event must be an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in _KNOWN_PHASES:
+            errors.append(f"{where}: unknown phase {ph!r}")
+            continue
+        for field in ("pid", "tid"):
+            if not isinstance(ev.get(field), int):
+                errors.append(f"{where}: missing integer {field!r}")
+        if not isinstance(ev.get("name"), str) or not ev.get("name"):
+            errors.append(f"{where}: missing event name")
+        if ph == "M":
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)):
+            errors.append(f"{where}: missing numeric 'ts'")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"{where}: 'X' event needs non-negative 'dur'")
+        track = (ev.get("pid", 0), ev.get("tid", 0))
+        if ph == "B":
+            open_stacks[track] = open_stacks.get(track, 0) + 1
+        elif ph == "E":
+            depth = open_stacks.get(track, 0)
+            if depth <= 0:
+                errors.append(f"{where}: 'E' event without matching 'B' on {track}")
+            else:
+                open_stacks[track] = depth - 1
+    for track in sorted(open_stacks):
+        if open_stacks[track] > 0:
+            errors.append(
+                f"unclosed 'B' event(s) on track pid={track[0]} tid={track[1]}"
+            )
+    return errors
+
+
+def write_chrome_trace(  # repro: obs-flush
+    tracer: SpanTracer | NullTracer, path: str | Path, label: str = "compass"
+) -> Path:
+    """Serialise the trace to ``path``; the obs flush boundary for Perfetto."""
+    path = Path(path)
+    trace = to_chrome_trace(tracer, label=label)
+    path.write_text(json.dumps(trace, sort_keys=True) + "\n")
+    return path

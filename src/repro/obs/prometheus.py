@@ -1,0 +1,75 @@
+"""Prometheus textfile exporter for the metric registry.
+
+Renders the node-exporter *textfile collector* exposition format: the
+output of :func:`write_textfile` can be dropped into a textfile-collector
+directory (or served as-is) without any client library.
+
+Layout per instrument:
+
+* counters/gauges — one ``{rank="N"}``-labelled sample per rank plus an
+  unlabelled cluster-wide reduction (sum);
+* histograms — cluster-wide cumulative ``_bucket{le=...}`` series with
+  ``_sum``/``_count``, plus per-rank ``_count``/``_sum`` samples.
+
+Rank iteration is sorted and floats are rendered with :func:`repr`-free
+formatting, so the rendered text is byte-stable for a given registry
+state — the same property the JSONL log has.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.obs.registry import Counter, Gauge, Histogram, MetricRegistry
+
+
+def _fmt(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return format(value, ".10g")
+
+
+def _sanitize(name: str) -> str:
+    out = []
+    for ch in name:
+        out.append(ch if ch.isalnum() or ch == "_" else "_")
+    text = "".join(out)
+    if text and text[0].isdigit():
+        text = "_" + text
+    return text
+
+
+def render_textfile(registry: MetricRegistry) -> str:
+    """Render every instrument in the registry as exposition text."""
+    lines: list[str] = []
+    for inst in registry.collect():
+        name = _sanitize(inst.name)
+        if inst.help:
+            lines.append(f"# HELP {name} {inst.help}")
+        lines.append(f"# TYPE {name} {inst.kind}")
+        if isinstance(inst, (Counter, Gauge)):
+            for rank in inst.ranks():
+                if rank < 0:
+                    continue
+                lines.append(f'{name}{{rank="{rank}"}} {_fmt(inst.value(rank))}')
+            lines.append(f"{name} {_fmt(inst.total())}")
+        elif isinstance(inst, Histogram):
+            for le, cum in inst.cumulative():
+                lines.append(f'{name}_bucket{{le="{_fmt(le)}"}} {cum}')
+            lines.append(f"{name}_sum {_fmt(inst.sum())}")
+            lines.append(f"{name}_count {inst.count()}")
+            for rank in inst.ranks():
+                if rank < 0:
+                    continue
+                lines.append(f'{name}_count{{rank="{rank}"}} {inst.count(rank)}')
+                lines.append(f'{name}_sum{{rank="{rank}"}} {_fmt(inst.sum(rank))}')
+    return "\n".join(lines) + "\n"
+
+
+def write_textfile(registry: MetricRegistry, path: str | Path) -> Path:  # repro: obs-flush
+    """Write the exposition text to ``path``; the obs flush boundary."""
+    path = Path(path)
+    path.write_text(render_textfile(registry))
+    return path

@@ -212,6 +212,9 @@ class FaultInjector:
         self.tick = -1
         self._consumed: set[int] = set()
         self._armed: dict[tuple[int, int], tuple[int, Any]] = {}
+        #: Optional :class:`repro.obs.SpanTracer` — fault firings emit
+        #: instant events on the simulated timeline when set.
+        self.tracer: Any = None
         # Cumulative event counters (reporting).
         self.crashes: list[tuple[int, int]] = []  # (tick fired, rank)
         self.dropped = 0
@@ -232,6 +235,15 @@ class FaultInjector:
                 self._consumed.add(idx)
                 cluster.fail_rank(ev.rank)
                 self.crashes.append((tick, ev.rank))
+                if self.tracer is not None:
+                    self.tracer.instant(
+                        "fault.rank_crash",
+                        rank=ev.rank,
+                        cat="resilience",
+                        phase="tick",
+                        tick=tick,
+                        scheduled_tick=ev.tick,
+                    )
             elif isinstance(ev, _MESSAGE_FAULTS):
                 # First matching send wins; an event whose tick has
                 # passed stays armed until traffic actually flows on
@@ -268,6 +280,15 @@ class FaultInjector:
             self.duplicated += 1
         else:
             self.corrupted += 1
+        if self.tracer is not None:
+            self.tracer.instant(
+                f"fault.message_{action}",
+                rank=source,
+                cat="resilience",
+                tick=self.tick,
+                dest=dest,
+                scheduled_tick=ev.tick,
+            )
         return action
 
     @staticmethod

@@ -103,6 +103,32 @@ class ResilientRunner:
         self.costs = costs or CheckpointCostModel()
         self.injector = FaultInjector(self.schedule)
         self.sim = self._build()
+        # The run's observability bundle is whatever the factory gave the
+        # first simulator; spare-rank rebuilds adopt it so metric series
+        # and the trace continue across failures.
+        self.obs = self.sim.obs
+        self.injector.tracer = self.obs.tracer if self.obs.tracer.enabled else None
+        reg = self.obs.registry
+        self._m_ckpts = reg.counter(
+            "resilience_checkpoints_total", help="coordinated checkpoints taken"
+        )
+        self._m_ckpt_bytes = reg.counter(
+            "resilience_checkpoint_bytes_total",
+            help="checkpoint payload bytes written",
+            unit="bytes",
+        )
+        self._h_ckpt_bytes = reg.histogram(
+            "resilience_checkpoint_bytes",
+            buckets=(1e3, 1e4, 1e5, 1e6, 1e7, 1e8),
+            help="payload bytes per coordinated checkpoint",
+            unit="bytes",
+        )
+        self._m_recoveries = reg.counter(
+            "resilience_recoveries_total", help="rollback recoveries performed"
+        )
+        self._m_lost = reg.counter(
+            "resilience_lost_ticks_total", help="ticks rolled back and replayed"
+        )
         self.monitor = HeartbeatMonitor(
             self.sim.config.n_processes, heartbeat
         )
@@ -189,6 +215,21 @@ class ResilientRunner:
         cost = self.costs.checkpoint_time(self._state_bytes_per_rank)
         self.report.note_checkpoint(self.sim.tick, cost)
         self.sim.metrics.overhead_s += cost
+        nbytes = int(self._state_bytes_per_rank * len(self.sim.ranks))
+        self._m_ckpts.inc()
+        self._m_ckpt_bytes.inc(value=nbytes)
+        self._h_ckpt_bytes.observe(-1, nbytes)
+        tr = self.obs.tracer
+        if tr.enabled:
+            tr.instant(
+                "checkpoint",
+                rank=-1,
+                cat="resilience",
+                phase="tick",
+                tick=self.sim.tick,
+                bytes=nbytes,
+                cost_s=cost,
+            )
 
     # -- recovery --------------------------------------------------------------
 
@@ -216,6 +257,7 @@ class ResilientRunner:
             # fresh hardware, carry over the run's history, restore state.
             old = self.sim
             self.sim = self._build()
+            self.sim.adopt_obs(self.obs)
             self.sim.recorder = old.recorder
             self.sim.metrics = old.metrics
         else:
@@ -243,6 +285,32 @@ class ResilientRunner:
         )
         self.report.note_failure(record)
         self.sim.metrics.overhead_s += record.time_to_recover_s
+        self._m_recoveries.inc()
+        self._m_lost.inc(value=lost)
+        tr = self.obs.tracer
+        if tr.enabled:
+            tr.instant(
+                "fault.detected",
+                rank=-1,
+                cat="resilience",
+                phase="tick",
+                tick=crash_tick,
+                kind=record.kind,
+                ranks=",".join(str(r) for r in failed_ranks),
+            )
+            tr.instant(
+                "recovery",
+                rank=-1,
+                cat="resilience",
+                phase="tick",
+                tick=crash_tick,
+                policy=self.policy.kind,
+                lost_ticks=lost,
+                detect_s=detect_s,
+                wait_s=wait_s,
+                restore_s=restore_s,
+                replay_s=replay_s,
+            )
 
     # -- timing-only faults ----------------------------------------------------
 

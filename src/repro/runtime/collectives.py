@@ -108,6 +108,24 @@ def phase_timeout(expected_time: float, slack_factor: float = 4.0) -> float:
     return expected_time * slack_factor
 
 
+def modelled_sync_cost(backend: str, ranks: int) -> float:
+    """Derived per-tick cost (seconds) of the backend's sync collective.
+
+    The observability layer attaches this to every ``sync`` span: the MPI
+    backend's Reduce-Scatter is charged with the recursive-halving
+    derivation, the PGAS barrier with the dissemination barrier.  Pure
+    function of (backend, communicator size), so the attribute — like
+    every other trace field — is bit-deterministic.
+    """
+    if ranks < 1:
+        raise ValueError("ranks must be positive")
+    if backend == "pgas":
+        return dissemination_barrier(ranks, latency=2e-6)
+    return reduce_scatter_recursive_halving(
+        ranks, element_bytes=8.0, latency=2e-6, bandwidth=1.8e9
+    )
+
+
 def collective_merge(clocks) -> dict[str, int]:
     """Componentwise maximum over an iterable of vector clocks.
 

@@ -51,11 +51,16 @@ class Mailbox:
     :class:`repro.check.races.HappensBeforeDetector`) is notified of every
     delivery and removal, giving the sanitizer a complete event stream
     without the mailbox knowing anything about vector clocks.
+
+    An optional ``tracer`` (:class:`repro.obs.SpanTracer`) additionally
+    records each delivery as an instant on the destination rank's trace
+    track, including the post-delivery queue depth.
     """
 
     rank: int
     _queue: deque[Message] = field(default_factory=deque)
     observer: Any = None
+    tracer: Any = None
 
     def deliver(self, message: Message) -> None:
         if message.dest != self.rank:
@@ -65,6 +70,16 @@ class Mailbox:
         self._queue.append(message)
         if self.observer is not None:
             self.observer.on_mailbox_deliver(self.rank, message)
+        if self.tracer is not None:
+            self.tracer.instant(
+                "mailbox.deliver",
+                rank=self.rank,
+                cat="net",
+                src=message.source,
+                bytes=message.nbytes,
+                depth=len(self._queue),
+                dup=message.duplicate,
+            )
 
     def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Message | None:
         """Return (without removing) the first matching message, if any."""

@@ -77,6 +77,10 @@ class VirtualMpiCluster:
         self.injector: Any = None
         #: Ranks whose simulated node has crashed (fault injection).
         self.dead: set[int] = set()
+        #: Optional :class:`repro.obs.SpanTracer` — when set, every send,
+        #: receive, probe, and collective half emits an instant event on
+        #: the simulated timeline.  ``None`` keeps the hot path untouched.
+        self.tracer: Any = None
         self.mailboxes = [Mailbox(r, observer=sanitizer) for r in range(n_ranks)]
         self.counters = [TrafficCounters() for _ in range(n_ranks)]
         self._rs_contributions: dict[int, np.ndarray] = {}
@@ -132,6 +136,10 @@ class VirtualMpiCluster:
         c = self.counters[source]
         c.messages_sent += 1
         c.bytes_sent += nbytes
+        if self.tracer is not None:
+            self.tracer.instant(
+                "mpi.isend", rank=source, cat="net", dest=dest, bytes=nbytes
+            )
         if dest in self.dead or action == "drop":
             return  # the wire ate it; the count collective still promised it
         msg = Message(
@@ -179,6 +187,14 @@ class VirtualMpiCluster:
         self._rs_contributions[rank] = counts.copy()
         if self.sanitizer is not None:
             self.sanitizer.on_collective_contribute(rank)
+        if self.tracer is not None:
+            self.tracer.instant(
+                "mpi.reduce_scatter",
+                rank=rank,
+                phase="sync",
+                cat="net",
+                sent=int(counts.sum()),
+            )
 
     def reduce_scatter_result(self, rank: int) -> int:
         if len(self._rs_contributions) != self.n_ranks:
@@ -198,6 +214,14 @@ class VirtualMpiCluster:
         self.counters[rank].reduce_scatters += 1
         if self.sanitizer is not None:
             self.sanitizer.on_collective_fetch(rank)
+        if self.tracer is not None:
+            self.tracer.instant(
+                "mpi.reduce_scatter.fetch",
+                rank=rank,
+                phase="sync",
+                cat="net",
+                expected=total,
+            )
         return total
 
     def reduce_scatter_finish(self) -> None:
@@ -257,7 +281,11 @@ class MpiEndpoint:
         sanitizer = self.cluster.sanitizer
         if sanitizer is not None:
             sanitizer.on_iprobe(self.rank, source, tag, mailbox.matching(source, tag))
-        return mailbox.probe(source, tag) is not None
+        hit = mailbox.probe(source, tag) is not None
+        tracer = self.cluster.tracer
+        if tracer is not None:
+            tracer.instant("mpi.iprobe", rank=self.rank, cat="net", hit=hit)
+        return hit
 
     def get_count(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> int:
         msg = self.cluster.mailboxes[self.rank].probe(source, tag)
@@ -295,6 +323,11 @@ class MpiEndpoint:
         c = self.cluster.counters[self.rank]
         c.messages_received += 1
         c.bytes_received += msg.nbytes
+        tracer = self.cluster.tracer
+        if tracer is not None:
+            tracer.instant(
+                "mpi.recv", rank=self.rank, cat="net", src=msg.source, bytes=msg.nbytes
+            )
         return msg
 
     def pending(self) -> int:

@@ -39,6 +39,9 @@ class PgasCluster:
         self.n_ranks = n_ranks
         self.windows: list[list[Any]] = [[] for _ in range(n_ranks)]
         self.counters = [PgasCounters() for _ in range(n_ranks)]
+        #: Optional :class:`repro.obs.SpanTracer` — when set, puts and
+        #: barrier arrivals emit instants on the simulated timeline.
+        self.tracer: Any = None
         self._epoch = 0
         self._arrived: set[int] = set()
         self.endpoints = [PgasEndpoint(self, r) for r in range(n_ranks)]
@@ -54,11 +57,24 @@ class PgasCluster:
         c = self.counters[source]
         c.puts += 1
         c.bytes_put += nbytes
+        if self.tracer is not None:
+            self.tracer.instant(
+                "pgas.put",
+                rank=source,
+                cat="net",
+                dest=dest,
+                bytes=nbytes,
+                window_depth=len(self.windows[dest]),
+            )
 
     def barrier_arrive(self, rank: int) -> None:
         if rank in self._arrived:
             raise CommunicationError(f"rank {rank} entered the barrier twice")
         self._arrived.add(rank)
+        if self.tracer is not None:
+            self.tracer.instant(
+                "pgas.barrier", rank=rank, phase="sync", cat="net", epoch=self._epoch
+            )
         if len(self._arrived) == self.n_ranks:
             self._arrived.clear()
             self._epoch += 1

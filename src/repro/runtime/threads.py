@@ -98,6 +98,30 @@ def sanitize_thread_writes(
     detector.join_threads(rank, n_threads)
 
 
+def trace_thread_slices(
+    tracer, rank: int, n_cores: int, n_threads: int, tick: int | None = None
+) -> None:
+    """Emit one compute-phase sub-span per modelled OpenMP thread.
+
+    Mirrors :func:`sanitize_thread_writes`: the same static
+    :func:`partition_cores` slices the race detector checks are what the
+    trace shows, one span per thread on the rank's track with the core
+    range as attributes.  Threads with empty slices emit nothing.
+    """
+    for t, span in enumerate(partition_cores(n_cores, n_threads)):
+        if span.stop > span.start:
+            tracer.span(
+                "omp-thread",
+                rank=rank,
+                phase="compute",
+                tick=tick,
+                thread=t,
+                cat="threads",
+                core_lo=span.start,
+                core_hi=span.stop,
+            )
+
+
 def straggler_team_factor(
     n_threads: int, slow_factor: float, n_stragglers: int = 1
 ) -> float:

@@ -76,10 +76,75 @@ class TestRun:
         t, g, n = read_trace(trace)
         assert t.size > 0
 
-    def test_trace_requires_stats(self, tmp_path):
-        assert main(
-            ["run", "quickstart", "--ticks", "10", "--trace", str(tmp_path / "x.spk")]
-        ) == 1
+    def test_trace_requires_stats(self, capsys, tmp_path):
+        # Rejected at parse time (before any simulation), as a usage error.
+        with pytest.raises(SystemExit) as exc:
+            main(
+                ["run", "quickstart", "--ticks", "10",
+                 "--trace", str(tmp_path / "x.spk")]
+            )
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "usage:" in err
+        assert "--trace requires --stats" in err
+
+
+class TestObs:
+    def test_obs_trace_writes_valid_trace(self, capsys, tmp_path):
+        from repro.obs import validate_chrome_trace
+
+        out = tmp_path / "trace.json"
+        jsonl = tmp_path / "events.jsonl"
+        rc = main(
+            ["obs", "trace", "--model", "quickstart", "--cores", "8",
+             "--ticks", "5", "--out", str(out), "--jsonl", str(jsonl)]
+        )
+        assert rc == 0
+        captured = capsys.readouterr().out
+        assert "traced 5 ticks" in captured
+        assert validate_chrome_trace(json.loads(out.read_text())) == []
+        assert jsonl.exists()
+
+    def test_obs_trace_with_fault_emits_resilience_instants(self, tmp_path):
+        jsonl = tmp_path / "events.jsonl"
+        rc = main(
+            ["obs", "trace", "--model", "quickstart", "--cores", "8",
+             "--ticks", "10", "--crash-at", "4:1",
+             "--out", str(tmp_path / "t.json"), "--jsonl", str(jsonl)]
+        )
+        assert rc == 0
+        names = {json.loads(line)["name"] for line in jsonl.read_text().splitlines()}
+        assert "fault.rank_crash" in names
+        assert "fault.detected" in names
+
+    def test_obs_metrics_stdout(self, capsys):
+        rc = main(["obs", "metrics", "--model", "quickstart", "--cores", "8",
+                   "--ticks", "5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "# TYPE compass_fired_total counter" in out
+
+    def test_obs_diff_identical_and_divergent(self, capsys, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        argv = ["obs", "trace", "--model", "quickstart", "--cores", "8",
+                "--ticks", "5", "--out", str(tmp_path / "t.json")]
+        assert main(argv + ["--jsonl", str(a)]) == 0
+        assert main(argv + ["--jsonl", str(b)]) == 0
+        assert main(["obs", "diff", str(a), str(b)]) == 0
+        assert "identical" in capsys.readouterr().out
+
+        # Different seed -> behavioural divergence, localised.
+        c = tmp_path / "c.jsonl"
+        assert main(argv + ["--jsonl", str(c), "--seed", "99"]) == 0
+        assert main(["obs", "diff", str(a), str(c)]) == 1
+        assert "divergen" in capsys.readouterr().out
+
+    def test_obs_diff_unreadable_log_is_clean_error(self, capsys, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        rc = main(["obs", "diff", str(bad), str(bad)])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
 
 
 class TestMacaque:

@@ -1,4 +1,4 @@
-"""Unit tests for the determinism lint engine (DET100–DET106).
+"""Unit tests for the determinism lint engine (DET100–DET107).
 
 Each rule gets a positive case (the violation is reported with its rule
 id and location) and a suppressed case (the same construct with a
@@ -28,7 +28,9 @@ def rule_ids(violations):
 class TestRegistry:
     def test_all_rules_registered(self):
         ids = [r.rule_id for r in all_rules()]
-        assert ids == ["DET101", "DET102", "DET103", "DET104", "DET105", "DET106"]
+        assert ids == [
+            "DET101", "DET102", "DET103", "DET104", "DET105", "DET106", "DET107",
+        ]
 
     def test_rules_by_id_selects(self):
         (rule,) = rules_by_id(["DET103"])
@@ -179,6 +181,75 @@ class TestHostClockWait:
         src = (
             "import time\n\ndef backoff():\n"
             "    time.sleep(0.5)  # repro: allow[DET106] host-side CLI wait\n"
+        )
+        assert lint_source(src, path="x.py") == []
+
+
+class TestFlushBoundary:
+    def test_write_text_flagged(self):
+        src = "def export(p, text):\n    p.write_text(text)\n"
+        violations = lint_source(src, path="x.py")
+        assert rule_ids(violations) == ["DET107"]
+        assert violations[0].line == 2
+
+    def test_open_for_writing_flagged(self):
+        src = "def export(path):\n    with open(path, 'w') as fh:\n        fh.write('x')\n"
+        assert rule_ids(lint_source(src, path="x.py")) == ["DET107"]
+
+    def test_open_mode_kwarg_flagged(self):
+        src = "def export(path):\n    return open(path, mode='ab')\n"
+        assert rule_ids(lint_source(src, path="x.py")) == ["DET107"]
+
+    def test_open_read_only_allowed(self):
+        src = "def load(path):\n    with open(path) as fh:\n        return fh.read()\n"
+        assert lint_source(src, path="x.py") == []
+        src = "def load(path):\n    with open(path, 'rb') as fh:\n        return fh.read()\n"
+        assert lint_source(src, path="x.py") == []
+
+    def test_open_dynamic_mode_flagged(self):
+        # A mode that cannot be proven read-only is treated as a write.
+        src = "def export(path, mode):\n    return open(path, mode)\n"
+        assert rule_ids(lint_source(src, path="x.py")) == ["DET107"]
+
+    def test_json_dump_and_np_savez_flagged(self):
+        src = (
+            "import json\nimport numpy as np\n\n"
+            "def export(obj, fh, path, arr):\n"
+            "    json.dump(obj, fh)\n"
+            "    np.savez(path, arr=arr)\n"
+        )
+        assert rule_ids(lint_source(src, path="x.py")) == ["DET107", "DET107"]
+
+    def test_marked_def_line_exempt(self):
+        src = "def flush(p, text):  # repro: obs-flush\n    p.write_text(text)\n"
+        assert lint_source(src, path="x.py") == []
+
+    def test_marked_line_above_exempt(self):
+        src = (
+            "# repro: obs-flush\n"
+            "def flush(p, text):\n    p.write_text(text)\n"
+        )
+        assert lint_source(src, path="x.py") == []
+
+    def test_nested_function_inherits_exemption(self):
+        src = (
+            "def flush(p, items):  # repro: obs-flush\n"
+            "    def write_one(item):\n"
+            "        p.write_text(item)\n"
+            "    for item in items:\n"
+            "        write_one(item)\n"
+        )
+        assert lint_source(src, path="x.py") == []
+
+    def test_not_applied_outside_rank_visible_paths(self):
+        src = "def save(p, text):\n    p.write_text(text)\n"
+        path = str(Path("src") / "repro" / "analysis" / "report.py")
+        assert lint_source(src, path=path) == []
+
+    def test_suppressed(self):
+        src = (
+            "def save(p, text):\n"
+            "    p.write_text(text)  # repro: allow[DET107] test fixture\n"
         )
         assert lint_source(src, path="x.py") == []
 

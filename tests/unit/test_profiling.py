@@ -5,8 +5,28 @@ import pytest
 from repro.apps.quicknet import build_quickstart_network
 from repro.core.config import CompassConfig
 from repro.core.pgas_simulator import PgasCompass
-from repro.core.profiling import imbalance, profile_ranks, profile_report
+from repro.core.profiling import (
+    RankProfile,
+    imbalance,
+    profile_ranks,
+    profile_report,
+)
 from repro.core.simulator import Compass
+
+
+def _profile(rank, fired=0, axons=0, remote=0, msgs=0):
+    return RankProfile(
+        rank=rank,
+        cores=1,
+        neurons=256,
+        fired=fired,
+        active_axons=axons,
+        local_spikes=0,
+        remote_spikes=remote,
+        messages_sent=0,
+        messages_received=msgs,
+        bytes_sent=0,
+    )
 
 
 @pytest.fixture(scope="module")
@@ -50,6 +70,33 @@ class TestProfiles:
         s.run(40)
         profiles = profile_ranks(s)
         assert sum(p.messages_sent for p in profiles) == s.metrics.total_messages
+
+
+class TestImbalanceMath:
+    def test_exact_max_over_mean(self):
+        profiles = [
+            _profile(0, fired=10, axons=4, remote=1, msgs=2),
+            _profile(1, fired=30, axons=4, remote=3, msgs=6),
+        ]
+        imb = imbalance(profiles)
+        assert imb.fired == pytest.approx(30 / 20)
+        assert imb.active_axons == pytest.approx(1.0)
+        assert imb.remote_spikes == pytest.approx(3 / 2)
+        assert imb.messages_received == pytest.approx(6 / 4)
+        assert imb.worst == pytest.approx(1.5)
+
+    def test_single_rank_is_balanced(self):
+        imb = imbalance([_profile(0, fired=100, axons=5, remote=9, msgs=3)])
+        assert imb.fired == 1.0
+        assert imb.worst == 1.0
+
+    def test_zero_mean_defines_balanced(self):
+        # A dimension nobody exercised (e.g. remote spikes on 1 rank)
+        # must read 1.0, not raise or return nan.
+        imb = imbalance([_profile(0), _profile(1)])
+        assert imb.fired == 1.0
+        assert imb.remote_spikes == 1.0
+        assert imb.worst == 1.0
 
 
 class TestImbalance:
