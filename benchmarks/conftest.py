@@ -11,12 +11,41 @@ parsing tables.
 
 from __future__ import annotations
 
+import hashlib
 import json
+import subprocess
 from pathlib import Path
 
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def git_sha() -> str:
+    """Short SHA of the working tree's HEAD, or 'unknown' outside git."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def config_fingerprint(params: dict) -> str:
+    """Stable 12-hex digest of a bench's configuration.
+
+    The perf-regression gate (``repro obs gate``) keys history records by
+    bench name + this fingerprint, so a changed benchmark configuration
+    never gates against stale baselines.
+    """
+    canon = json.dumps(params, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canon.encode()).hexdigest()[:12]
 
 
 @pytest.fixture(scope="session")
@@ -39,10 +68,15 @@ def write_bench_json():
 
     Writes ``BENCH_<name>.json`` with a stable schema: the benchmark's
     configuration (``params``), its raw measurements (``samples``, a flat
-    list of floats), summary ``stats`` computed from the samples, and any
-    bench-specific ``derived`` quantities.
+    list of floats), summary ``stats`` computed from the samples, any
+    bench-specific ``derived`` quantities, and provenance — the git
+    ``sha``, repro ``version``, and the config ``fingerprint`` the
+    perf-regression gate keys bench history by.
     """
     RESULTS_DIR.mkdir(exist_ok=True)
+    from repro.version import __version__
+
+    sha = git_sha()
 
     def _write(name: str, params: dict, samples, derived: dict | None = None) -> Path:
         samples = [float(s) for s in samples]
@@ -59,8 +93,11 @@ def write_bench_json():
                 "stddev": var**0.5,
             }
         payload = {
-            "schema": 1,
+            "schema": 2,
             "name": name,
+            "sha": sha,
+            "version": __version__,
+            "fingerprint": config_fingerprint(dict(params)),
             "params": dict(params),
             "samples": samples,
             "stats": stats,

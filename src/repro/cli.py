@@ -18,7 +18,11 @@ Subcommands:
 * ``obs trace|metrics|diff``    — the observability layer (see
   ``docs/observability.md``): deterministic span traces
   (Perfetto/JSONL), Prometheus metric export, and first-divergence
-  localisation between two event logs.
+  localisation between two event logs;
+* ``obs analyze|flame|gate``    — trace analytics (see
+  ``docs/perf_analysis.md``): critical-path + imbalance reports and
+  folded flame stacks from a JSONL event log, and the perf-regression
+  gate over ``BENCH_*.json`` results vs the bench history.
 """
 
 from __future__ import annotations
@@ -37,6 +41,17 @@ def _positive_int(text: str) -> int:
         raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
     if value <= 0:
         raise argparse.ArgumentTypeError(f"expected a positive integer, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """argparse type for tolerances/factors that must be > 0."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"expected a positive number, got {value}")
     return value
 
 
@@ -589,6 +604,81 @@ def _cmd_obs_diff(args: argparse.Namespace) -> int:
     return 1
 
 
+def _write_report(path: str, text: str) -> None:  # repro: obs-flush
+    from pathlib import Path
+
+    Path(path).write_text(text)
+
+
+def _cmd_obs_analyze(args: argparse.Namespace) -> int:
+    from repro.obs.analysis import analyze_report, load_events
+
+    # load_events validates existence/emptiness with a typed AnalysisError
+    # (exit code 2 via main's ReproError handler).
+    report = analyze_report(load_events(args.events))
+    if args.out:
+        _write_report(args.out, report)
+        print(f"wrote analysis report: {args.out}")
+    else:
+        print(report, end="")
+    return 0
+
+
+def _cmd_obs_flame(args: argparse.Namespace) -> int:
+    from repro.obs.analysis import flame_table, load_events, write_folded
+
+    events = load_events(args.events)
+    table = flame_table(events, limit=args.limit)
+    if args.folded:
+        path = write_folded(events, args.folded)
+        print(f"wrote folded flame stacks: {path}")
+    if args.out:
+        _write_report(args.out, table)
+        print(f"wrote flame table: {args.out}")
+    else:
+        print(table, end="")
+    return 0
+
+
+def _cmd_obs_gate(args: argparse.Namespace) -> int:
+    from repro.obs.analysis import (
+        append_history,
+        format_gate_report,
+        gate_results,
+        load_bench_results,
+        load_history,
+        record_from_bench,
+    )
+    from repro.obs.analysis.regress import failures
+
+    results = load_bench_results(args.results)
+    if args.bless:
+        path = append_history(
+            args.history, [record_from_bench(p) for p in results]
+        )
+        print(f"blessed {len(results)} bench result(s) into {path}")
+    # A missing/empty history raises the typed error that points at
+    # --bless (exit code 2 via main's ReproError handler).
+    history = load_history(args.history)
+    verdicts = gate_results(
+        results,
+        history,
+        rel_tol=args.rel_tol,
+        mad_k=args.mad_k,
+        min_history=args.min_history,
+    )
+    report = format_gate_report(verdicts)
+    if args.out:
+        _write_report(args.out, report)
+        print(f"wrote gate report: {args.out}")
+    print(report, end="")
+    bad = failures(verdicts)
+    if bad and args.report_only:
+        print(f"(report-only: {len(bad)} regression(s) not enforced)")
+        return 0
+    return 1 if bad else 0
+
+
 def _cmd_resilience_report(args: argparse.Namespace) -> int:
     _, runner, result = _resilience_run(args)
     print(runner.report.format())
@@ -854,6 +944,76 @@ def build_parser() -> argparse.ArgumentParser:
         "partition-invariant per-tick summaries)",
     )
     q.set_defaults(func=_cmd_obs_diff)
+
+    q = obs_sub.add_parser(
+        "analyze",
+        help="critical-path + imbalance report from a JSONL event log",
+    )
+    q.add_argument("events", help="JSONL event log (from 'obs trace --jsonl')")
+    q.add_argument("--out", help="write the report here (default: stdout)")
+    q.set_defaults(func=_cmd_obs_analyze)
+
+    q = obs_sub.add_parser(
+        "flame",
+        help="folded flame stacks + self/total table from a JSONL event log",
+    )
+    q.add_argument("events", help="JSONL event log (from 'obs trace --jsonl')")
+    q.add_argument("--folded", help="write folded stacks here (flamegraph.pl)")
+    q.add_argument("--out", help="write the self/total table here")
+    q.add_argument(
+        "--limit",
+        type=_positive_int,
+        default=40,
+        help="rows in the self/total table",
+    )
+    q.set_defaults(func=_cmd_obs_flame)
+
+    q = obs_sub.add_parser(
+        "gate",
+        help="perf-regression gate: BENCH_*.json results vs bench history",
+    )
+    q.add_argument(
+        "--results",
+        default="benchmarks/results",
+        help="directory of BENCH_*.json files",
+    )
+    q.add_argument(
+        "--history",
+        default="benchmarks/results/bench_history.jsonl",
+        help="append-only bench-history file",
+    )
+    q.add_argument(
+        "--rel-tol",
+        type=_positive_float,
+        default=0.15,
+        help="relative tolerance (threshold floor; sole bound for short "
+        "histories)",
+    )
+    q.add_argument(
+        "--mad-k",
+        type=_positive_float,
+        default=4.0,
+        help="robust threshold: median + K * 1.4826 * MAD",
+    )
+    q.add_argument(
+        "--min-history",
+        type=_positive_int,
+        default=4,
+        help="history records required before the MAD threshold applies",
+    )
+    q.add_argument(
+        "--report-only",
+        action="store_true",
+        help="print regressions but exit 0 (CI smoke mode)",
+    )
+    q.add_argument(
+        "--bless",
+        action="store_true",
+        help="append the current results to the history first (accept a "
+        "new baseline / an intentional regression)",
+    )
+    q.add_argument("--out", help="also write the gate report to this file")
+    q.set_defaults(func=_cmd_obs_gate)
     return parser
 
 

@@ -11,10 +11,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.core.simulator import CompassBase
 from repro.perf.report import format_table
+from repro.util.stats import max_over_mean
 
 
 @dataclass(frozen=True)
@@ -88,19 +87,18 @@ def profile_ranks(sim: CompassBase) -> list[RankProfile]:
     return profiles
 
 
-def _max_over_mean(values: list[int]) -> float:
-    arr = np.asarray(values, dtype=float)
-    mean = arr.mean()
-    return float(arr.max() / mean) if mean > 0 else 1.0
-
-
 def imbalance(profiles: list[RankProfile]) -> ImbalanceSummary:
-    """Max/mean load ratios across ranks."""
+    """Max/mean load ratios across ranks.
+
+    End-of-run counterpart of the per-tick heatmap in
+    :mod:`repro.obs.analysis.imbalance`; both share
+    :func:`repro.util.stats.max_over_mean`.
+    """
     return ImbalanceSummary(
-        fired=_max_over_mean([p.fired for p in profiles]),
-        active_axons=_max_over_mean([p.active_axons for p in profiles]),
-        remote_spikes=_max_over_mean([p.remote_spikes for p in profiles]),
-        messages_received=_max_over_mean([p.messages_received for p in profiles]),
+        fired=max_over_mean([p.fired for p in profiles]),
+        active_axons=max_over_mean([p.active_axons for p in profiles]),
+        remote_spikes=max_over_mean([p.remote_spikes for p in profiles]),
+        messages_received=max_over_mean([p.messages_received for p in profiles]),
     )
 
 

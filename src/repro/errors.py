@@ -72,3 +72,12 @@ class MessageCorruptionError(FailureDetectedError):
 
 class RecoveryExhaustedError(ReproError):
     """Recovery retries exceeded the policy's bound without progress."""
+
+
+class AnalysisError(ReproError):
+    """A trace-analytics input is missing, empty, or malformed.
+
+    Raised by :mod:`repro.obs.analysis` when an event log, bench-result
+    file, or bench-history file cannot be analyzed — a usage error (CLI
+    exit code 2), distinct from a *failing* gate (exit code 1).
+    """

@@ -15,6 +15,11 @@ is opt-in because it records an event stream.  Exporters
 :mod:`~repro.obs.jsonl`) are the only sanctioned file-writing boundary
 for observability data — lint rule DET107 enforces that rank-visible
 code never writes files outside functions marked ``# repro: obs-flush``.
+
+The analytics that *interpret* the recorded streams — critical-path
+extraction, flame folding, imbalance heatmaps, and the perf-regression
+gate — live in the :mod:`repro.obs.analysis` subpackage (imported
+explicitly; see ``docs/perf_analysis.md``).
 """
 
 from __future__ import annotations

@@ -1,0 +1,240 @@
+"""Critical-path extraction from deterministic span traces.
+
+The semi-synchronous main loop (§III Listing 1) is bounded each tick by
+the slowest rank of each phase: every rank must finish Synapse+Neuron
+before the tick collective, and the tick cannot end before the slowest
+Network phase.  The critical path of a run is therefore, per tick, the
+chain ``max-rank(compute) → sync collective → max-rank(network)``.
+
+The functional simulator has no intra-tick clock, so phase *work* is
+measured in deterministic integer work units computed from the span
+attributes the tick loop records — mirroring the leading terms of the
+calibrated cost model (:mod:`repro.perf.costmodel`): synapse time scales
+with active axons, neuron time with evaluations and fired spikes, and
+the network phase pays a per-message critical section ([23], §III) on
+top of per-spike delivery.  Integer weights keep every aggregate exact,
+so reports are byte-identical run to run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.perf.report import format_table
+
+#: Phase execution order within one tick of Listing 1.
+PHASE_ORDER = ("compute", "sync", "network")
+
+#: Integer work-unit weights per span attribute, by phase span name.
+#: Documented in docs/perf_analysis.md; the absolute scale is arbitrary,
+#: only ratios matter, and all inputs are integer event counts.  The
+#: ``synapse``/``neuron`` sub-span weights are consumed by the flame
+#: folder only — the critical path walks the enclosing ``compute`` span.
+PHASE_WEIGHTS: dict[str, tuple[tuple[str, int], ...]] = {
+    "compute": (("active_axons", 1), ("fired", 4), ("remote_spikes", 2)),
+    "synapse": (("active_axons", 1),),
+    "neuron": (("fired", 4), ("messages", 1)),
+    "sync": (("sent", 1), ("expected", 1)),
+    "network": (
+        ("messages", 16),
+        ("spikes_received", 1),
+        ("local_delivered", 1),
+    ),
+}
+
+#: Marker line introducing the partition-invariant report section; the
+#: text from this line on is identical across rank counts.
+INVARIANT_MARKER = "== cluster totals (partition-invariant) =="
+
+
+def span_cost(name: str, args: Mapping[str, Any]) -> int:
+    """Work units of one phase span; every phase participates (>= 1)."""
+    weights = PHASE_WEIGHTS.get(name, ())
+    return 1 + sum(w * int(args.get(key, 0)) for key, w in weights)
+
+
+@dataclass(frozen=True)
+class TickCritical:
+    """The binding chain of one tick."""
+
+    tick: int
+    #: Phase with the largest bounding cost this tick.
+    phase: str
+    #: Rank bounding that phase (lowest rank on ties).
+    rank: int
+    #: Sum over phases of the per-phase maximum — the tick's critical cost.
+    cost: int
+    #: phase -> (binding rank, bounding cost) for every phase present.
+    phases: tuple[tuple[str, int, int], ...]
+
+
+@dataclass(frozen=True)
+class CriticalPath:
+    """Aggregated critical path of a run."""
+
+    ticks: tuple[TickCritical, ...]
+    #: phase -> summed bounding cost over all ticks.
+    phase_cost: tuple[tuple[str, int], ...]
+    #: phase -> number of ticks bound by that phase.
+    phase_bound: tuple[tuple[str, int], ...]
+    #: (rank, phase) -> number of ticks that rank bounded that phase.
+    rank_phase_bound: tuple[tuple[int, str, int], ...]
+    #: Partition-invariant per-tick cluster totals, from ``tick`` summaries:
+    #: (metric, total, max over ticks).
+    cluster_totals: tuple[tuple[str, int, int], ...]
+
+    @property
+    def total_cost(self) -> int:
+        return sum(c for _, c in self.phase_cost)
+
+    @property
+    def binding_phase(self) -> str:
+        """The phase bounding the most ticks (run-level verdict)."""
+        if not self.phase_bound:
+            return "none"
+        best = max(self.phase_bound, key=lambda pc: (pc[1], -PHASE_ORDER.index(pc[0])))
+        return best[0]
+
+
+def critical_path(events: list[dict[str, Any]]) -> CriticalPath:
+    """Extract the critical path from an event-record stream.
+
+    Consumes the per-rank ``compute``/``sync``/``network`` phase spans
+    (``synapse``/``neuron`` sub-spans are contained in ``compute`` and
+    would double-count) and the cluster-track ``tick`` summaries.
+    """
+    # (tick, phase) -> list of (rank, cost); ticks/ranks arrive in
+    # deterministic emission order.
+    costs: dict[tuple[int, str], list[tuple[int, int]]] = {}
+    totals: dict[str, list[int]] = {}
+    for rec in events:
+        name = rec.get("name")
+        if rec.get("ph") == "X" and name in PHASE_ORDER:
+            tick = int(rec.get("tick", -1))
+            cost = span_cost(name, rec.get("args") or {})
+            costs.setdefault((tick, name), []).append((int(rec.get("rank", 0)), cost))
+        elif name == "tick" and rec.get("rank") == -1 and rec.get("ph") == "i":
+            for key, value in sorted((rec.get("args") or {}).items()):
+                if isinstance(value, (int, float)):
+                    totals.setdefault(key, []).append(int(value))
+
+    per_tick: dict[int, list[tuple[str, int, int]]] = {}
+    for (tick, phase), rank_costs in sorted(costs.items()):
+        # Binding rank: maximum cost, lowest rank on ties.
+        cost, rank = max((c, -r) for r, c in rank_costs)
+        per_tick.setdefault(tick, []).append((phase, -rank, cost))
+
+    ticks: list[TickCritical] = []
+    phase_cost: dict[str, int] = {}
+    phase_bound: dict[str, int] = {}
+    rank_phase: dict[tuple[int, str], int] = {}
+    for tick, entries in sorted(per_tick.items()):
+        entries.sort(key=lambda e: PHASE_ORDER.index(e[0]))
+        binding = max(entries, key=lambda e: (e[2], -PHASE_ORDER.index(e[0])))
+        total = sum(c for _, _, c in entries)
+        ticks.append(
+            TickCritical(
+                tick=tick,
+                phase=binding[0],
+                rank=binding[1],
+                cost=total,
+                phases=tuple(entries),
+            )
+        )
+        phase_bound[binding[0]] = phase_bound.get(binding[0], 0) + 1
+        for phase, rank, cost in entries:
+            phase_cost[phase] = phase_cost.get(phase, 0) + cost
+            rank_phase[(rank, phase)] = rank_phase.get((rank, phase), 0) + 1
+
+    cluster = tuple(
+        (metric, sum(series), max(series))
+        for metric, series in sorted(totals.items())
+    )
+    return CriticalPath(
+        ticks=tuple(ticks),
+        phase_cost=tuple(sorted(phase_cost.items())),
+        phase_bound=tuple(sorted(phase_bound.items())),
+        rank_phase_bound=tuple(
+            (rank, phase, n) for (rank, phase), n in sorted(rank_phase.items())
+        ),
+        cluster_totals=cluster,
+    )
+
+
+def format_critical_report(cp: CriticalPath, max_tick_rows: int = 50) -> str:
+    """Deterministic plain-text critical-path report.
+
+    Everything above :data:`INVARIANT_MARKER` is layout-specific (it
+    names ranks); the cluster-totals section below it is identical
+    across rank counts for the same network and seed.
+    """
+    lines: list[str] = ["# critical-path report", ""]
+    total = cp.total_cost or 1
+
+    rows = [
+        (phase, cost, f"{cost / total:.1%}", dict(cp.phase_bound).get(phase, 0))
+        for phase, cost in cp.phase_cost
+    ]
+    lines.append(
+        format_table(
+            ["phase", "work_units", "share", "ticks_bound"],
+            rows,
+            title="== who bounded the run ==",
+        )
+    )
+    lines.append(f"run bound by: {cp.binding_phase}")
+    lines.append("")
+
+    lines.append(
+        format_table(
+            ["rank", "phase", "ticks_bound"],
+            list(cp.rank_phase_bound),
+            title="== binding ranks ==",
+        )
+    )
+    lines.append("")
+
+    tick_rows = [
+        (t.tick, t.phase, t.rank, t.cost) for t in cp.ticks[:max_tick_rows]
+    ]
+    title = "== binding phase per tick =="
+    if len(cp.ticks) > max_tick_rows:
+        title += f" (first {max_tick_rows} of {len(cp.ticks)})"
+    lines.append(
+        format_table(["tick", "phase", "rank", "critical_cost"], tick_rows,
+                     title=title)
+    )
+    lines.append("")
+
+    lines.append(
+        format_table(
+            ["metric", "total", "max_per_tick"],
+            list(cp.cluster_totals),
+            title=INVARIANT_MARKER,
+        )
+    )
+    return "\n".join(lines) + "\n"
+
+
+def invariant_section(report: str) -> str:
+    """The partition-invariant tail of an analysis report ('' if absent)."""
+    idx = report.find(INVARIANT_MARKER)
+    return report[idx:] if idx >= 0 else ""
+
+
+def analyze_report(events: list[dict[str, Any]]) -> str:
+    """The combined ``repro obs analyze`` report: critical path + imbalance.
+
+    The imbalance section precedes the critical-path report so the
+    partition-invariant cluster totals stay the trailing section that
+    :func:`invariant_section` extracts.
+    """
+    from repro.obs.analysis.imbalance import (
+        format_imbalance_report,
+        imbalance_heatmap,
+    )
+
+    cp = critical_path(events)
+    imb = format_imbalance_report(imbalance_heatmap(events))
+    return imb + "\n" + format_critical_report(cp)

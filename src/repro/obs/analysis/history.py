@@ -1,0 +1,130 @@
+"""Append-only bench-history file keyed by git SHA + config fingerprint.
+
+``benchmarks/results/bench_history.jsonl`` accumulates one record per
+bench per blessed measurement.  Records are keyed by the bench name and
+the *config fingerprint* stamped into every ``BENCH_<name>.json`` by
+``benchmarks/conftest.write_bench_json`` (a hash of the bench's params),
+so history from a different benchmark configuration never pollutes the
+baseline.  The git SHA and package version record provenance — which
+commit produced the numbers being gated against.
+
+The file is JSONL, append-only by convention: blessing a new baseline
+(``repro obs gate --bless``) appends, never rewrites, so the perf
+trajectory of the repository stays inspectable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.errors import AnalysisError
+
+HISTORY_SCHEMA = 1
+
+#: Default locations, relative to the repository layout.
+DEFAULT_RESULTS_DIR = Path("benchmarks/results")
+DEFAULT_HISTORY = DEFAULT_RESULTS_DIR / "bench_history.jsonl"
+
+
+def record_from_bench(payload: dict[str, Any]) -> dict[str, Any]:
+    """One history record from a ``BENCH_<name>.json`` payload.
+
+    Gated metrics: ``time_s`` (the mean of the raw samples) plus every
+    numeric ``derived`` quantity, under its own name.
+    """
+    name = payload.get("name")
+    if not name:
+        raise AnalysisError("bench payload has no 'name'")
+    metrics: dict[str, float] = {}
+    stats = payload.get("stats") or {}
+    if "mean" in stats:
+        metrics["time_s"] = float(stats["mean"])
+    for key, value in sorted((payload.get("derived") or {}).items()):
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            metrics[key] = float(value)
+    return {
+        "schema": HISTORY_SCHEMA,
+        "name": name,
+        "sha": payload.get("sha", "unknown"),
+        "version": payload.get("version", "unknown"),
+        "fingerprint": payload.get("fingerprint", ""),
+        "metrics": metrics,
+    }
+
+
+def load_bench_results(results_dir: str | Path) -> list[dict[str, Any]]:
+    """All ``BENCH_*.json`` payloads under ``results_dir``, sorted by name."""
+    results_dir = Path(results_dir)
+    if not results_dir.is_dir():
+        raise AnalysisError(f"no such results directory: {results_dir}")
+    payloads: list[dict[str, Any]] = []
+    for path in sorted(results_dir.glob("BENCH_*.json")):
+        try:
+            payload = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise AnalysisError(f"{path}: not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict) or "name" not in payload:
+            raise AnalysisError(f"{path}: not a bench payload (no 'name')")
+        payloads.append(payload)
+    if not payloads:
+        raise AnalysisError(f"no BENCH_*.json results in {results_dir}")
+    return payloads
+
+
+def load_history(
+    path: str | Path, allow_missing: bool = False
+) -> list[dict[str, Any]]:
+    """Parse the bench-history JSONL file into records."""
+    path = Path(path)
+    if not path.exists() or path.stat().st_size == 0:
+        if allow_missing:
+            return []
+        state = "empty" if path.exists() else "missing"
+        raise AnalysisError(
+            f"bench-history file is {state}: {path} "
+            "(bless a baseline with 'repro obs gate --bless')"
+        )
+    records: list[dict[str, Any]] = []
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise AnalysisError(
+                f"{path}:{lineno}: not a JSON history record: {exc}"
+            ) from exc
+        if not isinstance(rec, dict) or "name" not in rec:
+            raise AnalysisError(f"{path}:{lineno}: not a history record")
+        records.append(rec)
+    return records
+
+
+def history_values(
+    history: list[dict[str, Any]], name: str, fingerprint: str, metric: str
+) -> list[float]:
+    """Baseline values for one (bench, fingerprint, metric) key, in order."""
+    values: list[float] = []
+    for rec in history:
+        if rec.get("name") != name or rec.get("fingerprint") != fingerprint:
+            continue
+        value = (rec.get("metrics") or {}).get(metric)
+        if isinstance(value, (int, float)):
+            values.append(float(value))
+    return values
+
+
+def append_history(  # repro: obs-flush
+    path: str | Path, records: list[dict[str, Any]]
+) -> Path:
+    """Append ``records`` to the history file (created if missing)."""
+    path = Path(path)
+    existing = path.read_text() if path.exists() else ""
+    if existing and not existing.endswith("\n"):
+        existing += "\n"
+    lines = [json.dumps(rec, sort_keys=True) for rec in records]
+    path.write_text(existing + "\n".join(lines) + ("\n" if lines else ""))
+    return path

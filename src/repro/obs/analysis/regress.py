@@ -1,0 +1,161 @@
+"""The perf-regression gate: new bench results vs the recorded history.
+
+For every ``BENCH_<name>.json`` result, each gated metric is compared
+against the history records with the same bench name *and* config
+fingerprint.  The threshold is robust — ``median + k·1.4826·MAD``,
+floored at ``median·(1+rel_tol)`` — falling back to the pure relative
+tolerance when the history is too short for the MAD to mean anything
+(:func:`repro.util.stats.robust_outlier`).  Only regressions fail: all
+gated metrics are lower-is-better (seconds, overhead fractions), and
+metrics not matched by :data:`GATED_METRICS` are reported but never
+gated (figure-model quantities like speedups are exact by construction
+and belong to the figure tests, not the perf gate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fnmatch import fnmatch
+from typing import Any
+
+from repro.perf.report import format_table
+from repro.util.stats import mad, median, robust_outlier
+
+from repro.obs.analysis.history import history_values
+
+#: fnmatch patterns of lower-is-better metrics the gate enforces.
+GATED_METRICS: tuple[str, ...] = (
+    "time_s",
+    "s_per_tick_*",
+    "*_seconds",
+    "*_overhead_s",
+    "*_overhead_frac",
+    "total_s_*",
+    "*_write_read_s",
+)
+
+
+def is_gated(metric: str) -> bool:
+    return any(fnmatch(metric, pattern) for pattern in GATED_METRICS)
+
+
+@dataclass(frozen=True)
+class GateResult:
+    """Verdict for one (bench, metric) pair."""
+
+    bench: str
+    metric: str
+    value: float
+    baseline: float  # median of history; NaN when no history
+    threshold: float  # failing above this; NaN when not gated
+    n_history: int
+    gated: bool
+    ok: bool
+    reason: str
+
+    def describe(self) -> str:
+        status = "ok" if self.ok else "REGRESSION"
+        return f"{status}: {self.bench}/{self.metric} — {self.reason}"
+
+
+def _gate_one(
+    bench: str,
+    metric: str,
+    value: float,
+    baseline: list[float],
+    rel_tol: float,
+    mad_k: float,
+    min_history: int,
+) -> GateResult:
+    nan = float("nan")
+    if not is_gated(metric):
+        return GateResult(bench, metric, value, nan, nan, len(baseline),
+                          gated=False, ok=True, reason="not gated")
+    if not baseline:
+        return GateResult(bench, metric, value, nan, nan, 0, gated=True,
+                          ok=True, reason="no history for this fingerprint")
+    center = median(baseline)
+    rel_threshold = center * (1.0 + rel_tol)
+    if len(baseline) >= min_history:
+        threshold = max(center + mad_k * 1.4826 * mad(baseline), rel_threshold)
+        basis = f"median+{mad_k:g}*MAD over {len(baseline)}"
+    else:
+        threshold = rel_threshold
+        basis = f"median*{1.0 + rel_tol:g} over {len(baseline)} (short history)"
+    failed = robust_outlier(
+        value, baseline, k=mad_k, rel_tol=rel_tol, min_n=min_history
+    )
+    ratio = value / center if center else float("inf")
+    reason = (
+        f"value {value:.6g} vs baseline {center:.6g} ({ratio:.2f}x), "
+        f"threshold {threshold:.6g} ({basis})"
+    )
+    return GateResult(bench, metric, value, center, threshold, len(baseline),
+                      gated=True, ok=not failed, reason=reason)
+
+
+def gate_results(
+    results: list[dict[str, Any]],
+    history: list[dict[str, Any]],
+    rel_tol: float = 0.15,
+    mad_k: float = 4.0,
+    min_history: int = 4,
+) -> list[GateResult]:
+    """Gate every metric of every bench payload against the history.
+
+    ``results`` are ``BENCH_<name>.json`` payloads; ``history`` is the
+    record list of :func:`repro.obs.analysis.history.load_history`.
+    Results are ordered (bench, metric) so reports are deterministic.
+    """
+    from repro.obs.analysis.history import record_from_bench
+
+    verdicts: list[GateResult] = []
+    for payload in sorted(results, key=lambda p: str(p.get("name", ""))):
+        record = record_from_bench(payload)
+        name = record["name"]
+        fingerprint = record["fingerprint"]
+        for metric, value in sorted(record["metrics"].items()):
+            baseline = history_values(history, name, fingerprint, metric)
+            verdicts.append(
+                _gate_one(name, metric, value, baseline, rel_tol, mad_k,
+                          min_history)
+            )
+    return verdicts
+
+
+def failures(verdicts: list[GateResult]) -> list[GateResult]:
+    return [v for v in verdicts if not v.ok]
+
+
+def format_gate_report(verdicts: list[GateResult]) -> str:
+    """Deterministic gate report: one row per gated metric, then verdict."""
+    rows = []
+    for v in verdicts:
+        if not v.gated:
+            continue
+        rows.append(
+            (
+                v.bench,
+                v.metric,
+                f"{v.value:.6g}",
+                "-" if v.n_history == 0 else f"{v.baseline:.6g}",
+                "-" if v.n_history == 0 else f"{v.threshold:.6g}",
+                v.n_history,
+                "ok" if v.ok else "FAIL",
+            )
+        )
+    table = format_table(
+        ["bench", "metric", "value", "baseline", "threshold", "n", "status"],
+        rows,
+        title="== perf gate ==",
+    )
+    bad = failures(verdicts)
+    lines = [table, ""]
+    if bad:
+        lines.append(f"perf gate FAILED: {len(bad)} regression(s)")
+        for v in bad:
+            lines.append(f"  {v.describe()}")
+    else:
+        gated = sum(1 for v in verdicts if v.gated)
+        lines.append(f"perf gate passed: {gated} metric(s) within bounds")
+    return "\n".join(lines) + "\n"

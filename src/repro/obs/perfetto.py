@@ -121,6 +121,7 @@ def validate_chrome_trace(obj: Any) -> list[str]:
     if not isinstance(events, list):
         return ["missing or non-array 'traceEvents'"]
     open_stacks: dict[tuple[int, int], int] = {}
+    last_ts: float | None = None
     for i, ev in enumerate(events):
         where = f"traceEvents[{i}]"
         if not isinstance(ev, dict):
@@ -140,6 +141,14 @@ def validate_chrome_trace(obj: Any) -> list[str]:
         ts = ev.get("ts")
         if not isinstance(ts, (int, float)):
             errors.append(f"{where}: missing numeric 'ts'")
+        else:
+            # The exporter sorts events by timestamp; an out-of-order ts
+            # means the trace was edited or produced by a buggy writer.
+            if last_ts is not None and ts < last_ts:
+                errors.append(
+                    f"{where}: timestamp out of order ({ts} after {last_ts})"
+                )
+            last_ts = ts
         if ph == "X":
             dur = ev.get("dur")
             if not isinstance(dur, (int, float)) or dur < 0:

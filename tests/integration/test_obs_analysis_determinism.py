@@ -1,0 +1,112 @@
+"""Determinism and partition invariance of the trace analytics.
+
+The acceptance contract for ``repro.obs.analysis`` (docs/perf_analysis.md):
+on a traced macaque run, the analyze report and the folded flame output
+are byte-identical across two same-seed runs, and the partition-invariant
+sections — the cluster-totals tail of the report and the ``cluster;…``
+flame subtree — are additionally identical between 1-rank and 4-rank
+layouts of the same network.
+"""
+
+import pytest
+
+from repro.core.config import CompassConfig
+from repro.core.simulator import Compass
+from repro.obs import Observability
+from repro.obs.analysis import (
+    analyze_report,
+    critical_path,
+    format_folded,
+    invariant_section,
+    load_events,
+)
+from repro.obs.analysis.critical import PHASE_ORDER
+from repro.obs.analysis.flame import fold_stacks, folded_lines
+from repro.obs.analysis.imbalance import imbalance_heatmap
+
+# The leak-driven macaque model is silent until ~tick 54; run long enough
+# that real spike traffic (and therefore real imbalance) is in the trace.
+TICKS = 100
+
+
+def _traced_events(network, n_processes):
+    obs = Observability.with_tracing()
+    sim = Compass(network, CompassConfig(n_processes=n_processes), obs=obs)
+    sim.run(TICKS)
+    return load_events(obs.tracer)
+
+
+@pytest.fixture(scope="module")
+def events_r1(macaque_small):
+    return _traced_events(macaque_small.compiled.network, 1)
+
+
+@pytest.fixture(scope="module")
+def events_r4(macaque_small):
+    return _traced_events(macaque_small.compiled.network, 4)
+
+
+@pytest.fixture(scope="module")
+def events_r4_rerun(macaque_small):
+    """A second, independent same-seed 4-rank run."""
+    return _traced_events(macaque_small.compiled.network, 4)
+
+
+class TestByteIdentity:
+    def test_analyze_report_identical_across_runs(self, events_r4,
+                                                  events_r4_rerun):
+        assert analyze_report(events_r4) == analyze_report(events_r4_rerun)
+
+    def test_folded_flame_identical_across_runs(self, events_r4,
+                                                events_r4_rerun):
+        a = format_folded(events_r4)
+        assert a == format_folded(events_r4_rerun)
+        assert a  # a macaque run is never an empty flame
+
+
+class TestPartitionInvariance:
+    def test_invariant_report_section_matches_across_layouts(
+        self, events_r1, events_r4
+    ):
+        report_1 = analyze_report(events_r1)
+        report_4 = analyze_report(events_r4)
+        # Full reports legitimately differ (they name ranks) ...
+        assert report_1 != report_4
+        # ... but the partition-invariant tail is identical.
+        tail_1 = invariant_section(report_1)
+        tail_4 = invariant_section(report_4)
+        assert tail_1
+        assert tail_1 == tail_4
+
+    def test_cluster_flame_subtree_matches_across_layouts(
+        self, events_r1, events_r4
+    ):
+        lines_1 = folded_lines(fold_stacks(events_r1))
+        lines_4 = folded_lines(fold_stacks(events_r4))
+        cluster_1 = [ln for ln in lines_1 if ln.startswith("cluster;")]
+        cluster_4 = [ln for ln in lines_4 if ln.startswith("cluster;")]
+        assert cluster_1
+        assert cluster_1 == cluster_4
+        # The rank-keyed subtrees differ by construction.
+        assert lines_1 != lines_4
+
+    def test_imbalance_sections_are_partition_invariant_names(
+        self, events_r1, events_r4
+    ):
+        rows_1 = {r.section for r in imbalance_heatmap(events_r1)}
+        rows_4 = {r.section for r in imbalance_heatmap(events_r4)}
+        # Same row keys (phase/metric, never rank ids) in both layouts.
+        assert rows_1 == rows_4
+        assert all("/" in s and "rank" not in s for s in rows_4)
+
+
+class TestCriticalPathShape:
+    def test_macaque_run_names_every_phase(self, events_r4):
+        cp = critical_path(events_r4)
+        assert len(cp.ticks) == TICKS
+        assert {p for p, _ in cp.phase_cost} == set(PHASE_ORDER)
+        # Every tick's binding rank is a real rank of the 4-way layout.
+        assert all(0 <= t.rank < 4 for t in cp.ticks)
+        # Cluster totals carry the invariant per-tick summary metrics.
+        metrics = {m for m, _, _ in cp.cluster_totals}
+        assert {"fired", "spikes", "neurons", "active_axons"} <= metrics

@@ -147,6 +147,160 @@ class TestObs:
         assert "error:" in capsys.readouterr().err
 
 
+class TestObsAnalysis:
+    """The trace-analytics subcommands: obs analyze | flame | gate."""
+
+    @pytest.fixture(scope="class")
+    def events_log(self, tmp_path_factory):
+        base = tmp_path_factory.mktemp("obs-analysis")
+        path = base / "events.jsonl"
+        rc = main(
+            ["obs", "trace", "--model", "quickstart", "--cores", "8",
+             "--ticks", "5", "--out", str(base / "trace.json"),
+             "--jsonl", str(path)]
+        )
+        assert rc == 0
+        return path
+
+    @staticmethod
+    def _bench_dir(tmp_path, mean=0.1):
+        """A results dir with one schema-2 tick_throughput payload."""
+        results = tmp_path / "results"
+        results.mkdir(exist_ok=True)
+        payload = {
+            "schema": 2,
+            "name": "tick_throughput",
+            "sha": "deadbee",
+            "version": "0.0.0",
+            "fingerprint": "abc123def456",
+            "params": {"cores": 128, "ticks": 50},
+            "samples": [mean],
+            "stats": {"n": 1, "min": mean, "max": mean, "mean": mean,
+                      "stddev": 0.0},
+            "derived": {"s_per_tick_disabled": mean / 50},
+        }
+        (results / "BENCH_tick_throughput.json").write_text(
+            json.dumps(payload)
+        )
+        return results
+
+    def test_analyze_stdout(self, events_log, capsys):
+        assert main(["obs", "analyze", str(events_log)]) == 0
+        out = capsys.readouterr().out
+        assert "who bounded the run" in out
+        assert "per-tick imbalance" in out
+        assert "cluster totals (partition-invariant)" in out
+
+    def test_analyze_writes_report(self, events_log, tmp_path, capsys):
+        report = tmp_path / "analysis.txt"
+        assert main(
+            ["obs", "analyze", str(events_log), "--out", str(report)]
+        ) == 0
+        assert "wrote analysis report" in capsys.readouterr().out
+        assert "who bounded the run" in report.read_text()
+
+    def test_analyze_missing_file_is_usage_error(self, capsys, tmp_path):
+        rc = main(["obs", "analyze", str(tmp_path / "absent.jsonl")])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "no such event log" in err
+
+    def test_analyze_empty_file_is_usage_error(self, capsys, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        rc = main(["obs", "analyze", str(empty)])
+        assert rc == 2
+        assert "empty" in capsys.readouterr().err
+
+    def test_flame_table_and_folded(self, events_log, tmp_path, capsys):
+        folded = tmp_path / "flame.folded"
+        assert main(
+            ["obs", "flame", str(events_log), "--folded", str(folded)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "flame self/total" in out
+        lines = folded.read_text().splitlines()
+        assert lines and lines == sorted(lines)
+        assert any(line.startswith("cluster;tick;") for line in lines)
+
+    def test_flame_missing_file_is_usage_error(self, capsys, tmp_path):
+        rc = main(["obs", "flame", str(tmp_path / "absent.jsonl")])
+        assert rc == 2
+        assert "no such event log" in capsys.readouterr().err
+
+    def test_flame_rejects_nonpositive_limit(self, events_log, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["obs", "flame", str(events_log), "--limit", "0"])
+        assert exc.value.code == 2
+        assert "positive integer" in capsys.readouterr().err
+
+    def test_gate_bless_then_pass(self, tmp_path, capsys):
+        results = self._bench_dir(tmp_path)
+        history = tmp_path / "hist.jsonl"
+        assert main(
+            ["obs", "gate", "--results", str(results),
+             "--history", str(history), "--bless"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "blessed 1 bench result(s)" in out
+        assert "perf gate passed" in out
+        # The blessed baseline now gates cleanly without --bless.
+        assert main(
+            ["obs", "gate", "--results", str(results),
+             "--history", str(history)]
+        ) == 0
+
+    def test_gate_fails_on_synthetic_regression(self, tmp_path, capsys):
+        results = self._bench_dir(tmp_path, mean=0.1)
+        history = tmp_path / "hist.jsonl"
+        assert main(
+            ["obs", "gate", "--results", str(results),
+             "--history", str(history), "--bless"]
+        ) == 0
+        capsys.readouterr()
+        # 20% slower than the blessed baseline: the gate must fail and
+        # name the offending bench + metric.
+        self._bench_dir(tmp_path, mean=0.12)
+        rc = main(
+            ["obs", "gate", "--results", str(results),
+             "--history", str(history)]
+        )
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "perf gate FAILED" in out
+        assert "REGRESSION: tick_throughput/time_s" in out
+
+    def test_gate_report_only_never_fails_exit(self, tmp_path, capsys):
+        results = self._bench_dir(tmp_path, mean=0.1)
+        history = tmp_path / "hist.jsonl"
+        assert main(
+            ["obs", "gate", "--results", str(results),
+             "--history", str(history), "--bless"]
+        ) == 0
+        self._bench_dir(tmp_path, mean=0.2)
+        rc = main(
+            ["obs", "gate", "--results", str(results),
+             "--history", str(history), "--report-only"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "report-only" in out and "not enforced" in out
+
+    def test_gate_missing_history_is_usage_error(self, tmp_path, capsys):
+        results = self._bench_dir(tmp_path)
+        rc = main(
+            ["obs", "gate", "--results", str(results),
+             "--history", str(tmp_path / "none.jsonl")]
+        )
+        assert rc == 2
+        assert "--bless" in capsys.readouterr().err
+
+    def test_gate_missing_results_dir_is_usage_error(self, tmp_path, capsys):
+        rc = main(["obs", "gate", "--results", str(tmp_path / "nowhere")])
+        assert rc == 2
+        assert "no such results directory" in capsys.readouterr().err
+
+
 class TestMacaque:
     def test_macaque_small(self, capsys):
         assert main(["macaque", "--cores", "77", "--ticks", "30"]) == 0

@@ -90,6 +90,40 @@ class TestChromeTrace:
         obj = json.loads(path.read_text())
         assert validate_chrome_trace(obj) == []
 
+    def test_validator_flags_out_of_order_timestamp(self):
+        trace = to_chrome_trace(_driven_tracer())
+        events = trace["traceEvents"]
+        # Swap the last two timed events; the sorted invariant breaks.
+        events[-1], events[-2] = events[-2], events[-1]
+        errors = validate_chrome_trace(trace)
+        assert any("timestamp out of order" in e for e in errors), errors
+
+    def test_validator_ignores_metadata_for_ordering(self):
+        # M events carry no ts; interleaving them must not trip the check.
+        trace = {
+            "traceEvents": [
+                {"ph": "i", "pid": 0, "tid": 0, "name": "a", "ts": 5.0,
+                 "s": "t"},
+                {"ph": "M", "pid": 0, "tid": 0, "name": "process_name",
+                 "args": {"name": "x"}},
+                {"ph": "i", "pid": 0, "tid": 0, "name": "b", "ts": 6.0,
+                 "s": "t"},
+            ]
+        }
+        assert validate_chrome_trace(trace) == []
+
+    def test_validator_reports_malformed_event_and_continues(self):
+        trace = {
+            "traceEvents": [
+                "not an event",
+                {"ph": "i", "tid": 0, "name": "", "ts": 1.0},
+            ]
+        }
+        errors = validate_chrome_trace(trace)
+        assert any("must be an object" in e for e in errors), errors
+        assert any("missing integer 'pid'" in e for e in errors), errors
+        assert any("missing event name" in e for e in errors), errors
+
 
 class TestPrometheus:
     def _registry(self):
@@ -166,3 +200,33 @@ class TestJsonl:
         b = [r for r in a if r["name"] != "mpi.send"]
         assert first_divergence(a, b) is not None
         assert first_divergence(a, b, name="tick") is None
+
+    def test_read_rejects_truncated_file(self, tmp_path):
+        """A log cut mid-record (crashed writer) fails loudly, not quietly."""
+        full = write_event_log(_driven_tracer(), tmp_path / "full.jsonl")
+        text = full.read_text()
+        cut = tmp_path / "cut.jsonl"
+        cut.write_text(text[: len(text) - 20])  # partial last object
+        lastline = len(text.splitlines())
+        with pytest.raises(ValueError, match=f"cut.jsonl:{lastline}"):
+            read_event_log(cut)
+
+    def test_divergence_on_truncated_log_is_prefix(self, tmp_path):
+        """Truncation at a line boundary diverges as a clean prefix."""
+        full = write_event_log(_driven_tracer(), tmp_path / "full.jsonl")
+        lines = full.read_text().splitlines()
+        cut = tmp_path / "cut.jsonl"
+        cut.write_text("\n".join(lines[:-2]) + "\n")
+        div = first_divergence(read_event_log(full), read_event_log(cut))
+        assert div.index == len(lines) - 2
+        assert div.b is None
+        assert "log B ends" in div.describe()
+
+    def test_first_divergence_on_malformed_record(self):
+        """A record with a wrong shape (not a crash) still localises."""
+        a = [json.loads(line) for line in iter_lines(_driven_tracer())]
+        b = [dict(r) for r in a]
+        del b[2]["rank"]  # malformed: field dropped by a buggy writer
+        div = first_divergence(a, b)
+        assert div.index == 2
+        assert "rank" in div.describe()
