@@ -1,4 +1,4 @@
-"""The determinism lint rules (DET101–DET107).
+"""The determinism lint rules (DET101–DET108).
 
 Each rule enforces one discipline that keeps the simulator
 bit-deterministic across rank counts and thread interleavings — the
@@ -19,7 +19,11 @@ property behind the paper's one-to-one spike correspondence claim:
   boundary: exporting is an observation, not a simulation effect, so
   every write must happen inside a function marked ``# repro: obs-flush``
   (on the ``def`` line or the line above) — the discipline that keeps
-  tracing/metrics emission side-effect-free on the simulation path.
+  tracing/metrics emission side-effect-free on the simulation path;
+* DET108 — no nondeterministic scheduling-order sources in the serving
+  layer (``repro.serve``): heap pushes must carry an explicit tuple
+  entry with a monotonic tie-break field, and ``dict.items()``
+  iteration that can feed queue or batch order must be ``sorted()``.
 
 ``time.perf_counter`` is explicitly allowed: host-time measurement is
 observational (it feeds metrics, never rank-visible state).  Likewise
@@ -32,6 +36,7 @@ from __future__ import annotations
 
 import ast
 import re
+from pathlib import Path
 
 from repro.check.rules.base import ModuleContext, Rule, register
 
@@ -423,3 +428,85 @@ class FlushBoundaryRule(Rule):
                 f"{chain[0]}.{chain[1]}() serialises to a file outside an "
                 "obs-flush function",
             )
+
+
+#: heapq mutators whose entry argument decides pop order.
+_HEAP_PUSH_FUNCS = frozenset({"heappush", "heappushpop", "heapreplace"})
+
+
+@register
+class SchedulingOrderRule(Rule):
+    rule_id = "DET108"
+    title = "nondeterministic scheduling source in the serving layer"
+    rationale = (
+        "the service's schedule IS its output: a heap entry without an "
+        "explicit tuple carrying a monotonic tie-break field falls back "
+        "to comparing payload objects (or raises on ties), and dict "
+        ".items() order encodes insertion history — either can reorder "
+        "equal-priority jobs between runs.  Push (priority, ..., seq) "
+        "tuples and wrap .items() iteration in sorted()."
+    )
+
+    @staticmethod
+    def _in_serve(path: str) -> bool:
+        return "serve" in Path(path).parts
+
+    def check(self, ctx: ModuleContext):
+        if not self._in_serve(ctx.path):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_heap_push(ctx, node)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                yield from self._scan_items(ctx, node.iter)
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                for gen in node.generators:
+                    yield from self._scan_items(ctx, gen.iter)
+
+    def _check_heap_push(self, ctx: ModuleContext, node: ast.Call):
+        chain = _attr_chain(node.func)
+        named = isinstance(node.func, ast.Name) and node.func.id in _HEAP_PUSH_FUNCS
+        qualified = (
+            len(chain) == 2 and chain[0] == "heapq" and chain[1] in _HEAP_PUSH_FUNCS
+        )
+        if not (named or qualified):
+            return
+        fname = chain[-1] if qualified else node.func.id
+        if len(node.args) < 2:
+            return
+        entry = node.args[1]
+        if isinstance(entry, ast.Tuple) and len(entry.elts) >= 2:
+            return
+        yield self.violation(
+            ctx,
+            node,
+            f"{fname}() entry is not an explicit tuple with a tie-break "
+            "field; push (priority, ..., seq, payload) so equal-priority "
+            "pops are deterministic",
+        )
+
+    def _scan_items(self, ctx: ModuleContext, expr: ast.AST):
+        """Flag ``.items()`` sources not wrapped in ``sorted()``."""
+        stack = [expr]
+        while stack:
+            node = stack.pop()
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "sorted"
+            ):
+                continue
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "items"
+            ):
+                yield self.violation(
+                    ctx,
+                    node,
+                    ".items() iteration order encodes insertion history and "
+                    "can feed the schedule; wrap it in sorted()",
+                )
+            stack.extend(ast.iter_child_nodes(node))

@@ -22,73 +22,27 @@ Subcommands:
 * ``obs analyze|flame|gate``    — trace analytics (see
   ``docs/perf_analysis.md``): critical-path + imbalance reports and
   folded flame stacks from a JSONL event log, and the perf-regression
-  gate over ``BENCH_*.json`` results vs the bench history.
+  gate over ``BENCH_*.json`` results vs the bench history;
+* ``serve run|submit|report``   — the deterministic multi-tenant
+  simulation service (see ``docs/serving.md``): seeded load against the
+  admission/batching/fair-share pipeline with an SLO latency report,
+  single-job submission, and report-file pretty-printing.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
+from repro.util.argtypes import (
+    crash_spec as _crash_spec,
+    message_spec as _message_spec,
+    non_negative_float as _non_negative_float,
+    positive_float as _positive_float,
+    positive_int as _positive_int,
+)
 from repro.version import __version__
-
-
-def _positive_int(text: str) -> int:
-    """argparse type for counts that must be >= 1 (ticks, ranks, cores)."""
-    try:
-        value = int(text)
-    except ValueError:
-        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
-    if value <= 0:
-        raise argparse.ArgumentTypeError(f"expected a positive integer, got {value}")
-    return value
-
-
-def _positive_float(text: str) -> float:
-    """argparse type for tolerances/factors that must be > 0."""
-    try:
-        value = float(text)
-    except ValueError:
-        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}")
-    if value <= 0:
-        raise argparse.ArgumentTypeError(f"expected a positive number, got {value}")
-    return value
-
-
-def _crash_spec(text: str) -> tuple[int, int]:
-    """Parse a ``TICK:RANK`` crash specification (e.g. ``40:1``)."""
-    parts = text.split(":")
-    if len(parts) != 2:
-        raise argparse.ArgumentTypeError(
-            f"expected TICK:RANK (e.g. 40:1), got {text!r}"
-        )
-    try:
-        tick, rank = int(parts[0]), int(parts[1])
-    except ValueError:
-        raise argparse.ArgumentTypeError(
-            f"expected TICK:RANK as integers, got {text!r}"
-        )
-    if tick < 0 or rank < 0:
-        raise argparse.ArgumentTypeError(f"tick and rank must be >= 0: {text!r}")
-    return tick, rank
-
-
-def _message_spec(text: str) -> tuple[int, int, int]:
-    """Parse a ``TICK:SRC:DEST`` message-fault specification."""
-    parts = text.split(":")
-    if len(parts) != 3:
-        raise argparse.ArgumentTypeError(
-            f"expected TICK:SRC:DEST (e.g. 12:0:1), got {text!r}"
-        )
-    try:
-        tick, src, dest = (int(p) for p in parts)
-    except ValueError:
-        raise argparse.ArgumentTypeError(
-            f"expected TICK:SRC:DEST as integers, got {text!r}"
-        )
-    if tick < 0 or src < 0 or dest < 0:
-        raise argparse.ArgumentTypeError(f"fields must be >= 0: {text!r}")
-    return tick, src, dest
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
@@ -110,6 +64,9 @@ def _cmd_info(args: argparse.Namespace) -> int:
             f"{spec.memory_per_node // 2**30} GiB/node, "
             f"{spec.nodes_per_rack} nodes/rack, {spec.torus_dims}-D torus"
         )
+    from repro.serve.server import BACKENDS
+
+    print(f"\nserve backends: {', '.join(BACKENDS)} (see docs/serving.md)")
     return 0
 
 
@@ -679,6 +636,124 @@ def _cmd_obs_gate(args: argparse.Namespace) -> int:
     return 1 if bad else 0
 
 
+def _serve_config(args: argparse.Namespace):
+    """Build a validated ServeConfig from serve CLI flags."""
+    from repro.serve.server import ServeConfig
+
+    fault_schedule = None
+    if getattr(args, "crash_at", None):
+        from repro.resilience.faults import FaultSchedule, RankCrash
+
+        fault_schedule = FaultSchedule(
+            [RankCrash(tick=t, rank=r) for t, r in args.crash_at]
+        )
+    return ServeConfig(
+        workers=args.workers,
+        processes=args.processes,
+        threads=args.threads,
+        backend="pgas" if args.pgas else "mpi",
+        max_batch_size=args.max_batch,
+        max_batch_delay_us=args.batch_delay_us,
+        queue_capacity=args.queue_capacity,
+        fault_schedule=fault_schedule,
+    )
+
+
+def _serve_tenants(count: int) -> tuple[str, ...]:
+    return tuple(f"tenant-{chr(ord('a') + i)}" for i in range(count))
+
+
+def _cmd_serve_run(args: argparse.Namespace) -> int:
+    from repro.serve.loadgen import ClosedLoopLoad, build_report, open_loop_load
+    from repro.serve.server import SimServer
+
+    server = SimServer(_serve_config(args))
+    tenants = _serve_tenants(args.tenants)
+    if args.mode == "open":
+        open_loop_load(
+            server,
+            rate_per_s=args.rate,
+            jobs=args.jobs,
+            tenants=tenants,
+            model=args.model,
+            cores=args.cores,
+            ticks_lo=args.ticks_lo,
+            ticks_hi=args.ticks_hi,
+            deadline_us=args.deadline_us,
+            seed=args.seed,
+            model_seed=args.model_seed,
+        )
+    else:
+        load = ClosedLoopLoad(
+            server,
+            clients=args.clients,
+            jobs_per_client=args.jobs_per_client,
+            think_us=args.think_us,
+            tenants=tenants,
+            model=args.model,
+            cores=args.cores,
+            ticks_lo=args.ticks_lo,
+            ticks_hi=args.ticks_hi,
+            deadline_us=args.deadline_us,
+            seed=args.seed,
+            model_seed=args.model_seed,
+        )
+        load.start()
+    server.run()
+    report = build_report(server)
+    text = report.format()
+    print(text)
+    if args.out:
+        _write_report(args.out, text + "\n")
+        print(f"wrote latency report: {args.out}")
+    if args.json:
+        _write_report(args.json, report.to_json() + "\n")
+        print(f"wrote json report: {args.json}")
+    return 0
+
+
+def _cmd_serve_submit(args: argparse.Namespace) -> int:
+    from repro.serve.jobs import DONE, JobSpec
+    from repro.serve.server import SimServer
+
+    server = SimServer(_serve_config(args))
+    spec = JobSpec(
+        tenant=args.tenant,
+        model=args.model,
+        cores=args.cores,
+        ticks=args.ticks,
+        priority=args.priority,
+        seed=args.model_seed,
+        deadline_us=args.deadline_us,
+    )
+    jid = server.submit(spec, at_us=0.0)
+    server.run()
+    job = server.jobs[jid]
+    if job.status != DONE:
+        print(f"job {jid} rejected: {job.reject_reason}", file=sys.stderr)
+        return 1
+    deadline = (
+        "missed" if job.deadline_missed
+        else ("met" if spec.deadline_us is not None else "none")
+    )
+    print(
+        f"job {jid} done: latency={job.latency_us:.1f}us "
+        f"(wait={job.wait_us:.1f}us run={job.run_us:.1f}us), "
+        f"batch={job.batch_id} size={job.batch_size}, deadline={deadline}"
+    )
+    return 0
+
+
+def _cmd_serve_report(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.serve.loadgen import LatencyReport
+
+    report = LatencyReport.from_json(Path(args.report).read_text())
+    print(report.format())
+    return 0
+
+
 def _cmd_resilience_report(args: argparse.Namespace) -> int:
     _, runner, result = _resilience_run(args)
     print(runner.report.format())
@@ -1014,6 +1089,91 @@ def build_parser() -> argparse.ArgumentParser:
     )
     q.add_argument("--out", help="also write the gate report to this file")
     q.set_defaults(func=_cmd_obs_gate)
+
+    p = sub.add_parser(
+        "serve", help="deterministic multi-tenant simulation service"
+    )
+    serve_sub = p.add_subparsers(dest="serve_command", required=True)
+
+    def _serve_server_flags(q: argparse.ArgumentParser) -> None:
+        q.add_argument("--workers", type=_positive_int, default=2)
+        q.add_argument("--processes", type=_positive_int, default=1)
+        q.add_argument("--threads", type=_positive_int, default=1)
+        q.add_argument("--pgas", action="store_true", help="use the PGAS backend")
+        q.add_argument(
+            "--max-batch",
+            type=_positive_int,
+            default=8,
+            help="launch as soon as this many compatible jobs wait",
+        )
+        q.add_argument(
+            "--batch-delay-us",
+            type=_non_negative_float,
+            default=0.0,
+            help="hold the queue head up to this long (simulated us) "
+            "waiting for batch companions",
+        )
+        q.add_argument("--queue-capacity", type=_positive_int, default=256)
+        q.add_argument(
+            "--model", choices=("quickstart", "macaque"), default="quickstart"
+        )
+        q.add_argument(
+            "--cores", type=_positive_int, default=8, help="network size"
+        )
+        q.add_argument("--model-seed", type=int, default=42)
+        q.add_argument(
+            "--deadline-us",
+            type=_positive_float,
+            default=None,
+            help="SLO deadline per job (simulated us; default: no SLO)",
+        )
+        q.add_argument(
+            "--crash-at",
+            action="append",
+            type=_crash_spec,
+            metavar="TICK:RANK",
+            help="inject a rank crash into the first launched batch "
+            "(repeatable; mpi backend only)",
+        )
+
+    q = serve_sub.add_parser(
+        "run", help="run a seeded load and print the SLO latency report"
+    )
+    _serve_server_flags(q)
+    q.add_argument("--mode", choices=("open", "closed"), default="open")
+    q.add_argument("--seed", type=int, default=0, help="load-generator seed")
+    q.add_argument("--tenants", type=_positive_int, default=2)
+    q.add_argument(
+        "--rate", type=_positive_float, default=100.0, help="open-loop jobs/s"
+    )
+    q.add_argument(
+        "--jobs", type=_positive_int, default=50, help="open-loop job count"
+    )
+    q.add_argument("--clients", type=_positive_int, default=4)
+    q.add_argument("--jobs-per-client", type=_positive_int, default=8)
+    q.add_argument("--think-us", type=_non_negative_float, default=1000.0)
+    q.add_argument("--ticks-lo", type=_positive_int, default=10)
+    q.add_argument("--ticks-hi", type=_positive_int, default=40)
+    q.add_argument("--out", help="write the text report here")
+    q.add_argument("--json", help="write the JSON report here")
+    q.set_defaults(func=_cmd_serve_run)
+
+    q = serve_sub.add_parser(
+        "submit", help="submit one job to a fresh service and report it"
+    )
+    _serve_server_flags(q)
+    q.add_argument("--tenant", default="tenant-a")
+    q.add_argument("--ticks", type=_positive_int, default=20)
+    q.add_argument(
+        "--priority", type=int, default=4, help="0 (urgent) .. 9 (batch)"
+    )
+    q.set_defaults(func=_cmd_serve_submit)
+
+    q = serve_sub.add_parser(
+        "report", help="pretty-print a JSON report from 'serve run --json'"
+    )
+    q.add_argument("report", help="JSON report file")
+    q.set_defaults(func=_cmd_serve_report)
     return parser
 
 
@@ -1034,6 +1194,13 @@ def main(argv: list[str] | None = None) -> int:
     except FileNotFoundError as exc:
         print(f"error: no such file: {exc.filename or exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `| head`) closed the pipe; exit
+        # quietly like any well-behaved filter.  Detach stdout so the
+        # interpreter's shutdown flush doesn't raise a second time.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

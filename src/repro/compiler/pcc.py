@@ -23,7 +23,6 @@ Compass partition so white matter ≡ inter-process communication (§V).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -37,6 +36,7 @@ from repro.errors import CompilationError
 from repro.obs import Observability
 from repro.runtime.mpi import VirtualMpiCluster
 from repro.util.bitops import pack_bits
+from repro.util.hostclock import host_perf_counter
 from repro.util.rng import derive_seed
 
 #: Bytes exchanged per allocated axon in the wiring handshake: a global
@@ -130,7 +130,7 @@ class ParallelCompassCompiler:
         self.obs = obs if obs is not None else Observability.off()
 
     def compile(self, obj: CoreObject) -> CompiledModel:
-        t_start = time.perf_counter()
+        t_start = host_perf_counter()
         tr = self.obs.tracer
         if tr.enabled:
             # Compile spans live on their own trace process track (the
@@ -274,7 +274,7 @@ class ParallelCompassCompiler:
                 white=metrics.white_matter_connections,
                 gray=metrics.gray_matter_connections,
             )
-        metrics.wall_seconds = time.perf_counter() - t_start
+        metrics.wall_seconds = host_perf_counter() - t_start
         return compiled
 
     # -- helpers ---------------------------------------------------------------

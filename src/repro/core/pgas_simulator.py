@@ -17,7 +17,6 @@ next tick's computation, because the axon buffer is a set of bits.
 
 from __future__ import annotations
 
-import time
 
 import numpy as np
 
@@ -27,6 +26,7 @@ from repro.core.config import CompassConfig
 from repro.core.metrics import TickMetrics
 from repro.core.simulator import CompassBase
 from repro.obs import Observability
+from repro.util.hostclock import host_perf_counter
 
 
 class PgasCompass(CompassBase):
@@ -66,7 +66,7 @@ class PgasCompass(CompassBase):
         per_rank_msgs, host = self._compute_phase(tick, tm)
 
         # Write epoch: one-sided puts of aggregated batches.
-        t0 = time.perf_counter()
+        t0 = host_perf_counter()
         per_rank_puts: list[int] = []
         per_rank_bytes: list[int] = []
         for rs, msgs in zip(self.ranks, per_rank_msgs):
@@ -150,7 +150,7 @@ class PgasCompass(CompassBase):
                     puts=per_rank_puts[rs.rank],
                     bytes_sent=per_rank_bytes[rs.rank],
                 )
-        host.network += time.perf_counter() - t0
+        host.network += host_perf_counter() - t0
 
         self.metrics.host += host
         if self.timer is not None:

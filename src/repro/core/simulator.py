@@ -20,7 +20,6 @@ tick *t+1* state before every rank finished tick *t*.
 
 from __future__ import annotations
 
-import time
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 
@@ -41,6 +40,7 @@ from repro.core.metrics import (
 from repro.core.partition import Partition
 from repro.errors import MessageLossError
 from repro.obs import Observability
+from repro.util.hostclock import host_perf_counter
 
 
 class SpikeRecorder:
@@ -402,9 +402,9 @@ class CompassBase:
                     rs.block.n_cores,
                     self.config.threads_per_process,
                 )
-            t0 = time.perf_counter()
+            t0 = host_perf_counter()
             counts = rs.block.synapse_phase(tick)
-            t1 = time.perf_counter()
+            t1 = host_perf_counter()
             fired = rs.block.neuron_phase(counts)
             if self.recorder is not None:
                 cs, ns = np.nonzero(fired)
@@ -424,7 +424,7 @@ class CompassBase:
             )
             msgs = rs.remote_bufs.flush(tick)
             per_rank_msgs.append(msgs)
-            t2 = time.perf_counter()
+            t2 = host_perf_counter()
 
             host.synapse += t1 - t0
             host.neuron += t2 - t1
@@ -535,7 +535,7 @@ class Compass(CompassBase):
                 self._h_bytes_send.observe(rs.rank, batch.nbytes)
 
         # Network phase: Reduce-Scatter, local delivery, receive loop.
-        t0 = time.perf_counter()
+        t0 = host_perf_counter()
         for rs in self.ranks:
             self.cluster.endpoints[rs.rank].reduce_scatter(send_counts[rs.rank])
         recv_counts = [
@@ -607,7 +607,7 @@ class Compass(CompassBase):
                     bytes_received=bytes_received,
                     local_delivered=int(gids.size),
                 )
-        host.network += time.perf_counter() - t0
+        host.network += host_perf_counter() - t0
 
         self.metrics.host += host
         if self.timer is not None:

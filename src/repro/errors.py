@@ -74,6 +74,24 @@ class RecoveryExhaustedError(ReproError):
     """Recovery retries exceeded the policy's bound without progress."""
 
 
+class AdmissionError(ReproError):
+    """A job could not be admitted to the simulation service queue.
+
+    Raised by :class:`repro.serve.queue.FairShareQueue` at submission
+    time.  Admission failures are *load* conditions, not programming
+    errors: the caller (load generator, CLI, or a client loop) records
+    the rejection and moves on; the service itself never sees the job.
+    """
+
+
+class QueueFullError(AdmissionError):
+    """The bounded service queue is at capacity (global backpressure)."""
+
+
+class TenantQuotaError(AdmissionError):
+    """A tenant exceeded its per-tenant admission quota."""
+
+
 class AnalysisError(ReproError):
     """A trace-analytics input is missing, empty, or malformed.
 

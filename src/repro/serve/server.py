@@ -1,0 +1,457 @@
+"""The simulation service: a deterministic worker pool on a virtual clock.
+
+:class:`SimServer` is a discrete-event loop over one simulated timeline
+(microseconds).  Jobs arrive, pass admission control
+(:class:`~repro.serve.queue.FairShareQueue`), wait for a compatible
+batch (:class:`~repro.serve.batcher.Batcher`), and run on one of a pool
+of virtual-cluster workers.  Every latency the service reports is the
+sum of simulated costs — queue wait, batch-formation delay, setup, and
+execution — so a seeded run produces byte-identical reports on any
+machine, at any host load, across repeated runs.
+
+Execution cost is charged from *partition-invariant* quantities only:
+the tick count and the per-tick fired-spike counts of the underlying
+Compass run (identical across 1-rank and 4-rank layouts by the §IV
+partition-invariance property).  The worker-pool width in
+:class:`ServeConfig` therefore changes throughput and queueing, but a
+given job's run cost never depends on the process layout — which is
+what makes latency reports reproducible across layouts.
+
+Faulted jobs: when a :class:`~repro.resilience.faults.FaultSchedule` is
+armed, the first launched batch runs under
+:class:`~repro.resilience.recovery.ResilientRunner` (MPI backend only);
+the simulated recovery overhead is charged to every job in that batch
+and surfaces as ``retries`` in the report.
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import insort
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Callable
+
+from repro.core.config import CompassConfig
+from repro.core.pgas_simulator import PgasCompass
+from repro.core.simulator import Compass
+from repro.errors import AdmissionError, ConfigurationError
+from repro.obs import Observability
+from repro.serve.batcher import Batch, Batcher, BatchPolicy
+from repro.serve.jobs import (
+    DONE,
+    QUEUED,
+    REJECTED,
+    RUNNING,
+    BatchRecord,
+    Job,
+    JobSpec,
+)
+from repro.serve.queue import FairShareQueue, TenantQuota
+from repro.util.validation import check_positive, check_range, require
+
+#: Service backends, mirroring the simulator backends.
+BACKENDS = ("mpi", "pgas")
+
+# Event kinds, in tie-break order at equal timestamps: arrivals first,
+# then batch-delay flushes, then job completions, then worker releases.
+_ARRIVAL = 0
+_FLUSH = 1
+_JOB_DONE = 2
+_WORKER_FREE = 3
+
+
+@lru_cache(maxsize=8)
+def build_network(model: str, cores: int, seed: int):
+    """Build (and memoise) the network for a batch key.
+
+    Networks are read-only to the simulators, so compatible batches —
+    and repeated benches in one process — share one build.  The cache is
+    keyed by the full batch key, which is exactly the compatibility
+    predicate.
+    """
+    if model == "quickstart":
+        from repro.apps.quicknet import build_quickstart_network
+
+        return build_quickstart_network(n_cores=cores, seed=seed)
+    if model == "macaque":
+        from repro.cocomac.model import build_macaque_model
+
+        return build_macaque_model(total_cores=cores, seed=seed).compiled.network
+    raise ConfigurationError(f"unknown model kind {model!r}")
+
+
+@dataclass(frozen=True)
+class ServeCostModel:
+    """Simulated cost coefficients for serving one batch.
+
+    ``setup_us`` is the per-*batch* virtual-cluster setup (network build,
+    compile, partition, buffer registration) — the cost batching exists
+    to amortise.  ``tick_us`` and ``spike_us`` charge execution from the
+    two partition-invariant run quantities.
+    """
+
+    setup_us: float = 20_000.0
+    tick_us: float = 50.0
+    spike_us: float = 0.02
+
+    def __post_init__(self) -> None:
+        check_positive("setup_us", self.setup_us)
+        check_positive("tick_us", self.tick_us)
+        check_range("spike_us", self.spike_us, lo=0.0)
+
+    def run_us(self, ticks: int, cum_fired: int) -> float:
+        """Execution cost of the first ``ticks`` ticks of a batch."""
+        return ticks * self.tick_us + cum_fired * self.spike_us
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Validated service configuration."""
+
+    workers: int = 2
+    processes: int = 1
+    threads: int = 1
+    backend: str = "mpi"
+    max_batch_size: int = 8
+    max_batch_delay_us: float = 0.0
+    queue_capacity: int = 256
+    quotas: tuple[tuple[str, TenantQuota], ...] = ()
+    default_quota: TenantQuota = field(default_factory=TenantQuota)
+    costs: ServeCostModel = field(default_factory=ServeCostModel)
+    #: When set, the first launched batch runs under ResilientRunner.
+    fault_schedule: object | None = None
+    checkpoint_interval: int = 10
+    recovery_policy: str = "restart"
+
+    def __post_init__(self) -> None:
+        check_positive("workers", self.workers)
+        check_positive("processes", self.processes)
+        check_positive("threads", self.threads)
+        require(
+            self.backend in BACKENDS,
+            f"backend={self.backend!r} not one of {BACKENDS}",
+        )
+        check_positive("queue_capacity", self.queue_capacity)
+        check_positive("max_batch_size", self.max_batch_size)
+        check_range("max_batch_delay_us", self.max_batch_delay_us, lo=0.0)
+        check_positive("checkpoint_interval", self.checkpoint_interval)
+        require(
+            not (self.fault_schedule is not None and self.backend == "pgas"),
+            "fault injection requires the mpi backend "
+            "(recovery hooks live in the two-sided virtual cluster)",
+        )
+
+
+class SimServer:
+    """Deterministic multi-tenant simulation service on a simulated clock."""
+
+    def __init__(
+        self, config: ServeConfig | None = None, obs: Observability | None = None
+    ) -> None:
+        self.config = config or ServeConfig()
+        self.obs = obs or Observability.off()
+        self.queue = FairShareQueue(
+            capacity=self.config.queue_capacity,
+            quotas=dict(self.config.quotas),
+            default_quota=self.config.default_quota,
+        )
+        self.batcher = Batcher(
+            BatchPolicy(
+                max_batch_size=self.config.max_batch_size,
+                max_batch_delay_us=self.config.max_batch_delay_us,
+            )
+        )
+        self.jobs: dict[int, Job] = {}
+        self.batches: list[BatchRecord] = []
+        self._events: list[tuple[float, int, int, object]] = []
+        self._event_seq = 0
+        self._job_seq = 0
+        self._batch_seq = 0
+        # Free workers as a sorted id list: launches always take the
+        # lowest-numbered free worker (explicit deterministic order).
+        self._free_workers: list[int] = list(range(self.config.workers))
+        self._hooks: list[Callable[[Job], None]] = []
+        self._fault_pending = self.config.fault_schedule is not None
+        # (batch_key, ticks) -> cumulative fired counts; run results are
+        # deterministic so identical batches share one simulation.
+        self._run_cache: dict[tuple[tuple[str, int, int], int], tuple[int, ...]] = {}
+        self._tenant_ids: dict[str, int] = {}
+        self.now_us = 0.0
+        reg = self.obs.registry
+        self._g_depth = reg.gauge("serve_queue_depth", help="jobs waiting in queue")
+        self._h_batch = reg.histogram(
+            "serve_batch_size",
+            buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0),
+            help="jobs per launched batch",
+        )
+        self._h_latency = reg.histogram(
+            "serve_job_latency_us",
+            buckets=(1e3, 1e4, 1e5, 1e6, 1e7, 1e8),
+            help="submit-to-complete latency (simulated)",
+            unit="us",
+        )
+        self._m_submitted = reg.counter(
+            "serve_jobs_submitted_total", help="jobs submitted, keyed by tenant id"
+        )
+        self._m_completed = reg.counter(
+            "serve_jobs_completed_total", help="jobs completed, keyed by tenant id"
+        )
+        self._m_rejected = reg.counter(
+            "serve_jobs_rejected_total", help="admission rejections, keyed by tenant id"
+        )
+        self._m_miss = reg.counter(
+            "serve_deadline_miss_total", help="SLO deadline misses, keyed by tenant id"
+        )
+        self._m_batches = reg.counter("serve_batches_total", help="batches launched")
+        self._m_retries = reg.counter(
+            "serve_retries_total", help="fault-recovery retries across batches"
+        )
+
+    # -- tenant bookkeeping ---------------------------------------------------
+
+    def tenant_id(self, tenant: str) -> int:
+        """Stable small-int key for per-tenant instrument cells.
+
+        Ids are assigned in first-submission order, which is part of the
+        deterministic schedule, so instrument cells line up across runs.
+        """
+        return self._tenant_ids.setdefault(tenant, len(self._tenant_ids))
+
+    @property
+    def tenants(self) -> list[str]:
+        """Tenant names in id order."""
+        return sorted(self._tenant_ids, key=self._tenant_ids.get)
+
+    # -- submission -----------------------------------------------------------
+
+    def add_completion_hook(self, hook: Callable[[Job], None]) -> None:
+        """``hook(job)`` fires when a job completes *or* is rejected."""
+        self._hooks.append(hook)
+
+    def submit(self, spec: JobSpec, at_us: float = 0.0) -> int:
+        """Schedule a job arrival at ``at_us`` on the simulated timeline."""
+        check_range("at_us", at_us, lo=0.0)
+        job = Job(spec=spec, job_id=self._job_seq, submit_us=at_us)
+        self._job_seq += 1
+        self.jobs[job.job_id] = job
+        self._push(at_us, _ARRIVAL, job)
+        return job.job_id
+
+    # -- event loop -----------------------------------------------------------
+
+    def _push(self, t_us: float, kind: int, payload: object) -> None:
+        heapq.heappush(self._events, (t_us, kind, self._event_seq, payload))
+        self._event_seq += 1
+
+    def run(self) -> None:
+        """Drain the event heap: process every arrival to completion."""
+        while self._events:
+            t_us, kind, seq, payload = heapq.heappop(self._events)
+            del seq
+            self.now_us = max(self.now_us, t_us)
+            if kind == _ARRIVAL:
+                self._on_arrival(payload)
+            elif kind == _FLUSH:
+                self._maybe_launch()
+            elif kind == _JOB_DONE:
+                self._on_job_done(payload)
+            else:
+                insort(self._free_workers, payload)
+                self._maybe_launch()
+
+    def _on_arrival(self, job: Job) -> None:
+        tid = self.tenant_id(job.spec.tenant)
+        self._m_submitted.inc(rank=tid)
+        tracer = self.obs.tracer
+        try:
+            self.queue.submit(job)
+        except AdmissionError as exc:
+            job.status = REJECTED
+            job.reject_reason = type(exc).__name__
+            self._m_rejected.inc(rank=tid)
+            if tracer.enabled:
+                tracer.instant(
+                    "serve.reject",
+                    rank=-1,
+                    tick=-1,
+                    ts_us=self.now_us,
+                    cat="serve",
+                    job=job.job_id,
+                    tenant=job.spec.tenant,
+                    reason=job.reject_reason,
+                )
+            self._fire_hooks(job)
+            return
+        self._g_depth.set(-1, float(len(self.queue)))
+        if tracer.enabled:
+            tracer.instant(
+                "serve.submit",
+                rank=-1,
+                tick=-1,
+                ts_us=self.now_us,
+                cat="serve",
+                job=job.job_id,
+                tenant=job.spec.tenant,
+                priority=job.spec.priority,
+            )
+        self._maybe_launch()
+
+    def _on_job_done(self, job: Job) -> None:
+        job.status = DONE
+        job.finish_us = self.now_us
+        tid = self.tenant_id(job.spec.tenant)
+        self._m_completed.inc(rank=tid)
+        self._h_latency.observe(-1, job.latency_us)
+        self._h_latency.observe(tid, job.latency_us)
+        if job.deadline_missed:
+            self._m_miss.inc(rank=tid)
+        tracer = self.obs.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "serve.done",
+                rank=-1,
+                tick=-1,
+                ts_us=self.now_us,
+                cat="serve",
+                job=job.job_id,
+                tenant=job.spec.tenant,
+                latency_us=job.latency_us,
+            )
+        self._fire_hooks(job)
+
+    def _fire_hooks(self, job: Job) -> None:
+        for hook in self._hooks:
+            hook(job)
+
+    # -- launching ------------------------------------------------------------
+
+    def _maybe_launch(self) -> None:
+        while self._free_workers:
+            ready = self.batcher.ready_at(self.queue, self.now_us)
+            if ready is None:
+                return
+            if ready > self.now_us:
+                self._push(ready, _FLUSH, None)
+                return
+            batch = self.batcher.form(self.queue, self.now_us)
+            if batch is None:
+                return
+            worker = self._free_workers.pop(0)
+            self._g_depth.set(-1, float(len(self.queue)))
+            self._execute(batch, worker)
+
+    def _execute(self, batch: Batch, worker: int) -> None:
+        costs = self.config.costs
+        max_ticks = batch.max_ticks
+        fired, retries, overhead_us = self._run_batch(batch.key, max_ticks)
+        cum = [0]
+        for f in fired:
+            cum.append(cum[-1] + f)
+        record = BatchRecord(
+            batch_id=self._batch_seq,
+            key=batch.key,
+            job_ids=[job.job_id for job in batch.jobs],
+            launch_us=self.now_us,
+            max_ticks=max_ticks,
+            worker=worker,
+            retries=retries,
+            overhead_us=overhead_us,
+        )
+        self._batch_seq += 1
+        busy_until = (
+            self.now_us + costs.setup_us + costs.run_us(max_ticks, cum[-1]) + overhead_us
+        )
+        record.end_us = busy_until
+        self.batches.append(record)
+        for job in batch.jobs:
+            job.status = RUNNING
+            job.launch_us = self.now_us
+            job.batch_id = record.batch_id
+            job.batch_size = record.size
+            job.retries = retries
+            job.overhead_us = overhead_us
+            finish = (
+                self.now_us
+                + costs.setup_us
+                + costs.run_us(job.spec.ticks, cum[job.spec.ticks])
+                + overhead_us
+            )
+            self._push(finish, _JOB_DONE, job)
+        self._push(busy_until, _WORKER_FREE, worker)
+        self._h_batch.observe(-1, float(record.size))
+        self._m_batches.inc()
+        if retries:
+            self._m_retries.inc(value=retries)
+        tracer = self.obs.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "serve.launch",
+                rank=-1,
+                tick=-1,
+                ts_us=self.now_us,
+                cat="serve",
+                batch=record.batch_id,
+                size=record.size,
+                worker=worker,
+                model=batch.key[0],
+            )
+
+    def _run_batch(
+        self, key: tuple[str, int, int], ticks: int
+    ) -> tuple[tuple[int, ...], int, float]:
+        """Run (or reuse) the simulation behind a batch.
+
+        Returns per-tick fired counts plus fault-recovery accounting.
+        Fired counts are partition-invariant and deterministic, so
+        fault-free runs are memoised per (key, ticks).
+        """
+        cached = self._run_cache.get((key, ticks))
+        if cached is not None and not self._fault_pending:
+            return cached, 0, 0.0
+        model, cores, seed = key
+        network = build_network(model, cores, seed)
+        sim_config = CompassConfig(
+            n_processes=self.config.processes,
+            threads_per_process=self.config.threads,
+        )
+        if self._fault_pending:
+            # One-shot: the armed schedule applies to the first launch.
+            self._fault_pending = False
+            from repro.resilience.recovery import RecoveryPolicy, ResilientRunner
+
+            runner = ResilientRunner(
+                lambda: Compass(network, sim_config, obs=Observability.off()),
+                schedule=self.config.fault_schedule,
+                checkpoint_interval=self.config.checkpoint_interval,
+                policy=RecoveryPolicy(kind=self.config.recovery_policy),
+            )
+            result = runner.run(ticks)
+            fired = tuple(tm.fired for tm in result.metrics.per_tick)
+            self._run_cache[(key, ticks)] = fired
+            overhead_us = result.metrics.overhead_s * 1e6
+            return fired, len(runner.report.failures), overhead_us
+        sim_cls = Compass if self.config.backend == "mpi" else PgasCompass
+        sim = sim_cls(network, sim_config, obs=Observability.off())
+        result = sim.run(ticks)
+        fired = tuple(tm.fired for tm in result.metrics.per_tick)
+        self._run_cache[(key, ticks)] = fired
+        return fired, 0, 0.0
+
+    # -- results --------------------------------------------------------------
+
+    def finished_jobs(self) -> list[Job]:
+        """All terminal jobs (done or rejected) in job-id order."""
+        return [
+            self.jobs[jid]
+            for jid in sorted(self.jobs)
+            if self.jobs[jid].status in (DONE, REJECTED)
+        ]
+
+    def pending_jobs(self) -> list[Job]:
+        """Jobs still queued or running (non-empty only mid-run)."""
+        return [
+            self.jobs[jid]
+            for jid in sorted(self.jobs)
+            if self.jobs[jid].status in (QUEUED, RUNNING)
+        ]

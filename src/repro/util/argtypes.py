@@ -1,0 +1,80 @@
+"""Shared ``argparse`` type validators for the repro CLI.
+
+Every subcommand family (run, resilience, obs, serve) takes counts that
+must be positive, tolerances that must be nonzero, and structured fault
+specifications.  These validators centralise the parsing and the error
+messages so a bad ``--ticks`` reads identically everywhere.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+
+def positive_int(text: str) -> int:
+    """argparse type for counts that must be >= 1 (ticks, ranks, cores)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {value}")
+    return value
+
+
+def positive_float(text: str) -> float:
+    """argparse type for tolerances/factors/rates that must be > 0."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"expected a positive number, got {value}")
+    return value
+
+
+def non_negative_float(text: str) -> float:
+    """argparse type for delays/waits that may be zero but not negative."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"expected a non-negative number, got {value}")
+    return value
+
+
+def crash_spec(text: str) -> tuple[int, int]:
+    """Parse a ``TICK:RANK`` crash specification (e.g. ``40:1``)."""
+    parts = text.split(":")
+    if len(parts) != 2:
+        raise argparse.ArgumentTypeError(
+            f"expected TICK:RANK (e.g. 40:1), got {text!r}"
+        )
+    try:
+        tick, rank = int(parts[0]), int(parts[1])
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected TICK:RANK as integers, got {text!r}"
+        )
+    if tick < 0 or rank < 0:
+        raise argparse.ArgumentTypeError(f"tick and rank must be >= 0: {text!r}")
+    return tick, rank
+
+
+def message_spec(text: str) -> tuple[int, int, int]:
+    """Parse a ``TICK:SRC:DEST`` message-fault specification."""
+    parts = text.split(":")
+    if len(parts) != 3:
+        raise argparse.ArgumentTypeError(
+            f"expected TICK:SRC:DEST (e.g. 12:0:1), got {text!r}"
+        )
+    try:
+        tick, src, dest = (int(p) for p in parts)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected TICK:SRC:DEST as integers, got {text!r}"
+        )
+    if tick < 0 or src < 0 or dest < 0:
+        raise argparse.ArgumentTypeError(f"fields must be >= 0: {text!r}")
+    return tick, src, dest

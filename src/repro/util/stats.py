@@ -9,6 +9,7 @@ stable, and shared by the perf-regression gate
 
 from __future__ import annotations
 
+import math
 from typing import Sequence
 
 import numpy as np
@@ -58,6 +59,26 @@ def robust_outlier(
         return value > rel_threshold
     mad_threshold = center + k * MAD_SIGMA * mad(baseline)
     return value > max(mad_threshold, rel_threshold)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of a non-empty sequence (exact, stable).
+
+    ``q`` is in [0, 100].  The nearest-rank convention returns an actual
+    observed value (never an interpolation), so latency reports built
+    from it are byte-identical whenever the underlying simulated
+    latencies are — the property the serving-layer SLO accounting
+    (:mod:`repro.serve`) relies on.
+    """
+    ordered = sorted(float(v) for v in values)
+    if not ordered:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q={q!r} outside [0, 100]")
+    if q == 0.0:
+        return ordered[0]
+    rank = math.ceil(q / 100.0 * len(ordered))
+    return ordered[rank - 1]
 
 
 def max_over_mean(values: Sequence[float]) -> float:

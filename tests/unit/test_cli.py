@@ -27,6 +27,7 @@ class TestInfo:
         out = capsys.readouterr().out
         assert "256 axons x 256 neurons" in out
         assert "BlueGene/Q" in out and "BlueGene/P" in out
+        assert "serve backends: mpi, pgas" in out
 
 
 class TestCompile:
@@ -412,6 +413,78 @@ class TestResilience:
             main(["resilience", "inject", "--crash-at", "12"])
         assert exc.value.code == 2
         assert "TICK:RANK" in capsys.readouterr().err
+
+
+class TestServe:
+    RUN = [
+        "serve", "run", "--mode", "open", "--jobs", "12", "--rate", "150",
+        "--cores", "4", "--max-batch", "4", "--batch-delay-us", "5000",
+        "--deadline-us", "200000", "--seed", "9",
+    ]
+
+    def test_run_open_loop_prints_report(self, capsys):
+        assert main(self.RUN) == 0
+        out = capsys.readouterr().out
+        assert "jobs: submitted=12" in out
+        assert "latency: p50=" in out
+        assert "tenant" in out
+
+    def test_run_json_round_trips_through_report(self, capsys, tmp_path):
+        path = tmp_path / "report.json"
+        assert main(self.RUN + ["--json", str(path)]) == 0
+        first = capsys.readouterr().out
+        assert path.exists()
+        assert main(["serve", "report", str(path)]) == 0
+        reprinted = capsys.readouterr().out
+        # The pretty-printed report is embedded in the run output.
+        assert reprinted.strip() in first
+
+    def test_run_is_reproducible(self, capsys, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(self.RUN + ["--json", str(a)]) == 0
+        assert main(self.RUN + ["--json", str(b)]) == 0
+        capsys.readouterr()
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_run_cross_layout_identical(self, capsys, tmp_path):
+        one, four = tmp_path / "p1.json", tmp_path / "p4.json"
+        assert main(self.RUN + ["--processes", "1", "--json", str(one)]) == 0
+        assert main(self.RUN + ["--processes", "4", "--json", str(four)]) == 0
+        capsys.readouterr()
+        assert one.read_bytes() == four.read_bytes()
+
+    def test_run_closed_loop(self, capsys):
+        assert main(
+            ["serve", "run", "--mode", "closed", "--clients", "3",
+             "--jobs-per-client", "2", "--cores", "4", "--seed", "1"]
+        ) == 0
+        assert "jobs: submitted=6" in capsys.readouterr().out
+
+    def test_run_with_crash_reports_retries(self, capsys):
+        assert main(
+            ["serve", "run", "--mode", "open", "--jobs", "4", "--cores", "4",
+             "--processes", "2", "--crash-at", "5:1", "--ticks-lo", "10",
+             "--ticks-hi", "20"]
+        ) == 0
+        assert "retries=1" in capsys.readouterr().out
+
+    def test_submit_single_job(self, capsys):
+        assert main(
+            ["serve", "submit", "--tenant", "alice", "--ticks", "15",
+             "--cores", "4", "--deadline-us", "500000"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "job 0 done" in out
+        assert "deadline=met" in out
+
+    def test_pgas_with_crash_is_clean_error(self, capsys):
+        assert main(
+            ["serve", "submit", "--pgas", "--cores", "4", "--crash-at", "5:1"]
+        ) == 2
+        assert "mpi backend" in capsys.readouterr().err
+
+    def test_report_missing_file_is_clean_error(self, capsys, tmp_path):
+        assert main(["serve", "report", str(tmp_path / "nope.json")]) == 2
 
 
 class TestArgumentValidation:

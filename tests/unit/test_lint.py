@@ -1,4 +1,4 @@
-"""Unit tests for the determinism lint engine (DET100–DET107).
+"""Unit tests for the determinism lint engine (DET100–DET108).
 
 Each rule gets a positive case (the violation is reported with its rule
 id and location) and a suppressed case (the same construct with a
@@ -30,6 +30,7 @@ class TestRegistry:
         ids = [r.rule_id for r in all_rules()]
         assert ids == [
             "DET101", "DET102", "DET103", "DET104", "DET105", "DET106", "DET107",
+            "DET108",
         ]
 
     def test_rules_by_id_selects(self):
@@ -252,6 +253,71 @@ class TestFlushBoundary:
             "    p.write_text(text)  # repro: allow[DET107] test fixture\n"
         )
         assert lint_source(src, path="x.py") == []
+
+
+class TestSchedulingOrder:
+    SERVE = "src/repro/serve/queue.py"
+
+    def test_bare_heappush_flagged_in_serve(self):
+        src = (
+            "import heapq\n\n"
+            "def push(heap, wid):\n    heapq.heappush(heap, wid)\n"
+        )
+        violations = lint_source(src, path=self.SERVE)
+        assert rule_ids(violations) == ["DET108"]
+        assert "tie-break" in violations[0].message
+
+    def test_imported_heappush_flagged_in_serve(self):
+        src = (
+            "from heapq import heappush\n\n"
+            "def push(heap, wid):\n    heappush(heap, wid)\n"
+        )
+        assert rule_ids(lint_source(src, path=self.SERVE)) == ["DET108"]
+
+    def test_tuple_entry_allowed(self):
+        src = (
+            "import heapq\n\n"
+            "def push(heap, prio, seq, job):\n"
+            "    heapq.heappush(heap, (prio, seq, job))\n"
+        )
+        assert lint_source(src, path=self.SERVE) == []
+
+    def test_single_element_tuple_flagged(self):
+        src = (
+            "import heapq\n\n"
+            "def push(heap, job):\n    heapq.heappush(heap, (job,))\n"
+        )
+        assert rule_ids(lint_source(src, path=self.SERVE)) == ["DET108"]
+
+    def test_items_iteration_flagged_in_serve(self):
+        src = (
+            "def drain(queues):\n"
+            "    return [k for k, v in queues.items()]\n"
+        )
+        assert rule_ids(lint_source(src, path=self.SERVE)) == ["DET108"]
+
+    def test_sorted_items_allowed(self):
+        src = (
+            "def drain(queues):\n"
+            "    return [k for k, v in sorted(queues.items())]\n"
+        )
+        assert lint_source(src, path=self.SERVE) == []
+
+    def test_not_applied_outside_serve(self):
+        src = (
+            "import heapq\n\n"
+            "def push(heap, wid):\n    heapq.heappush(heap, wid)\n"
+        )
+        assert lint_source(src, path="src/repro/core/simulator.py") == []
+
+    def test_suppression(self):
+        src = (
+            "import heapq\n\n"
+            "def push(heap, entry):\n"
+            "    heapq.heappush(heap, entry)"
+            "  # repro: allow[DET108] entry is a tuple\n"
+        )
+        assert lint_source(src, path=self.SERVE) == []
 
 
 class TestMutableDefault:
