@@ -9,22 +9,33 @@ the tooling that keeps that property enforced rather than assumed:
   rules (no wall-clock or global-RNG calls in simulation paths, no
   unordered iteration in rank-visible code, no mutable default
   arguments, no broad exception handlers);
+* :mod:`repro.check.flow` — an interprocedural nondeterminism taint
+  analysis (the FLOW rule series) proving no nondeterminism source
+  reaches a rank-visible sink unsanitized, with witness paths, SARIF
+  output, and a committed-baseline gate;
 * :mod:`repro.check.races` — a happens-before race detector for the
   virtual cluster, built on vector clocks attached to simulated ranks
   and threads;
 * :mod:`repro.check.model` — a compile-time model checker run at the end
   of every PCC compilation (dangling axon targets, crossbar index
-  bounds, IPFP balance, placement capacity).
+  bounds, IPFP balance, placement capacity);
+* :mod:`repro.check.serialize` — the shared finding serializer behind
+  ``--format text|json|sarif`` on every checker subcommand.
 
-All three are exposed through ``repro-compass check {lint,races,model}``.
+All are exposed through ``repro-compass check {lint,flow,races,model}``.
 """
 
+from repro.check.flow import FlowFinding, FlowReport, run_flow
 from repro.check.lint import LintReport, run_lint
 from repro.check.model import Diagnostic, ModelCheckReport, check_model
 from repro.check.races import HappensBeforeDetector, Race, RaceReport, VectorClock
+from repro.check.serialize import CheckResult, to_json, to_sarif
 
 __all__ = [
+    "CheckResult",
     "Diagnostic",
+    "FlowFinding",
+    "FlowReport",
     "HappensBeforeDetector",
     "LintReport",
     "ModelCheckReport",
@@ -32,5 +43,8 @@ __all__ = [
     "RaceReport",
     "VectorClock",
     "check_model",
+    "run_flow",
     "run_lint",
+    "to_json",
+    "to_sarif",
 ]

@@ -1,0 +1,294 @@
+"""Project-wide call-graph resolution from the AST.
+
+The flow engine is *interprocedural*: a helper in ``apps/`` that reads
+the host clock and returns the value must taint its callers.  That needs
+a call graph, and building one for Python from the AST alone is
+necessarily approximate — so this module is explicit about what it can
+resolve and records everything it cannot (:attr:`CallGraph.unresolved`)
+instead of silently dropping it.
+
+Resolved call shapes:
+
+* ``name(...)`` — a function defined in the same module, or a name bound
+  by ``from mod import name`` when ``mod.name`` is a parsed function;
+* ``self.method(...)`` — a method of the enclosing class;
+* ``mod.attr(...)`` / ``pkg.mod.attr(...)`` — through ``import`` /
+  ``import ... as`` / ``from pkg import mod`` aliases, including
+  relative imports, when the target function was parsed.
+
+Everything else (dynamic dispatch, calls through containers, methods on
+non-``self`` receivers) lands in ``unresolved`` with its call site.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Marks a function as a declared observability flush boundary (the same
+#: marker rule DET107 honours; see docs/observability.md).
+_OBS_FLUSH_RE = re.compile(r"#\s*repro:\s*obs-flush")
+
+#: Synthetic function name for a module's top-level statements.
+MODULE_BODY = "<module>"
+
+
+def attr_chain(node: ast.AST) -> list[str]:
+    """``a.b.c`` -> ``["a", "b", "c"]``; empty when the base is not a Name."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return []
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name for a source path.
+
+    Paths inside a ``repro`` package map to their real dotted name so
+    cross-module imports resolve; anything else uses the file stem.
+    """
+    parts = Path(path).parts
+    for i, part in enumerate(parts):
+        if part == "repro":
+            tail = list(parts[i:])
+            tail[-1] = Path(tail[-1]).stem
+            if tail[-1] == "__init__":
+                tail.pop()
+            return ".".join(tail)
+    return Path(path).stem
+
+
+@dataclass
+class FunctionInfo:
+    """One parsed function (or module body) the engine can analyze."""
+
+    qualname: str  #: e.g. ``repro.core.simulator.Compass.run``
+    module: str
+    path: str
+    node: ast.AST  #: FunctionDef / AsyncFunctionDef, or Module for <module>
+    params: tuple[str, ...] = ()
+    class_name: str | None = None
+    is_flush: bool = False  #: marked ``# repro: obs-flush``
+
+    @property
+    def body(self) -> list[ast.stmt]:
+        if isinstance(self.node, ast.Module):
+            # Top-level statements only; nested defs are their own entries.
+            return [
+                s
+                for s in self.node.body
+                if not isinstance(
+                    s, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                )
+            ]
+        return self.node.body
+
+    @property
+    def lineno(self) -> int:
+        return getattr(self.node, "lineno", 1)
+
+
+@dataclass(frozen=True)
+class UnresolvedCall:
+    """A call site the resolver could not bind to a parsed function."""
+
+    caller: str
+    name: str
+    path: str
+    line: int
+
+
+@dataclass
+class _ModuleInfo:
+    path: str
+    module: str
+    #: local name -> fully qualified dotted target ("numpy", "time.sleep",
+    #: "repro.core.checkpoint", ...).
+    aliases: dict[str, str] = field(default_factory=dict)
+    #: line -> set of suppressed rule ids on that line.
+    suppressions: dict[int, set[str]] = field(default_factory=dict)
+    lines: list[str] = field(default_factory=list)
+
+
+class CallGraph:
+    """All parsed functions plus the machinery to resolve call sites."""
+
+    def __init__(self) -> None:
+        self.functions: dict[str, FunctionInfo] = {}
+        self.modules: dict[str, _ModuleInfo] = {}
+        self.unresolved: list[UnresolvedCall] = []
+        self._seen_unresolved: set[UnresolvedCall] = set()
+
+    # -- construction ------------------------------------------------------
+
+    def add_module(self, path: str, source: str, tree: ast.Module) -> None:
+        module = module_name_for(path)
+        info = _ModuleInfo(path=path, module=module, lines=source.splitlines())
+        from repro.check.rules.base import _SUPPRESS_RE
+
+        for lineno, text in enumerate(info.lines, start=1):
+            for match in _SUPPRESS_RE.finditer(text):
+                info.suppressions.setdefault(lineno, set()).add(match.group(1))
+        self._collect_imports(tree, module, info)
+        self.modules[module] = info
+        self.functions[f"{module}.{MODULE_BODY}"] = FunctionInfo(
+            qualname=f"{module}.{MODULE_BODY}",
+            module=module,
+            path=path,
+            node=tree,
+        )
+        self._collect_functions(tree, module, info, prefix=module, class_name=None)
+
+    def _collect_imports(
+        self, tree: ast.Module, module: str, info: _ModuleInfo
+    ) -> None:
+        package = module.rsplit(".", 1)[0] if "." in module else ""
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    info.aliases[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                base = node.module or ""
+                if node.level:
+                    # Relative import: climb `level` packages from here.
+                    parts = module.split(".")
+                    parts = parts[: max(len(parts) - node.level, 0)]
+                    base = ".".join(parts + ([node.module] if node.module else []))
+                elif not base:
+                    base = package
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    info.aliases[local] = f"{base}.{alias.name}" if base else alias.name
+
+    def _collect_functions(
+        self,
+        node: ast.AST,
+        module: str,
+        info: _ModuleInfo,
+        prefix: str,
+        class_name: str | None,
+    ) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}.{child.name}"
+                args = child.args
+                params = tuple(
+                    a.arg for a in args.posonlyargs + args.args + args.kwonlyargs
+                )
+                self.functions.setdefault(
+                    qualname,
+                    FunctionInfo(
+                        qualname=qualname,
+                        module=module,
+                        path=info.path,
+                        node=child,
+                        params=params,
+                        class_name=class_name,
+                        is_flush=self._is_flush(child, info.lines),
+                    ),
+                )
+                # Nested defs resolve only through their own qualname,
+                # which bare-name calls never produce — by design: a
+                # closure's taint environment is not modelled.
+                self._collect_functions(
+                    child, module, info, prefix=qualname, class_name=class_name
+                )
+            elif isinstance(child, ast.ClassDef):
+                self._collect_functions(
+                    child,
+                    module,
+                    info,
+                    prefix=f"{prefix}.{child.name}",
+                    class_name=child.name,
+                )
+
+    @staticmethod
+    def _is_flush(node: ast.AST, lines: list[str]) -> bool:
+        for lineno in (node.lineno, node.lineno - 1):
+            if 1 <= lineno <= len(lines) and _OBS_FLUSH_RE.search(lines[lineno - 1]):
+                return True
+        return False
+
+    # -- queries -----------------------------------------------------------
+
+    def qualify(self, func: ast.AST, module: str) -> str:
+        """Expand a call's func expression to a dotted name through the
+        module's import aliases (``np.random.rand`` -> ``numpy.random.rand``).
+        Empty string when the base is not a plain name."""
+        chain = attr_chain(func)
+        if not chain:
+            return ""
+        info = self.modules.get(module)
+        head = info.aliases.get(chain[0], chain[0]) if info else chain[0]
+        return ".".join([head] + chain[1:])
+
+    def resolve(self, call: ast.Call, caller: FunctionInfo) -> FunctionInfo | None:
+        """Bind a call site to a parsed function, or record it unresolved."""
+        func = call.func
+        target: str | None = None
+        if isinstance(func, ast.Name):
+            qualified = self.qualify(func, caller.module)
+            for candidate in (qualified, f"{caller.module}.{func.id}"):
+                if candidate in self.functions:
+                    target = candidate
+                    break
+        elif isinstance(func, ast.Attribute):
+            chain = attr_chain(func)
+            if chain and chain[0] == "self" and caller.class_name and len(chain) == 2:
+                candidate = f"{caller.module}.{caller.class_name}.{chain[1]}"
+                if candidate in self.functions:
+                    target = candidate
+            if target is None and chain:
+                qualified = self.qualify(func, caller.module)
+                if qualified in self.functions:
+                    target = qualified
+        if target is not None:
+            return self.functions[target]
+        name = ".".join(attr_chain(func)) or "<dynamic>"
+        record = UnresolvedCall(
+            caller=caller.qualname,
+            name=name,
+            path=caller.path,
+            line=getattr(call, "lineno", 0),
+        )
+        if record not in self._seen_unresolved:
+            self._seen_unresolved.add(record)
+            self.unresolved.append(record)
+        return None
+
+    def suppressed(self, module: str, rule_id: str, line: int) -> bool:
+        """Suppression marker on the line or the line just above it."""
+        info = self.modules.get(module)
+        if info is None:
+            return False
+        return rule_id in info.suppressions.get(
+            line, set()
+        ) or rule_id in info.suppressions.get(line - 1, set())
+
+    def sorted_functions(self) -> list[FunctionInfo]:
+        """Deterministic iteration order for the fixpoint passes."""
+        return [self.functions[q] for q in sorted(self.functions)]
+
+
+def build_callgraph(sources: dict[str, str]) -> CallGraph:
+    """Parse ``{path: source}`` into a call graph; syntax errors are
+    skipped here (the lint engine reports them as DET100)."""
+    graph = CallGraph()
+    for path in sorted(sources):
+        try:
+            tree = ast.parse(sources[path], filename=path)
+        except SyntaxError:
+            continue
+        graph.add_module(path, sources[path], tree)
+    return graph

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.check.rules import ModuleContext, Rule, Violation, all_rules
+from repro.errors import CheckInputError
 
 #: Top-level ``repro`` members whose behaviour is *not* rank-visible:
 #: they observe or present results but never feed simulation state.
@@ -60,17 +61,34 @@ class LintReport:
 
 
 def iter_python_files(paths) -> list[Path]:
-    """Expand files/directories into a sorted list of ``.py`` files."""
+    """Expand files/directories into a sorted list of ``.py`` files.
+
+    Raises :class:`~repro.errors.CheckInputError` naming the offending
+    path when it does not exist or is not a python file or directory.
+    """
     found: set[Path] = set()
     for p in paths:
         path = Path(p)
+        if not path.exists():
+            raise CheckInputError(f"no such file or directory: {path}")
         if path.is_dir():
             found.update(path.rglob("*.py"))
         elif path.suffix == ".py":
             found.add(path)
         else:
-            raise FileNotFoundError(f"not a python file or directory: {path}")
+            raise CheckInputError(f"not a python file or directory: {path}")
     return sorted(found)
+
+
+def read_source(path: Path) -> str:
+    """Read one module's source, surfacing decode failures as typed
+    errors with the offending path instead of a raw UnicodeDecodeError."""
+    try:
+        return Path(path).read_text(encoding="utf-8")
+    except UnicodeDecodeError as exc:
+        raise CheckInputError(
+            f"not valid UTF-8 (byte {exc.start}): {path}"
+        ) from exc
 
 
 def lint_source(
@@ -105,8 +123,9 @@ def run_lint(paths, rules: list[Rule] | None = None) -> LintReport:
     report = LintReport()
     rules = rules if rules is not None else all_rules()
     for path in iter_python_files(paths):
-        source = path.read_text(encoding="utf-8")
-        report.violations.extend(lint_source(source, str(path), rules=rules))
+        report.violations.extend(
+            lint_source(read_source(path), str(path), rules=rules)
+        )
         report.files_checked += 1
     report.violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
     return report

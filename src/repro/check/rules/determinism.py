@@ -1,4 +1,4 @@
-"""The determinism lint rules (DET101–DET108).
+"""The determinism lint rules (DET101–DET109).
 
 Each rule enforces one discipline that keeps the simulator
 bit-deterministic across rank counts and thread interleavings — the
@@ -23,7 +23,12 @@ property behind the paper's one-to-one spike correspondence claim:
 * DET108 — no nondeterministic scheduling-order sources in the serving
   layer (``repro.serve``): heap pushes must carry an explicit tuple
   entry with a monotonic tie-break field, and ``dict.items()``
-  iteration that can feed queue or batch order must be ``sorted()``.
+  iteration that can feed queue or batch order must be ``sorted()``;
+* DET109 — no environment or filesystem-order reads in rank-visible
+  paths: ``os.environ`` / ``os.getenv`` values differ between hosts and
+  launches, and ``os.listdir`` / ``os.scandir`` / ``Path.iterdir`` /
+  ``.glob`` return entries in OS-dependent order — wrap listings in
+  ``sorted()`` or suppress with a documented reason.
 
 ``time.perf_counter`` is explicitly allowed: host-time measurement is
 observational (it feeds metrics, never rank-visible state).  Likewise
@@ -509,4 +514,99 @@ class SchedulingOrderRule(Rule):
                     ".items() iteration order encodes insertion history and "
                     "can feed the schedule; wrap it in sorted()",
                 )
+            stack.extend(ast.iter_child_nodes(node))
+
+
+#: ``os.<attr>`` calls that list a directory in OS-dependent order.
+_FS_LIST_OS_FUNCS = frozenset({"listdir", "scandir"})
+
+#: Path-object methods that yield entries in OS-dependent order.
+_FS_LIST_METHODS = frozenset({"iterdir", "glob", "rglob"})
+
+
+@register
+class EnvFsOrderRule(Rule):
+    rule_id = "DET109"
+    title = "environment or filesystem-order read in a rank-visible path"
+    rationale = (
+        "os.environ / os.getenv values vary across hosts and launches, "
+        "and os.listdir / os.scandir / Path.iterdir / .glob yield "
+        "entries in OS-dependent order, so any rank-visible value "
+        "derived from them differs run to run; sort directory listings "
+        "with sorted() and keep environment reads out of simulation "
+        "paths (or suppress with a documented reason)."
+    )
+    rank_visible_only = True
+
+    def check(self, ctx: ModuleContext):
+        imports_os = any(
+            (isinstance(n, ast.Import) and any(
+                a.name == "os" or a.name.startswith("os.") for a in n.names
+            ))
+            or (isinstance(n, ast.ImportFrom) and n.module == "os")
+            for n in ast.walk(ctx.tree)
+        )
+        for node in ast.walk(ctx.tree):
+            if imports_os and isinstance(node, ast.Attribute):
+                chain = _attr_chain(node)
+                if chain[:2] in (["os", "environ"], ["os", "environb"]):
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f"os.{chain[1]} read in a rank-visible path; "
+                        "environment state differs across hosts and launches",
+                    )
+            elif imports_os and isinstance(node, ast.Call):
+                chain = _attr_chain(node.func)
+                if len(chain) == 2 and chain[0] == "os" and chain[1] == "getenv":
+                    yield self.violation(
+                        ctx,
+                        node,
+                        "os.getenv() read in a rank-visible path; environment "
+                        "state differs across hosts and launches",
+                    )
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                yield from self._scan_listing(ctx, node.iter, imports_os)
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                for gen in node.generators:
+                    yield from self._scan_listing(ctx, gen.iter, imports_os)
+
+    def _scan_listing(self, ctx: ModuleContext, expr: ast.AST, imports_os: bool):
+        """Flag unsorted directory-listing iterables, skipping subtrees
+        already wrapped in ``sorted()`` (the DET103 convention)."""
+        stack = [expr]
+        while stack:
+            node = stack.pop()
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "sorted"
+            ):
+                continue
+            if isinstance(node, ast.Call):
+                chain = _attr_chain(node.func)
+                if (
+                    imports_os
+                    and len(chain) == 2
+                    and chain[0] == "os"
+                    and chain[1] in _FS_LIST_OS_FUNCS
+                ):
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f"iteration over os.{chain[1]}() is OS-order-"
+                        "dependent; wrap it in sorted()",
+                    )
+                elif (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _FS_LIST_METHODS
+                ):
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f"iteration over .{node.func.attr}() is OS-order-"
+                        "dependent; wrap it in sorted()",
+                    )
             stack.extend(ast.iter_child_nodes(node))

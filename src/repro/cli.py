@@ -9,9 +9,11 @@ Subcommands:
   built-in quickstart network) and print run statistics;
 * ``macaque``                   — build, compile, and run a macaque model;
 * ``figures [name|all]``        — regenerate the paper's evaluation tables;
-* ``check lint|races|model``    — the determinism sanitizer (see
-  ``docs/checker.md``): static lint rules, the happens-before race
-  detector on a live run, and the structural model checker;
+* ``check lint|flow|races|model`` — the determinism sanitizer (see
+  ``docs/checker.md``): static lint rules, the interprocedural
+  nondeterminism taint analysis with baseline gating, the
+  happens-before race detector on a live run, and the structural model
+  checker; ``lint``/``flow``/``races`` take ``--format text|json|sarif``;
 * ``resilience inject|report``  — run under an injected fault schedule
   and recover (see ``docs/resilience.md``): ``inject`` verifies the
   recovered spike raster, ``report`` prints the recovery-overhead table;
@@ -166,9 +168,20 @@ def _cmd_macaque(args: argparse.Namespace) -> int:
     return 0
 
 
+def _emit_check_output(args: argparse.Namespace, text: str) -> None:
+    """Print a checker document and honour a ``--out`` copy."""
+    out = getattr(args, "out", None)
+    if out:
+        _write_report(out, text)
+        print(f"wrote {args.format} report: {out}")
+    end = "" if text.endswith("\n") else "\n"
+    print(text, end=end)
+
+
 def _cmd_check_lint(args: argparse.Namespace) -> int:
     from repro.check.lint import run_lint
     from repro.check.rules import rules_by_id
+    from repro.check.serialize import lint_results, lint_rule_metas, to_json, to_sarif
 
     paths = args.paths
     if not paths:
@@ -181,11 +194,23 @@ def _cmd_check_lint(args: argparse.Namespace) -> int:
     try:
         rules = rules_by_id(args.rule) if args.rule else None
         report = run_lint(paths, rules=rules)
-    except (KeyError, FileNotFoundError) as exc:
+    except KeyError as exc:
         # str(KeyError) wraps its argument in quotes; unwrap for display.
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
-    print(report.format())
+    if args.format == "json":
+        text = to_json(
+            "repro.check.lint",
+            lint_results(report.violations),
+            summary={"files_checked": report.files_checked},
+        )
+    elif args.format == "sarif":
+        text = to_sarif(
+            "repro.check.lint", lint_rule_metas(), lint_results(report.violations)
+        )
+    else:
+        text = report.format()
+    _emit_check_output(args, text)
     return 0 if report.passed else 1
 
 
@@ -212,11 +237,77 @@ def _cmd_check_races(args: argparse.Namespace) -> int:
     sim = Compass(network, cfg, sanitize=True)
     sim.run(args.ticks)
     report = sim.race_report()
-    print(
-        f"ran {args.ticks} sanitized ticks on {args.processes} ranks x "
-        f"{args.threads} threads ({args.model}, {network.n_cores} cores)"
-    )
-    print(report.format())
+    if args.format == "json":
+        from repro.check.serialize import race_results, to_json
+
+        text = to_json(
+            "repro.check.races",
+            race_results(report),
+            summary={
+                "ticks": args.ticks,
+                "processes": args.processes,
+                "threads": args.threads,
+                "model": args.model,
+                "cores": network.n_cores,
+            },
+        )
+    elif args.format == "sarif":
+        from repro.check.serialize import RACE_RULES, race_results, to_sarif
+
+        text = to_sarif("repro.check.races", RACE_RULES, race_results(report))
+    else:
+        text = (
+            f"ran {args.ticks} sanitized ticks on {args.processes} ranks x "
+            f"{args.threads} threads ({args.model}, {network.n_cores} cores)\n"
+        ) + report.format()
+    _emit_check_output(args, text)
+    return 0 if report.passed else 1
+
+
+def _cmd_check_flow(args: argparse.Namespace) -> int:
+    from repro.check.flow import load_baseline, run_flow, write_baseline
+    from repro.check.flow.report import FLOW_RULES, TOOL_NAME
+    from repro.check.serialize import to_json, to_sarif
+
+    paths = args.paths
+    if not paths:
+        # Default to analysing the installed package itself.
+        from pathlib import Path
+
+        import repro
+
+        paths = [Path(repro.__file__).parent]
+    if args.bless:
+        if not args.baseline:
+            print("error: --bless requires --baseline FILE", file=sys.stderr)
+            return 2
+        report = run_flow(paths, baseline=None)
+        write_baseline(args.baseline, report.findings)
+        print(
+            f"blessed {len(report.findings)} finding(s) into baseline: "
+            f"{args.baseline}"
+        )
+        return 0
+    baseline = load_baseline(args.baseline) if args.baseline else None
+    report = run_flow(paths, baseline=baseline)
+    report.baseline_path = str(args.baseline) if args.baseline else None
+    if args.format == "json":
+        text = to_json(
+            TOOL_NAME,
+            report.to_results(),
+            summary={
+                "files_checked": report.files_checked,
+                "functions_analyzed": report.functions_analyzed,
+                "unresolved_calls": report.unresolved_calls,
+                "new_findings": len(report.new_findings),
+                "baseline": report.baseline_path,
+            },
+        )
+    elif args.format == "sarif":
+        text = to_sarif(TOOL_NAME, FLOW_RULES, report.to_results())
+    else:
+        text = report.format()
+    _emit_check_output(args, text)
     return 0 if report.passed else 1
 
 
@@ -808,8 +899,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_export)
 
-    p = sub.add_parser("check", help="determinism sanitizer (lint, races, model)")
+    p = sub.add_parser(
+        "check", help="determinism sanitizer (lint, flow, races, model)"
+    )
     check_sub = p.add_subparsers(dest="check_command", required=True)
+
+    def _add_format_args(sp: argparse.ArgumentParser) -> None:
+        sp.add_argument(
+            "--format",
+            choices=("text", "json", "sarif"),
+            default="text",
+            help="output format (default: text)",
+        )
+        sp.add_argument(
+            "--out", metavar="FILE", help="also write the report to FILE"
+        )
 
     q = check_sub.add_parser("lint", help="run the determinism lint rules")
     q.add_argument("paths", nargs="*", help="files/directories (default: repro pkg)")
@@ -819,7 +923,25 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="ID",
         help="restrict to specific rule ids (repeatable, e.g. --rule DET103)",
     )
+    _add_format_args(q)
     q.set_defaults(func=_cmd_check_lint)
+
+    q = check_sub.add_parser(
+        "flow", help="interprocedural nondeterminism taint analysis"
+    )
+    q.add_argument("paths", nargs="*", help="files/directories (default: repro pkg)")
+    q.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="baseline file of accepted findings; only new findings fail",
+    )
+    q.add_argument(
+        "--bless",
+        action="store_true",
+        help="rewrite --baseline to accept all current findings, then exit 0",
+    )
+    _add_format_args(q)
+    q.set_defaults(func=_cmd_check_flow)
 
     q = check_sub.add_parser(
         "races", help="run a sanitized simulation and report races"
@@ -837,6 +959,7 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument(
         "--model", choices=("quickstart", "macaque"), default="quickstart"
     )
+    _add_format_args(q)
     q.set_defaults(func=_cmd_check_races)
 
     q = check_sub.add_parser("model", help="model-check a CoreObject compile")

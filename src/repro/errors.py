@@ -92,6 +92,16 @@ class TenantQuotaError(AdmissionError):
     """A tenant exceeded its per-tenant admission quota."""
 
 
+class CheckInputError(ReproError):
+    """A checker input path is missing, unreadable, or not analyzable.
+
+    Raised by :mod:`repro.check` when a lint/flow target does not exist,
+    is not a python file or directory, cannot be decoded as UTF-8, or a
+    flow baseline file is missing/malformed.  Always a *usage* error
+    (CLI exit code 2) naming the offending path — never a finding.
+    """
+
+
 class AnalysisError(ReproError):
     """A trace-analytics input is missing, empty, or malformed.
 

@@ -1,0 +1,499 @@
+"""Unit tests for the interprocedural taint analysis (FLOW201–FLOW205).
+
+Organized like the engine: call-graph resolution, CFG + fixpoint,
+end-to-end taint fixtures (each FLOW rule gets a tainted case and a
+sanitized case), suppression markers, the baseline workflow, and the
+serializers (byte-identical JSON, SARIF 2.1.0 shape).  The installed
+package must run clean against the committed baseline, since that is
+what CI gates on.
+"""
+
+import ast
+import json
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.check.flow import (
+    build_callgraph,
+    build_cfg,
+    fixpoint,
+    load_baseline,
+    partition_findings,
+    run_flow,
+    run_flow_sources,
+    write_baseline,
+)
+from repro.check.flow.report import FLOW_RULES, TOOL_NAME
+from repro.check.serialize import to_json, to_sarif
+from repro.errors import CheckInputError
+
+
+def flow(src: str, path: str = "src/repro/runtime/fix.py"):
+    """Analyze one rank-visible module; return its findings."""
+    return run_flow_sources({path: src}).findings
+
+
+def rule_ids(findings):
+    return [f.rule_id for f in findings]
+
+
+class TestCallGraph:
+    def test_same_module_bare_call_resolves(self):
+        graph = build_callgraph(
+            {"src/repro/util/m.py": "def helper():\n    return 1\n\ndef f():\n    return helper()\n"}
+        )
+        caller = graph.functions["repro.util.m.f"]
+        call = caller.node.body[0].value
+        target = graph.resolve(call, caller)
+        assert target is not None
+        assert target.qualname == "repro.util.m.helper"
+
+    def test_self_method_resolves_to_enclosing_class(self):
+        src = (
+            "class C:\n"
+            "    def helper(self):\n        return 1\n"
+            "    def f(self):\n        return self.helper()\n"
+        )
+        graph = build_callgraph({"src/repro/util/m.py": src})
+        caller = graph.functions["repro.util.m.C.f"]
+        call = caller.node.body[0].value
+        target = graph.resolve(call, caller)
+        assert target.qualname == "repro.util.m.C.helper"
+
+    def test_from_import_resolves_across_modules(self):
+        sources = {
+            "src/repro/util/a.py": "def helper():\n    return 1\n",
+            "src/repro/util/b.py": (
+                "from repro.util.a import helper\n\ndef f():\n    return helper()\n"
+            ),
+        }
+        graph = build_callgraph(sources)
+        caller = graph.functions["repro.util.b.f"]
+        call = caller.node.body[0].value
+        target = graph.resolve(call, caller)
+        assert target.qualname == "repro.util.a.helper"
+
+    def test_module_attribute_call_resolves_through_import(self):
+        sources = {
+            "src/repro/util/a.py": "def helper():\n    return 1\n",
+            "src/repro/util/b.py": (
+                "from repro.util import a\n\ndef f():\n    return a.helper()\n"
+            ),
+        }
+        graph = build_callgraph(sources)
+        caller = graph.functions["repro.util.b.f"]
+        call = caller.node.body[0].value
+        assert graph.resolve(call, caller).qualname == "repro.util.a.helper"
+
+    def test_unresolved_call_is_recorded_not_dropped(self):
+        graph = build_callgraph(
+            {"src/repro/util/m.py": "def f(x):\n    return x.mystery()\n"}
+        )
+        caller = graph.functions["repro.util.m.f"]
+        call = caller.node.body[0].value
+        assert graph.resolve(call, caller) is None
+        assert len(graph.unresolved) == 1
+        rec = graph.unresolved[0]
+        assert rec.name == "x.mystery"
+        assert rec.caller == "repro.util.m.f"
+        assert rec.line == 2
+
+    def test_unresolved_calls_deduped_per_site(self):
+        graph = build_callgraph(
+            {"src/repro/util/m.py": "def f(x):\n    return x.g()\n"}
+        )
+        caller = graph.functions["repro.util.m.f"]
+        call = caller.node.body[0].value
+        graph.resolve(call, caller)
+        graph.resolve(call, caller)
+        assert len(graph.unresolved) == 1
+
+    def test_syntax_error_module_skipped(self):
+        graph = build_callgraph({"bad.py": "def f(:\n"})
+        assert graph.functions == {}
+
+    def test_module_body_registered(self):
+        graph = build_callgraph({"src/repro/util/m.py": "x = 1\n"})
+        assert "repro.util.m.<module>" in graph.functions
+
+
+class TestCfg:
+    def _cfg(self, src: str):
+        tree = ast.parse(src)
+        return build_cfg(tree.body[0].body)
+
+    def test_if_creates_branch_and_join(self):
+        cfg = self._cfg(
+            "def f(x):\n"
+            "    if x:\n        a = 1\n    else:\n        a = 2\n"
+            "    return a\n"
+        )
+        assert len(cfg.blocks) >= 4
+        # Some block has two predecessors: the join point.
+        preds = cfg.preds()
+        assert any(len(p) == 2 for p in preds.values())
+
+    def test_while_has_back_edge(self):
+        cfg = self._cfg("def f(x):\n    while x:\n        x -= 1\n    return x\n")
+        back = [
+            (block.bid, s)
+            for block in cfg.blocks.values()
+            for s in block.succs
+            if s <= block.bid
+        ]
+        assert back, "loop must produce a back edge"
+
+    def test_fixpoint_reaches_loop_carried_state(self):
+        cfg = self._cfg(
+            "def f(items):\n"
+            "    out = 0\n"
+            "    for x in items:\n        out = out + x\n"
+            "    return out\n"
+        )
+
+        # Simple gen-only analysis: collect assigned names per block.
+        def transfer(block, state):
+            new = set(state)
+            for stmt in block.stmts:
+                for node in ast.walk(stmt):
+                    if isinstance(node, ast.Name) and isinstance(
+                        node.ctx, ast.Store
+                    ):
+                        new.add(node.id)
+            return new
+
+        out_states = fixpoint(cfg, set(), transfer, lambda a, b: a | b)
+        final = set().union(*out_states.values())
+        assert {"out", "x"} <= final
+
+
+SINK_PREAMBLE = "import time\nimport random\n"
+
+
+class TestTaintRules:
+    def test_flow201_host_clock_to_send(self):
+        src = (
+            "import time\n\n"
+            "def f(mb):\n"
+            "    t = time.time()\n"
+            "    mb.send(0, t)\n"
+        )
+        findings = flow(src)
+        assert rule_ids(findings) == ["FLOW201"]
+        assert findings[0].sink_label == "mailbox send"
+
+    def test_flow201_host_perf_counter_sanitizer(self):
+        src = (
+            "from repro.util.hostclock import host_perf_counter\n\n"
+            "def f(mb):\n"
+            "    t = host_perf_counter()\n"
+            "    mb.send(0, t)\n"
+        )
+        assert flow(src) == []
+
+    def test_flow202_unseeded_rng_to_collective(self):
+        src = (
+            "import random\n\n"
+            "def f(ep):\n"
+            "    x = random.random()\n"
+            "    ep.reduce_scatter_contribute(x)\n"
+        )
+        findings = flow(src)
+        assert rule_ids(findings) == ["FLOW202"]
+
+    def test_flow202_seeded_stream_clean(self):
+        src = (
+            "from repro.util.rng import stream\n\n"
+            "def f(ep, seed):\n"
+            "    x = stream(seed, 'axon').random()\n"
+            "    ep.reduce_scatter_contribute(x)\n"
+        )
+        assert flow(src) == []
+
+    def test_flow203_env_to_writer(self):
+        src = (
+            "import os\n\n"
+            "def f(out):\n"
+            "    v = os.getenv('SEED')\n"
+            "    out.write_text(v)\n"
+        )
+        findings = flow(src)
+        assert rule_ids(findings) == ["FLOW203"]
+
+    def test_flow203_listdir_sorted_clean(self):
+        src = (
+            "import os\n\n"
+            "def f(out, d):\n"
+            "    names = sorted(os.listdir(d))\n"
+            "    out.write_text(str(names))\n"
+        )
+        assert flow(src) == []
+
+    def test_flow204_dict_iteration_to_checkpoint(self):
+        src = (
+            "def capture(ckpt, state):\n"
+            "    order = [k for k in state.keys()]\n"
+            "    ckpt.capture_state(order)\n"
+        )
+        findings = flow(src)
+        assert rule_ids(findings) == ["FLOW204"]
+        assert findings[0].sink_label == "checkpoint capture"
+
+    def test_flow204_sorted_iteration_clean(self):
+        src = (
+            "def capture(ckpt, state):\n"
+            "    order = sorted(state.keys())\n"
+            "    ckpt.capture_state(order)\n"
+        )
+        assert flow(src) == []
+
+    def test_flow205_id_to_metric(self):
+        src = (
+            "def f(m, obj):\n"
+            "    key = id(obj)\n"
+            "    m.observe(0, key)\n"
+        )
+        findings = flow(src)
+        assert rule_ids(findings) == ["FLOW205"]
+
+    def test_clean_module_has_no_findings(self):
+        src = (
+            "def f(mb, payload):\n"
+            "    mb.send(0, payload)\n"
+        )
+        assert flow(src) == []
+
+
+class TestInterprocedural:
+    HELPER_CHAIN = (
+        "import time\n\n"
+        "def stamp():\n"
+        "    return time.perf_counter()\n\n"
+        "class Core:\n"
+        "    def tick(self, mailbox):\n"
+        "        t = stamp()\n"
+        "        mailbox.isend(1, t)\n"
+    )
+
+    def test_host_clock_through_helper_reaches_send(self):
+        findings = flow(self.HELPER_CHAIN)
+        assert rule_ids(findings) == ["FLOW201"]
+        f = findings[0]
+        assert f.sink_desc == ".isend()"
+        # The witness walks source -> return -> call -> sink.
+        notes = [s.note for s in f.witness]
+        assert any("source[host-clock]" in n for n in notes)
+        assert any("stamp" in n for n in notes)
+        assert "isend" in notes[-1]
+
+    def test_taint_through_call_argument(self):
+        src = (
+            "import time\n\n"
+            "def emit(mb, value):\n"
+            "    mb.send(0, value)\n\n"
+            "def f(mb):\n"
+            "    emit(mb, time.time())\n"
+        )
+        findings = flow(src)
+        assert rule_ids(findings) == ["FLOW201"]
+
+    def test_cross_module_flow(self):
+        sources = {
+            "src/repro/util/clock.py": (
+                "import time\n\ndef now():\n    return time.time()\n"
+            ),
+            "src/repro/runtime/node.py": (
+                "from repro.util.clock import now\n\n"
+                "def f(mb):\n    mb.send(0, now())\n"
+            ),
+        }
+        report = run_flow_sources(sources)
+        assert rule_ids(report.findings) == ["FLOW201"]
+        assert report.findings[0].source_path.endswith("clock.py")
+        assert report.findings[0].path.endswith("node.py")
+
+    def test_obs_flush_function_is_a_boundary(self):
+        src = (
+            "import time\n\n"
+            "def dump(out):  # repro: obs-flush\n"
+            "    out.write_text(str(time.time()))\n"
+        )
+        assert flow(src) == []
+
+    def test_branch_joins_taint(self):
+        src = (
+            "import time\n\n"
+            "def f(mb, cond):\n"
+            "    if cond:\n        t = time.time()\n"
+            "    else:\n        t = 0.0\n"
+            "    mb.send(0, t)\n"
+        )
+        assert rule_ids(flow(src)) == ["FLOW201"]
+
+
+class TestSuppressions:
+    def test_lint_suppression_at_source_kills_taint(self):
+        src = (
+            "import time\n\n"
+            "def f(mb):\n"
+            "    t = time.time()  # repro: allow[DET101] wall time wanted\n"
+            "    mb.send(0, t)\n"
+        )
+        assert flow(src) == []
+
+    def test_flow_suppression_at_source_kills_taint(self):
+        src = (
+            "import time\n\n"
+            "def f(mb):\n"
+            "    t = time.time()  # repro: allow[FLOW201] audited\n"
+            "    mb.send(0, t)\n"
+        )
+        assert flow(src) == []
+
+    def test_flow_suppression_at_sink_kills_finding(self):
+        src = (
+            "import time\n\n"
+            "def f(mb):\n"
+            "    t = time.time()\n"
+            "    # repro: allow[FLOW201] latency probe, not payload\n"
+            "    mb.send(0, t)\n"
+        )
+        assert flow(src) == []
+
+    def test_unrelated_suppression_does_not_kill(self):
+        src = (
+            "import time\n\n"
+            "def f(mb):\n"
+            "    t = time.time()  # repro: allow[DET105] wrong rule\n"
+            "    mb.send(0, t)\n"
+        )
+        assert rule_ids(flow(src)) == ["FLOW201"]
+
+
+TAINTED = (
+    "import time\n\n"
+    "def f(mb):\n"
+    "    t = time.time()\n"
+    "    mb.send(0, t)\n"
+)
+
+
+class TestBaseline:
+    def test_bless_then_rerun_is_clean(self, tmp_path):
+        report = run_flow_sources({"src/repro/runtime/fix.py": TAINTED})
+        assert len(report.findings) == 1
+        baseline_path = tmp_path / "flow_baseline.json"
+        write_baseline(baseline_path, report.findings)
+        baseline = load_baseline(baseline_path)
+        gated = run_flow_sources(
+            {"src/repro/runtime/fix.py": TAINTED}, baseline=baseline
+        )
+        assert gated.passed
+        assert gated.findings and not gated.new_findings
+
+    def test_new_finding_beyond_baseline_fails(self, tmp_path):
+        report = run_flow_sources({"src/repro/runtime/fix.py": TAINTED})
+        baseline_path = tmp_path / "flow_baseline.json"
+        write_baseline(baseline_path, report.findings)
+        grown = TAINTED + "\ndef g(ep):\n    ep.put(0, time.time())\n"
+        gated = run_flow_sources(
+            {"src/repro/runtime/fix.py": grown},
+            baseline=load_baseline(baseline_path),
+        )
+        assert not gated.passed
+        assert len(gated.new_findings) == 1
+        assert gated.new_findings[0].sink_desc == ".put()"
+
+    def test_fingerprint_survives_line_shifts(self):
+        shifted = "# a comment\n# another\n" + TAINTED
+        a = run_flow_sources({"src/repro/runtime/fix.py": TAINTED}).findings[0]
+        b = run_flow_sources({"src/repro/runtime/fix.py": shifted}).findings[0]
+        assert a.line != b.line
+        assert a.fingerprint == b.fingerprint
+
+    def test_missing_baseline_is_typed_error(self, tmp_path):
+        with pytest.raises(CheckInputError, match="--bless"):
+            load_baseline(tmp_path / "absent.json")
+
+    def test_malformed_baseline_is_typed_error(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text("{not json")
+        with pytest.raises(CheckInputError, match="unreadable flow baseline"):
+            load_baseline(p)
+        p.write_text('{"fingerprints": [1, 2]}')
+        with pytest.raises(CheckInputError, match="malformed"):
+            load_baseline(p)
+
+    def test_partition_counts_per_fingerprint(self):
+        findings = run_flow_sources(
+            {"src/repro/runtime/fix.py": TAINTED}
+        ).findings
+        fp = findings[0].fingerprint
+        assert partition_findings(findings, {fp: 1}) == []
+        assert partition_findings(findings, {fp: 0}) == findings
+        assert partition_findings(findings, {}) == findings
+
+
+class TestSerializers:
+    def _report(self):
+        return run_flow_sources({"src/repro/runtime/fix.py": TAINTED})
+
+    def test_json_byte_identical_across_runs(self):
+        a = to_json(TOOL_NAME, self._report().to_results())
+        b = to_json(TOOL_NAME, self._report().to_results())
+        assert a == b
+        doc = json.loads(a)
+        assert doc["tool"] == TOOL_NAME
+        assert doc["summary"]["findings"] == 1
+        (finding,) = doc["findings"]
+        assert finding["rule"] == "FLOW201"
+        assert finding["baseline"] == "new"
+        assert finding["witness"]
+
+    def test_sarif_byte_identical_and_well_formed(self):
+        a = to_sarif(TOOL_NAME, FLOW_RULES, self._report().to_results())
+        b = to_sarif(TOOL_NAME, FLOW_RULES, self._report().to_results())
+        assert a == b
+        doc = json.loads(a)
+        assert doc["version"] == "2.1.0"
+        assert doc["$schema"].endswith("sarif-2.1.0.json")
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == TOOL_NAME
+        assert [r["id"] for r in run["tool"]["driver"]["rules"]] == ["FLOW201"]
+        (result,) = run["results"]
+        assert result["ruleId"] == "FLOW201"
+        assert result["baselineState"] == "new"
+        assert result["partialFingerprints"]["reproFlow/v1"]
+        locs = result["codeFlows"][0]["threadFlows"][0]["locations"]
+        assert len(locs) >= 2
+        first = locs[0]["location"]["physicalLocation"]
+        assert first["artifactLocation"]["uri"].endswith("fix.py")
+
+    def test_text_format_includes_witness(self):
+        text = self._report().format()
+        assert "FLOW201" in text
+        assert "1." in text and "flows into" in text
+
+
+class TestPackageGate:
+    """The acceptance gate CI runs."""
+
+    BASELINE = Path(repro.__file__).parent / "check" / "flow_baseline.json"
+
+    def test_package_clean_against_committed_baseline(self):
+        baseline = load_baseline(self.BASELINE)
+        report = run_flow(
+            [Path(repro.__file__).parent], baseline=baseline
+        )
+        assert report.files_checked > 50
+        assert report.functions_analyzed > 500
+        assert report.passed, report.format()
+
+    def test_analysis_is_deterministic(self):
+        a = run_flow([Path(repro.__file__).parent])
+        b = run_flow([Path(repro.__file__).parent])
+        assert to_json(TOOL_NAME, a.to_results()) == to_json(
+            TOOL_NAME, b.to_results()
+        )

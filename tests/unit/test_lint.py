@@ -1,4 +1,4 @@
-"""Unit tests for the determinism lint engine (DET100–DET108).
+"""Unit tests for the determinism lint engine (DET100–DET109).
 
 Each rule gets a positive case (the violation is reported with its rule
 id and location) and a suppressed case (the same construct with a
@@ -19,6 +19,7 @@ from repro.check.lint import (
     run_lint,
 )
 from repro.check.rules import all_rules, rules_by_id
+from repro.errors import CheckInputError
 
 
 def rule_ids(violations):
@@ -30,7 +31,7 @@ class TestRegistry:
         ids = [r.rule_id for r in all_rules()]
         assert ids == [
             "DET101", "DET102", "DET103", "DET104", "DET105", "DET106", "DET107",
-            "DET108",
+            "DET108", "DET109",
         ]
 
     def test_rules_by_id_selects(self):
@@ -419,11 +420,109 @@ class TestEngine:
     def test_iter_python_files_rejects_non_python(self, tmp_path):
         other = tmp_path / "notes.txt"
         other.write_text("hi")
-        with pytest.raises(FileNotFoundError):
+        with pytest.raises(CheckInputError, match="not a python file"):
             iter_python_files([other])
+
+    def test_iter_python_files_names_missing_path(self, tmp_path):
+        missing = tmp_path / "nope" / "gone.py"
+        with pytest.raises(CheckInputError, match="no such file or directory"):
+            iter_python_files([missing])
+        with pytest.raises(CheckInputError, match="gone.py"):
+            iter_python_files([missing])
+
+    def test_non_utf8_file_is_a_typed_error(self, tmp_path):
+        path = tmp_path / "latin1.py"
+        path.write_bytes(b"# caf\xe9\nx = 1\n")
+        with pytest.raises(CheckInputError, match="not valid UTF-8"):
+            run_lint([path])
+        with pytest.raises(CheckInputError, match="latin1.py"):
+            run_lint([path])
 
     def test_installed_repro_package_is_clean(self):
         """The acceptance gate CI runs: the repo lints clean."""
         report = run_lint([Path(repro.__file__).parent])
         assert report.files_checked > 50
         assert report.passed, report.format()
+
+
+class TestPathClassificationTable:
+    """The rank-visibility classifier, one row per package family."""
+
+    RANK_VISIBLE = [
+        "src/repro/runtime/mpi.py",
+        "src/repro/runtime/pgas.py",
+        "src/repro/core/simulator.py",
+        "src/repro/compiler/pcc.py",
+        "src/repro/arch/crossbar.py",
+        "src/repro/cocomac/model.py",
+        "src/repro/util/rng.py",
+        "src/repro/errors.py",
+        "src/repro/resilience/recovery.py",
+        "src/repro/obs/tracer.py",
+        "src/repro/serve/server.py",
+    ]
+    NOT_RANK_VISIBLE = [
+        "src/repro/apps/quicknet.py",
+        "src/repro/perf/report.py",
+        "src/repro/analysis/raster.py",
+        "src/repro/check/flow/taint.py",
+        "src/repro/cli.py",
+        "src/repro/version.py",
+    ]
+
+    def test_rank_visible_paths(self):
+        for path in self.RANK_VISIBLE:
+            assert path_is_rank_visible(path), path
+
+    def test_non_rank_visible_paths(self):
+        for path in self.NOT_RANK_VISIBLE:
+            assert not path_is_rank_visible(path), path
+
+    def test_paths_outside_repro_default_strict(self):
+        assert path_is_rank_visible("tests/unit/test_lint.py")
+        assert path_is_rank_visible("fixture.py")
+
+
+class TestEnvFsOrder:
+    def test_environ_read_flagged(self):
+        src = "import os\n\ndef f():\n    return os.environ['SEED']\n"
+        assert rule_ids(lint_source(src, path="x.py")) == ["DET109"]
+
+    def test_getenv_flagged(self):
+        src = "import os\n\ndef f():\n    return os.getenv('SEED')\n"
+        assert rule_ids(lint_source(src, path="x.py")) == ["DET109"]
+
+    def test_listdir_iteration_flagged(self):
+        src = "import os\n\ndef f(d):\n    return [p for p in os.listdir(d)]\n"
+        assert rule_ids(lint_source(src, path="x.py")) == ["DET109"]
+
+    def test_iterdir_for_loop_flagged(self):
+        src = (
+            "import os\n\ndef f(d):\n    for p in d.iterdir():\n"
+            "        handle(p)\n"
+        )
+        assert rule_ids(lint_source(src, path="x.py")) == ["DET109"]
+
+    def test_sorted_listing_allowed(self):
+        src = (
+            "import os\n\ndef f(d):\n"
+            "    return [p for p in sorted(os.listdir(d))]\n"
+        )
+        assert lint_source(src, path="x.py") == []
+
+    def test_unimported_os_namespace_not_flagged(self):
+        src = "def f(os):\n    return os.environ\n"
+        assert lint_source(src, path="x.py") == []
+
+    def test_not_applied_outside_rank_visible_paths(self):
+        src = "import os\n\ndef f():\n    return os.getenv('SEED')\n"
+        path = str(Path("src") / "repro" / "apps" / "report.py")
+        assert lint_source(src, path=path) == []
+
+    def test_suppressed(self):
+        src = (
+            "import os\n\ndef f():\n"
+            "    # repro: allow[DET109] documented launch-time input\n"
+            "    return os.environ['SEED']\n"
+        )
+        assert lint_source(src, path="x.py") == []
