@@ -12,6 +12,7 @@ import time
 import pytest
 
 from repro.cocomac.model import build_macaque_model
+from repro.core.checkpoint import state_nbytes
 from repro.core.config import CompassConfig
 from repro.core.simulator import Compass
 from repro.obs import Observability
@@ -53,6 +54,8 @@ def test_tracing_overhead(write_result, write_bench_json, macaque_128):
     disabled = min(run_once(Observability.off()) for _ in range(reps))
     enabled = min(run_once(Observability.with_tracing()) for _ in range(reps))
     frac = enabled / disabled - 1.0
+    # Memory footprint of the simulated state (layout-invariant, exact).
+    peak_nbytes = state_nbytes(Compass(net, CompassConfig(n_processes=4)))
 
     write_bench_json(
         "tick_throughput",
@@ -63,6 +66,7 @@ def test_tracing_overhead(write_result, write_bench_json, macaque_128):
             "s_per_tick_enabled": enabled / TICKS,
             "tracing_overhead_frac": frac,
         },
+        peak_state_nbytes=peak_nbytes,
     )
     write_result(
         "tracing_overhead",

@@ -69,16 +69,26 @@ def write_bench_json():
     Writes ``BENCH_<name>.json`` with a stable schema: the benchmark's
     configuration (``params``), its raw measurements (``samples``, a flat
     list of floats), summary ``stats`` computed from the samples, any
-    bench-specific ``derived`` quantities, and provenance — the git
-    ``sha``, repro ``version``, and the config ``fingerprint`` the
-    perf-regression gate keys bench history by.
+    bench-specific ``derived`` quantities, an optional memory footprint
+    (``peak_state_nbytes``, from
+    :func:`repro.core.checkpoint.state_nbytes` — schema 3), and
+    provenance — the git ``sha``, repro ``version``, and the config
+    ``fingerprint`` the perf-regression gate keys bench history by.
+    The footprint is mirrored into ``derived`` so the gate tracks memory
+    regressions alongside timing ones.
     """
     RESULTS_DIR.mkdir(exist_ok=True)
     from repro.version import __version__
 
     sha = git_sha()
 
-    def _write(name: str, params: dict, samples, derived: dict | None = None) -> Path:
+    def _write(
+        name: str,
+        params: dict,
+        samples,
+        derived: dict | None = None,
+        peak_state_nbytes: int | None = None,
+    ) -> Path:
         samples = [float(s) for s in samples]
         stats: dict[str, float] = {}
         if samples:
@@ -92,8 +102,9 @@ def write_bench_json():
                 "mean": mean,
                 "stddev": var**0.5,
             }
+        derived = dict(derived or {})
         payload = {
-            "schema": 2,
+            "schema": 3,
             "name": name,
             "sha": sha,
             "version": __version__,
@@ -101,8 +112,11 @@ def write_bench_json():
             "params": dict(params),
             "samples": samples,
             "stats": stats,
-            "derived": dict(derived or {}),
+            "derived": derived,
         }
+        if peak_state_nbytes is not None:
+            payload["peak_state_nbytes"] = int(peak_state_nbytes)
+            derived.setdefault("peak_state_nbytes", int(peak_state_nbytes))
         path = RESULTS_DIR / f"BENCH_{name}.json"
         path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
         return path

@@ -21,9 +21,10 @@ property behind the paper's one-to-one spike correspondence claim:
   (on the ``def`` line or the line above) — the discipline that keeps
   tracing/metrics emission side-effect-free on the simulation path;
 * DET108 — no nondeterministic scheduling-order sources in the serving
-  layer (``repro.serve``): heap pushes must carry an explicit tuple
-  entry with a monotonic tie-break field, and ``dict.items()``
-  iteration that can feed queue or batch order must be ``sorted()``;
+  layers (``repro.serve`` and the ``repro.shard`` fleet tier): heap
+  pushes must carry an explicit tuple entry with a monotonic tie-break
+  field, and ``dict.items()`` iteration that can feed queue, batch, or
+  routing order must be ``sorted()``;
 * DET109 — no environment or filesystem-order reads in rank-visible
   paths: ``os.environ`` / ``os.getenv`` values differ between hosts and
   launches, and ``os.listdir`` / ``os.scandir`` / ``Path.iterdir`` /
@@ -452,12 +453,18 @@ class SchedulingOrderRule(Rule):
         "tuples and wrap .items() iteration in sorted()."
     )
 
-    @staticmethod
-    def _in_serve(path: str) -> bool:
-        return "serve" in Path(path).parts
+    #: Directory names whose modules carry scheduling state: the
+    #: single-cluster service (repro.serve) and the fleet tier above it
+    #: (repro.shard) — ring walks, routing, and autoscale decisions are
+    #: schedule-defining in exactly the same way queue pops are.
+    _SCOPED_DIRS = frozenset({"serve", "shard"})
+
+    @classmethod
+    def _in_scope(cls, path: str) -> bool:
+        return not cls._SCOPED_DIRS.isdisjoint(Path(path).parts)
 
     def check(self, ctx: ModuleContext):
-        if not self._in_serve(ctx.path):
+        if not self._in_scope(ctx.path):
             return
         for node in ast.walk(ctx.tree):
             if isinstance(node, ast.Call):

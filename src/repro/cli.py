@@ -28,7 +28,11 @@ Subcommands:
 * ``serve run|submit|report``   — the deterministic multi-tenant
   simulation service (see ``docs/serving.md``): seeded load against the
   admission/batching/fair-share pipeline with an SLO latency report,
-  single-job submission, and report-file pretty-printing.
+  single-job submission, and report-file pretty-printing;
+* ``shard run|report``          — the sharded fleet tier (see
+  ``docs/serving.md``, "Sharded fleet"): seeded fleet-scale load across
+  N consistent-hash-routed shard clusters with spill-over, watermark
+  autoscaling, and a cross-shard FleetReport.
 """
 
 from __future__ import annotations
@@ -69,6 +73,15 @@ def _cmd_info(args: argparse.Namespace) -> int:
     from repro.serve.server import BACKENDS
 
     print(f"\nserve backends: {', '.join(BACKENDS)} (see docs/serving.md)")
+    from repro.shard.router import FleetConfig
+
+    fleet = FleetConfig()
+    print(
+        f"shard fleet: consistent-hash ring over {fleet.shards} shards x "
+        f"{fleet.vnodes} vnodes (default), spill={fleet.spill}, "
+        f"hot_depth={fleet.hot_depth}; per-shard backends: "
+        f"{', '.join(BACKENDS)} (see docs/serving.md, 'Sharded fleet')"
+    )
     return 0
 
 
@@ -845,6 +858,77 @@ def _cmd_serve_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_shard_run(args: argparse.Namespace) -> int:
+    from repro.shard.autoscale import AutoscalePolicy
+    from repro.shard.fleet import build_fleet_report
+    from repro.shard.loadgen import fleet_open_loop
+    from repro.shard.router import FleetConfig, ShardRouter
+
+    from dataclasses import replace
+
+    # Shard servers account for completions in fleet hooks, so per-job
+    # records are dropped as they finish: memory stays O(latencies).
+    serve = replace(_serve_config(args), keep_records=False)
+    autoscale = None
+    if args.autoscale:
+        autoscale = AutoscalePolicy(
+            interval_us=args.scale_interval_us,
+            high_depth_per_worker=args.scale_high,
+            low_depth_per_worker=args.scale_low,
+            min_workers=args.min_workers,
+            max_workers=args.max_workers,
+            cooldown_intervals=args.scale_cooldown,
+        )
+    config = FleetConfig(
+        shards=args.shards,
+        vnodes=args.vnodes,
+        spill=args.spill,
+        hot_depth=args.hot_depth,
+        serve=serve,
+        autoscale=autoscale,
+        fault_shard=args.fault_shard if serve.fault_schedule is not None else -1,
+    )
+    router = ShardRouter(config)
+    load = fleet_open_loop(
+        router,
+        rate_per_s=args.rate,
+        jobs=args.jobs,
+        tenants=args.tenants,
+        model=args.model,
+        cores=args.cores,
+        ticks_lo=args.ticks_lo,
+        ticks_hi=args.ticks_hi,
+        deadline_us=args.deadline_us,
+        seed=args.seed,
+        model_seed=args.model_seed,
+        hot_fraction=args.hot_fraction,
+        hot_tenants=args.hot_tenants,
+    )
+    router.run()
+    report = build_fleet_report(router)
+    text = report.format()
+    print(f"offered={load.offered} routed={load.routed} "
+          f"fleet_rejected={load.fleet_rejected}\n")
+    print(text)
+    if args.out:
+        _write_report(args.out, text + "\n")
+        print(f"wrote fleet report: {args.out}")
+    if args.json:
+        _write_report(args.json, report.to_json() + "\n")
+        print(f"wrote json report: {args.json}")
+    return 0
+
+
+def _cmd_shard_report(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.shard.fleet import FleetReport
+
+    report = FleetReport.from_json(Path(args.report).read_text())
+    print(report.format())
+    return 0
+
+
 def _cmd_resilience_report(args: argparse.Namespace) -> int:
     _, runner, result = _resilience_run(args)
     print(runner.report.format())
@@ -1297,6 +1381,95 @@ def build_parser() -> argparse.ArgumentParser:
     )
     q.add_argument("report", help="JSON report file")
     q.set_defaults(func=_cmd_serve_report)
+
+    p = sub.add_parser(
+        "shard", help="sharded multi-cluster fleet over the serve tier"
+    )
+    shard_sub = p.add_subparsers(dest="shard_command", required=True)
+
+    q = shard_sub.add_parser(
+        "run", help="run a seeded fleet-scale load and print the FleetReport"
+    )
+    _serve_server_flags(q)
+    q.add_argument("--shards", type=_positive_int, default=4)
+    q.add_argument(
+        "--vnodes",
+        type=_positive_int,
+        default=64,
+        help="virtual nodes per shard on the hash ring",
+    )
+    q.add_argument(
+        "--spill",
+        type=int,
+        default=1,
+        help="clockwise neighbor shards a hot shard may overflow onto "
+        "(0 disables spill-over)",
+    )
+    q.add_argument(
+        "--hot-depth",
+        type=_positive_int,
+        default=32,
+        help="queue depth at which the home shard counts as hot",
+    )
+    q.add_argument(
+        "--fault-shard",
+        type=int,
+        default=0,
+        help="shard whose server arms --crash-at faults",
+    )
+    q.add_argument(
+        "--autoscale",
+        action="store_true",
+        help="enable per-shard watermark autoscaling",
+    )
+    q.add_argument("--scale-interval-us", type=_positive_float, default=50_000.0)
+    q.add_argument(
+        "--scale-high",
+        type=_positive_float,
+        default=4.0,
+        help="grow watermark: queue depth per worker",
+    )
+    q.add_argument(
+        "--scale-low",
+        type=_non_negative_float,
+        default=1.0,
+        help="shrink watermark: queue depth per worker",
+    )
+    q.add_argument("--min-workers", type=_positive_int, default=1)
+    q.add_argument("--max-workers", type=_positive_int, default=8)
+    q.add_argument("--scale-cooldown", type=_positive_int, default=2)
+    q.add_argument("--seed", type=int, default=0, help="load-generator seed")
+    q.add_argument(
+        "--tenants",
+        type=_positive_int,
+        default=100,
+        help="synthetic tenant population size (names t0..tN-1)",
+    )
+    q.add_argument(
+        "--rate", type=_positive_float, default=400.0, help="open-loop jobs/s"
+    )
+    q.add_argument(
+        "--jobs", type=_positive_int, default=400, help="open-loop job count"
+    )
+    q.add_argument(
+        "--hot-fraction",
+        type=_non_negative_float,
+        default=0.0,
+        help="fraction of traffic concentrated on the first "
+        "--hot-tenants tenants (popularity skew)",
+    )
+    q.add_argument("--hot-tenants", type=_positive_int, default=1)
+    q.add_argument("--ticks-lo", type=_positive_int, default=10)
+    q.add_argument("--ticks-hi", type=_positive_int, default=40)
+    q.add_argument("--out", help="write the text report here")
+    q.add_argument("--json", help="write the JSON report here")
+    q.set_defaults(func=_cmd_shard_run)
+
+    q = shard_sub.add_parser(
+        "report", help="pretty-print a JSON report from 'shard run --json'"
+    )
+    q.add_argument("report", help="JSON report file")
+    q.set_defaults(func=_cmd_shard_report)
     return parser
 
 

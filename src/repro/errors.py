@@ -92,6 +92,35 @@ class TenantQuotaError(AdmissionError):
     """A tenant exceeded its per-tenant admission quota."""
 
 
+class ShardError(ReproError):
+    """A sharded-fleet routing or topology operation failed.
+
+    Raised by :mod:`repro.shard` for fleet-level conditions that have no
+    single-cluster analogue: looking up a tenant the ring has never
+    routed, or offering a job when every candidate shard is saturated.
+    """
+
+
+class UnknownTenantError(ShardError):
+    """A tenant was looked up that this fleet has never routed.
+
+    ``ShardRouter.shard_of`` answers "where do this tenant's jobs live?"
+    only for tenants that have actually been admitted; asking about an
+    unseen tenant is a caller bug or a stale handle, not a load
+    condition, so it raises instead of guessing from the ring.
+    """
+
+
+class FleetFullError(ShardError, AdmissionError):
+    """Every candidate shard for a tenant is at queue capacity.
+
+    A *load* condition like the other :class:`AdmissionError` subclasses
+    (so load generators can catch the shared base), but raised by the
+    fleet front-end before the job reaches any shard queue: the home
+    shard and all spill-over candidates are saturated.
+    """
+
+
 class CheckInputError(ReproError):
     """A checker input path is missing, unreadable, or not analyzable.
 

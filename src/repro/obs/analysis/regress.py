@@ -6,7 +6,8 @@ fingerprint.  The threshold is robust — ``median + k·1.4826·MAD``,
 floored at ``median·(1+rel_tol)`` — falling back to the pure relative
 tolerance when the history is too short for the MAD to mean anything
 (:func:`repro.util.stats.robust_outlier`).  Only regressions fail: all
-gated metrics are lower-is-better (seconds, overhead fractions), and
+gated metrics are lower-is-better (seconds, overhead fractions, state
+bytes), and
 metrics not matched by :data:`GATED_METRICS` are reported but never
 gated (figure-model quantities like speedups are exact by construction
 and belong to the figure tests, not the perf gate).
@@ -32,6 +33,9 @@ GATED_METRICS: tuple[str, ...] = (
     "*_overhead_frac",
     "total_s_*",
     "*_write_read_s",
+    # Memory footprint (bytes) is lower-is-better like the timings; it
+    # is byte-exact per config, so any growth is a real state-size change.
+    "*_nbytes",
 )
 
 

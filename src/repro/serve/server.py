@@ -123,6 +123,10 @@ class ServeConfig:
     fault_schedule: object | None = None
     checkpoint_interval: int = 10
     recovery_policy: str = "restart"
+    #: Retain per-job/per-batch records for post-hoc reports.  Fleet-scale
+    #: runs (:mod:`repro.shard`) disable this and account for completions
+    #: in hooks instead, keeping memory O(latencies), not O(job objects).
+    keep_records: bool = True
 
     def __post_init__(self) -> None:
         check_positive("workers", self.workers)
@@ -171,6 +175,9 @@ class SimServer:
         # Free workers as a sorted id list: launches always take the
         # lowest-numbered free worker (explicit deterministic order).
         self._free_workers: list[int] = list(range(self.config.workers))
+        #: Live pool width; moves with add_worker/remove_worker.
+        self.workers = self.config.workers
+        self._next_worker_id = self.config.workers
         self._hooks: list[Callable[[Job], None]] = []
         self._fault_pending = self.config.fault_schedule is not None
         # (batch_key, ticks) -> cumulative fired counts; run results are
@@ -178,6 +185,14 @@ class SimServer:
         self._run_cache: dict[tuple[tuple[str, int, int], int], tuple[int, ...]] = {}
         self._tenant_ids: dict[str, int] = {}
         self.now_us = 0.0
+        # Aggregate counters kept regardless of keep_records, so fleet
+        # reports don't need the per-batch record list.
+        self.n_batches = 0
+        self.batch_jobs_total = 0
+        self.retries_total = 0
+        #: Largest simulator state footprint observed across launched
+        #: batches (bytes), from :func:`repro.core.checkpoint.state_nbytes`.
+        self.peak_state_nbytes = 0
         reg = self.obs.registry
         self._g_depth = reg.gauge("serve_queue_depth", help="jobs waiting in queue")
         self._h_batch = reg.histogram(
@@ -250,15 +265,70 @@ class SimServer:
             t_us, kind, seq, payload = heapq.heappop(self._events)
             del seq
             self.now_us = max(self.now_us, t_us)
-            if kind == _ARRIVAL:
-                self._on_arrival(payload)
-            elif kind == _FLUSH:
-                self._maybe_launch()
-            elif kind == _JOB_DONE:
-                self._on_job_done(payload)
-            else:
-                insort(self._free_workers, payload)
-                self._maybe_launch()
+            self._dispatch(kind, payload)
+
+    def run_until(self, t_us: float) -> None:
+        """Process every event at or before ``t_us``, then stop.
+
+        The sharded fleet (:mod:`repro.shard`) drives each shard's server
+        as a sub-simulation on a shared clock, interleaving routing and
+        autoscaling decisions between event batches; :meth:`run` is the
+        drain-everything special case.  Advances ``now_us`` to at least
+        ``t_us`` even when no events fall in the window.
+        """
+        while self._events and self._events[0][0] <= t_us:
+            t, kind, seq, payload = heapq.heappop(self._events)
+            del seq
+            self.now_us = max(self.now_us, t)
+            self._dispatch(kind, payload)
+        self.now_us = max(self.now_us, t_us)
+
+    @property
+    def idle(self) -> bool:
+        """True when the event heap is drained (no pending work)."""
+        return not self._events
+
+    def _dispatch(self, kind: int, payload: object) -> None:
+        if kind == _ARRIVAL:
+            self._on_arrival(payload)
+        elif kind == _FLUSH:
+            self._maybe_launch()
+        elif kind == _JOB_DONE:
+            self._on_job_done(payload)
+        else:
+            # Only idle workers are ever retired, so a _WORKER_FREE event
+            # always belongs to a live pool member: reinsert unconditionally.
+            insort(self._free_workers, payload)
+            self._maybe_launch()
+
+    # -- worker-pool elasticity -----------------------------------------------
+
+    def add_worker(self) -> int:
+        """Grow the pool by one worker and return its id.
+
+        Ids are never recycled: a new worker always gets the next id, so
+        a retired worker's pending ``_WORKER_FREE`` event can never alias
+        a live one and launch order stays deterministic.
+        """
+        wid = self._next_worker_id
+        self._next_worker_id += 1
+        insort(self._free_workers, wid)
+        self.workers += 1
+        self._maybe_launch()
+        return wid
+
+    def remove_worker(self) -> bool:
+        """Retire one *idle* worker (the highest-numbered free one).
+
+        Returns False when the pool is at one worker or every worker is
+        busy — callers (the autoscaler) retry at their next evaluation
+        boundary rather than interrupting a running batch.
+        """
+        if self.workers <= 1 or not self._free_workers:
+            return False
+        self._free_workers.pop()
+        self.workers -= 1
+        return True
 
     def _on_arrival(self, job: Job) -> None:
         tid = self.tenant_id(job.spec.tenant)
@@ -282,6 +352,8 @@ class SimServer:
                     reason=job.reject_reason,
                 )
             self._fire_hooks(job)
+            if not self.config.keep_records:
+                del self.jobs[job.job_id]
             return
         self._g_depth.set(-1, float(len(self.queue)))
         if tracer.enabled:
@@ -319,6 +391,8 @@ class SimServer:
                 latency_us=job.latency_us,
             )
         self._fire_hooks(job)
+        if not self.config.keep_records:
+            del self.jobs[job.job_id]
 
     def _fire_hooks(self, job: Job) -> None:
         for hook in self._hooks:
@@ -363,7 +437,11 @@ class SimServer:
             self.now_us + costs.setup_us + costs.run_us(max_ticks, cum[-1]) + overhead_us
         )
         record.end_us = busy_until
-        self.batches.append(record)
+        self.n_batches += 1
+        self.batch_jobs_total += record.size
+        self.retries_total += retries
+        if self.config.keep_records:
+            self.batches.append(record)
         for job in batch.jobs:
             job.status = RUNNING
             job.launch_us = self.now_us
@@ -429,6 +507,7 @@ class SimServer:
             result = runner.run(ticks)
             fired = tuple(tm.fired for tm in result.metrics.per_tick)
             self._run_cache[(key, ticks)] = fired
+            self._note_state_nbytes(runner.sim)
             overhead_us = result.metrics.overhead_s * 1e6
             return fired, len(runner.report.failures), overhead_us
         sim_cls = Compass if self.config.backend == "mpi" else PgasCompass
@@ -436,7 +515,19 @@ class SimServer:
         result = sim.run(ticks)
         fired = tuple(tm.fired for tm in result.metrics.per_tick)
         self._run_cache[(key, ticks)] = fired
+        self._note_state_nbytes(sim)
         return fired, 0, 0.0
+
+    def _note_state_nbytes(self, sim: object) -> None:
+        """Track the largest simulator state footprint (bytes).
+
+        ``state_nbytes`` sums per-block snapshot arrays, which partition
+        the same neurons regardless of rank layout, so the peak is
+        layout-invariant and safe to publish in byte-identical reports.
+        """
+        from repro.core.checkpoint import state_nbytes
+
+        self.peak_state_nbytes = max(self.peak_state_nbytes, state_nbytes(sim))
 
     # -- results --------------------------------------------------------------
 

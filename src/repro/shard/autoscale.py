@@ -1,0 +1,126 @@
+"""Per-shard worker-pool autoscaling on the simulated clock.
+
+Each shard's :class:`Autoscaler` is evaluated at fixed simulated-time
+boundaries (``interval_us``) by the fleet router.  The decision rule is
+a pure function of (queue depth, live worker count, cooldown counter) —
+no host clocks, no randomness — so the full decision sequence is
+byte-identical across runs and rank layouts.
+
+Hysteresis comes from two places: the gap between the grow and shrink
+watermarks (``high_depth_per_worker`` > ``low_depth_per_worker``), and a
+``cooldown_intervals`` quiet period after every action, so a burst
+cannot make the pool oscillate every boundary.
+
+Shrinking never interrupts work: only an *idle* worker is retired
+(:meth:`repro.serve.server.SimServer.remove_worker` refuses otherwise),
+and a refused shrink is simply retried at a later boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.serve.server import SimServer
+from repro.util.validation import check_positive, check_range, require
+
+
+@dataclass(frozen=True)
+class AutoscalePolicy:
+    """Validated watermark policy for one shard's worker pool.
+
+    Watermarks are queue depth *per live worker*: with
+    ``high_depth_per_worker=4`` a 2-worker shard grows once more than 8
+    jobs are queued, and with ``low_depth_per_worker=1`` it shrinks once
+    fewer than 2 are.
+    """
+
+    interval_us: float = 50_000.0
+    high_depth_per_worker: float = 4.0
+    low_depth_per_worker: float = 1.0
+    min_workers: int = 1
+    max_workers: int = 8
+    cooldown_intervals: int = 2
+
+    def __post_init__(self) -> None:
+        check_positive("interval_us", self.interval_us)
+        check_positive("min_workers", self.min_workers)
+        require(
+            self.max_workers >= self.min_workers,
+            f"max_workers={self.max_workers} below min_workers={self.min_workers}",
+        )
+        check_range("low_depth_per_worker", self.low_depth_per_worker, lo=0.0)
+        require(
+            self.high_depth_per_worker > self.low_depth_per_worker,
+            "high_depth_per_worker must exceed low_depth_per_worker "
+            f"({self.high_depth_per_worker!r} <= {self.low_depth_per_worker!r})",
+        )
+        check_range("cooldown_intervals", self.cooldown_intervals, lo=0)
+
+
+@dataclass(frozen=True)
+class ScaleDecision:
+    """One grow/shrink action, recorded only when the pool changed."""
+
+    t_us: float
+    shard: int
+    action: str  # "grow" | "shrink"
+    depth: int
+    workers_before: int
+    workers_after: int
+
+    def digest_token(self) -> str:
+        """Stable text form folded into the fleet routing digest."""
+        return (
+            f"scale:{self.t_us!r}:{self.shard}:{self.action}:"
+            f"{self.depth}:{self.workers_before}->{self.workers_after};"
+        )
+
+
+class Autoscaler:
+    """Watermark-driven worker-pool controller for one shard."""
+
+    def __init__(self, policy: AutoscalePolicy, server: SimServer, shard: int) -> None:
+        self.policy = policy
+        self.server = server
+        self.shard = shard
+        self._cooldown = 0
+
+    def evaluate(self, t_us: float) -> ScaleDecision | None:
+        """Evaluate the watermarks at boundary ``t_us``.
+
+        Returns the action taken, or None when the pool is left alone
+        (in band, cooling down, at a bound, or no idle worker to
+        retire).  Grows and shrinks move one worker per boundary — the
+        step size is the cooldown's counterpart, bounding how fast the
+        pool can ramp.
+        """
+        if self._cooldown > 0:
+            self._cooldown -= 1
+            return None
+        policy = self.policy
+        depth = len(self.server.queue)
+        workers = self.server.workers
+        if depth > policy.high_depth_per_worker * workers and workers < policy.max_workers:
+            self.server.add_worker()
+            self._cooldown = policy.cooldown_intervals
+            return ScaleDecision(
+                t_us=t_us,
+                shard=self.shard,
+                action="grow",
+                depth=depth,
+                workers_before=workers,
+                workers_after=workers + 1,
+            )
+        if depth < policy.low_depth_per_worker * workers and workers > policy.min_workers:
+            if not self.server.remove_worker():
+                return None  # every worker busy; retry at a later boundary
+            self._cooldown = policy.cooldown_intervals
+            return ScaleDecision(
+                t_us=t_us,
+                shard=self.shard,
+                action="shrink",
+                depth=depth,
+                workers_before=workers,
+                workers_after=workers - 1,
+            )
+        return None

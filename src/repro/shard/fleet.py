@@ -1,0 +1,338 @@
+"""Hierarchical cross-shard SLO aggregation: the fleet report.
+
+The reduction is intra-shard first, inter-shard second — the shape the
+hierarchical-aggregation literature (arXiv:2205.07125) uses to avoid a
+flat all-to-one hot spot.  Each shard accumulates its own latencies
+*online*, in completion order, via a server completion hook
+(:class:`ShardAccumulator`); the fleet then merges the pre-sorted
+per-shard lists with ``heapq.merge`` (O(N log S), never a flat
+O(N log N) re-sort) and reads nearest-rank percentiles straight off the
+merged sequence.
+
+Because accumulation happens in hooks, shard servers can run with
+``ServeConfig(keep_records=False)``: a 10M-job fleet run keeps one float
+per completed job, not one :class:`~repro.serve.jobs.Job` object — the
+difference between megabytes and gigabytes at headline-bench scale.
+
+Everything in :class:`FleetReport` is derived from simulated-clock
+quantities and partition-invariant run costs, so a fixed-seed fleet run
+serializes byte-identically across repeated runs and rank layouts.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from heapq import merge
+
+from repro.errors import ConfigurationError
+from repro.perf.report import format_table
+from repro.serve.jobs import REJECTED, Job
+from repro.util.stats import max_over_mean, percentile_sorted
+
+#: Schema tag for serialized fleet reports (``repro shard report``).
+FLEET_SCHEMA = 1
+
+
+class ShardAccumulator:
+    """Online per-shard SLO accounting fed by a server completion hook.
+
+    Attach :meth:`observe` with
+    :meth:`repro.serve.server.SimServer.add_completion_hook`; it fires
+    for every terminal job (done or rejected) in completion order, which
+    is part of the deterministic schedule.
+    """
+
+    def __init__(self, shard: int) -> None:
+        self.shard = shard
+        self.latencies: list[float] = []
+        self.terminal = 0
+        self.completed = 0
+        self.rejected = 0
+        self.deadline_missed = 0
+        self.good = 0
+        self.first_submit_us = math.inf
+        self.last_finish_us = 0.0
+
+    def observe(self, job: Job) -> None:
+        self.terminal += 1
+        missed = job.deadline_missed
+        if missed:
+            self.deadline_missed += 1
+        if job.status == REJECTED:
+            self.rejected += 1
+            return
+        self.completed += 1
+        self.latencies.append(job.latency_us)
+        self.first_submit_us = min(self.first_submit_us, job.submit_us)
+        self.last_finish_us = max(self.last_finish_us, job.finish_us)
+        if not missed:
+            self.good += 1
+
+    def sorted_latencies(self) -> list[float]:
+        """This shard's latencies sorted — the intra-shard reduction."""
+        return sorted(self.latencies)
+
+    @property
+    def makespan_s(self) -> float:
+        if not self.completed:
+            return 0.0
+        return (self.last_finish_us - self.first_submit_us) / 1e6
+
+
+@dataclass
+class ShardStats:
+    """Per-shard slice of the fleet report."""
+
+    shard: int
+    routed: int = 0
+    completed: int = 0
+    rejected: int = 0
+    deadline_missed: int = 0
+    batches: int = 0
+    mean_batch_size: float = 0.0
+    retries: int = 0
+    workers: int = 0
+    scale_events: int = 0
+    p50_us: float = 0.0
+    p95_us: float = 0.0
+    p99_us: float = 0.0
+    goodput_per_s: float = 0.0
+    peak_state_nbytes: int = 0
+
+
+@dataclass
+class FleetReport:
+    """Fleet-wide SLO accounting over one sharded run."""
+
+    shards: list[ShardStats] = field(default_factory=list)
+    jobs_offered: int = 0
+    jobs_routed: int = 0
+    spilled: int = 0
+    fleet_rejected: int = 0
+    jobs_completed: int = 0
+    jobs_rejected: int = 0
+    deadline_missed: int = 0
+    batches: int = 0
+    retries: int = 0
+    scale_events: int = 0
+    p50_us: float = 0.0
+    p95_us: float = 0.0
+    p99_us: float = 0.0
+    goodput_per_s: float = 0.0
+    makespan_s: float = 0.0
+    miss_rate: float = 0.0
+    #: Max/mean of per-shard completed-job counts (1.0 = perfectly even).
+    imbalance: float = 1.0
+    peak_state_nbytes: int = 0
+    routing_digest: str = ""
+
+    def format(self) -> str:
+        """Human-readable report (stable layout; byte-identical per run)."""
+        lines = [
+            "fleet report",
+            f"  shards: {len(self.shards)}  "
+            f"imbalance(max/mean completed)={self.imbalance:.3f}",
+            f"  jobs: offered={self.jobs_offered} routed={self.jobs_routed} "
+            f"spilled={self.spilled} fleet_rejected={self.fleet_rejected}",
+            f"  terminal: completed={self.jobs_completed} "
+            f"rejected={self.jobs_rejected}",
+            f"  batches: {self.batches}, retries={self.retries}, "
+            f"scale_events={self.scale_events}",
+            f"  latency: p50={self.p50_us:.1f}us p95={self.p95_us:.1f}us "
+            f"p99={self.p99_us:.1f}us",
+            f"  slo: deadline_missed={self.deadline_missed} "
+            f"miss_rate={self.miss_rate:.4f}",
+            f"  goodput: {self.goodput_per_s:.3f} jobs/s over "
+            f"{self.makespan_s:.6f} simulated s",
+            f"  peak_state_nbytes: {self.peak_state_nbytes}",
+            f"  routing_digest: {self.routing_digest}",
+            "",
+        ]
+        rows = [
+            (
+                s.shard, s.routed, s.completed, s.rejected, s.deadline_missed,
+                s.workers, s.scale_events, f"{s.p50_us:.1f}", f"{s.p99_us:.1f}",
+                f"{s.goodput_per_s:.3f}",
+            )
+            for s in self.shards
+        ]
+        lines.append(
+            format_table(
+                ("shard", "routed", "completed", "rejected", "missed",
+                 "workers", "scales", "p50_us", "p99_us", "goodput/s"),
+                rows,
+            )
+        )
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        """Stable JSON form (sorted keys) for ``repro shard report``."""
+        payload = {
+            "schema": FLEET_SCHEMA,
+            "jobs_offered": self.jobs_offered,
+            "jobs_routed": self.jobs_routed,
+            "spilled": self.spilled,
+            "fleet_rejected": self.fleet_rejected,
+            "jobs_completed": self.jobs_completed,
+            "jobs_rejected": self.jobs_rejected,
+            "deadline_missed": self.deadline_missed,
+            "batches": self.batches,
+            "retries": self.retries,
+            "scale_events": self.scale_events,
+            "p50_us": self.p50_us,
+            "p95_us": self.p95_us,
+            "p99_us": self.p99_us,
+            "goodput_per_s": self.goodput_per_s,
+            "makespan_s": self.makespan_s,
+            "miss_rate": self.miss_rate,
+            "imbalance": self.imbalance,
+            "peak_state_nbytes": self.peak_state_nbytes,
+            "routing_digest": self.routing_digest,
+            "shards": [
+                {
+                    "shard": s.shard,
+                    "routed": s.routed,
+                    "completed": s.completed,
+                    "rejected": s.rejected,
+                    "deadline_missed": s.deadline_missed,
+                    "batches": s.batches,
+                    "mean_batch_size": s.mean_batch_size,
+                    "retries": s.retries,
+                    "workers": s.workers,
+                    "scale_events": s.scale_events,
+                    "p50_us": s.p50_us,
+                    "p95_us": s.p95_us,
+                    "p99_us": s.p99_us,
+                    "goodput_per_s": s.goodput_per_s,
+                    "peak_state_nbytes": s.peak_state_nbytes,
+                }
+                for s in self.shards
+            ],
+        }
+        return json.dumps(payload, sort_keys=True, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FleetReport":
+        data = json.loads(text)
+        if data.get("schema") != FLEET_SCHEMA:
+            raise ConfigurationError(
+                f"unsupported fleet report schema {data.get('schema')!r}"
+            )
+        shards = [
+            ShardStats(
+                shard=s["shard"],
+                routed=s["routed"],
+                completed=s["completed"],
+                rejected=s["rejected"],
+                deadline_missed=s["deadline_missed"],
+                batches=s["batches"],
+                mean_batch_size=s["mean_batch_size"],
+                retries=s["retries"],
+                workers=s["workers"],
+                scale_events=s["scale_events"],
+                p50_us=s["p50_us"],
+                p95_us=s["p95_us"],
+                p99_us=s["p99_us"],
+                goodput_per_s=s["goodput_per_s"],
+                peak_state_nbytes=s["peak_state_nbytes"],
+            )
+            for s in data["shards"]
+        ]
+        return cls(
+            shards=shards,
+            jobs_offered=data["jobs_offered"],
+            jobs_routed=data["jobs_routed"],
+            spilled=data["spilled"],
+            fleet_rejected=data["fleet_rejected"],
+            jobs_completed=data["jobs_completed"],
+            jobs_rejected=data["jobs_rejected"],
+            deadline_missed=data["deadline_missed"],
+            batches=data["batches"],
+            retries=data["retries"],
+            scale_events=data["scale_events"],
+            p50_us=data["p50_us"],
+            p95_us=data["p95_us"],
+            p99_us=data["p99_us"],
+            goodput_per_s=data["goodput_per_s"],
+            makespan_s=data["makespan_s"],
+            miss_rate=data["miss_rate"],
+            imbalance=data["imbalance"],
+            peak_state_nbytes=data["peak_state_nbytes"],
+            routing_digest=data["routing_digest"],
+        )
+
+
+def build_fleet_report(router) -> FleetReport:
+    """Reduce a drained :class:`~repro.shard.router.ShardRouter` to a report.
+
+    Per-shard stats come from the accumulators (intra-shard reduction);
+    the aggregate percentiles come from merging the per-shard sorted
+    latency lists (inter-shard reduction).
+    """
+    report = FleetReport(
+        jobs_offered=router.jobs_routed + router.fleet_rejected,
+        jobs_routed=router.jobs_routed,
+        spilled=router.spilled,
+        fleet_rejected=router.fleet_rejected,
+        scale_events=len(router.scale_log),
+        routing_digest=router.routing_digest,
+    )
+    per_shard_sorted: list[list[float]] = []
+    scale_counts = [0] * len(router.servers)
+    for decision in router.scale_log:
+        scale_counts[decision.shard] += 1
+    first_submit = math.inf
+    last_finish = 0.0
+    good = 0
+    for accumulator in router.accumulators:
+        shard = accumulator.shard
+        server = router.servers[shard]
+        ordered = accumulator.sorted_latencies()
+        per_shard_sorted.append(ordered)
+        stats = ShardStats(
+            shard=shard,
+            routed=accumulator.terminal,
+            completed=accumulator.completed,
+            rejected=accumulator.rejected,
+            deadline_missed=accumulator.deadline_missed,
+            batches=server.n_batches,
+            retries=server.retries_total,
+            workers=server.workers,
+            scale_events=scale_counts[shard],
+            peak_state_nbytes=server.peak_state_nbytes,
+        )
+        if server.n_batches:
+            stats.mean_batch_size = server.batch_jobs_total / server.n_batches
+        if ordered:
+            stats.p50_us = percentile_sorted(ordered, 50.0)
+            stats.p95_us = percentile_sorted(ordered, 95.0)
+            stats.p99_us = percentile_sorted(ordered, 99.0)
+        if accumulator.makespan_s > 0:
+            stats.goodput_per_s = accumulator.good / accumulator.makespan_s
+        report.shards.append(stats)
+        report.jobs_completed += accumulator.completed
+        report.jobs_rejected += accumulator.rejected
+        report.deadline_missed += accumulator.deadline_missed
+        report.batches += server.n_batches
+        report.retries += server.retries_total
+        report.peak_state_nbytes += server.peak_state_nbytes
+        good += accumulator.good
+        first_submit = min(first_submit, accumulator.first_submit_us)
+        last_finish = max(last_finish, accumulator.last_finish_us)
+    merged = list(merge(*per_shard_sorted))
+    if merged:
+        report.p50_us = percentile_sorted(merged, 50.0)
+        report.p95_us = percentile_sorted(merged, 95.0)
+        report.p99_us = percentile_sorted(merged, 99.0)
+        report.makespan_s = (last_finish - first_submit) / 1e6
+    if report.makespan_s > 0:
+        report.goodput_per_s = good / report.makespan_s
+    terminal = report.jobs_completed + report.jobs_rejected
+    if terminal:
+        report.miss_rate = report.deadline_missed / terminal
+    completed_counts = [s.completed for s in report.shards]
+    if any(completed_counts):
+        report.imbalance = max_over_mean(completed_counts)
+    return report

@@ -70,15 +70,25 @@ def percentile(values: Sequence[float], q: float) -> float:
     latencies are — the property the serving-layer SLO accounting
     (:mod:`repro.serve`) relies on.
     """
-    ordered = sorted(float(v) for v in values)
+    return percentile_sorted(sorted(float(v) for v in values), q)
+
+
+def percentile_sorted(ordered: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an *already sorted* sequence.
+
+    The hierarchical fleet reduction (:mod:`repro.shard.fleet`) merges
+    pre-sorted per-shard latency lists with ``heapq.merge`` and reads
+    percentiles straight off the merged sequence; re-sorting there would
+    turn the O(N log S) merge back into a flat O(N log N) sort.
+    """
     if not ordered:
         raise ValueError("percentile of empty sequence")
     if not 0.0 <= q <= 100.0:
         raise ValueError(f"q={q!r} outside [0, 100]")
     if q == 0.0:
-        return ordered[0]
+        return float(ordered[0])
     rank = math.ceil(q / 100.0 * len(ordered))
-    return ordered[rank - 1]
+    return float(ordered[rank - 1])
 
 
 def max_over_mean(values: Sequence[float]) -> float:

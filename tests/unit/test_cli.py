@@ -28,6 +28,8 @@ class TestInfo:
         assert "256 axons x 256 neurons" in out
         assert "BlueGene/Q" in out and "BlueGene/P" in out
         assert "serve backends: mpi, pgas" in out
+        assert "shard fleet: consistent-hash ring over 4 shards x 64 vnodes" in out
+        assert "spill=1" in out and "hot_depth=32" in out
 
 
 class TestCompile:
@@ -593,6 +595,66 @@ class TestServe:
 
     def test_report_missing_file_is_clean_error(self, capsys, tmp_path):
         assert main(["serve", "report", str(tmp_path / "nope.json")]) == 2
+
+
+class TestShard:
+    RUN = [
+        "shard", "run", "--shards", "3", "--tenants", "40", "--jobs", "60",
+        "--rate", "300", "--cores", "4", "--max-batch", "4",
+        "--batch-delay-us", "5000", "--deadline-us", "500000", "--seed", "9",
+    ]
+
+    def test_run_prints_fleet_report(self, capsys):
+        assert main(self.RUN) == 0
+        out = capsys.readouterr().out
+        assert "offered=60 routed=60" in out
+        assert "fleet report" in out
+        assert "shards: 3" in out
+        assert "routing_digest:" in out
+        assert "peak_state_nbytes:" in out
+
+    def test_run_json_round_trips_through_report(self, capsys, tmp_path):
+        path = tmp_path / "fleet.json"
+        assert main(self.RUN + ["--json", str(path)]) == 0
+        first = capsys.readouterr().out
+        assert path.exists()
+        assert main(["shard", "report", str(path)]) == 0
+        reprinted = capsys.readouterr().out
+        assert reprinted.strip() in first
+
+    def test_run_is_reproducible(self, capsys, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        argv = self.RUN + ["--autoscale", "--hot-fraction", "0.3",
+                           "--hot-tenants", "2"]
+        assert main(argv + ["--json", str(a)]) == 0
+        assert main(argv + ["--json", str(b)]) == 0
+        capsys.readouterr()
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_run_cross_layout_identical(self, capsys, tmp_path):
+        one, four = tmp_path / "p1.json", tmp_path / "p4.json"
+        assert main(self.RUN + ["--processes", "1", "--json", str(one)]) == 0
+        assert main(self.RUN + ["--processes", "4", "--json", str(four)]) == 0
+        capsys.readouterr()
+        assert one.read_bytes() == four.read_bytes()
+
+    def test_run_with_crash_on_fault_shard(self, capsys):
+        assert main(
+            ["shard", "run", "--shards", "2", "--tenants", "10", "--jobs", "8",
+             "--rate", "200", "--cores", "4", "--processes", "2",
+             "--crash-at", "5:1", "--fault-shard", "1",
+             "--ticks-lo", "10", "--ticks-hi", "20"]
+        ) == 0
+        assert "retries=1" in capsys.readouterr().out
+
+    def test_invalid_spill_is_clean_error(self, capsys):
+        assert main(
+            ["shard", "run", "--shards", "2", "--spill", "5", "--jobs", "4"]
+        ) == 2
+        assert "spill" in capsys.readouterr().err
+
+    def test_report_missing_file_is_clean_error(self, capsys, tmp_path):
+        assert main(["shard", "report", str(tmp_path / "nope.json")]) == 2
 
 
 class TestArgumentValidation:

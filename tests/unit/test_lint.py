@@ -311,6 +311,26 @@ class TestSchedulingOrder:
         )
         assert lint_source(src, path="src/repro/core/simulator.py") == []
 
+    def test_unsorted_items_flagged_in_shard_ring(self):
+        # The fleet tier carries scheduling state too: an unsorted
+        # .items() walk over per-shard loads would encode insertion
+        # history into routing decisions.
+        src = (
+            "def pick(loads):\n"
+            "    return [s for s, depth in loads.items() if depth == 0]\n"
+        )
+        violations = lint_source(src, path="src/repro/shard/ring.py")
+        assert rule_ids(violations) == ["DET108"]
+
+    def test_heappush_flagged_in_shard(self):
+        src = (
+            "import heapq\n\n"
+            "def push(heap, shard):\n    heapq.heappush(heap, shard)\n"
+        )
+        assert rule_ids(
+            lint_source(src, path="src/repro/shard/router.py")
+        ) == ["DET108"]
+
     def test_suppression(self):
         src = (
             "import heapq\n\n"

@@ -11,6 +11,8 @@ from repro.util.stats import (
     max_over_mean,
     mean_rate_hz,
     median,
+    percentile,
+    percentile_sorted,
     robust_outlier,
 )
 
@@ -127,6 +129,43 @@ class TestRobustOutlier:
         flat = [2.0, 2.0, 2.0, 2.0]
         assert not robust_outlier(2.2, flat, rel_tol=0.15)
         assert robust_outlier(2.4, flat, rel_tol=0.15)
+
+
+class TestPercentileSmallN:
+    """Nearest-rank behaviour at the degenerate sizes fleet shards hit.
+
+    A freshly-spun-up shard may have exactly one or two completed jobs
+    when a report is cut; the percentiles must stay exact observed
+    values, not interpolations.
+    """
+
+    def test_n1_every_q_returns_the_value(self):
+        for q in (0.0, 50.0, 95.0, 99.0, 100.0):
+            assert percentile([7.5], q) == 7.5
+
+    def test_n2_splits_at_the_median_rank(self):
+        # rank = ceil(q/100 * 2): q <= 50 -> first value, q > 50 -> second.
+        assert percentile([10.0, 20.0], 50.0) == 10.0
+        assert percentile([10.0, 20.0], 50.1) == 20.0
+        assert percentile([10.0, 20.0], 95.0) == 20.0
+        assert percentile([10.0, 20.0], 99.0) == 20.0
+        assert percentile([20.0, 10.0], 50.0) == 10.0  # order-insensitive
+
+    def test_all_equal_samples_collapse(self):
+        values = [3.0] * 5
+        for q in (0.0, 50.0, 95.0, 99.0, 100.0):
+            assert percentile(values, q) == 3.0
+
+    def test_sorted_variant_matches_unsorted(self):
+        values = [5.0, 1.0, 4.0, 2.0, 3.0]
+        for q in (0.0, 25.0, 50.0, 95.0, 100.0):
+            assert percentile_sorted(sorted(values), q) == percentile(values, q)
+
+    def test_sorted_variant_rejects_empty_and_bad_q(self):
+        with pytest.raises(ValueError, match="empty"):
+            percentile_sorted([], 50.0)
+        with pytest.raises(ValueError, match="outside"):
+            percentile_sorted([1.0], 101.0)
 
 
 class TestMaxOverMean:
