@@ -1,4 +1,4 @@
-"""The determinism lint rules (DET101–DET109).
+"""The determinism lint rules (DET101–DET110).
 
 Each rule enforces one discipline that keeps the simulator
 bit-deterministic across rank counts and thread interleavings — the
@@ -29,7 +29,15 @@ property behind the paper's one-to-one spike correspondence claim:
   paths: ``os.environ`` / ``os.getenv`` values differ between hosts and
   launches, and ``os.listdir`` / ``os.scandir`` / ``Path.iterdir`` /
   ``.glob`` return entries in OS-dependent order — wrap listings in
-  ``sorted()`` or suppress with a documented reason.
+  ``sorted()`` or suppress with a documented reason;
+* DET110 — no implicit-clock telemetry emission in the serving layers
+  (``repro.serve``, ``repro.shard``, ``repro.obs.live``): tracer calls
+  must pass an explicit simulated timestamp (``ts_us=``), and the
+  phase-window emitters (``span``/``begin``/``end``/``tick_summary``),
+  whose timestamps come from the tracer's internal per-tick phase
+  counters, are banned there outright — serving-layer events live on
+  the service's own simulated clock, and an implicit timestamp would
+  silently interleave them with core-simulator phase windows.
 
 ``time.perf_counter`` is explicitly allowed: host-time measurement is
 observational (it feeds metrics, never rank-visible state).  Likewise
@@ -617,3 +625,72 @@ class EnvFsOrderRule(Rule):
                         "dependent; wrap it in sorted()",
                     )
             stack.extend(ast.iter_child_nodes(node))
+
+
+#: Tracer methods that accept an explicit simulated timestamp.
+_EXPLICIT_TS_METHODS = frozenset({"instant", "complete", "flow"})
+
+#: Tracer methods timestamped by the tracer's internal phase counters.
+_PHASE_CLOCK_METHODS = frozenset({"span", "begin", "end", "tick_summary"})
+
+
+@register
+class ExplicitTimestampRule(Rule):
+    rule_id = "DET110"
+    title = "implicit-clock telemetry emission in the serving layer"
+    rationale = (
+        "serving-layer events (queue, batch, route, rollup, alert) live "
+        "on the service's simulated clock, but the tracer's span/begin/"
+        "end/tick_summary methods stamp events from internal per-tick "
+        "phase counters — an implicit timestamp would interleave service "
+        "events with core-simulator phase windows and break byte-"
+        "identical traces across rank layouts.  Emit with instant/"
+        "complete/flow and pass ts_us= explicitly."
+    )
+
+    #: Directory names whose modules emit on the service clock: the
+    #: single-cluster service, the fleet tier, and the live-telemetry
+    #: pipeline (``repro/obs/live`` — matched as the consecutive pair so
+    #: the post-hoc ``repro/obs`` analysis modules stay out of scope).
+    _SCOPED_DIRS = frozenset({"serve", "shard"})
+
+    @classmethod
+    def _in_scope(cls, path: str) -> bool:
+        parts = Path(path).parts
+        if not cls._SCOPED_DIRS.isdisjoint(parts):
+            return True
+        return any(a == "obs" and b == "live" for a, b in zip(parts, parts[1:]))
+
+    def check(self, ctx: ModuleContext):
+        if not self._in_scope(ctx.path):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _attr_chain(node.func)
+            if len(chain) < 2:
+                continue
+            receiver, method = chain[:-1], chain[-1]
+            if not any("tracer" in part.lower() for part in receiver):
+                continue
+            if method in _PHASE_CLOCK_METHODS:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f".{method}() stamps events from the tracer's phase "
+                    "counters; serving-layer code must emit instant/"
+                    "complete/flow with an explicit ts_us=",
+                )
+            elif method in _EXPLICIT_TS_METHODS:
+                ts = next(
+                    (kw.value for kw in node.keywords if kw.arg == "ts_us"), None
+                )
+                if ts is None or (
+                    isinstance(ts, ast.Constant) and ts.value is None
+                ):
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f".{method}() without an explicit simulated "
+                        "timestamp; pass ts_us= from the service clock",
+                    )

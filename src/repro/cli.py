@@ -651,18 +651,58 @@ def _cmd_obs_diff(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    div = first_divergence(a, b, name=args.name)
+    div = first_divergence(a, b, name=args.name, kind=args.kind)
     if div is None:
-        n = (
-            sum(1 for r in a if r.get("name") == args.name)
-            if args.name
-            else len(a)
-        )
-        scope = f" named {args.name!r}" if args.name else ""
+        if args.name:
+            n = sum(1 for r in a if r.get("name") == args.name)
+            scope = f" named {args.name!r}"
+        elif args.kind:
+            n = sum(1 for r in a if r.get("kind") == args.kind)
+            scope = f" of kind {args.kind!r}"
+        else:
+            n, scope = len(a), ""
         print(f"logs are identical: {n} records{scope}")
         return 0
     print(div.describe())
     return 1
+
+
+def _cmd_obs_journey(args: argparse.Namespace) -> int:
+    from repro.obs.jsonl import read_event_log
+    from repro.obs.live import find_traces, reconstruct_journey
+
+    try:
+        records = read_event_log(args.events)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    traces = find_traces(
+        records, job=args.job, tenant=args.tenant, trace=args.trace
+    )
+    if not traces:
+        selectors = " ".join(
+            f"{k}={v!r}"
+            for k, v in (
+                ("job", args.job), ("tenant", args.tenant), ("trace", args.trace)
+            )
+            if v is not None
+        )
+        print(
+            f"error: no job traces match {selectors or 'the log'} "
+            f"(was the run traced?)",
+            file=sys.stderr,
+        )
+        return 2
+    if len(traces) > 1:
+        # Per-shard job ids collide across shards; without --tenant the
+        # selector can match one journey per shard.
+        print(
+            f"note: {len(traces)} traces match (per-shard job ids collide "
+            f"across shards); showing the first — disambiguate with "
+            f"--tenant or --trace"
+        )
+    print(reconstruct_journey(records, traces[0]).format())
+    return 0
 
 
 def _write_report(path: str, text: str) -> None:  # repro: obs-flush
@@ -858,6 +898,18 @@ def _cmd_serve_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _jsonl_stream(path: str):  # repro: obs-flush
+    """Open a line-streaming JSONL sink; returns (file, write_record)."""
+    import json
+
+    fh = open(path, "w")
+
+    def write(record: dict) -> None:
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+    return fh, write
+
+
 def _cmd_shard_run(args: argparse.Namespace) -> int:
     from repro.shard.autoscale import AutoscalePolicy
     from repro.shard.fleet import build_fleet_report
@@ -879,6 +931,20 @@ def _cmd_shard_run(args: argparse.Namespace) -> int:
             max_workers=args.max_workers,
             cooldown_intervals=args.scale_cooldown,
         )
+    telemetry = None
+    if args.slo or args.rollups or args.alerts:
+        from repro.obs.live import SLO, TelemetryConfig
+
+        target = args.slo_target_us or args.deadline_us or 100_000.0
+        telemetry = TelemetryConfig(
+            window_us=args.window_us,
+            slos=(SLO("latency", target, args.slo_budget),),
+        )
+    obs = None
+    if args.events:
+        from repro.obs import Observability
+
+        obs = Observability.with_tracing()
     config = FleetConfig(
         shards=args.shards,
         vnodes=args.vnodes,
@@ -887,8 +953,19 @@ def _cmd_shard_run(args: argparse.Namespace) -> int:
         serve=serve,
         autoscale=autoscale,
         fault_shard=args.fault_shard if serve.fault_schedule is not None else -1,
+        telemetry=telemetry,
     )
-    router = ShardRouter(config)
+    router = ShardRouter(config, obs=obs)
+    sink_files = []
+    if router.telemetry is not None:
+        if args.rollups:
+            fh, write = _jsonl_stream(args.rollups)
+            sink_files.append((fh, args.rollups, "rollup stream"))
+            router.telemetry.rollup_sink = write
+        if args.alerts:
+            fh, write = _jsonl_stream(args.alerts)
+            sink_files.append((fh, args.alerts, "alert log"))
+            router.telemetry.alert_sink = write
     load = fleet_open_loop(
         router,
         rate_per_s=args.rate,
@@ -905,11 +982,19 @@ def _cmd_shard_run(args: argparse.Namespace) -> int:
         hot_tenants=args.hot_tenants,
     )
     router.run()
+    for fh, path, label in sink_files:
+        fh.close()
+        print(f"wrote {label}: {path}")
     report = build_fleet_report(router)
     text = report.format()
     print(f"offered={load.offered} routed={load.routed} "
           f"fleet_rejected={load.fleet_rejected}\n")
     print(text)
+    if args.events:
+        from repro.obs.jsonl import write_event_log
+
+        path = write_event_log(router.obs.tracer, args.events)
+        print(f"wrote event log: {path} (inspect with 'repro obs journey')")
     if args.out:
         _write_report(args.out, text + "\n")
         print(f"wrote fleet report: {args.out}")
@@ -1225,7 +1310,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="compare only events with this name (e.g. 'tick' for the "
         "partition-invariant per-tick summaries)",
     )
+    q.add_argument(
+        "--kind",
+        choices=("rollup", "alert"),
+        help="compare only telemetry records of this kind (rollup/alert "
+        "streams from 'shard run --slo')",
+    )
     q.set_defaults(func=_cmd_obs_diff)
+
+    q = obs_sub.add_parser(
+        "journey",
+        help="reconstruct one job's causal chain from a JSONL event log",
+    )
+    q.add_argument("events", help="JSONL event log (e.g. 'shard run --events')")
+    q.add_argument("--job", type=int, help="job id (per shard)")
+    q.add_argument("--tenant", help="tenant name, to disambiguate job ids")
+    q.add_argument("--trace", help="exact 16-hex trace id")
+    q.set_defaults(func=_cmd_obs_journey)
 
     q = obs_sub.add_parser(
         "analyze",
@@ -1461,6 +1562,36 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--hot-tenants", type=_positive_int, default=1)
     q.add_argument("--ticks-lo", type=_positive_int, default=10)
     q.add_argument("--ticks-hi", type=_positive_int, default=40)
+    q.add_argument(
+        "--slo",
+        action="store_true",
+        help="enable live telemetry: windowed rollups + burn-rate alerting",
+    )
+    q.add_argument(
+        "--window-us",
+        type=_positive_float,
+        default=50_000.0,
+        help="rollup window length (simulated us)",
+    )
+    q.add_argument(
+        "--slo-target-us",
+        type=_positive_float,
+        default=None,
+        help="SLO latency target (default: --deadline-us, else 100000)",
+    )
+    q.add_argument(
+        "--slo-budget",
+        type=_positive_float,
+        default=0.05,
+        help="SLO error budget (fraction of jobs allowed over target)",
+    )
+    q.add_argument("--rollups", help="stream rollup records here (.jsonl)")
+    q.add_argument("--alerts", help="stream the alert log here (.jsonl)")
+    q.add_argument(
+        "--events",
+        help="trace the run and write the JSONL event log here "
+        "(enables causal job traces; see 'repro obs journey')",
+    )
     q.add_argument("--out", help="write the text report here")
     q.add_argument("--json", help="write the JSON report here")
     q.set_defaults(func=_cmd_shard_run)

@@ -87,18 +87,36 @@ class Divergence:
                 return int(rec.get("tick", -1))
         return -1
 
+    @staticmethod
+    def _label(rec: dict[str, Any]) -> str:
+        """Short identity of one record: event name, or rollup/alert key."""
+        if "name" in rec:
+            return repr(rec.get("name"))
+        kind = rec.get("kind", "record")
+        return (
+            f"{kind}[window={rec.get('window')}, scope={rec.get('scope')}, "
+            f"shard={rec.get('shard')}]"
+        )
+
+    @staticmethod
+    def _where(rec: dict[str, Any]) -> str:
+        """Locator clause: tick/rank for events, window for rollups/alerts."""
+        if "name" in rec:
+            return f"tick {rec.get('tick')}, rank {rec.get('rank')}"
+        return f"window {rec.get('window')}, t1={rec.get('t1_us', rec.get('t_us'))}us"
+
     def describe(self) -> str:
         if self.a is None:
             rec = self.b or {}
             return (
                 f"log A ends at record {self.index}; B continues with "
-                f"{rec.get('name')!r} (tick {rec.get('tick')}, rank {rec.get('rank')})"
+                f"{self._label(rec)} ({self._where(rec)})"
             )
         if self.b is None:
             rec = self.a
             return (
                 f"log B ends at record {self.index}; A continues with "
-                f"{rec.get('name')!r} (tick {rec.get('tick')}, rank {rec.get('rank')})"
+                f"{self._label(rec)} ({self._where(rec)})"
             )
         fields = sorted(
             k
@@ -106,9 +124,9 @@ class Divergence:
             if self.a.get(k) != self.b.get(k)
         )
         return (
-            f"first divergent event at record {self.index}: "
-            f"A={self.a.get('name')!r} vs B={self.b.get('name')!r} "
-            f"(tick {self.tick}, rank {self.a.get('rank')}, "
+            f"first divergent record at index {self.index}: "
+            f"A={self._label(self.a)} vs B={self._label(self.b)} "
+            f"({self._where(self.a)}, "
             f"differing fields: {', '.join(fields)})"
         )
 
@@ -117,16 +135,24 @@ def first_divergence(
     a: list[dict[str, Any]],
     b: list[dict[str, Any]],
     name: str | None = None,
+    kind: str | None = None,
 ) -> Divergence | None:
     """First record where the streams differ, or None when identical.
 
     With ``name`` set, both streams are first filtered to events of that
     name — e.g. ``name="tick"`` compares the partition-invariant per-tick
-    summaries across runs with different rank counts.
+    summaries across runs with different rank counts.  With ``kind`` set,
+    streams are filtered by the record ``kind`` tag instead — e.g.
+    ``kind="rollup"`` or ``kind="alert"`` localises the first diverging
+    telemetry record of a :mod:`repro.obs.live` stream (raw trace events
+    carry no ``kind`` key and are filtered out).
     """
     if name is not None:
         a = [r for r in a if r.get("name") == name]
         b = [r for r in b if r.get("name") == name]
+    if kind is not None:
+        a = [r for r in a if r.get("kind") == kind]
+        b = [r for r in b if r.get("kind") == kind]
     for i in range(min(len(a), len(b))):
         if a[i] != b[i]:
             return Divergence(i, a[i], b[i])

@@ -1,0 +1,147 @@
+"""Reconstruct one job's causal journey from a JSONL event log.
+
+Every stage the fleet traces for a job is an ``X`` slice named
+``job.<stage>`` whose args carry the :class:`~repro.obs.live.context.
+TraceContext` triplet (``trace``, ``span``, ``parent``).  Because each
+stage's span is derived from its parent's, the full router → shard →
+queue → batch → run → done chain is recoverable from the log alone —
+no side tables, no run state — and the parent links double as an
+integrity check: a break means the log was truncated or mixed from two
+runs.
+
+This is the offline half of ``repro obs journey``; the online half is
+the Perfetto flow arrows (phases ``s``/``t``/``f``) the same stages
+emit, which draw the identical chain in the trace viewer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import AnalysisError
+
+#: Event-name prefix of job stage slices.
+STAGE_PREFIX = "job."
+
+
+def _stage_records(records: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    return [
+        r
+        for r in records
+        if r.get("ph") == "X"
+        and str(r.get("name", "")).startswith(STAGE_PREFIX)
+        and "trace" in (r.get("args") or {})
+    ]
+
+
+@dataclass(frozen=True)
+class JourneyStep:
+    """One stage of a reconstructed journey."""
+
+    stage: str
+    ts_us: float
+    rank: int
+    span: str
+    parent: str
+    args: dict[str, Any]
+
+
+@dataclass(frozen=True)
+class Journey:
+    """One job's full causal chain, in emission (= causal) order."""
+
+    trace_id: str
+    tenant: str
+    job: int
+    steps: tuple[JourneyStep, ...]
+
+    @property
+    def stages(self) -> list[str]:
+        return [step.stage for step in self.steps]
+
+    def format(self) -> str:
+        """Human-readable journey (stable layout; byte-identical per log)."""
+        lines = [
+            f"journey {self.trace_id}  tenant={self.tenant} job={self.job}",
+            f"  chain: {' -> '.join(self.stages)}",
+        ]
+        for step in self.steps:
+            extras = " ".join(
+                f"{k}={step.args[k]}"
+                for k in sorted(step.args)
+                if k not in ("trace", "span", "parent", "job", "tenant", "tick")
+            )
+            lines.append(
+                f"  {step.ts_us:>14.2f}us  rank={step.rank:>3}  "
+                f"{step.stage:<8} span={step.span}"
+                + (f"  {extras}" if extras else "")
+            )
+        return "\n".join(lines)
+
+
+def find_traces(
+    records: list[dict[str, Any]],
+    job: int | None = None,
+    tenant: str | None = None,
+    trace: str | None = None,
+) -> list[str]:
+    """Trace ids matching the selectors, in first-appearance order.
+
+    Per-shard job ids can collide across shards, so a bare ``job``
+    selector may match several traces — callers disambiguate with
+    ``tenant`` or pick deterministically (the CLI takes the first and
+    says so).
+    """
+    seen: dict[str, bool] = {}
+    for rec in _stage_records(records):
+        args = rec["args"]
+        if trace is not None and args.get("trace") != trace:
+            continue
+        if job is not None and args.get("job") != job:
+            continue
+        if tenant is not None and args.get("tenant", "") != tenant:
+            continue
+        seen.setdefault(str(args["trace"]), True)
+    return list(seen)
+
+
+def reconstruct_journey(
+    records: list[dict[str, Any]], trace_id: str
+) -> Journey:
+    """Rebuild the causal chain of ``trace_id``, verifying parent links."""
+    steps: list[JourneyStep] = []
+    tenant = ""
+    job = -1
+    for rec in _stage_records(records):
+        args = rec["args"]
+        if args.get("trace") != trace_id:
+            continue
+        steps.append(
+            JourneyStep(
+                stage=str(rec["name"])[len(STAGE_PREFIX):],
+                ts_us=float(rec.get("ts", 0.0)),
+                # JSONL event-log records carry the rank directly;
+                # Chrome-trace records encode it as tid = rank + 1
+                # (tid 0 is the cluster row); see repro.obs.perfetto.
+                rank=int(rec["rank"]) if "rank" in rec
+                else int(rec.get("tid", 0)) - 1,
+                span=str(args.get("span", "")),
+                parent=str(args.get("parent", "")),
+                args=dict(args),
+            )
+        )
+        tenant = str(args.get("tenant", tenant))
+        job = int(args.get("job", job))
+    if not steps:
+        raise AnalysisError(f"no stage events for trace {trace_id!r} in the log")
+    expected_parent = trace_id
+    for step in steps:
+        if step.parent != expected_parent:
+            raise AnalysisError(
+                f"broken causal chain in trace {trace_id!r}: stage "
+                f"{step.stage!r} has parent {step.parent} but the previous "
+                f"span is {expected_parent} (truncated or mixed log?)"
+            )
+        expected_parent = step.span
+    return Journey(trace_id=trace_id, tenant=tenant, job=job, steps=tuple(steps))

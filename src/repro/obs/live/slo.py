@@ -1,0 +1,187 @@
+"""Declarative SLOs with multi-window burn-rate alerting.
+
+An :class:`SLO` states an objective — jobs should finish within
+``latency_target_us``, and at most ``error_budget`` of them may fail it
+(miss the target or be rejected).  Every closed rollup window the engine
+computes the window's *burn rate*: the bad fraction divided by the
+budget, so burn 1.0 means "spending the budget exactly as fast as
+allowed" and burn 10.0 means "ten times too fast".
+
+Alert rules follow the multi-window burn-rate shape from the SRE
+literature: a rule fires only when both a long lookback (sustained — not
+a single bad window) and a short lookback (still happening — not an old
+scar) exceed the threshold, and it resolves as soon as the short window
+recovers.  Only the fire/resolve *transitions* are recorded, so the
+alert log stays tiny and — because every input is a deterministic
+window aggregate on the simulated clock — byte-identical across repeated
+runs and rank layouts.
+
+Objectives are evaluated per scope: the fleet as a whole, then each
+shard, in fixed index order, so the alert stream has one canonical
+serialisation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any
+
+from repro.obs.live.rollup import SloInput
+from repro.util.validation import check_positive, check_range, require
+
+#: Schema tag stamped into every alert record.
+ALERT_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class SLO:
+    """One declarative objective: a latency target and an error budget."""
+
+    name: str
+    latency_target_us: float
+    error_budget: float
+
+    def __post_init__(self) -> None:
+        require(bool(self.name), "SLO name must be a non-empty string")
+        check_positive("latency_target_us", self.latency_target_us)
+        check_range("error_budget", self.error_budget, lo=0.0, hi=1.0)
+        require(self.error_budget > 0.0, "error_budget must be > 0")
+
+    def bad_count(self, agg: "Any") -> int:
+        """Jobs in one window aggregate that burned this SLO's budget."""
+        over = sum(1 for lat in agg.latencies if lat > self.latency_target_us)
+        return over + agg.rejected
+
+
+@dataclass(frozen=True)
+class BurnRateRule:
+    """Fire when both lookbacks burn faster than ``threshold``."""
+
+    label: str
+    long_windows: int
+    short_windows: int
+    threshold: float
+
+    def __post_init__(self) -> None:
+        require(bool(self.label), "rule label must be a non-empty string")
+        check_range("long_windows", self.long_windows, lo=1)
+        check_range("short_windows", self.short_windows, lo=1, hi=self.long_windows)
+        check_positive("threshold", self.threshold)
+
+
+#: Default page/ticket rule pair (burn thresholds in budget-multiples).
+DEFAULT_RULES: tuple[BurnRateRule, ...] = (
+    BurnRateRule("page", long_windows=4, short_windows=1, threshold=8.0),
+    BurnRateRule("ticket", long_windows=12, short_windows=3, threshold=2.0),
+)
+
+
+class _BurnState:
+    """Per-(scope, SLO) ring of window (bad, total) counts."""
+
+    __slots__ = ("history",)
+
+    def __init__(self, depth: int) -> None:
+        self.history: deque[tuple[int, int]] = deque(maxlen=depth)
+
+    def push(self, bad: int, total: int) -> None:
+        self.history.append((bad, total))
+
+    def burn(self, windows: int, budget: float) -> float:
+        """Burn rate over the last ``windows`` entries (ratio of sums)."""
+        recent = list(self.history)[-windows:]
+        total = sum(t for _, t in recent)
+        if total == 0:
+            return 0.0
+        bad = sum(b for b, _ in recent)
+        return (bad / total) / budget
+
+
+class SLOEngine:
+    """Evaluates every (scope, SLO, rule) triple at each window close."""
+
+    def __init__(
+        self,
+        slos: tuple[SLO, ...],
+        rules: tuple[BurnRateRule, ...] = DEFAULT_RULES,
+    ) -> None:
+        names = [slo.name for slo in slos]
+        require(len(names) == len(set(names)), "SLO names must be unique")
+        labels = [rule.label for rule in rules]
+        require(len(labels) == len(set(labels)), "rule labels must be unique")
+        self.slos = tuple(slos)
+        self.rules = tuple(rules)
+        self._depth = max((rule.long_windows for rule in self.rules), default=1)
+        #: (scope, shard, slo_name) -> burn history.
+        self._state: dict[tuple[str, int, str], _BurnState] = {}
+        #: (scope, shard, slo_name, rule_label) -> currently firing?
+        self._active: dict[tuple[str, int, str, str], bool] = {}
+        self.fired = 0
+        self.resolved = 0
+
+    def evaluate(
+        self, window: int, t_us: float, slo_inputs: list[SloInput]
+    ) -> list[dict[str, Any]]:
+        """Fold one closed window; return fire/resolve transition records."""
+        transitions: list[dict[str, Any]] = []
+        for scope, shard, agg in slo_inputs:
+            for slo in self.slos:
+                key = (scope, shard, slo.name)
+                state = self._state.get(key)
+                if state is None:
+                    state = self._state[key] = _BurnState(self._depth)
+                state.push(slo.bad_count(agg), agg.terminal)
+                for rule in self.rules:
+                    burn_long = state.burn(rule.long_windows, slo.error_budget)
+                    burn_short = state.burn(rule.short_windows, slo.error_budget)
+                    akey = (scope, shard, slo.name, rule.label)
+                    active = self._active.get(akey, False)
+                    if not active and (
+                        burn_long >= rule.threshold and burn_short >= rule.threshold
+                    ):
+                        self._active[akey] = True
+                        self.fired += 1
+                        transitions.append(
+                            self._record(
+                                "fire", window, t_us, scope, shard, slo, rule,
+                                burn_long, burn_short,
+                            )
+                        )
+                    elif active and burn_short < rule.threshold:
+                        self._active[akey] = False
+                        self.resolved += 1
+                        transitions.append(
+                            self._record(
+                                "resolve", window, t_us, scope, shard, slo, rule,
+                                burn_long, burn_short,
+                            )
+                        )
+        return transitions
+
+    @staticmethod
+    def _record(
+        state: str,
+        window: int,
+        t_us: float,
+        scope: str,
+        shard: int,
+        slo: SLO,
+        rule: BurnRateRule,
+        burn_long: float,
+        burn_short: float,
+    ) -> dict[str, Any]:
+        return {
+            "schema": ALERT_SCHEMA,
+            "kind": "alert",
+            "state": state,
+            "slo": slo.name,
+            "rule": rule.label,
+            "scope": scope,
+            "shard": shard,
+            "window": window,
+            "t_us": t_us,
+            "burn_long": burn_long,
+            "burn_short": burn_short,
+            "threshold": rule.threshold,
+        }

@@ -29,7 +29,10 @@ _COMPILE_PID = 1
 _SIM_PID = 0
 
 #: Phase letters this exporter emits / the validator accepts.
-_KNOWN_PHASES = frozenset({"X", "B", "E", "i", "M", "C"})
+_KNOWN_PHASES = frozenset({"X", "B", "E", "i", "M", "C", "s", "t", "f"})
+
+#: Flow-event phases (start / step / finish of one logical journey).
+_FLOW_PHASES = frozenset({"s", "t", "f"})
 
 
 def _tid(event: TraceEvent) -> int:
@@ -64,6 +67,12 @@ def to_chrome_trace(
         if ev.ph == "i":
             record["s"] = "t"  # thread-scoped instant
         args = dict(ev.args)
+        if ev.ph in _FLOW_PHASES:
+            # SpanTracer.flow carries the id in args; the trace-event
+            # format wants it top-level.  bp="e" binds the arrow to the
+            # enclosing slice rather than the next one.
+            record["id"] = args.pop("flow", "")
+            record["bp"] = "e"
         args["tick"] = ev.tick
         if ev.thread:
             args["omp_thread"] = ev.thread
@@ -113,14 +122,26 @@ def to_chrome_trace(
 
 
 def validate_chrome_trace(obj: Any) -> list[str]:
-    """Structural validation against the trace-event format; [] when valid."""
+    """Structural validation against the trace-event format; [] when valid.
+
+    Beyond the per-event field checks, this validates flow-event causality:
+    every flow id must have exactly one start (``s``) and one finish
+    (``f``) with ``s`` no later than ``f``, steps (``t``) require a start,
+    and each flow event must coincide with a slice (``X`` interval or a
+    ``B``/``E`` pair) on its (pid, tid) track so viewers can bind the
+    arrow to an enclosing span.
+    """
     errors: list[str] = []
     if not isinstance(obj, dict):
         return ["top-level value must be a JSON object"]
     events = obj.get("traceEvents")
     if not isinstance(events, list):
         return ["missing or non-array 'traceEvents'"]
-    open_stacks: dict[tuple[int, int], int] = {}
+    open_stacks: dict[tuple[int, int], list[float]] = {}
+    #: Slice intervals [t0, t1] per track, from X events and B/E pairs.
+    slices: dict[tuple[int, int], list[tuple[float, float]]] = {}
+    #: (cat, id) -> list of (ph, ts, track, index) flow events.
+    flows: dict[tuple[str, str], list[tuple[str, float, tuple[int, int], int]]] = {}
     last_ts: float | None = None
     for i, ev in enumerate(events):
         where = f"traceEvents[{i}]"
@@ -149,24 +170,73 @@ def validate_chrome_trace(obj: Any) -> list[str]:
                     f"{where}: timestamp out of order ({ts} after {last_ts})"
                 )
             last_ts = ts
+        track = (ev.get("pid", 0), ev.get("tid", 0))
         if ph == "X":
             dur = ev.get("dur")
             if not isinstance(dur, (int, float)) or dur < 0:
                 errors.append(f"{where}: 'X' event needs non-negative 'dur'")
-        track = (ev.get("pid", 0), ev.get("tid", 0))
+            elif isinstance(ts, (int, float)):
+                slices.setdefault(track, []).append((ts, ts + dur))
+        if ph in _FLOW_PHASES:
+            flow_id = ev.get("id")
+            if not isinstance(flow_id, (str, int)) or flow_id == "":
+                errors.append(f"{where}: flow event needs a non-empty 'id'")
+            elif isinstance(ts, (int, float)):
+                key = (str(ev.get("cat", "")), str(flow_id))
+                flows.setdefault(key, []).append((ph, ts, track, i))
         if ph == "B":
-            open_stacks[track] = open_stacks.get(track, 0) + 1
+            if isinstance(ts, (int, float)):
+                open_stacks.setdefault(track, []).append(ts)
         elif ph == "E":
-            depth = open_stacks.get(track, 0)
-            if depth <= 0:
+            stack = open_stacks.get(track, [])
+            if not stack:
                 errors.append(f"{where}: 'E' event without matching 'B' on {track}")
-            else:
-                open_stacks[track] = depth - 1
+            elif isinstance(ts, (int, float)):
+                slices.setdefault(track, []).append((stack.pop(), ts))
     for track in sorted(open_stacks):
-        if open_stacks[track] > 0:
+        if open_stacks[track]:
             errors.append(
                 f"unclosed 'B' event(s) on track pid={track[0]} tid={track[1]}"
             )
+    errors.extend(_validate_flows(flows, slices))
+    return errors
+
+
+def _validate_flows(
+    flows: dict[tuple[str, str], list[tuple[str, float, tuple[int, int], int]]],
+    slices: dict[tuple[int, int], list[tuple[float, float]]],
+) -> list[str]:
+    """Flow pairing and slice-binding checks over the collected events."""
+    errors: list[str] = []
+    for (cat, flow_id), parts in sorted(flows.items()):
+        label = f"flow (cat={cat!r}, id={flow_id!r})"
+        starts = [p for p in parts if p[0] == "s"]
+        finishes = [p for p in parts if p[0] == "f"]
+        if len(starts) != 1:
+            errors.append(f"{label}: {len(starts)} 's' events (need exactly 1)")
+        if len(finishes) != 1:
+            errors.append(f"{label}: {len(finishes)} 'f' events (need exactly 1)")
+        if len(starts) == 1 and len(finishes) == 1:
+            s_ts, f_ts = starts[0][1], finishes[0][1]
+            if s_ts > f_ts:
+                errors.append(
+                    f"{label}: 's' at {s_ts} is later than 'f' at {f_ts}"
+                )
+            for ph, ts, _, idx in parts:
+                if ph == "t" and not (s_ts <= ts <= f_ts):
+                    errors.append(
+                        f"traceEvents[{idx}]: {label} step at {ts} outside "
+                        f"its [{s_ts}, {f_ts}] span"
+                    )
+        for ph, ts, track, idx in parts:
+            enclosed = any(
+                t0 <= ts <= t1 for t0, t1 in slices.get(track, ())
+            )
+            if not enclosed:
+                errors.append(
+                    f"traceEvents[{idx}]: {label} '{ph}' event not enclosed "
+                    f"by any slice on track pid={track[0]} tid={track[1]}"
+                )
     return errors
 
 

@@ -152,6 +152,60 @@ class SpanTracer:
             TraceEvent(name, cat, "i", ts, rank, thread, 0.0, t, _freeze(attrs))
         )
 
+    def complete(
+        self,
+        name: str,
+        rank: int,
+        *,
+        ts_us: float,
+        dur_us: float = SEQ_DT_US,
+        thread: int = 0,
+        cat: str = "sim",
+        tick: int = -1,
+        **attrs: Any,
+    ) -> None:
+        """A complete (``X``) slice at an *explicit* simulated timestamp.
+
+        The phase-window emitters (:meth:`span`, :meth:`begin`) derive
+        their timestamps from the tick phase table; event-driven layers
+        (serve/shard, whose clock is plain simulated microseconds) use
+        this instead and pass ``ts_us`` explicitly — the discipline lint
+        rule DET110 enforces.
+        """
+        self.events.append(
+            TraceEvent(name, cat, "X", ts_us, rank, thread, dur_us, tick, _freeze(attrs))
+        )
+
+    def flow(
+        self,
+        name: str,
+        rank: int,
+        ph: str,
+        flow_id: str,
+        *,
+        ts_us: float,
+        thread: int = 0,
+        cat: str = "sim",
+        tick: int = -1,
+        **attrs: Any,
+    ) -> None:
+        """A flow event (``ph`` one of ``s``/``t``/``f``) with an explicit id.
+
+        Flow events stitch one logical journey (e.g. a job's trace) across
+        tracks: ``s`` starts the flow, ``t`` continues it, ``f`` finishes
+        it.  The id travels in ``args["flow"]``; the Perfetto exporter
+        lifts it to the top-level ``id`` field the trace-event format
+        requires.  Each flow event must coincide with a slice on its
+        track so viewers can bind the arrow to an enclosing span —
+        ``validate_chrome_trace`` checks exactly that.
+        """
+        if ph not in ("s", "t", "f"):
+            raise ValueError(f"flow phase must be 's', 't', or 'f', not {ph!r}")
+        attrs["flow"] = flow_id
+        self.events.append(
+            TraceEvent(name, cat, ph, ts_us, rank, thread, 0.0, tick, _freeze(attrs))
+        )
+
     def begin(
         self,
         name: str,
@@ -235,6 +289,12 @@ class NullTracer:
         pass
 
     def instant(self, *args: Any, **kwargs: Any) -> None:
+        pass
+
+    def complete(self, *args: Any, **kwargs: Any) -> None:
+        pass
+
+    def flow(self, *args: Any, **kwargs: Any) -> None:
         pass
 
     def begin(self, *args: Any, **kwargs: Any) -> None:

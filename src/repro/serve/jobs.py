@@ -115,6 +115,11 @@ class Job:
     reject_reason: str = ""
     #: Simulated recovery overhead charged to this job's batch (faults).
     overhead_us: float = 0.0
+    #: Current :class:`repro.obs.live.context.TraceContext` of this job's
+    #: causal trace (None unless tracing is enabled; each traced stage
+    #: replaces it with its child context).  Kept untyped so the job
+    #: record never imports the observability layer that instruments it.
+    trace: object | None = None
 
     @property
     def latency_us(self) -> float:

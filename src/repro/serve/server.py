@@ -37,6 +37,7 @@ from repro.core.pgas_simulator import PgasCompass
 from repro.core.simulator import Compass
 from repro.errors import AdmissionError, ConfigurationError
 from repro.obs import Observability
+from repro.obs.live.context import TraceContext
 from repro.serve.batcher import Batch, Batcher, BatchPolicy
 from repro.serve.jobs import (
     DONE,
@@ -151,10 +152,17 @@ class SimServer:
     """Deterministic multi-tenant simulation service on a simulated clock."""
 
     def __init__(
-        self, config: ServeConfig | None = None, obs: Observability | None = None
+        self,
+        config: ServeConfig | None = None,
+        obs: Observability | None = None,
+        rank: int = -1,
     ) -> None:
         self.config = config or ServeConfig()
         self.obs = obs or Observability.off()
+        #: Trace-track identity: -1 = the cluster track (standalone
+        #: service); the shard router assigns each shard's server its
+        #: shard index so fleet traces get one row per shard.
+        self.trace_rank = rank
         self.queue = FairShareQueue(
             capacity=self.config.queue_capacity,
             quotas=dict(self.config.quotas),
@@ -283,6 +291,23 @@ class SimServer:
             self._dispatch(kind, payload)
         self.now_us = max(self.now_us, t_us)
 
+    def run_before(self, t_us: float) -> None:
+        """Process every event *strictly* before ``t_us``, then stop.
+
+        The telemetry pipeline's windows are half-open ``[t0, t1)``: a
+        completion at exactly a boundary belongs to the next window, so
+        the router drains sub-boundary events with this, closes the
+        window, and only then runs the boundary instant itself via
+        :meth:`run_until`.  Does not advance ``now_us`` past the last
+        processed event — boundary-instant events still see their own
+        timestamp.
+        """
+        while self._events and self._events[0][0] < t_us:
+            t, kind, seq, payload = heapq.heappop(self._events)
+            del seq
+            self.now_us = max(self.now_us, t)
+            self._dispatch(kind, payload)
+
     @property
     def idle(self) -> bool:
         """True when the event heap is drained (no pending work)."""
@@ -343,13 +368,16 @@ class SimServer:
             if tracer.enabled:
                 tracer.instant(
                     "serve.reject",
-                    rank=-1,
+                    rank=self.trace_rank,
                     tick=-1,
                     ts_us=self.now_us,
                     cat="serve",
                     job=job.job_id,
                     tenant=job.spec.tenant,
                     reason=job.reject_reason,
+                )
+                self._trace_stage(
+                    tracer, job, "reject", terminal=True, reason=job.reject_reason
                 )
             self._fire_hooks(job)
             if not self.config.keep_records:
@@ -359,7 +387,7 @@ class SimServer:
         if tracer.enabled:
             tracer.instant(
                 "serve.submit",
-                rank=-1,
+                rank=self.trace_rank,
                 tick=-1,
                 ts_us=self.now_us,
                 cat="serve",
@@ -367,6 +395,7 @@ class SimServer:
                 tenant=job.spec.tenant,
                 priority=job.spec.priority,
             )
+            self._trace_stage(tracer, job, "queue", depth=len(self.queue))
         self._maybe_launch()
 
     def _on_job_done(self, job: Job) -> None:
@@ -382,13 +411,16 @@ class SimServer:
         if tracer.enabled:
             tracer.instant(
                 "serve.done",
-                rank=-1,
+                rank=self.trace_rank,
                 tick=-1,
                 ts_us=self.now_us,
                 cat="serve",
                 job=job.job_id,
                 tenant=job.spec.tenant,
                 latency_us=job.latency_us,
+            )
+            self._trace_stage(
+                tracer, job, "done", terminal=True, latency_us=job.latency_us
             )
         self._fire_hooks(job)
         if not self.config.keep_records:
@@ -397,6 +429,55 @@ class SimServer:
     def _fire_hooks(self, job: Job) -> None:
         for hook in self._hooks:
             hook(job)
+
+    def _trace_stage(
+        self, tracer, job: Job, stage: str, terminal: bool = False, **attrs
+    ) -> None:
+        """Emit one causal stage of ``job``'s trace.
+
+        Each stage is an ``X`` slice named ``job.<stage>`` carrying the
+        trace/span/parent triplet, plus a flow event at the same instant
+        binding the arrow to that slice: ``s`` on the job's first traced
+        stage, ``f`` on its terminal one, ``t`` in between.  The job's
+        context advances to the stage's child, so successive stages chain
+        parent → span (see :mod:`repro.obs.live.journey`).  Callers guard
+        on ``tracer.enabled``; nothing here runs when tracing is off.
+        """
+        ctx = job.trace
+        first = ctx is None
+        if first:
+            # Standalone service (no router): the journey starts here.
+            ctx = TraceContext.root(job.spec.tenant, job.job_id, job.submit_us)
+        ctx = ctx.child(stage)
+        job.trace = ctx
+        tracer.complete(
+            f"job.{stage}",
+            rank=self.trace_rank,
+            ts_us=self.now_us,
+            cat="serve",
+            tick=-1,
+            job=job.job_id,
+            tenant=job.spec.tenant,
+            trace=ctx.trace_id,
+            span=ctx.span_id,
+            parent=ctx.parent_id,
+            **attrs,
+        )
+        if first:
+            tracer.flow(
+                "job", rank=self.trace_rank, ph="s", flow_id=ctx.trace_id,
+                ts_us=self.now_us, cat="serve", tick=-1, job=job.job_id,
+            )
+        if terminal:
+            tracer.flow(
+                "job", rank=self.trace_rank, ph="f", flow_id=ctx.trace_id,
+                ts_us=self.now_us, cat="serve", tick=-1, job=job.job_id,
+            )
+        elif not first:
+            tracer.flow(
+                "job", rank=self.trace_rank, ph="t", flow_id=ctx.trace_id,
+                ts_us=self.now_us, cat="serve", tick=-1, job=job.job_id,
+            )
 
     # -- launching ------------------------------------------------------------
 
@@ -465,7 +546,7 @@ class SimServer:
         if tracer.enabled:
             tracer.instant(
                 "serve.launch",
-                rank=-1,
+                rank=self.trace_rank,
                 tick=-1,
                 ts_us=self.now_us,
                 cat="serve",
@@ -474,6 +555,18 @@ class SimServer:
                 worker=worker,
                 model=batch.key[0],
             )
+            for job in batch.jobs:
+                self._trace_stage(
+                    tracer, job, "batch", batch=record.batch_id, size=record.size
+                )
+                self._trace_stage(
+                    tracer, job, "run", worker=worker, ticks=job.spec.ticks
+                )
+                if retries:
+                    self._trace_stage(
+                        tracer, job, "recover",
+                        retries=retries, overhead_us=overhead_us,
+                    )
 
     def _run_batch(
         self, key: tuple[str, int, int], ticks: int

@@ -32,7 +32,8 @@ from repro.serve.jobs import REJECTED, Job
 from repro.util.stats import max_over_mean, percentile_sorted
 
 #: Schema tag for serialized fleet reports (``repro shard report``).
-FLEET_SCHEMA = 1
+#: v2 added the live-telemetry summary (windows/rollups/alerts).
+FLEET_SCHEMA = 2
 
 
 class ShardAccumulator:
@@ -127,6 +128,11 @@ class FleetReport:
     imbalance: float = 1.0
     peak_state_nbytes: int = 0
     routing_digest: str = ""
+    #: Live-telemetry summary (zero when the run had no telemetry).
+    windows: int = 0
+    rollup_records: int = 0
+    alerts_fired: int = 0
+    alerts_resolved: int = 0
 
     def format(self) -> str:
         """Human-readable report (stable layout; byte-identical per run)."""
@@ -148,8 +154,15 @@ class FleetReport:
             f"{self.makespan_s:.6f} simulated s",
             f"  peak_state_nbytes: {self.peak_state_nbytes}",
             f"  routing_digest: {self.routing_digest}",
-            "",
         ]
+        if self.windows:
+            lines.append(
+                f"  telemetry: windows={self.windows} "
+                f"rollups={self.rollup_records} "
+                f"alerts_fired={self.alerts_fired} "
+                f"alerts_resolved={self.alerts_resolved}"
+            )
+        lines.append("")
         rows = [
             (
                 s.shard, s.routed, s.completed, s.rejected, s.deadline_missed,
@@ -190,6 +203,10 @@ class FleetReport:
             "imbalance": self.imbalance,
             "peak_state_nbytes": self.peak_state_nbytes,
             "routing_digest": self.routing_digest,
+            "windows": self.windows,
+            "rollup_records": self.rollup_records,
+            "alerts_fired": self.alerts_fired,
+            "alerts_resolved": self.alerts_resolved,
             "shards": [
                 {
                     "shard": s.shard,
@@ -261,6 +278,10 @@ class FleetReport:
             imbalance=data["imbalance"],
             peak_state_nbytes=data["peak_state_nbytes"],
             routing_digest=data["routing_digest"],
+            windows=data["windows"],
+            rollup_records=data["rollup_records"],
+            alerts_fired=data["alerts_fired"],
+            alerts_resolved=data["alerts_resolved"],
         )
 
 
@@ -335,4 +356,10 @@ def build_fleet_report(router) -> FleetReport:
     completed_counts = [s.completed for s in report.shards]
     if any(completed_counts):
         report.imbalance = max_over_mean(completed_counts)
+    telemetry = getattr(router, "telemetry", None)
+    if telemetry is not None:
+        report.windows = telemetry.windows_closed
+        report.rollup_records = telemetry.records_emitted
+        report.alerts_fired = telemetry.engine.fired
+        report.alerts_resolved = telemetry.engine.resolved
     return report

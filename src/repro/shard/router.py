@@ -33,6 +33,8 @@ from dataclasses import dataclass, field, replace
 
 from repro.errors import FleetFullError, UnknownTenantError
 from repro.obs import Observability
+from repro.obs.live.context import TraceContext
+from repro.obs.live.pipeline import LiveTelemetry, TelemetryConfig
 from repro.serve.jobs import JobSpec
 from repro.serve.server import ServeConfig, SimServer
 from repro.shard.autoscale import AutoscalePolicy, Autoscaler, ScaleDecision
@@ -55,6 +57,9 @@ class FleetConfig:
     autoscale: AutoscalePolicy | None = None
     #: Shard whose server arms ``serve.fault_schedule``; -1 = none.
     fault_shard: int = -1
+    #: Streaming-telemetry configuration (rollup windows + SLO alerting);
+    #: None keeps the fleet's completion hot path free of telemetry work.
+    telemetry: TelemetryConfig | None = None
 
     def __post_init__(self) -> None:
         # shards/vnodes/spill/hot_depth are validated by RingConfig.
@@ -90,10 +95,19 @@ class ShardRouter:
         self.config = config or FleetConfig()
         self.obs = obs or Observability.off()
         self.ring = HashRing(self.config.ring_config())
-        # Shard servers run with their own (off) observability: fleet-level
-        # instruments live on the router, keyed by shard index as the rank.
+        # Shard servers share the router's tracer (one causal event stream
+        # for the whole fleet, each shard on its own track) but keep their
+        # own metric registries — per-tenant instrument cells are keyed by
+        # per-server tenant ids that would collide across shards.  With
+        # tracing off they run fully detached, as before.
         self.servers = [
-            SimServer(self.config.shard_serve_config(shard))
+            SimServer(
+                self.config.shard_serve_config(shard),
+                obs=Observability(tracer=self.obs.tracer)
+                if self.obs.tracing
+                else None,
+                rank=shard,
+            )
             for shard in range(self.config.shards)
         ]
         self.accumulators = [
@@ -101,14 +115,23 @@ class ShardRouter:
         ]
         for shard, server in enumerate(self.servers):
             server.add_completion_hook(self.accumulators[shard].observe)
+        self.telemetry: LiveTelemetry | None = None
+        if self.config.telemetry is not None:
+            self.telemetry = LiveTelemetry(
+                self.config.telemetry, self.config.shards, tracer=self.obs.tracer
+            )
+            for shard, server in enumerate(self.servers):
+                server.add_completion_hook(
+                    lambda job, shard=shard: self.telemetry.observe(shard, job)
+                )
         self.autoscalers: list[Autoscaler] | None = None
-        self._next_boundary = math.inf
+        self._next_scale_boundary = math.inf
         if self.config.autoscale is not None:
             self.autoscalers = [
                 Autoscaler(self.config.autoscale, server, shard)
                 for shard, server in enumerate(self.servers)
             ]
-            self._next_boundary = self.config.autoscale.interval_us
+            self._next_scale_boundary = self.config.autoscale.interval_us
         self.scale_log: list[ScaleDecision] = []
         self.jobs_routed = 0
         self.routed = [0] * self.config.shards
@@ -210,6 +233,31 @@ class ShardRouter:
                 home=decision.home,
                 job=job_id,
             )
+            # Start the job's causal trace at the routing decision.  The
+            # arrival event is still pending (processed on a later
+            # _advance), so the shard server sees this context and chains
+            # its queue/batch/run stages off the route span.
+            root = TraceContext.root(spec.tenant, job_id, at_us)
+            ctx = root.child("route")
+            self.servers[target].jobs[job_id].trace = ctx
+            tracer.complete(
+                "job.route",
+                rank=target,
+                ts_us=at_us,
+                cat="serve",
+                tick=-1,
+                job=job_id,
+                tenant=spec.tenant,
+                trace=ctx.trace_id,
+                span=ctx.span_id,
+                parent=ctx.parent_id,
+                home=decision.home,
+                target=target,
+            )
+            tracer.flow(
+                "job", rank=target, ph="s", flow_id=ctx.trace_id,
+                ts_us=at_us, cat="serve", tick=-1, job=job_id,
+            )
         return target, job_id
 
     def shard_of(self, tenant: str) -> int:
@@ -223,14 +271,44 @@ class ShardRouter:
 
     # -- clock ----------------------------------------------------------------
 
+    def _pending_boundary(self) -> float:
+        """Next autoscale or telemetry boundary (``inf`` when neither)."""
+        boundary = self._next_scale_boundary
+        if self.telemetry is not None:
+            boundary = min(boundary, self.telemetry.next_boundary_us)
+        return boundary
+
+    def _queue_depths(self) -> list[int]:
+        return [len(server.queue) for server in self.servers]
+
     def _advance(self, t_us: float) -> None:
-        """Advance every shard to ``t_us``, taking autoscale boundaries."""
-        while self._next_boundary <= t_us:
-            boundary = self._next_boundary
+        """Advance every shard to ``t_us``, taking scheduled boundaries.
+
+        Rollup windows are half-open ``[t0, t1)``: at a telemetry boundary
+        the shards first run strictly *before* it, the window closes, and
+        only then do events at exactly the boundary run — so a completion
+        landing on a boundary is counted in the next window, identically
+        on every run and rank layout.
+        """
+        while True:
+            scale_b = self._next_scale_boundary
+            tel_b = (
+                self.telemetry.next_boundary_us
+                if self.telemetry is not None
+                else math.inf
+            )
+            boundary = min(scale_b, tel_b)
+            if boundary > t_us:
+                break
+            for server in self.servers:
+                server.run_before(boundary)
+            if tel_b == boundary:
+                self.telemetry.close_window(self._queue_depths())
             for server in self.servers:
                 server.run_until(boundary)
-            self._evaluate_autoscalers(boundary)
-            self._next_boundary += self.config.autoscale.interval_us
+            if scale_b == boundary:
+                self._evaluate_autoscalers(boundary)
+                self._next_scale_boundary += self.config.autoscale.interval_us
         for server in self.servers:
             server.run_until(t_us)
         self._clock_us = max(self._clock_us, t_us)
@@ -259,14 +337,16 @@ class ShardRouter:
                 )
 
     def run(self) -> None:
-        """Drain every shard to completion, honouring autoscale boundaries."""
-        if self.autoscalers is None:
+        """Drain every shard to completion, honouring scheduled boundaries."""
+        if self.autoscalers is None and self.telemetry is None:
             for server in self.servers:
                 server.run()
                 self._clock_us = max(self._clock_us, server.now_us)
             return
         while not all(server.idle for server in self.servers):
-            self._advance(self._next_boundary)
+            self._advance(self._pending_boundary())
+        if self.telemetry is not None:
+            self.telemetry.finalize(self._queue_depths())
 
     @property
     def now_us(self) -> float:

@@ -1,4 +1,4 @@
-"""Unit tests for the determinism lint engine (DET100–DET109).
+"""Unit tests for the determinism lint engine (DET100–DET110).
 
 Each rule gets a positive case (the violation is reported with its rule
 id and location) and a suppressed case (the same construct with a
@@ -31,7 +31,7 @@ class TestRegistry:
         ids = [r.rule_id for r in all_rules()]
         assert ids == [
             "DET101", "DET102", "DET103", "DET104", "DET105", "DET106", "DET107",
-            "DET108", "DET109",
+            "DET108", "DET109", "DET110",
         ]
 
     def test_rules_by_id_selects(self):
@@ -501,6 +501,68 @@ class TestPathClassificationTable:
     def test_paths_outside_repro_default_strict(self):
         assert path_is_rank_visible("tests/unit/test_lint.py")
         assert path_is_rank_visible("fixture.py")
+
+
+class TestExplicitTimestamp:
+    SERVE = "src/repro/serve/server.py"
+    LIVE = "src/repro/obs/live/pipeline.py"
+
+    def test_instant_without_ts_flagged_in_serve(self):
+        src = (
+            "def emit(tracer, job):\n"
+            "    tracer.instant('serve.done', rank=-1, job=job)\n"
+        )
+        violations = lint_source(src, path=self.SERVE)
+        assert rule_ids(violations) == ["DET110"]
+        assert "ts_us" in violations[0].message
+
+    def test_ts_none_flagged(self):
+        src = (
+            "def emit(tracer):\n"
+            "    tracer.complete('job.run', rank=0, ts_us=None)\n"
+        )
+        assert rule_ids(lint_source(src, path=self.LIVE)) == ["DET110"]
+
+    def test_explicit_ts_allowed(self):
+        src = (
+            "def emit(self, job):\n"
+            "    self.obs.tracer.instant('serve.done', rank=-1, "
+            "ts_us=self.now_us, job=job)\n"
+        )
+        assert lint_source(src, path=self.SERVE) == []
+
+    def test_phase_clock_emitters_banned(self):
+        src = (
+            "def emit(tracer, tick):\n"
+            "    with tracer.span('route', rank=0, tick=tick):\n"
+            "        pass\n"
+        )
+        violations = lint_source(src, path="src/repro/shard/router.py")
+        assert rule_ids(violations) == ["DET110"]
+        assert "phase" in violations[0].message
+
+    def test_non_tracer_receiver_not_flagged(self):
+        src = "def f(queue):\n    queue.complete('x')\n"
+        assert lint_source(src, path=self.SERVE) == []
+
+    def test_not_applied_to_posthoc_obs(self):
+        # The core simulator and post-hoc obs analysis legitimately emit
+        # on the tracer's phase-window clock.
+        src = (
+            "def emit(tracer, tick):\n"
+            "    with tracer.span('deliver', rank=0, tick=tick):\n"
+            "        pass\n"
+        )
+        assert lint_source(src, path="src/repro/obs/span.py") == []
+        assert lint_source(src, path="src/repro/core/simulator.py") == []
+
+    def test_suppressed(self):
+        src = (
+            "def emit(tracer, job):\n"
+            "    # repro: allow[DET110] replayed event keeps source stamp\n"
+            "    tracer.instant('serve.replay', rank=-1, job=job)\n"
+        )
+        assert lint_source(src, path=self.SERVE) == []
 
 
 class TestEnvFsOrder:
