@@ -1,4 +1,4 @@
-"""The determinism lint rules (DET101–DET110).
+"""The determinism lint rules (DET101–DET111).
 
 Each rule enforces one discipline that keeps the simulator
 bit-deterministic across rank counts and thread interleavings — the
@@ -37,7 +37,14 @@ property behind the paper's one-to-one spike correspondence claim:
   whose timestamps come from the tracer's internal per-tick phase
   counters, are banned there outright — serving-layer events live on
   the service's own simulated clock, and an implicit timestamp would
-  silently interleave them with core-simulator phase windows.
+  silently interleave them with core-simulator phase windows;
+* DET111 — no profiler introspection in rank-visible code outside a
+  declared host-profiling boundary: ``tracemalloc`` reads,
+  ``sys._current_frames``, and ``resource.getrusage`` measure the host
+  and may only appear inside functions marked ``# repro: host-prof``
+  (on the ``def`` line or the line above) — the discipline that keeps
+  the :mod:`repro.obs.prof` layer provably isolated from deterministic
+  state and digests.
 
 ``time.perf_counter`` is explicitly allowed: host-time measurement is
 observational (it feeds metrics, never rank-visible state).  Likewise
@@ -694,3 +701,73 @@ class ExplicitTimestampRule(Rule):
                         f".{method}() without an explicit simulated "
                         "timestamp; pass ts_us= from the service clock",
                     )
+
+
+#: Marks a function as a declared host-profiling boundary.
+_HOST_PROF_RE = re.compile(r"#\s*repro:\s*host-prof")
+
+#: Attribute-chain tails that introspect host execution state.  Any
+#: ``tracemalloc.*`` call counts; the rest are matched as exact chains.
+_HOST_INTROSPECTION_CHAINS = frozenset(
+    {
+        ("sys", "_current_frames"),
+        ("sys", "settrace"),
+        ("sys", "setprofile"),
+        ("resource", "getrusage"),
+    }
+)
+
+
+@register
+class HostProfBoundaryRule(Rule):
+    rule_id = "DET111"
+    title = "profiler introspection outside a host-prof boundary"
+    rationale = (
+        "tracemalloc reads, sys._current_frames(), and resource.getrusage "
+        "measure the host interpreter — values that differ between "
+        "machines and runs.  Rank-visible code may only touch them inside "
+        "a function explicitly marked '# repro: host-prof' (on the def "
+        "line or the line above), keeping the repro.obs.prof layer "
+        "provably unable to leak host state into deterministic digests."
+    )
+    rank_visible_only = True
+
+    def check(self, ctx: ModuleContext):
+        lines = ctx.source.splitlines()
+        yield from self._scan(ctx, ctx.tree, False, lines)
+
+    def _scan(self, ctx: ModuleContext, node: ast.AST, exempt: bool, lines):
+        for child in ast.iter_child_nodes(node):
+            child_exempt = exempt
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                child_exempt = exempt or self._is_host_prof(child, lines)
+            if isinstance(child, ast.Call) and not child_exempt:
+                yield from self._check_call(ctx, child)
+            yield from self._scan(ctx, child, child_exempt, lines)
+
+    @staticmethod
+    def _is_host_prof(node: ast.AST, lines: list[str]) -> bool:
+        """Marked on the ``def`` line or the line immediately above it."""
+        for lineno in (node.lineno, node.lineno - 1):
+            if 1 <= lineno <= len(lines) and _HOST_PROF_RE.search(lines[lineno - 1]):
+                return True
+        return False
+
+    def _check_call(self, ctx: ModuleContext, node: ast.Call):
+        chain = _attr_chain(node.func)
+        if len(chain) < 2:
+            return
+        if chain[0] == "tracemalloc":
+            yield self.violation(
+                ctx,
+                node,
+                f"tracemalloc.{'.'.join(chain[1:])}() reads host allocator "
+                "state outside a '# repro: host-prof' function",
+            )
+        elif tuple(chain) in _HOST_INTROSPECTION_CHAINS:
+            yield self.violation(
+                ctx,
+                node,
+                f"{'.'.join(chain)}() introspects host execution outside a "
+                "'# repro: host-prof' function",
+            )

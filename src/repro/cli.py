@@ -25,6 +25,11 @@ Subcommands:
   ``docs/perf_analysis.md``): critical-path + imbalance reports and
   folded flame stacks from a JSONL event log, and the perf-regression
   gate over ``BENCH_*.json`` results vs the bench history;
+* ``obs prof|why``              — host-side profiling (see
+  ``docs/profiling.md``): sampling profiler + tracemalloc memory
+  attribution + host-cost divergence report over a run, and automated
+  cross-run regression root-cause ranking (bench results, traces, or
+  the bench history);
 * ``serve run|submit|report``   — the deterministic multi-tenant
   simulation service (see ``docs/serving.md``): seeded load against the
   admission/batching/fair-share pipeline with an SLO latency report,
@@ -780,6 +785,82 @@ def _cmd_obs_gate(args: argparse.Namespace) -> int:
     return 1 if bad else 0
 
 
+def _cmd_obs_prof(args: argparse.Namespace) -> int:
+    from repro.obs import Observability
+    from repro.obs.analysis import (
+        fold_stacks,
+        folded_lines,
+        load_events,
+        merge_folded,
+    )
+    from repro.obs.prof import format_host_report
+
+    obs = Observability.with_profiling(
+        hz=args.hz, sampler=not args.no_sampler, memory=not args.no_memory
+    )
+    obs.prof.start()
+    try:
+        sim = _obs_run(args, obs)
+    finally:
+        obs.prof.stop()
+    if sim is None:
+        return 2
+    backend = "pgas" if args.pgas else "mpi"
+    print(
+        f"profiled {args.ticks} ticks on {args.processes} processes "
+        f"({backend}): {len(obs.prof.rows())} phase/rank rows, "
+        f"{obs.prof.total_work_units} work units"
+    )
+    if args.folded:
+        folded = obs.prof.folded()
+        if args.spans:
+            folded = merge_folded(folded, fold_stacks(load_events(args.spans)))
+        _write_report(
+            args.folded,
+            "\n".join(folded_lines(folded)) + "\n" if folded else "",
+        )
+        print(f"wrote folded host stacks: {args.folded}")
+    if args.mem_out and obs.prof.mem_report is not None:
+        _write_report(args.mem_out, obs.prof.mem_report.to_json())
+        print(f"wrote memory report: {args.mem_out}")
+    report = format_host_report(obs.prof, limit=args.limit)
+    if args.out:
+        _write_report(args.out, report)
+        print(f"wrote host profile report: {args.out}")
+    else:
+        print(report, end="")
+    return 0
+
+
+def _cmd_obs_why(args: argparse.Namespace) -> int:
+    from repro.errors import AnalysisError
+    from repro.obs.analysis import load_history
+    from repro.obs.prof import why_history, why_paths
+
+    if args.history:
+        if args.old or args.new:
+            raise AnalysisError(
+                "pass either OLD NEW operands or --history, not both"
+            )
+        report = why_history(load_history(args.history))
+    else:
+        if not (args.old and args.new):
+            raise AnalysisError(
+                "obs why needs OLD and NEW operands (or --history FILE)"
+            )
+        report = why_paths(args.old, args.new)
+    text = report.format(limit=args.limit)
+    if args.out:
+        _write_report(args.out, text)
+        print(f"wrote root-cause report: {args.out}")
+    print(text, end="")
+    if args.fail_on_regression and any(
+        f.gated and f.delta > 0 for f in report.findings
+    ):
+        return 1
+    return 0
+
+
 def _serve_config(args: argparse.Namespace):
     """Build a validated ServeConfig from serve CLI flags."""
     from repro.serve.server import ServeConfig
@@ -1397,6 +1478,93 @@ def build_parser() -> argparse.ArgumentParser:
     )
     q.add_argument("--out", help="also write the gate report to this file")
     q.set_defaults(func=_cmd_obs_gate)
+
+    q = obs_sub.add_parser(
+        "prof",
+        help="host-side sampling + memory profile of a run (repro.obs.prof)",
+    )
+    q.add_argument(
+        "--model", choices=("quickstart", "macaque"), default="quickstart"
+    )
+    q.add_argument(
+        "--cores",
+        type=_positive_int,
+        default=None,
+        help="network size (default: 16 quickstart, 128 macaque)",
+    )
+    q.add_argument("--ticks", type=_positive_int, default=20)
+    q.add_argument("--processes", type=_positive_int, default=2)
+    q.add_argument("--threads", type=_positive_int, default=1)
+    q.add_argument("--seed", type=int, default=0, help="model seed")
+    q.add_argument("--pgas", action="store_true", help="use the PGAS backend")
+    q.add_argument(
+        "--hz",
+        type=_positive_float,
+        default=97.0,
+        help="stack-sampler rate (host Hz; prime defaults avoid aliasing)",
+    )
+    q.add_argument(
+        "--no-sampler", action="store_true", help="disable the stack sampler"
+    )
+    q.add_argument(
+        "--no-memory",
+        action="store_true",
+        help="disable tracemalloc memory attribution",
+    )
+    q.add_argument(
+        "--folded", help="write host folded stacks here (stackcollapse format)"
+    )
+    q.add_argument(
+        "--spans",
+        help="JSONL event log whose simulated work-unit stacks are merged "
+        "into --folded (host;… next to rank N;…)",
+    )
+    q.add_argument("--mem-out", help="write the memory report JSON here")
+    q.add_argument(
+        "--limit",
+        type=_positive_int,
+        default=40,
+        help="rows in the divergence table",
+    )
+    q.add_argument(
+        "--out", help="write the divergence report here (default: stdout)"
+    )
+    # The prof run takes the fault-free path through _obs_run.
+    q.set_defaults(
+        func=_cmd_obs_prof,
+        crash_at=None,
+        drop_at=None,
+        dup_at=None,
+        corrupt_at=None,
+        interval=10,
+        policy="restart",
+    )
+
+    q = obs_sub.add_parser(
+        "why",
+        help="cross-run regression root-cause: rank metric/phase deltas",
+    )
+    q.add_argument(
+        "old",
+        nargs="?",
+        help="baseline: BENCH_*.json, a results directory, or an events .jsonl",
+    )
+    q.add_argument("new", nargs="?", help="comparison side, same kind as OLD")
+    q.add_argument(
+        "--history",
+        help="instead of OLD/NEW, diff the last two blessed entries per "
+        "bench in this bench_history.jsonl",
+    )
+    q.add_argument(
+        "--limit", type=_positive_int, default=20, help="ranked rows to print"
+    )
+    q.add_argument(
+        "--fail-on-regression",
+        action="store_true",
+        help="exit 1 when a gated lower-is-better metric regressed",
+    )
+    q.add_argument("--out", help="also write the report to this file")
+    q.set_defaults(func=_cmd_obs_why)
 
     p = sub.add_parser(
         "serve", help="deterministic multi-tenant simulation service"

@@ -132,6 +132,7 @@ class ParallelCompassCompiler:
     def compile(self, obj: CoreObject) -> CompiledModel:
         t_start = host_perf_counter()
         tr = self.obs.tracer
+        pr = self.obs.prof
         if tr.enabled:
             # Compile spans live on their own trace process track (the
             # Perfetto exporter routes cat="compile" to pid 1), laid out
@@ -156,6 +157,8 @@ class ParallelCompassCompiler:
             cursor += r.n_cores
         network = CoreNetwork(cursor, seed=obj.seed)
         metrics = CompileMetrics()
+        if pr.enabled:
+            pr.phase("pcc.layout", -1, host_perf_counter() - t_start, work=cursor)
         if tr.enabled:
             tr.instant(
                 "pcc.layout",
@@ -168,7 +171,12 @@ class ParallelCompassCompiler:
 
         # 2. Local per-region configuration.
         for i, r in enumerate(obj.regions):
+            tc0 = host_perf_counter() if pr.enabled else 0.0
             self._configure_region(network, obj, r, region_ranges[r.name])
+            if pr.enabled:
+                pr.phase(
+                    "pcc.configure", i, host_perf_counter() - tc0, work=r.n_cores
+                )
             if tr.enabled:
                 tr.instant(
                     "pcc.configure",
@@ -191,6 +199,7 @@ class ParallelCompassCompiler:
             for r in obj.regions
         }
         for conn_index, conn in enumerate(obj.connections):
+            tw0 = host_perf_counter() if pr.enabled else 0.0
             tgt_gids, tgt_axons = axon_alloc[conn.dst].allocate(conn.count)
             # §V-C: neurons on one source core must "distribute their
             # connections as broadly as possible across the set of
@@ -223,6 +232,13 @@ class ParallelCompassCompiler:
             network.connect_many(
                 src_gids, src_neurons, tgt_gids, tgt_axons, conn.delay
             )
+            if pr.enabled:
+                pr.phase(
+                    "pcc.wire",
+                    region_rank[conn.dst],
+                    host_perf_counter() - tw0,
+                    work=conn.count,
+                )
             if tr.enabled:
                 tr.instant(
                     "pcc.wire",
@@ -246,7 +262,15 @@ class ParallelCompassCompiler:
         if self.model_check:
             from repro.check.model import check_model
 
+            tm0 = host_perf_counter() if pr.enabled else 0.0
             check_model(compiled).raise_if_failed()
+            if pr.enabled:
+                pr.phase(
+                    "pcc.model_check",
+                    -1,
+                    host_perf_counter() - tm0,
+                    work=network.n_cores,
+                )
             if tr.enabled:
                 tr.instant(
                     "pcc.model_check",

@@ -73,11 +73,21 @@ def restore_state(sim: CompassBase, state: dict[str, Any]) -> None:
 
 
 def state_nbytes(sim: CompassBase) -> int:
-    """Checkpoint payload size: what a coordinated snapshot writes."""
+    """Checkpoint payload size: what a coordinated snapshot writes.
+
+    Sums ``.nbytes`` of the live arrays a :meth:`CoreBlock.snapshot`
+    copies (potential, RNG state, pending axon buffers) without taking
+    the copies, so callers metering every simulator construction — the
+    bench meter in ``benchmarks/conftest.py`` — pay no allocation cost.
+    """
     total = 0
     for rs in sim.ranks:
-        snap = rs.block.snapshot()
-        total += sum(snap[k].nbytes for k in sorted(snap))
+        block = rs.block
+        total += (
+            block.state.potential.nbytes
+            + block.state.rng.state.nbytes
+            + block.buffers.pending.nbytes
+        )
     return total
 
 

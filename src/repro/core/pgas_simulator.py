@@ -55,6 +55,7 @@ class PgasCompass(CompassBase):
     def step(self) -> TickMetrics:
         tick = self.tick
         tr = self.obs.tracer
+        pr = self.obs.prof
         if tr.enabled:
             tr.begin_tick(tick)
         if self.timer is not None:
@@ -93,8 +94,16 @@ class PgasCompass(CompassBase):
             local_counts.append(gids.size)
 
         # Global barrier: write epoch -> read epoch.
+        t_barrier = host_perf_counter() if pr.enabled else 0.0
         for rs in self.ranks:
             self.cluster.endpoints[rs.rank].barrier()
+        if pr.enabled:
+            # Serial lock-step pass: apportion barrier host cost per rank.
+            sync_s = (host_perf_counter() - t_barrier) / self.config.n_processes
+            for rs in self.ranks:
+                pr.phase(
+                    "sync", rs.rank, sync_s, sent=per_rank_puts[rs.rank]
+                )
         if tr.enabled:
             for rs in self.ranks:
                 tr.span(
@@ -117,6 +126,7 @@ class PgasCompass(CompassBase):
 
         # Read epoch: each rank drains its own window.
         for rs in self.ranks:
+            tn0 = host_perf_counter() if pr.enabled else 0.0
             ep = self.cluster.endpoints[rs.rank]
             spikes_received = 0
             bytes_received = 0
@@ -128,6 +138,15 @@ class PgasCompass(CompassBase):
                 bytes_received += batch.nbytes
                 n_batches += 1
             self._g_queue.set(rs.rank, n_batches)
+            if pr.enabled:
+                pr.phase(
+                    "network",
+                    rs.rank,
+                    host_perf_counter() - tn0,
+                    messages=n_batches,
+                    spikes_received=spikes_received,
+                    local_delivered=local_counts[rs.rank],
+                )
             if tr.enabled:
                 tr.span(
                     "network",

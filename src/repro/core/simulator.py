@@ -392,6 +392,7 @@ class CompassBase:
         host = PhaseTimes()
         per_rank_msgs: list[dict[int, SpikeBatch]] = []
         tr = self.obs.tracer
+        pr = self.obs.prof
         for rs in self.ranks:
             if self.detector is not None:
                 from repro.runtime.threads import sanitize_thread_writes
@@ -437,6 +438,13 @@ class CompassBase:
             self._m_local.inc(rs.rank, n_local)
             self._m_remote.inc(rs.rank, n_remote)
             self._h_spikes_core.observe(rs.rank, n_fired / rs.block.n_cores)
+            if pr.enabled:
+                # Host-only measurement: the profile consumes the host
+                # timings and counts, never the other way around.
+                pr.phase("synapse", rs.rank, t1 - t0, active_axons=n_active)
+                pr.phase(
+                    "neuron", rs.rank, t2 - t1, fired=n_fired, messages=len(msgs)
+                )
             if tr.enabled:
                 tr.span(
                     "compute",
@@ -511,6 +519,7 @@ class Compass(CompassBase):
     def step(self) -> TickMetrics:
         tick = self.tick
         tr = self.obs.tracer
+        pr = self.obs.prof
         if tr.enabled:
             tr.begin_tick(tick)
         if self.timer is not None:
@@ -543,6 +552,18 @@ class Compass(CompassBase):
             for r in range(self.config.n_processes)
         ]
         self.cluster.reduce_scatter_finish()
+        if pr.enabled:
+            # The lock-step loop executes the collective for all ranks in
+            # one serial pass; apportion its host cost evenly per rank.
+            sync_s = (host_perf_counter() - t0) / self.config.n_processes
+            for rs in self.ranks:
+                pr.phase(
+                    "sync",
+                    rs.rank,
+                    sync_s,
+                    sent=int(send_counts[rs.rank].sum()),
+                    expected=int(recv_counts[rs.rank]),
+                )
         if tr.enabled:
             for rs in self.ranks:
                 tr.span(
@@ -556,6 +577,7 @@ class Compass(CompassBase):
                 )
 
         for rs in self.ranks:
+            tn0 = host_perf_counter() if pr.enabled else 0.0
             ep = self.cluster.endpoints[rs.rank]
             self._g_queue.set(rs.rank, ep.pending())
             gids, axons, delays = rs.local_buf.drain()
@@ -595,6 +617,15 @@ class Compass(CompassBase):
                     spikes_received,
                     bytes_received,
                     rs.working_set_bytes,
+                )
+            if pr.enabled:
+                pr.phase(
+                    "network",
+                    rs.rank,
+                    host_perf_counter() - tn0,
+                    messages=int(n_msgs),
+                    spikes_received=spikes_received,
+                    local_delivered=int(gids.size),
                 )
             if tr.enabled:
                 tr.span(

@@ -79,6 +79,8 @@ from repro.obs.analysis.flame import (  # noqa: E402
     fold_stacks,
     folded_lines,
     format_folded,
+    merge_folded,
+    parse_folded,
     write_folded,
 )
 from repro.obs.analysis.history import (  # noqa: E402
@@ -120,6 +122,8 @@ __all__ = [
     "load_bench_results",
     "load_events",
     "load_history",
+    "merge_folded",
+    "parse_folded",
     "record_from_bench",
     "require_file",
     "write_folded",

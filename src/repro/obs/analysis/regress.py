@@ -36,6 +36,12 @@ GATED_METRICS: tuple[str, ...] = (
     # Memory footprint (bytes) is lower-is-better like the timings; it
     # is byte-exact per config, so any growth is a real state-size change.
     "*_nbytes",
+    # Traced-heap metrics from the host profiler (mem_peak_nbytes, ...):
+    # the mem_ prefix gates them uniformly even when a future metric is
+    # reported in other units than bytes.
+    "mem_*",
+    # Host interpreter cost per unit of modelled work (schema-4 benches).
+    "host_ns_per_*",
 )
 
 

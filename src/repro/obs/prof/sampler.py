@@ -1,0 +1,118 @@
+"""Low-overhead thread-based sampling profiler (HOST-ONLY).
+
+A daemon thread periodically snapshots the target thread's Python stack
+via ``sys._current_frames`` and folds it into stackcollapse lines — the
+same format :mod:`repro.obs.analysis.flame` emits for simulated work-unit
+flames — rooted at ``host`` so both kinds of stack merge into one folded
+file and diff side-by-side (``host;...`` vs ``rank N;...``).
+
+Pacing uses :func:`~repro.util.hostclock.host_perf_counter`; the sampler
+only ever *reads* interpreter state, and every read sits inside a
+``# repro: host-prof`` function — lint rule DET111 rejects profiler
+introspection anywhere else in rank-visible code.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from typing import Any
+
+from repro.errors import ConfigurationError
+from repro.util.hostclock import host_perf_counter
+
+
+def _frame_label(frame: Any) -> str:
+    """``module:function`` label for one stack frame."""
+    module = frame.f_globals.get("__name__")
+    if not module:
+        module = frame.f_code.co_filename.rsplit("/", 1)[-1]
+    return f"{module}:{frame.f_code.co_name}"
+
+
+class HostSampler:
+    """Samples the starting thread's stack at ``hz`` into folded stacks.
+
+    The sampler is host-side measurement only: it never touches simulated
+    state and its output is excluded from every deterministic digest.
+    ``folded()`` returns ``{stack_path: sample_count}`` with paths rooted
+    at ``host``.
+    """
+
+    def __init__(self, hz: float = 97.0) -> None:
+        if not hz > 0:
+            raise ConfigurationError(f"sampler hz must be > 0, got {hz!r}")
+        self.hz = float(hz)
+        self.samples = 0
+        self._folded: dict[str, int] = {}
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._target_ident: int | None = None
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None
+
+    def start(self) -> "HostSampler":
+        """Begin sampling the calling thread (idempotent)."""
+        if self._thread is not None:
+            return self
+        self._target_ident = threading.get_ident()
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-host-sampler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> "HostSampler":
+        """Stop the sampling thread and join it (idempotent)."""
+        if self._thread is None:
+            return self
+        self._stop.set()
+        self._thread.join()
+        self._thread = None
+        return self
+
+    def __enter__(self) -> "HostSampler":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+    # repro: host-prof
+    def _loop(self) -> None:
+        """Sampler thread body: pace on the host clock, drift-corrected.
+
+        The wait timeout is host-side pacing of a measurement thread —
+        it never gates simulated progress, so the DET106 host-timeout
+        rule does not apply to this wall-clock sleep.
+        """
+        interval = 1.0 / self.hz
+        next_at = host_perf_counter() + interval
+        while not self._stop.wait(max(0.0, next_at - host_perf_counter())):
+            self._sample()
+            next_at += interval
+            now = host_perf_counter()
+            if next_at < now:  # fell behind; don't burst to catch up
+                next_at = now + interval
+
+    # repro: host-prof
+    def _sample(self) -> None:
+        """Fold the target thread's current stack into the sample map."""
+        frame = sys._current_frames().get(self._target_ident)
+        if frame is None:
+            return
+        labels: list[str] = []
+        while frame is not None:
+            labels.append(_frame_label(frame))
+            frame = frame.f_back
+        labels.append("host")
+        labels.reverse()
+        key = ";".join(labels)
+        self._folded[key] = self._folded.get(key, 0) + 1
+        self.samples += 1
+
+    def folded(self) -> dict[str, int]:
+        """A copy of the folded ``{stack_path: samples}`` map."""
+        return dict(self._folded)

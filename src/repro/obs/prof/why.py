@@ -1,0 +1,280 @@
+"""``repro obs why``: automated cross-run regression root-cause.
+
+Given two comparable measurements — two bench-result sets
+(``BENCH_*.json`` files or directories), two deterministic trace event
+logs, or the last two blessed entries per bench in
+``bench_history.jsonl`` — rank every phase/rank/metric by its
+contribution to the delta and name the top contributor as the root
+cause.  Bench metrics are ranked by relative change (units differ
+across metrics), gated lower-is-better regressions first; trace diffs
+are ranked by share of the total work-unit delta (one common unit).
+
+Everything here is offline analysis of recorded artifacts; it never
+runs a simulation and is deterministic given identical inputs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class WhyFinding:
+    """One ranked contributor to a cross-run delta."""
+
+    scope: str  # bench name, or flame root like "rank 0"
+    metric: str  # metric name, or "phase;subphase" stack path
+    old: float
+    new: float
+    gated: bool  # lower-is-better metric the perf gate enforces
+
+    @property
+    def delta(self) -> float:
+        return self.new - self.old
+
+    @property
+    def rel(self) -> float:
+        """Relative change vs old (signed; inf when appearing from 0)."""
+        if self.old:
+            return self.delta / abs(self.old)
+        return float("inf") if self.delta > 0 else (-float("inf") if self.delta < 0 else 0.0)
+
+    @property
+    def direction(self) -> str:
+        if self.delta > 0:
+            return "regressed" if self.gated else "increased"
+        if self.delta < 0:
+            return "improved" if self.gated else "decreased"
+        return "unchanged"
+
+
+@dataclass(frozen=True)
+class WhyReport:
+    """Ranked findings plus the share each takes of the total |delta|."""
+
+    kind: str  # "bench" | "trace" | "history"
+    findings: tuple[WhyFinding, ...]
+
+    @property
+    def top(self) -> WhyFinding | None:
+        return self.findings[0] if self.findings else None
+
+    def shares(self) -> list[float]:
+        """|delta| share per finding — comparable only in trace mode."""
+        total = sum(abs(f.delta) for f in self.findings)
+        if not total:
+            return [0.0 for _ in self.findings]
+        return [abs(f.delta) / total for f in self.findings]
+
+    def format(self, limit: int = 20) -> str:
+        from repro.perf.report import format_table
+
+        lines = [f"# regression root-cause ({self.kind} diff)", ""]
+        if not self.findings:
+            lines.append("no comparable (scope, metric) pairs between the runs")
+            return "\n".join(lines) + "\n"
+        shares = self.shares()
+        rows = []
+        for finding, share in list(zip(self.findings, shares))[:limit]:
+            rel = finding.rel
+            rel_text = f"{rel:+.1%}" if abs(rel) != float("inf") else "new"
+            rows.append(
+                (
+                    finding.scope,
+                    finding.metric,
+                    f"{finding.old:.6g}",
+                    f"{finding.new:.6g}",
+                    f"{finding.delta:+.6g}",
+                    rel_text,
+                    f"{share:.1%}",
+                    finding.direction,
+                )
+            )
+        title = "== contributors, ranked =="
+        if len(self.findings) > limit:
+            title += f" (top {limit} of {len(self.findings)})"
+        lines.append(
+            format_table(
+                ["scope", "metric", "old", "new", "delta", "rel", "share", "status"],
+                rows,
+                title=title,
+            )
+        )
+        lines.append("")
+        top = self.top
+        regressions = [f for f in self.findings if f.gated and f.delta > 0]
+        if regressions:
+            cause = regressions[0]
+            rel_text = f"{cause.rel:+.1%}" if abs(cause.rel) != float("inf") else "new"
+            lines.append(
+                f"root cause: {cause.scope} / {cause.metric} "
+                f"({cause.old:.6g} -> {cause.new:.6g}, {rel_text})"
+            )
+        elif top is not None and top.delta != 0:
+            lines.append(
+                f"largest shift: {top.scope} / {top.metric} "
+                f"({top.old:.6g} -> {top.new:.6g})"
+            )
+        else:
+            lines.append("no regression: runs are metric-identical")
+        return "\n".join(lines) + "\n"
+
+
+def _rank_bench(findings: list[WhyFinding]) -> tuple[WhyFinding, ...]:
+    """Gated regressions first by relative severity, then everything else."""
+    return tuple(
+        sorted(
+            findings,
+            key=lambda f: (
+                not (f.gated and f.delta > 0),
+                -abs(f.rel),
+                f.scope,
+                f.metric,
+            ),
+        )
+    )
+
+
+def _bench_metrics(payloads: list[dict[str, Any]]) -> dict[tuple[str, str], float]:
+    from repro.obs.analysis.history import record_from_bench
+
+    metrics: dict[tuple[str, str], float] = {}
+    for payload in payloads:
+        record = record_from_bench(payload)
+        for metric, value in record["metrics"].items():
+            metrics[(record["name"], metric)] = value
+    return metrics
+
+
+def why_bench(
+    old_payloads: list[dict[str, Any]], new_payloads: list[dict[str, Any]]
+) -> WhyReport:
+    """Diff two bench-result sets metric by metric."""
+    from repro.obs.analysis.regress import is_gated
+
+    old = _bench_metrics(old_payloads)
+    new = _bench_metrics(new_payloads)
+    common = sorted(set(old) & set(new))
+    if not common:
+        raise AnalysisError(
+            "the two bench-result sets share no (bench, metric) pairs"
+        )
+    findings = [
+        WhyFinding(scope=name, metric=metric, old=old[key], new=new[key],
+                   gated=is_gated(metric))
+        for key in common
+        for name, metric in [key]
+    ]
+    return WhyReport(kind="bench", findings=_rank_bench(findings))
+
+
+def why_history(records: list[dict[str, Any]]) -> WhyReport:
+    """Diff the last two history entries per (bench, fingerprint, metric)."""
+    from repro.obs.analysis.regress import is_gated
+
+    series: dict[tuple[str, str, str], list[float]] = {}
+    for rec in records:
+        name = str(rec.get("name", ""))
+        fingerprint = str(rec.get("fingerprint", ""))
+        for metric, value in sorted((rec.get("metrics") or {}).items()):
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                series.setdefault((name, fingerprint, metric), []).append(
+                    float(value)
+                )
+    findings = [
+        WhyFinding(scope=name, metric=metric, old=values[-2], new=values[-1],
+                   gated=is_gated(metric))
+        for (name, _fp, metric), values in sorted(series.items())
+        if len(values) >= 2
+    ]
+    if not findings:
+        raise AnalysisError(
+            "history has no (bench, fingerprint, metric) with >= 2 entries"
+        )
+    return WhyReport(kind="history", findings=_rank_bench(findings))
+
+
+def why_trace(
+    old_events: list[dict[str, Any]], new_events: list[dict[str, Any]]
+) -> WhyReport:
+    """Diff two deterministic trace logs by folded work-unit stacks.
+
+    Both sides share one unit (work units), so findings are ranked by
+    absolute delta — share of the total shift — with the rank/cluster
+    flame root as the scope.
+    """
+    from repro.obs.analysis.flame import fold_stacks
+
+    old = fold_stacks(old_events)
+    new = fold_stacks(new_events)
+    findings = []
+    for path in sorted(set(old) | set(new)):
+        root, _, rest = path.partition(";")
+        findings.append(
+            WhyFinding(
+                scope=root,
+                metric=rest or root,
+                old=float(old.get(path, 0)),
+                new=float(new.get(path, 0)),
+                gated=True,  # work units are uniformly lower-is-better
+            )
+        )
+    if not findings:
+        raise AnalysisError("neither trace contains phase spans to fold")
+    ranked = tuple(
+        sorted(
+            findings,
+            key=lambda f: (-abs(f.delta), f.scope, f.metric),
+        )
+    )
+    return WhyReport(kind="trace", findings=ranked)
+
+
+def _looks_like_bench_payload(record: dict[str, Any]) -> bool:
+    return "name" in record and ("stats" in record or "derived" in record)
+
+
+def load_side(path: str | Path) -> tuple[str, Any]:
+    """Classify one ``repro obs why`` operand: bench dir/file or trace log.
+
+    Returns ``("bench", payloads)`` or ``("trace", events)``; raises
+    :class:`AnalysisError` for anything unrecognizable.
+    """
+    from repro.obs.analysis import load_events, require_file
+    from repro.obs.analysis.history import load_bench_results
+
+    path = Path(path)
+    if path.is_dir():
+        return "bench", load_bench_results(path)
+    require_file(path, "bench/trace")
+    if path.suffix == ".jsonl":
+        return "trace", load_events(path)
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise AnalysisError(f"{path}: not valid JSON: {exc}") from exc
+    if isinstance(payload, dict) and _looks_like_bench_payload(payload):
+        return "bench", [payload]
+    raise AnalysisError(
+        f"{path}: not a bench payload or trace log "
+        "(expected BENCH_*.json, a results directory, or an events .jsonl)"
+    )
+
+
+def why_paths(old_path: str | Path, new_path: str | Path) -> WhyReport:
+    """Dispatch ``repro obs why OLD NEW`` on the operand kinds."""
+    old_kind, old_data = load_side(old_path)
+    new_kind, new_data = load_side(new_path)
+    if old_kind != new_kind:
+        raise AnalysisError(
+            f"cannot diff {old_kind} ({old_path}) against {new_kind} "
+            f"({new_path}); both sides must be bench results or both traces"
+        )
+    if old_kind == "bench":
+        return why_bench(old_data, new_data)
+    return why_trace(old_data, new_data)

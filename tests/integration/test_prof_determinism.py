@@ -1,0 +1,115 @@
+"""Isolation contract of the host-profiling layer (repro.obs.prof).
+
+Profiling measures the host — stack samples, tracemalloc bytes, phase
+nanoseconds — so its output varies run to run.  The contract is that
+none of it is rank-visible: with profiling enabled, every deterministic
+artifact (spike digests, JSONL event logs, the metric registry's
+rendered textfile, recovery digests) stays byte-identical to an
+unprofiled run.  DET111 enforces the static side of this; these tests
+enforce the observable side.
+"""
+
+from repro.apps.quicknet import build_quickstart_network
+from repro.core.config import CompassConfig
+from repro.core.simulator import Compass
+from repro.obs import Observability, write_event_log, render_textfile
+from repro.resilience import (
+    FaultSchedule,
+    RankCrash,
+    RecoveryPolicy,
+    ResilientRunner,
+    spike_digest,
+)
+
+TICKS = 30
+N_CORES = 16
+
+
+def _run(n_processes, obs, seed=11, ticks=TICKS, pgas=False):
+    net = build_quickstart_network(n_cores=N_CORES, seed=seed)
+    cfg = CompassConfig(n_processes=n_processes, record_spikes=True)
+    if pgas:
+        from repro.core.pgas_simulator import PgasCompass
+
+        sim = PgasCompass(net, cfg, obs=obs)
+    else:
+        sim = Compass(net, cfg, obs=obs)
+    with obs.prof if obs.profiling else _null_ctx():
+        result = sim.run(ticks)
+    return result, obs
+
+
+class _null_ctx:
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return None
+
+
+def _profiled_obs():
+    return Observability.with_profiling(hz=499.0, tracing=True)
+
+
+class TestProfiledDigestsMatchUnprofiled:
+    def test_event_log_byte_identical(self, tmp_path):
+        _, obs_plain = _run(4, Observability.with_tracing())
+        _, obs_prof = _run(4, _profiled_obs())
+        # Profiling genuinely ran: phase rows accumulated host cost.
+        assert obs_prof.prof.rows()
+        assert obs_prof.prof.total_work_units > 0
+        a = write_event_log(obs_plain.tracer, tmp_path / "plain.jsonl")
+        b = write_event_log(obs_prof.tracer, tmp_path / "prof.jsonl")
+        assert a.read_bytes() == b.read_bytes()
+        # Host stacks live only under the profiler's own "host" root —
+        # never in the deterministic event stream.
+        assert all(key.split(";")[0] == "host"
+                   for key in obs_prof.prof.folded())
+        assert b"host;" not in b.read_bytes()
+
+    def test_spike_digest_and_registry_identical(self):
+        res_plain, obs_plain = _run(4, Observability.with_tracing())
+        res_prof, obs_prof = _run(4, _profiled_obs())
+        assert spike_digest(res_plain.spikes) == spike_digest(res_prof.spikes)
+        assert render_textfile(obs_plain.registry) == render_textfile(
+            obs_prof.registry
+        )
+
+    def test_pgas_backend_digest_identical(self):
+        res_plain, _ = _run(2, Observability.off(), pgas=True)
+        res_prof, obs_prof = _run(2, Observability.with_profiling(hz=499.0),
+                                  pgas=True)
+        assert obs_prof.prof.rows()
+        assert spike_digest(res_plain.spikes) == spike_digest(res_prof.spikes)
+
+
+class TestPartitionInvarianceWithProfiling:
+    def test_1_vs_4_rank_digests_match(self):
+        res_1, obs_1 = _run(1, _profiled_obs())
+        res_4, obs_4 = _run(4, _profiled_obs())
+        assert spike_digest(res_1.spikes) == spike_digest(res_4.spikes)
+        # Host profiles legitimately differ across layouts (that is the
+        # point of the divergence report); the simulation must not.
+        assert obs_1.prof.rows() and obs_4.prof.rows()
+
+
+class TestRecoveryWithProfiling:
+    def test_recovery_digest_matches_clean_run(self):
+        def factory(obs):
+            net = build_quickstart_network(n_cores=N_CORES, seed=11)
+            cfg = CompassConfig(n_processes=4, record_spikes=True)
+            return lambda: Compass(net, cfg, obs=obs)
+
+        clean = factory(Observability.off())().run(TICKS)
+
+        prof_obs = Observability.with_profiling(hz=499.0)
+        runner = ResilientRunner(
+            factory(prof_obs),
+            schedule=FaultSchedule([RankCrash(tick=17, rank=1)]),
+            checkpoint_interval=5,
+            policy=RecoveryPolicy(kind="restart"),
+        )
+        with prof_obs.prof:
+            result = runner.run(TICKS)
+        assert spike_digest(result.spikes) == spike_digest(clean.spikes)
+        assert prof_obs.prof.rows()

@@ -304,6 +304,126 @@ class TestObsAnalysis:
         assert "no such results directory" in capsys.readouterr().err
 
 
+class TestObsProf:
+    """The host-profiling subcommands: obs prof | why."""
+
+    def test_prof_writes_report_folded_and_memory(self, tmp_path, capsys):
+        folded = tmp_path / "host.folded"
+        mem = tmp_path / "mem.json"
+        out = tmp_path / "prof.txt"
+        rc = main(
+            ["obs", "prof", "--model", "quickstart", "--cores", "8",
+             "--ticks", "5", "--processes", "2", "--hz", "499",
+             "--folded", str(folded), "--mem-out", str(mem),
+             "--out", str(out)]
+        )
+        assert rc == 0
+        assert "profiled 5 ticks" in capsys.readouterr().out
+        report = out.read_text()
+        assert "host-cost divergence" in report
+        assert "host memory report" in report
+        payload = json.loads(mem.read_text())
+        assert payload["schema"] == 1 and payload["peak_nbytes"] > 0
+        assert folded.exists()
+
+    def test_prof_merges_span_stacks_into_folded(self, tmp_path, capsys):
+        events = tmp_path / "events.jsonl"
+        assert main(
+            ["obs", "trace", "--model", "quickstart", "--cores", "8",
+             "--ticks", "5", "--out", str(tmp_path / "t.json"),
+             "--jsonl", str(events)]
+        ) == 0
+        folded = tmp_path / "merged.folded"
+        rc = main(
+            ["obs", "prof", "--model", "quickstart", "--cores", "8",
+             "--ticks", "5", "--no-memory", "--folded", str(folded),
+             "--spans", str(events), "--out", str(tmp_path / "r.txt")]
+        )
+        assert rc == 0
+        from repro.obs.analysis import parse_folded
+
+        merged = parse_folded(folded.read_text())
+        roots = {path.split(";")[0] for path in merged}
+        assert "rank 0" in roots  # simulated work-unit stacks merged in
+        capsys.readouterr()
+
+    def test_prof_pgas_backend(self, tmp_path, capsys):
+        rc = main(
+            ["obs", "prof", "--model", "quickstart", "--cores", "8",
+             "--ticks", "5", "--pgas", "--no-sampler", "--no-memory"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "(pgas)" in out and "divergence hotspot" in out
+
+    @staticmethod
+    def _bench_file(path, name, mem_peak, time_s=0.1):
+        payload = {
+            "schema": 4,
+            "name": name,
+            "fingerprint": "fp1",
+            "params": {},
+            "stats": {"n": 1, "mean": time_s},
+            "derived": {"mem_peak_nbytes": mem_peak},
+        }
+        path.write_text(json.dumps(payload))
+        return path
+
+    def test_why_names_injected_memory_regression(self, tmp_path, capsys):
+        old = self._bench_file(tmp_path / "old.json", "tick", 1000.0)
+        new = self._bench_file(tmp_path / "new.json", "tick", 2500.0)
+        out = tmp_path / "why.txt"
+        rc = main(["obs", "why", str(old), str(new), "--out", str(out)])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "root cause: tick / mem_peak_nbytes" in text
+        assert "root cause: tick / mem_peak_nbytes" in out.read_text()
+
+    def test_why_fail_on_regression_exits_1(self, tmp_path, capsys):
+        old = self._bench_file(tmp_path / "old.json", "tick", 1000.0)
+        new = self._bench_file(tmp_path / "new.json", "tick", 2500.0)
+        assert main(["obs", "why", str(old), str(new),
+                     "--fail-on-regression"]) == 1
+        capsys.readouterr()
+        # Identical runs pass even with enforcement on.
+        assert main(["obs", "why", str(old), str(old),
+                     "--fail-on-regression"]) == 0
+        assert "no regression" in capsys.readouterr().out
+
+    def test_why_history_mode(self, tmp_path, capsys):
+        history = tmp_path / "hist.jsonl"
+        lines = [
+            {"name": "tick", "fingerprint": "f",
+             "metrics": {"time_s": 0.10}},
+            {"name": "tick", "fingerprint": "f",
+             "metrics": {"time_s": 0.25}},
+        ]
+        history.write_text("".join(json.dumps(r) + "\n" for r in lines))
+        rc = main(["obs", "why", "--history", str(history)])
+        assert rc == 0
+        assert "root cause: tick / time_s" in capsys.readouterr().out
+
+    def test_why_operands_and_history_conflict(self, tmp_path, capsys):
+        old = self._bench_file(tmp_path / "old.json", "tick", 1.0)
+        rc = main(["obs", "why", str(old), str(old),
+                   "--history", str(tmp_path / "h.jsonl")])
+        assert rc == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_why_requires_two_operands(self, tmp_path, capsys):
+        rc = main(["obs", "why", str(tmp_path / "only-old.json")])
+        assert rc == 2
+        assert "OLD and NEW" in capsys.readouterr().err
+
+    def test_why_mixed_kinds_is_usage_error(self, tmp_path, capsys):
+        bench = self._bench_file(tmp_path / "b.json", "tick", 1.0)
+        trace = tmp_path / "events.jsonl"
+        trace.write_text('{"name": "tick", "ph": "X", "rank": -1}\n')
+        rc = main(["obs", "why", str(bench), str(trace)])
+        assert rc == 2
+        assert "both sides" in capsys.readouterr().err
+
+
 class TestMacaque:
     def test_macaque_small(self, capsys):
         assert main(["macaque", "--cores", "77", "--ticks", "30"]) == 0

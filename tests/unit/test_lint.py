@@ -1,4 +1,4 @@
-"""Unit tests for the determinism lint engine (DET100–DET110).
+"""Unit tests for the determinism lint engine (DET100–DET111).
 
 Each rule gets a positive case (the violation is reported with its rule
 id and location) and a suppressed case (the same construct with a
@@ -31,7 +31,7 @@ class TestRegistry:
         ids = [r.rule_id for r in all_rules()]
         assert ids == [
             "DET101", "DET102", "DET103", "DET104", "DET105", "DET106", "DET107",
-            "DET108", "DET109", "DET110",
+            "DET108", "DET109", "DET110", "DET111",
         ]
 
     def test_rules_by_id_selects(self):
@@ -606,5 +606,81 @@ class TestEnvFsOrder:
             "import os\n\ndef f():\n"
             "    # repro: allow[DET109] documented launch-time input\n"
             "    return os.environ['SEED']\n"
+        )
+        assert lint_source(src, path="x.py") == []
+
+
+class TestHostProfBoundary:
+    def test_tracemalloc_read_flagged(self):
+        src = (
+            "import tracemalloc\n\ndef peak():\n"
+            "    return tracemalloc.get_traced_memory()[1]\n"
+        )
+        violations = lint_source(src, path="x.py")
+        assert rule_ids(violations) == ["DET111"]
+        assert "tracemalloc.get_traced_memory" in violations[0].message
+        assert violations[0].line == 4
+
+    def test_tracemalloc_start_flagged(self):
+        src = "import tracemalloc\n\ndef begin():\n    tracemalloc.start(1)\n"
+        assert rule_ids(lint_source(src, path="x.py")) == ["DET111"]
+
+    def test_current_frames_flagged(self):
+        src = "import sys\n\ndef stacks():\n    return sys._current_frames()\n"
+        violations = lint_source(src, path="x.py")
+        assert rule_ids(violations) == ["DET111"]
+        assert "sys._current_frames" in violations[0].message
+
+    def test_getrusage_flagged(self):
+        src = (
+            "import resource\n\ndef rss():\n"
+            "    return resource.getrusage(resource.RUSAGE_SELF)\n"
+        )
+        assert rule_ids(lint_source(src, path="x.py")) == ["DET111"]
+
+    def test_marked_def_line_exempt(self):
+        src = (
+            "import tracemalloc\n\n"
+            "def peak():  # repro: host-prof\n"
+            "    return tracemalloc.get_traced_memory()[1]\n"
+        )
+        assert lint_source(src, path="x.py") == []
+
+    def test_marked_line_above_exempt(self):
+        src = (
+            "import sys\n\n"
+            "# repro: host-prof\n"
+            "def stacks(ident):\n"
+            "    return sys._current_frames().get(ident)\n"
+        )
+        assert lint_source(src, path="x.py") == []
+
+    def test_nested_function_inherits_exemption(self):
+        src = (
+            "import tracemalloc\n\n"
+            "def meter():  # repro: host-prof\n"
+            "    def peak():\n"
+            "        return tracemalloc.get_traced_memory()[1]\n"
+            "    return peak()\n"
+        )
+        assert lint_source(src, path="x.py") == []
+
+    def test_obs_prof_package_is_linted(self):
+        # The profiling layer itself is rank-visible for the linter —
+        # that is the isolation guarantee, so an unmarked read there fails.
+        src = "import tracemalloc\n\ndef peak():\n    return tracemalloc.stop()\n"
+        path = str(Path("src") / "repro" / "obs" / "prof" / "memory.py")
+        assert rule_ids(lint_source(src, path=path)) == ["DET111"]
+
+    def test_not_applied_outside_rank_visible_paths(self):
+        src = "import tracemalloc\n\ndef peak():\n    return tracemalloc.stop()\n"
+        path = str(Path("src") / "repro" / "perf" / "meter.py")
+        assert lint_source(src, path=path) == []
+
+    def test_suppressed(self):
+        src = (
+            "import resource\n\ndef rss():\n"
+            "    # repro: allow[DET111] documented one-shot diagnostics\n"
+            "    return resource.getrusage(resource.RUSAGE_SELF)\n"
         )
         assert lint_source(src, path="x.py") == []

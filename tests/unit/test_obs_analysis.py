@@ -25,6 +25,8 @@ from repro.obs.analysis import (
     load_bench_results,
     load_events,
     load_history,
+    merge_folded,
+    parse_folded,
     record_from_bench,
     require_file,
 )
@@ -163,6 +165,51 @@ class TestFlame:
                 core_lo=0, core_hi=8)
         folded = fold_stacks(load_events(tr))
         assert not any("omp-thread" in key for key in folded)
+
+
+class TestParseMergeFolded:
+    def test_round_trips_formatted_output(self):
+        events = load_events(_tracer())
+        assert parse_folded(format_folded(events)) == fold_stacks(events)
+
+    def test_duplicate_paths_accumulate(self):
+        assert parse_folded("a;b 2\na;b 3\n") == {"a;b": 5}
+
+    def test_empty_input_raises(self):
+        with pytest.raises(AnalysisError, match="empty"):
+            parse_folded("")
+
+    def test_blank_line_raises_with_lineno(self):
+        with pytest.raises(AnalysisError, match="line 2"):
+            parse_folded("a;b 1\n\na;c 1\n")
+
+    def test_missing_weight_raises(self):
+        with pytest.raises(AnalysisError, match="expected 'stack weight'"):
+            parse_folded("just-a-path\n")
+
+    def test_non_integer_weight_raises(self):
+        with pytest.raises(AnalysisError, match="not an integer"):
+            parse_folded("a;b lots\n")
+
+    def test_negative_weight_raises(self):
+        with pytest.raises(AnalysisError, match="negative"):
+            parse_folded("a;b -3\n")
+
+    def test_merge_keeps_host_and_span_roots_disjoint(self):
+        span_folded = fold_stacks(load_events(_tracer(ticks=1, ranks=1,
+                                                      skew_rank=-1)))
+        host_folded = {"host;repro.core.simulator:step": 40,
+                       "host;repro.arch.coreblock:integrate": 9}
+        merged = merge_folded(span_folded, host_folded)
+        assert merged["host;repro.core.simulator:step"] == 40
+        assert merged["rank 0;compute;synapse"] == 11
+        roots = {path.split(";")[0] for path in merged}
+        assert {"host", "rank 0", "cluster"} <= roots
+
+    def test_merge_sums_shared_paths(self):
+        assert merge_folded({"a;b": 1}, {"a;b": 2}, {"c": 4}) == {
+            "a;b": 3, "c": 4,
+        }
 
 
 class TestImbalance:
@@ -359,6 +406,33 @@ class TestGate:
         assert is_gated("interval_10_total_overhead_s")
         assert not is_gated("speedup_8_racks")
         assert not is_gated("mean_rate_hz")
+
+    def test_memory_and_host_cost_metrics_gated_uniformly(self):
+        # Satellite of the profiling PR: every mem_* and *_nbytes metric
+        # gates lower-is-better, as does host interpreter cost per work
+        # unit — regardless of which bench emitted it.
+        assert is_gated("mem_peak_nbytes")
+        assert is_gated("peak_state_nbytes")
+        assert is_gated("checkpoint_nbytes")
+        assert is_gated("mem_current_nbytes")
+        assert is_gated("host_ns_per_work_unit")
+
+    def test_synthetic_memory_regression_fails_by_name(self):
+        history = [
+            record_from_bench(
+                _bench_payload(mean=0.1,
+                               derived={"mem_peak_nbytes": 1_000_000.0})
+            )
+        ]
+        grown = _bench_payload(mean=0.1,
+                               derived={"mem_peak_nbytes": 1_600_000.0})
+        offenders = failures(gate_results([grown], history))
+        assert {(v.bench, v.metric) for v in offenders} == {
+            ("tick_throughput", "mem_peak_nbytes"),
+        }
+        report = format_gate_report(gate_results([grown], history))
+        assert "tick_throughput/mem_peak_nbytes" in report
+        assert "FAILED" in report
 
     RESULTS_DIR = Path(__file__).resolve().parents[2] / "benchmarks" / "results"
 
