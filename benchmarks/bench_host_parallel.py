@@ -1,0 +1,130 @@
+"""Host-parallel pool throughput vs the sequential reference backend.
+
+The only benchmark that exercises *real* host concurrency: the same
+network is run through the sequential adapter and through the process
+pool at several worker counts, spike digests are asserted byte-identical
+(the determinism contract of docs/execution.md), and simulated
+ticks-per-second is recorded for each configuration.
+
+The host core count is recorded in the emitted JSON because the speedup
+claim is conditional hardware truth, not a repository invariant: on a
+multi-core host the 4-worker pool must clear 2x sequential throughput
+(asserted when >= 4 cores are present); on a single-core host the pool
+still proves byte-identity but necessarily pays the IPC overhead with no
+parallel gain, so only the measurement is recorded.
+
+Wall-clock here excludes ``prepare`` (worker spawn + network broadcast):
+the serve layer amortises setup over many batches, and the setup cost is
+modelled separately by ``SetupCostModel``.
+"""
+
+import os
+import time
+
+from repro.apps.quicknet import build_quickstart_network
+from repro.core.config import CompassConfig
+from repro.core.simulator import Compass
+from repro.exec import ExecLayout, make_adapter
+from repro.perf.report import format_table
+from repro.resilience import spike_digest
+
+TICKS = 30
+N_CORES = 32
+N_PROCESSES = 8
+WORKER_COUNTS = (2, 4)
+
+
+def _net():
+    return build_quickstart_network(n_cores=N_CORES, seed=5)
+
+
+def _pool_run(workers):
+    layout = ExecLayout(
+        n_processes=N_PROCESSES, record_spikes=True, workers=workers
+    )
+    with make_adapter("pool") as sim:
+        sim.prepare(_net(), layout)
+        t0 = time.perf_counter()
+        result = sim.run(TICKS)
+        wall = time.perf_counter() - t0
+        util = sim.host_utilization()
+        nbytes = sim.state_nbytes()
+    return result, wall, util, nbytes
+
+
+def test_host_parallel_throughput(write_result, write_bench_json):
+    host_cores = os.cpu_count() or 1
+
+    seq = Compass(
+        _net(), CompassConfig(n_processes=N_PROCESSES, record_spikes=True)
+    )
+    t0 = time.perf_counter()
+    seq_res = seq.run(TICKS)
+    seq_wall = time.perf_counter() - t0
+    ref_digest = spike_digest(seq_res.spikes)
+
+    rows = [
+        (
+            "sequential",
+            1,
+            round(seq_wall, 3),
+            round(TICKS / seq_wall, 1),
+            "1.00x",
+            "-",
+        )
+    ]
+    samples = [seq_wall]
+    derived = {
+        "host_cores": float(host_cores),
+        "ticks_per_s_sequential": TICKS / seq_wall,
+    }
+    peak_state = 0
+    speedups = {}
+    for workers in WORKER_COUNTS:
+        result, wall, util, nbytes = _pool_run(workers)
+        assert spike_digest(result.spikes) == ref_digest
+        assert result.total_spikes == seq_res.total_spikes
+        speedup = seq_wall / wall
+        speedups[workers] = speedup
+        samples.append(wall)
+        derived[f"ticks_per_s_w{workers}"] = TICKS / wall
+        derived[f"speedup_w{workers}"] = speedup
+        peak_state = max(peak_state, nbytes)
+        rows.append(
+            (
+                f"pool ({workers} workers)",
+                workers,
+                round(wall, 3),
+                round(TICKS / wall, 1),
+                f"{speedup:.2f}x",
+                f"{util['utilization']:.2f}x",
+            )
+        )
+
+    table = format_table(
+        ["backend", "workers", "wall_s", "ticks/s", "speedup", "host util"],
+        rows,
+        title=(
+            f"host-parallel throughput, quickstart {N_CORES} cores, "
+            f"{N_PROCESSES} ranks, {TICKS} ticks, {host_cores}-core host "
+            "(digests byte-identical across all rows)"
+        ),
+    )
+    write_result("host_parallel", table)
+    write_bench_json(
+        "host_parallel",
+        params={
+            "cores": N_CORES,
+            "n_processes": N_PROCESSES,
+            "ticks": TICKS,
+            "worker_counts": list(WORKER_COUNTS),
+        },
+        samples=samples,
+        derived=derived,
+        peak_state_nbytes=peak_state,
+    )
+    if host_cores >= 4:
+        assert speedups[4] >= 2.0, (
+            f"4-worker pool reached only {speedups[4]:.2f}x on a "
+            f"{host_cores}-core host (>= 2x required)"
+        )

@@ -1,4 +1,4 @@
-"""The determinism lint rules (DET101–DET111).
+"""The determinism lint rules (DET101–DET112).
 
 Each rule enforces one discipline that keeps the simulator
 bit-deterministic across rank counts and thread interleavings — the
@@ -44,7 +44,15 @@ property behind the paper's one-to-one spike correspondence claim:
   and may only appear inside functions marked ``# repro: host-prof``
   (on the ``def`` line or the line above) — the discipline that keeps
   the :mod:`repro.obs.prof` layer provably isolated from deterministic
-  state and digests.
+  state and digests;
+* DET112 — no host-parallel nondeterminism in rank-visible code outside
+  a declared exec-host boundary: ``os.cpu_count()`` /
+  ``multiprocessing.cpu_count()`` reads, the fork start method
+  (``get_context("fork")``, ``set_start_method("fork")``, ``os.fork``),
+  and argless (host-entropy-seeded) RNG construction may only appear
+  inside functions marked ``# repro: exec-host`` (on the ``def`` line or
+  the line above) — the discipline that keeps the :mod:`repro.exec`
+  pool's simulated results independent of the machine they ran on.
 
 ``time.perf_counter`` is explicitly allowed: host-time measurement is
 observational (it feeds metrics, never rank-visible state).  Likewise
@@ -770,4 +778,110 @@ class HostProfBoundaryRule(Rule):
                 node,
                 f"{'.'.join(chain)}() introspects host execution outside a "
                 "'# repro: host-prof' function",
+            )
+
+
+#: Marks a function as declared host-execution territory (worker-count
+#: decisions, spawn plumbing) where host-core facts may be consulted.
+_EXEC_HOST_RE = re.compile(r"#\s*repro:\s*exec-host")
+
+#: Call-chain tails that read the host core count.
+_CPU_COUNT_TAILS = frozenset({"cpu_count", "process_cpu_count"})
+
+#: RNG constructors that must never be built unseeded in rank-visible
+#: code: an argless construction seeds from host entropy, so two host
+#: workers would disagree with the sequential backend.
+_UNSEEDED_RNG_NAMES = frozenset(
+    {"default_rng", "Random", "SeedSequence", "PCG64", "Philox", "SFC64", "MT19937"}
+)
+
+
+@register
+class ExecHostBoundaryRule(Rule):
+    rule_id = "DET112"
+    title = "host-parallel nondeterminism outside an exec-host boundary"
+    rationale = (
+        "Host-core counts, the fork start method, and unseeded per-worker "
+        "RNG construction make simulated results depend on the machine the "
+        "run landed on.  os.cpu_count()/multiprocessing.cpu_count() may "
+        "steer host worker counts only inside a function explicitly marked "
+        "'# repro: exec-host' (on the def line or the line above); the "
+        "fork start method (get_context('fork'), set_start_method('fork'), "
+        "os.fork) inherits parent interpreter state workers must not see "
+        "— the pool backends spawn; and every worker-side RNG must be "
+        "constructed from an explicit model-derived seed."
+    )
+    rank_visible_only = True
+
+    def check(self, ctx: ModuleContext):
+        lines = ctx.source.splitlines()
+        yield from self._scan(ctx, ctx.tree, False, lines)
+
+    def _scan(self, ctx: ModuleContext, node: ast.AST, exempt: bool, lines):
+        for child in ast.iter_child_nodes(node):
+            child_exempt = exempt
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                child_exempt = exempt or self._is_exec_host(child, lines)
+            if isinstance(child, ast.Call):
+                yield from self._check_call(ctx, child, child_exempt)
+            yield from self._scan(ctx, child, child_exempt, lines)
+
+    @staticmethod
+    def _is_exec_host(node: ast.AST, lines: list[str]) -> bool:
+        """Marked on the ``def`` line or the line immediately above it."""
+        for lineno in (node.lineno, node.lineno - 1):
+            if 1 <= lineno <= len(lines) and _EXEC_HOST_RE.search(lines[lineno - 1]):
+                return True
+        return False
+
+    @staticmethod
+    def _forks(node: ast.Call) -> bool:
+        """First argument is the string constant ``"fork"``/``"forkserver"``."""
+        args = list(node.args) + [
+            kw.value for kw in node.keywords if kw.arg == "method"
+        ]
+        return any(
+            isinstance(a, ast.Constant) and a.value in ("fork", "forkserver")
+            for a in args
+        )
+
+    def _check_call(self, ctx: ModuleContext, node: ast.Call, exempt: bool):
+        chain = _attr_chain(node.func)
+        if not chain:
+            return
+        tail = chain[-1]
+        if not exempt and len(chain) >= 2 and tail in _CPU_COUNT_TAILS:
+            yield self.violation(
+                ctx,
+                node,
+                f"{'.'.join(chain)}() reads the host core count outside a "
+                "'# repro: exec-host' function; derive worker counts from "
+                "the layout, not the machine",
+            )
+        elif len(chain) == 2 and chain == ["os", "fork"]:
+            yield self.violation(
+                ctx,
+                node,
+                "os.fork() clones live interpreter state into the child; "
+                "pool workers must spawn",
+            )
+        elif tail in ("get_context", "set_start_method") and self._forks(node):
+            yield self.violation(
+                ctx,
+                node,
+                f"{'.'.join(chain)}() selects the fork start method — "
+                "forked workers inherit parent RNG and buffer state; use "
+                "'spawn'",
+            )
+        elif (
+            tail in _UNSEEDED_RNG_NAMES
+            and not node.args
+            and not node.keywords
+        ):
+            yield self.violation(
+                ctx,
+                node,
+                f"{'.'.join(chain)}() constructs an unseeded RNG — per-"
+                "worker streams must be seeded from the model "
+                "(network seed + rank), never from host entropy",
             )

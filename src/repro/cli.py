@@ -7,6 +7,11 @@ Subcommands:
   explicit model and verify it;
 * ``run <model>``               — simulate an explicit model file (or the
   built-in quickstart network) and print run statistics;
+* ``exec run|info``             — the execution backend layer (see
+  ``docs/execution.md``): run a model on an explicitly chosen backend
+  (``mpi``/``pgas``/``pool``/``pool-mpi``, with a host-core utilization
+  line for the host-parallel pool), and list registered backends plus
+  host-core facts;
 * ``macaque``                   — build, compile, and run a macaque model;
 * ``figures [name|all]``        — regenerate the paper's evaluation tables;
 * ``check lint|flow|races|model`` — the determinism sanitizer (see
@@ -117,11 +122,17 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_backend(args: argparse.Namespace) -> str:
+    """Resolve the execution backend from ``--backend``/legacy ``--pgas``."""
+    backend = getattr(args, "backend", None)
+    if backend:
+        return backend
+    return "pgas" if getattr(args, "pgas", False) else "mpi"
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.compiler.diskmodel import read_model_file
-    from repro.core.config import CompassConfig
-    from repro.core.pgas_simulator import PgasCompass
-    from repro.core.simulator import Compass
+    from repro.exec import ExecLayout, make_adapter
 
     if args.model == "quickstart":
         from repro.apps.quicknet import build_quickstart_network
@@ -130,40 +141,90 @@ def _cmd_run(args: argparse.Namespace) -> int:
     else:
         network = read_model_file(args.model)
 
-    cfg = CompassConfig(
+    backend = _run_backend(args)
+    if args.profile and backend.startswith("pool"):
+        print(
+            "error: --profile needs in-process rank state "
+            "(use a sequential backend)",
+            file=sys.stderr,
+        )
+        return 2
+    layout = ExecLayout(
         n_processes=args.processes,
         threads_per_process=args.threads,
         record_spikes=args.stats,
+        workers=getattr(args, "workers", 1) or 1,
     )
-    sim_cls = PgasCompass if args.pgas else Compass
-    sim = sim_cls(network, cfg)
-    result = sim.run(args.ticks)
-    backend = "pgas" if args.pgas else "mpi"
-    print(
-        f"ran {args.ticks} ticks on {args.processes} processes ({backend}): "
-        f"{result.total_spikes} spikes, {result.mean_rate_hz:.2f} Hz, "
-        f"{sim.metrics.messages_per_tick():.1f} msgs/tick, "
-        f"host {sim.metrics.host.total:.2f}s"
-    )
-    if args.stats:
-        from repro.analysis.stats import spike_train_stats
-
-        s = spike_train_stats(sim.recorder, network.n_neurons, args.ticks)
+    with make_adapter(backend) as sim:
+        sim.prepare(network, layout)
+        result = sim.run(args.ticks)
         print(
-            f"stats: isi_cv={s.isi_cv:.2f} synchrony={s.synchrony:.2f} "
-            f"active={s.active_fraction:.0%}"
+            f"ran {args.ticks} ticks on {args.processes} processes ({backend}): "
+            f"{result.total_spikes} spikes, {result.mean_rate_hz:.2f} Hz, "
+            f"{sim.metrics.messages_per_tick():.1f} msgs/tick, "
+            f"host {sim.metrics.host.total:.2f}s"
         )
-    if args.profile:
-        from repro.core.profiling import profile_report
+        if hasattr(sim, "host_utilization"):
+            u = sim.host_utilization()
+            print(
+                f"host cores: {u['workers']} worker(s), "
+                f"cpu {u['cpu_s']:.2f}s / wall {u['wall_s']:.2f}s = "
+                f"{u['utilization']:.2f}x core utilization"
+            )
+        if args.stats:
+            from repro.analysis.stats import spike_train_stats
 
-        print(profile_report(sim))
-    if args.trace:
-        # --trace without --stats is rejected at parse time in main().
-        from repro.core.trace import write_trace
+            s = spike_train_stats(sim.recorder, network.n_neurons, args.ticks)
+            print(
+                f"stats: isi_cv={s.isi_cv:.2f} synchrony={s.synchrony:.2f} "
+                f"active={s.active_fraction:.0%}"
+            )
+        if args.profile:
+            from repro.core.profiling import profile_report
 
-        nbytes = write_trace(sim.recorder, args.trace)
-        print(f"wrote spike trace: {args.trace} ({nbytes} bytes)")
+            print(profile_report(sim))
+        if args.trace:
+            # --trace without --stats is rejected at parse time in main().
+            from repro.core.trace import write_trace
+
+            nbytes = write_trace(sim.recorder, args.trace)
+            print(f"wrote spike trace: {args.trace} ({nbytes} bytes)")
     return 0
+
+
+_BACKEND_NOTES = {
+    "sequential": "in-process MPI-style reference backend",
+    "mpi": "alias of sequential",
+    "pgas": "in-process one-sided (PGAS) backend",
+    "pool": "host-parallel workers, shared-memory spike windows",
+    "pool-pgas": "alias of pool",
+    "pool-mpi": "host-parallel workers, pickled mailbox batches",
+}
+
+
+def _cmd_exec_info(args: argparse.Namespace) -> int:
+    from repro.exec import backend_names
+
+    print("execution backends (docs/execution.md):")
+    for name in backend_names():
+        print(f"  {name:<11} {_BACKEND_NOTES.get(name, '')}")
+    # Host facts are exec-host territory: they steer worker counts only,
+    # never simulated results.  # repro: exec-host
+    cores = os.cpu_count() or 1
+    print(
+        f"\nhost: {cores} core(s), start method 'spawn' "
+        "(workers are seeded from the model, never from host entropy)"
+    )
+    if cores < 2:
+        print(
+            "note: single-core host — pool backends stay byte-identical "
+            "but will not beat sequential throughput"
+        )
+    return 0
+
+
+def _cmd_exec_run(args: argparse.Namespace) -> int:
+    return _cmd_run(args)
 
 
 def _cmd_macaque(args: argparse.Namespace) -> int:
@@ -482,15 +543,14 @@ def _resilience_schedule(args: argparse.Namespace):
 
 def _resilience_run(args: argparse.Namespace):
     """Shared machinery of ``resilience inject`` and ``resilience report``."""
-    from repro.core.config import CompassConfig
-    from repro.core.simulator import Compass
+    from repro.exec import ExecLayout, make_adapter
     from repro.resilience import RecoveryPolicy, ResilientRunner
 
     network = _resilience_network(args)
-    cfg = CompassConfig(n_processes=args.processes, record_spikes=True)
+    layout = ExecLayout(n_processes=args.processes, record_spikes=True)
 
     def factory():
-        return Compass(network, cfg)
+        return make_adapter("mpi").prepare(network, layout)
 
     runner = ResilientRunner(
         factory,
@@ -551,12 +611,10 @@ def _obs_run(args: argparse.Namespace, obs):
     the trace carries fault/checkpoint/recovery instants; otherwise the
     simulator runs directly on the chosen backend.
     """
-    from repro.core.config import CompassConfig
-    from repro.core.pgas_simulator import PgasCompass
-    from repro.core.simulator import Compass
+    from repro.exec import ExecLayout, make_adapter
 
     network = _obs_network(args, obs)
-    cfg = CompassConfig(
+    layout = ExecLayout(
         n_processes=args.processes, threads_per_process=args.threads
     )
     has_faults = any(
@@ -572,7 +630,7 @@ def _obs_run(args: argparse.Namespace, obs):
         from repro.resilience import RecoveryPolicy, ResilientRunner
 
         def factory():
-            return Compass(network, cfg, obs=obs)
+            return make_adapter("mpi", obs=obs).prepare(network, layout)
 
         runner = ResilientRunner(
             factory,
@@ -582,8 +640,7 @@ def _obs_run(args: argparse.Namespace, obs):
         )
         runner.run(args.ticks)
         return runner.sim
-    sim_cls = PgasCompass if args.pgas else Compass
-    sim = sim_cls(network, cfg, obs=obs)
+    sim = make_adapter(_run_backend(args), obs=obs).prepare(network, layout)
     sim.run(args.ticks)
     return sim
 
@@ -876,7 +933,8 @@ def _serve_config(args: argparse.Namespace):
         workers=args.workers,
         processes=args.processes,
         threads=args.threads,
-        backend="pgas" if args.pgas else "mpi",
+        backend=_run_backend(args),
+        pool_workers=args.pool_workers,
         max_batch_size=args.max_batch,
         max_batch_delay_us=args.batch_delay_us,
         queue_capacity=args.queue_capacity,
@@ -1123,16 +1181,48 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verify", action="store_true", help="verify the result")
     p.set_defaults(func=_cmd_compile)
 
+    def _add_run_args(sp: argparse.ArgumentParser) -> None:
+        sp.add_argument("model", help="explicit model .npz, or 'quickstart'")
+        sp.add_argument("--ticks", type=_positive_int, default=100)
+        sp.add_argument("--processes", type=_positive_int, default=1)
+        sp.add_argument("--threads", type=_positive_int, default=1)
+        sp.add_argument("--pgas", action="store_true", help="use the PGAS backend")
+        sp.add_argument("--stats", action="store_true", help="spike-train statistics")
+        sp.add_argument(
+            "--profile", action="store_true", help="per-rank load profile"
+        )
+        sp.add_argument("--trace", help="write the spike trace to this file")
+
     p = sub.add_parser("run", help="simulate a model")
-    p.add_argument("model", help="explicit model .npz, or 'quickstart'")
-    p.add_argument("--ticks", type=_positive_int, default=100)
-    p.add_argument("--processes", type=_positive_int, default=1)
-    p.add_argument("--threads", type=_positive_int, default=1)
-    p.add_argument("--pgas", action="store_true", help="use the PGAS backend")
-    p.add_argument("--stats", action="store_true", help="spike-train statistics")
-    p.add_argument("--profile", action="store_true", help="per-rank load profile")
-    p.add_argument("--trace", help="write the spike trace to this file")
+    _add_run_args(p)
     p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser(
+        "exec",
+        help="execution backends: adapter-driven runs + host facts "
+        "(see docs/execution.md)",
+    )
+    exec_sub = p.add_subparsers(dest="exec_cmd", required=True)
+    q = exec_sub.add_parser(
+        "info", help="list execution backends and host-core facts"
+    )
+    q.set_defaults(func=_cmd_exec_info)
+    q = exec_sub.add_parser(
+        "run", help="simulate a model on an explicitly chosen backend"
+    )
+    _add_run_args(q)
+    q.add_argument(
+        "--backend",
+        default="pool",
+        help="execution backend name (see 'repro exec info'; default: pool)",
+    )
+    q.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=2,
+        help="host worker processes (pool backends)",
+    )
+    q.set_defaults(func=_cmd_exec_run)
 
     p = sub.add_parser("macaque", help="build + compile + run a macaque model")
     p.add_argument("--cores", type=_positive_int, default=128)
@@ -1576,6 +1666,18 @@ def build_parser() -> argparse.ArgumentParser:
         q.add_argument("--processes", type=_positive_int, default=1)
         q.add_argument("--threads", type=_positive_int, default=1)
         q.add_argument("--pgas", action="store_true", help="use the PGAS backend")
+        q.add_argument(
+            "--backend",
+            choices=("mpi", "pgas", "pool"),
+            default=None,
+            help="execution backend (overrides --pgas; see 'repro exec info')",
+        )
+        q.add_argument(
+            "--pool-workers",
+            type=_positive_int,
+            default=2,
+            help="host worker processes per batch (pool backend)",
+        )
         q.add_argument(
             "--max-batch",
             type=_positive_int,

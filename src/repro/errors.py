@@ -62,6 +62,22 @@ class RankFailureError(FailureDetectedError):
         self.ranks = tuple(ranks)
 
 
+class WorkerCrashError(FailureDetectedError):
+    """A *host* worker process of a :class:`~repro.exec` pool died.
+
+    The process-pool executor maps simulated ranks onto host worker
+    processes; when one exits abnormally (segfault, ``os._exit``, OOM
+    kill) every simulated rank it owned is gone at once.  The error
+    carries those simulated ranks so :class:`ResilientRunner` can treat
+    a host crash exactly like a simulated rank crash: roll back to the
+    last coordinated checkpoint and restart.
+    """
+
+    def __init__(self, message: str, ranks: tuple[int, ...] = ()) -> None:
+        super().__init__(message)
+        self.ranks = tuple(ranks)
+
+
 class MessageLossError(FailureDetectedError):
     """A message announced by the count collective was never delivered."""
 
@@ -128,6 +144,18 @@ class CheckInputError(ReproError):
     is not a python file or directory, cannot be decoded as UTF-8, or a
     flow baseline file is missing/malformed.  Always a *usage* error
     (CLI exit code 2) naming the offending path — never a finding.
+    """
+
+
+class ExecError(ReproError):
+    """An execution-backend (adapter) request cannot be honoured.
+
+    Raised by :mod:`repro.exec` for usage errors at the adapter layer:
+    an unknown backend name, a feature combination a backend does not
+    support (e.g. the process pool with host profiling or simulated
+    fault schedules), or a shared-memory spike window too small for a
+    tick's traffic.  Always a caller/usage error, never a simulated
+    fault — contrast :class:`WorkerCrashError`.
     """
 
 

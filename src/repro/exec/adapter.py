@@ -1,0 +1,323 @@
+"""The unified backend adapter contract.
+
+Every execution backend — the sequential MPI-style :class:`Compass`, the
+one-sided :class:`PgasCompass`, and the host-parallel process pool — is
+driven through one :class:`SimulatorAdapter` surface:
+
+    prepare(network, layout)  ->  run_ticks(n)  ->  collect()  ->  teardown()
+
+The serve layer, the shard router, the CLI ``run`` path, and the
+resilience driver all program against this contract instead of
+hand-rolling their own prepare/run/collect lifecycles, so backend
+selection is a string and setup-cost accounting lives in exactly one
+place.  The abstract-adapter shape follows the scaffold/adapter split in
+SNIPPETS.md snippet 3 (bsb's ``SimulatorAdapter``): ``prepare`` turns a
+compiled model into backend state, the run methods advance the simulated
+clock, and ``collect`` returns the backend-independent result.
+
+Determinism contract: for the same network, layout, and injected inputs,
+every adapter produces byte-identical spike digests, per-tick metrics,
+and observability event streams (see docs/execution.md).  Host-side
+wall-clock accounting (``metrics.host``) is explicitly *outside* that
+contract.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.core.config import CompassConfig
+from repro.core.metrics import RunMetrics
+from repro.core.partition import Partition
+from repro.core.simulator import RunResult, SpikeRecorder
+from repro.errors import ExecError
+from repro.obs import Observability
+
+
+@dataclass
+class ExecLayout:
+    """How to lay a model out over simulated ranks and host workers.
+
+    The simulated geometry (``n_processes``, ``threads_per_process``,
+    ``machine``) is exactly :class:`CompassConfig`; the host geometry
+    (``workers``, ``window_bytes``) only exists for pool backends and
+    never affects simulated results.
+    """
+
+    n_processes: int = 1
+    threads_per_process: int = 1
+    machine: Any = None
+    record_spikes: bool = False
+    partition: Partition | None = None
+    sanitize: bool = False
+    #: Host worker processes (pool backends only; 1 elsewhere).
+    workers: int = 1
+    #: Per-worker shared-memory spike window capacity (pool PGAS path).
+    window_bytes: int = 1 << 20
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ExecError(f"workers must be >= 1, got {self.workers}")
+        if self.window_bytes < 1024:
+            raise ExecError(
+                f"window_bytes must be >= 1024, got {self.window_bytes}"
+            )
+
+    def compass_config(self) -> CompassConfig:
+        """The simulated-geometry half, as the core config object."""
+        return CompassConfig(
+            n_processes=self.n_processes,
+            threads_per_process=self.threads_per_process,
+            machine=self.machine,
+            record_spikes=self.record_spikes,
+        )
+
+    @classmethod
+    def from_config(cls, config: CompassConfig, **host: Any) -> "ExecLayout":
+        """Lift a :class:`CompassConfig` into a layout (host geometry kwargs)."""
+        return cls(
+            n_processes=config.n_processes,
+            threads_per_process=config.threads_per_process,
+            machine=config.machine,
+            record_spikes=config.record_spikes,
+            **host,
+        )
+
+
+class SimulatorAdapter(ABC):
+    """Abstract lifecycle every execution backend implements.
+
+    Concrete adapters are cheap to construct; all heavy work happens in
+    :meth:`prepare`.  ``prepare`` returns ``self`` so call sites can
+    chain: ``make_adapter("pgas").prepare(net, layout).run(100)``.
+
+    Beyond the four lifecycle verbs, the contract carries the checkpoint
+    surface (``capture``/``restore``/``state_nbytes``), the external
+    input surface (``inject``/``attach_schedule``), and the attributes
+    the resilience and serve layers consume (``tick``, ``metrics``,
+    ``recorder``, ``cluster``, ``config``, ``obs``) — so those layers
+    never reach into backend internals.
+    """
+
+    #: Backend identifier (adapter registry key).
+    backend: str = "abstract"
+    #: Whether simulated fault schedules (``repro.resilience.faults``)
+    #: can be injected into this backend's communication layer.
+    supports_simulated_faults: bool = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @abstractmethod
+    def prepare(self, network: Any, layout: ExecLayout) -> "SimulatorAdapter":
+        """Instantiate backend state for ``network`` laid out by ``layout``."""
+
+    @abstractmethod
+    def step(self) -> Any:
+        """Advance one simulated tick; returns that tick's metrics."""
+
+    def run_ticks(self, n: int) -> None:
+        """Advance ``n`` simulated ticks."""
+        for _ in range(n):
+            self.step()
+
+    @abstractmethod
+    def collect(self) -> RunResult:
+        """The backend-independent result of everything run so far."""
+
+    def teardown(self) -> None:
+        """Release backend resources (host processes, shared memory)."""
+
+    def run(self, ticks: int) -> RunResult:
+        """Convenience: ``run_ticks`` then ``collect``."""
+        self.run_ticks(ticks)
+        return self.collect()
+
+    def __enter__(self) -> "SimulatorAdapter":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.teardown()
+
+    # -- checkpoint surface ------------------------------------------------
+
+    @abstractmethod
+    def capture(self) -> dict[str, Any]:
+        """Coordinated snapshot at a tick boundary (checkpoint format)."""
+
+    @abstractmethod
+    def restore(self, state: dict[str, Any]) -> None:
+        """Restore a :meth:`capture` snapshot in place."""
+
+    @abstractmethod
+    def state_nbytes(self) -> int:
+        """Checkpoint payload size without taking the copies."""
+
+    # -- external input ------------------------------------------------------
+
+    @abstractmethod
+    def inject(self, gid: int, axon: int, tick: int) -> None:
+        """Schedule an external spike to arrive at (gid, axon) at ``tick``."""
+
+    def inject_batch(self, gids: np.ndarray, axons: np.ndarray, tick: int) -> None:
+        for g, a in zip(np.asarray(gids).ravel(), np.asarray(axons).ravel()):
+            self.inject(int(g), int(a), tick)
+
+    def attach_schedule(self, triples) -> None:
+        for gid, axon, tick in triples:
+            self.inject(gid, axon, tick)
+
+    # -- observability -------------------------------------------------------
+
+    @abstractmethod
+    def adopt_obs(self, obs: Observability) -> None:
+        """Switch observability bundles (spare-rank takeover path)."""
+
+    # -- attributes every call site may rely on ------------------------------
+
+    @property
+    @abstractmethod
+    def tick(self) -> int: ...
+
+    @property
+    @abstractmethod
+    def metrics(self) -> RunMetrics: ...
+
+    @metrics.setter
+    @abstractmethod
+    def metrics(self, value: RunMetrics) -> None: ...
+
+    @property
+    @abstractmethod
+    def recorder(self) -> SpikeRecorder | None: ...
+
+    @recorder.setter
+    @abstractmethod
+    def recorder(self, value: SpikeRecorder | None) -> None: ...
+
+    @property
+    @abstractmethod
+    def network(self) -> Any: ...
+
+    @property
+    @abstractmethod
+    def config(self) -> CompassConfig: ...
+
+    @property
+    @abstractmethod
+    def obs(self) -> Observability: ...
+
+    @property
+    @abstractmethod
+    def cluster(self) -> Any: ...
+
+    @property
+    def n_ranks(self) -> int:
+        return self.config.n_processes
+
+
+#: Registered backend names -> adapter factory.  Filled by the concrete
+#: modules at import time (see ``register_backend``).
+_BACKENDS: dict[str, Any] = {}
+
+
+def register_backend(name: str, factory: Any) -> None:
+    """Register an adapter factory under ``name`` (idempotent)."""
+    _BACKENDS[name] = factory
+
+
+def backend_names() -> tuple[str, ...]:
+    """All registered backend names, sorted."""
+    _ensure_registered()
+    return tuple(sorted(_BACKENDS))
+
+
+def _ensure_registered() -> None:
+    # Import side effect: the concrete modules self-register.
+    from repro.exec import pool, sequential  # noqa: F401
+
+
+def make_adapter(
+    backend: str, obs: Observability | None = None, **kwargs: Any
+) -> SimulatorAdapter:
+    """Build an (unprepared) adapter for ``backend``.
+
+    Known names: ``sequential`` (alias ``mpi``), ``pgas``, ``pool``
+    (host-parallel, shared-memory PGAS windows), ``pool-mpi``
+    (host-parallel, pickled mailbox batches).
+    """
+    _ensure_registered()
+    try:
+        factory = _BACKENDS[backend]
+    except KeyError:
+        raise ExecError(
+            f"unknown execution backend {backend!r}; "
+            f"known: {', '.join(sorted(_BACKENDS))}"
+        ) from None
+    return factory(obs=obs, **kwargs)
+
+
+def as_adapter(sim: Any) -> SimulatorAdapter:
+    """Wrap an already-built simulator (or pass an adapter through).
+
+    Lets call sites that still construct :class:`Compass` /
+    :class:`PgasCompass` directly (factories handed to the resilience
+    driver, tests) join the adapter-only world without rebuilding.
+    """
+    if isinstance(sim, SimulatorAdapter):
+        return sim
+    from repro.exec.sequential import PgasAdapter, SequentialAdapter
+
+    if getattr(sim, "backend", None) == "pgas":
+        return PgasAdapter.wrap(sim)
+    return SequentialAdapter.wrap(sim)
+
+
+@dataclass(frozen=True)
+class SetupCostModel:
+    """One source of truth for modelled backend setup/span costs.
+
+    The serve layer and the shard router used to carry their own copies
+    of the "how much simulated time does preparing a backend cost"
+    arithmetic.  Both now charge through this model: a fixed setup cost
+    per prepared backend plus a per-tick and per-delivered-spike cost,
+    in simulated microseconds.
+    """
+
+    setup_us: float = 20_000.0
+    tick_us: float = 50.0
+    spike_us: float = 0.02
+
+    def span_cost_us(self, ticks: int, spikes: int, *, cold: bool) -> float:
+        """Modelled simulated cost of a batch run (``cold`` = first build)."""
+        cost = ticks * self.tick_us + spikes * self.spike_us
+        if cold:
+            cost += self.setup_us
+        return cost
+
+
+@dataclass
+class _InjectionLedger:
+    """Pending (gid, axon) inputs keyed by tick — shared by adapters."""
+
+    pending: dict[int, list[tuple[int, int]]] = field(default_factory=dict)
+
+    def add(self, gid: int, axon: int, tick: int, now: int) -> None:
+        if tick < now:
+            raise ValueError(f"cannot inject into past tick {tick} (now {now})")
+        self.pending.setdefault(tick, []).append((int(gid), int(axon)))
+
+    def pop(self, tick: int) -> list[tuple[int, int]]:
+        return self.pending.pop(tick, [])
+
+    def snapshot(self) -> dict[int, list[tuple[int, int]]]:
+        return {t: list(v) for t, v in self.pending.items()}
+
+    def restore(self, snap: dict[int, list[tuple[int, int]]]) -> None:
+        self.pending = {t: list(v) for t, v in snap.items()}
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.pending)

@@ -1,0 +1,803 @@
+"""Host-parallel execution: simulated ranks on real cores.
+
+:class:`ProcessPoolAdapter` spawns host worker processes
+(:mod:`repro.exec.worker`), each owning a contiguous span of simulated
+ranks, and drives them in lock-step: one ``step`` command per tick, all
+stats collected before the next — the parent *is* the deterministic
+tick-boundary barrier.
+
+Byte-identity by construction (the parent-replay model): workers do only
+the numeric work and ship a compact per-rank stats record; the parent
+owns every observability object — spike recorder, metric registry, span
+tracer, run metrics — and replays the sequential backend's emission
+sequence exactly from those stats.  The simulated clock, LCG streams,
+per-tick fired counts, and all report/trace/metric bytes therefore match
+:class:`SequentialAdapter` / :class:`PgasAdapter` bit for bit (the
+1-vs-4-worker digest tests in ``tests/integration`` pin this).  Host
+wall-clock accounting (``metrics.host``, utilization) is measured, not
+replayed, and is outside the determinism contract.
+
+Failure model: a worker that dies takes all its simulated ranks with it.
+The parent liveness-polls while collecting stats and surfaces the death
+as :class:`WorkerCrashError` — a :class:`FailureDetectedError` — so
+:class:`ResilientRunner` checkpoint/rollback works unchanged; its
+``restore`` respawns the pool and pushes the checkpointed block
+snapshots back to fresh workers.
+
+Unsupported with the pool (typed :class:`ExecError` at ``prepare``):
+the happens-before sanitizer, machine timing models, host profiling
+(``obs.prof``), and simulated fault schedules — each needs in-process
+access to backend internals that now live across process boundaries.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_mod
+from typing import Any
+
+from repro.arch.spike import SPIKE_WIRE_BYTES
+from repro.core.config import CompassConfig
+from repro.core.metrics import PhaseTimes, RunMetrics, TickMetrics
+from repro.core.partition import Partition
+from repro.core.simulator import CompassBase, RunResult, SpikeRecorder
+from repro.errors import ExecError, WorkerCrashError
+from repro.exec.adapter import (
+    ExecLayout,
+    SimulatorAdapter,
+    _InjectionLedger,
+    register_backend,
+)
+from repro.exec.windows import SpikeWindow
+from repro.exec.worker import WorkerSpec, worker_main
+from repro.obs import Observability
+from repro.util.hostclock import host_perf_counter
+
+#: Parent-side liveness poll period while waiting on worker results.
+_POLL_S = 0.2
+#: How long a worker gets to come up / answer a control command.
+_CONTROL_TIMEOUT_S = 120.0
+
+
+def _spans(n: int, k: int) -> tuple[tuple[int, int], ...]:
+    """Split ``n`` items into ``k`` contiguous spans (Partition's rule)."""
+    base, extra = divmod(n, k)
+    spans = []
+    lo = 0
+    for i in range(k):
+        hi = lo + base + (1 if i < extra else 0)
+        spans.append((lo, hi))
+        lo = hi
+    return tuple(spans)
+
+
+class PoolCluster:
+    """The pool's cluster facade for the resilience driver.
+
+    Presents the surface :class:`ResilientRunner` touches — ``dead``,
+    ``revive_rank``, ``reset_communication``, an ``injector`` slot —
+    mapped onto host-process reality.  Simulated per-rank faults
+    (``fail_rank``) are impossible across process boundaries and raise.
+    """
+
+    def __init__(self, pool: "ProcessPoolAdapter") -> None:
+        self._pool = pool
+        #: Simulated ranks currently lost to a dead host worker.
+        self.dead: set[int] = set()
+        self.injector: Any = None
+        self.tracer: Any = None
+        #: No in-process mailboxes; the fault injector's transport-level
+        #: dedup pass iterates this and finds nothing to purge.
+        self.mailboxes: tuple = ()
+
+    def fail_rank(self, rank: int) -> None:
+        raise ExecError(
+            "the process pool cannot fail individual simulated ranks; "
+            "use inject_worker_crash for host-level failures"
+        )
+
+    def revive_rank(self, rank: int) -> None:
+        self.dead.discard(rank)
+
+    def reset_communication(self) -> None:
+        self._pool._respawn_if_broken()
+
+
+class ProcessPoolAdapter(SimulatorAdapter):
+    """Run simulated ranks on actual host cores via ``multiprocessing``.
+
+    ``flavor`` picks the exchange: ``"pgas"`` (default; shared-memory
+    ring-buffer spike windows) or ``"mpi"`` (pickled mailbox batches).
+    The replayed observability stream matches the corresponding
+    sequential backend — ``pool`` vs :class:`PgasAdapter`, ``pool-mpi``
+    vs :class:`SequentialAdapter`.
+    """
+
+    backend = "pool"
+    supports_simulated_faults = False
+
+    def __init__(
+        self,
+        obs: Observability | None = None,
+        flavor: str = "pgas",
+        workers: int | None = None,
+    ) -> None:
+        if flavor not in ("mpi", "pgas"):
+            raise ExecError(f"unknown pool flavor {flavor!r} (mpi|pgas)")
+        self.flavor = flavor
+        self.backend = "pool" if flavor == "pgas" else "pool-mpi"
+        self._obs = obs if obs is not None else Observability.off()
+        self._workers_arg = workers
+        self._prepared = False
+        self._broken = False
+        self._procs: list[Any] = []
+        self._cmd_qs: list[Any] = []
+        self._res_q: Any = None
+        self._inboxes: list[Any] | None = None
+        self._windows: list[SpikeWindow] | None = None
+        self._barrier: Any = None
+        self.host_cpu_s = 0.0
+        self.host_wall_s = 0.0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def prepare(self, network: Any, layout: ExecLayout) -> "ProcessPoolAdapter":
+        if self._prepared:
+            raise ExecError("adapter already prepared; build a fresh one")
+        if layout.sanitize:
+            raise ExecError(
+                "the happens-before sanitizer needs in-process message "
+                "interception; run it on the sequential backend"
+            )
+        if layout.machine is not None:
+            raise ExecError(
+                "machine timing models are sequential-only; the pool's "
+                "simulated results carry no modelled phase times"
+            )
+        if getattr(self._obs.prof, "enabled", False):
+            raise ExecError(
+                "host profiling (obs.prof) meters in-process phase "
+                "boundaries; profile the sequential backend instead"
+            )
+        self._network = network
+        self._config = layout.compass_config()
+        self._partition = layout.partition or Partition(
+            network.n_cores, layout.n_processes
+        )
+        if self._partition.n_cores != network.n_cores:
+            raise ExecError(
+                f"partition covers {self._partition.n_cores} cores, "
+                f"network has {network.n_cores}"
+            )
+        if self._partition.n_ranks != layout.n_processes:
+            raise ExecError(
+                f"partition has {self._partition.n_ranks} ranks, "
+                f"layout requests {layout.n_processes}"
+            )
+        n_workers = self._workers_arg or layout.workers
+        self.n_workers = max(1, min(n_workers, layout.n_processes))
+        self._window_bytes = layout.window_bytes
+        self._rank_spans = _spans(layout.n_processes, self.n_workers)
+        self.tick_ = 0
+        self._metrics = RunMetrics(n_ranks=layout.n_processes)
+        self._recorder = (
+            SpikeRecorder() if layout.record_spikes else None
+        )
+        self._ledger = _InjectionLedger()
+        self._epoch = 0
+        from repro.runtime.collectives import modelled_sync_cost
+
+        self._sync_model_s = modelled_sync_cost(
+            "pgas" if self.flavor == "pgas" else "mpi",
+            layout.n_processes,
+        )
+        self._cluster = PoolCluster(self)
+        # The parent owns the instruments; reuse the sequential backend's
+        # binding so names, helps, and buckets can never drift.
+        CompassBase._bind_instruments(self)
+        self._n_cores_of_rank = [
+            hi - lo
+            for lo, hi in (
+                self._partition.range_of_rank(r)
+                for r in range(layout.n_processes)
+            )
+        ]
+        self._state_nbytes_of_rank: dict[int, int] = {}
+        self._spawn()
+        self._prepared = True
+        return self
+
+    def _spawn(self) -> None:
+        ctx = multiprocessing.get_context("spawn")
+        self._ctx = ctx
+        self._res_q = ctx.Queue()
+        self._cmd_qs = [ctx.Queue() for _ in range(self.n_workers)]
+        if self.flavor == "mpi":
+            self._inboxes = [ctx.Queue() for _ in range(self.n_workers)]
+            self._windows = None
+            self._barrier = None
+        else:
+            self._inboxes = None
+            self._windows = [
+                SpikeWindow.create(ctx, w, self._window_bytes)
+                for w in range(self.n_workers)
+            ]
+            self._barrier = ctx.Barrier(self.n_workers)
+        self._procs = []
+        for w in range(self.n_workers):
+            lo, hi = self._rank_spans[w]
+            spec = WorkerSpec(
+                worker_id=w,
+                n_workers=self.n_workers,
+                flavor=self.flavor,
+                rank_lo=lo,
+                rank_hi=hi,
+                rank_spans=self._rank_spans,
+                n_processes=self._config.n_processes,
+                record_spikes=self._config.record_spikes,
+            )
+            proc = ctx.Process(
+                target=worker_main,
+                args=(
+                    spec,
+                    self._network,
+                    self._partition,
+                    self._cmd_qs[w],
+                    self._res_q,
+                    self._inboxes,
+                    self._windows,
+                    self._barrier,
+                ),
+                daemon=True,
+                name=f"repro-exec-{self.backend}-{w}",
+            )
+            proc.start()
+            self._procs.append(proc)
+        ready = 0
+        while ready < self.n_workers:
+            msg = self._await_result(phase="startup")
+            if msg[0] != "ready":
+                raise ExecError(
+                    f"worker {msg[1]} failed during startup: {msg[2:]}"
+                )
+            self._state_nbytes_of_rank.update(msg[2])
+            ready += 1
+        self._broken = False
+
+    def _await_result(self, phase: str) -> tuple:
+        """One result-queue message, liveness-polling the workers."""
+        deadline = host_perf_counter() + _CONTROL_TIMEOUT_S
+        while True:
+            try:
+                # repro: allow[DET106] host-side liveness poll, never sim-visible
+                return self._res_q.get(timeout=_POLL_S)
+            except queue_mod.Empty:
+                dead = [
+                    w for w, p in enumerate(self._procs) if not p.is_alive()
+                ]
+                if dead:
+                    self._on_worker_death(dead, phase)
+                if host_perf_counter() > deadline:
+                    self._kill_workers()
+                    self._broken = True
+                    raise ExecError(
+                        f"pool timed out waiting for workers during {phase}"
+                    )
+
+    def _on_worker_death(self, dead_workers: list[int], phase: str) -> None:
+        """A host worker vanished: tear the tick down, surface the loss."""
+        dead_ranks: set[int] = set()
+        codes = []
+        for w in dead_workers:
+            lo, hi = self._rank_spans[w]
+            dead_ranks.update(range(lo, hi))
+            codes.append(self._procs[w].exitcode)
+        self._cluster.dead |= dead_ranks
+        self._broken = True
+        if self._barrier is not None:
+            try:
+                self._barrier.abort()
+            # repro: allow[DET105] best-effort host teardown, never sim-visible
+            except Exception:  # pragma: no cover - barrier already gone
+                pass
+        self._kill_workers()
+        raise WorkerCrashError(
+            f"host worker(s) {dead_workers} died (exit {codes}) during "
+            f"{phase}; simulated ranks {sorted(dead_ranks)} lost",
+            ranks=tuple(sorted(dead_ranks)),
+        )
+
+    def _kill_workers(self) -> None:
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in self._procs:
+            proc.join(timeout=5)  # repro: allow[DET106] host-side teardown
+        for q in [*self._cmd_qs, *(self._inboxes or [])]:
+            q.cancel_join_thread()
+        if self._res_q is not None:
+            self._res_q.cancel_join_thread()
+
+    def _respawn_if_broken(self) -> None:
+        if not self._broken:
+            return
+        self._kill_workers()
+        if self._windows is not None:
+            for win in self._windows:
+                win.unlink()
+        self._spawn()
+
+    def teardown(self) -> None:
+        if not self._procs:
+            return
+        if not self._broken:
+            for q in self._cmd_qs:
+                try:
+                    q.put(("stop",))
+                # repro: allow[DET105] best-effort host teardown, never sim-visible
+                except Exception:  # pragma: no cover - queue torn down
+                    pass
+        for proc in self._procs:
+            proc.join(timeout=5)  # repro: allow[DET106] host-side teardown
+        self._kill_workers()
+        if self._windows is not None:
+            for win in self._windows:
+                win.unlink()
+        self._procs = []
+
+    # -- fault injection (host level) ---------------------------------------
+
+    def inject_worker_crash(self, tick: int, worker: int = 0) -> None:
+        """Arm a one-shot hard crash of host ``worker`` at ``tick``."""
+        if not 0 <= worker < self.n_workers:
+            raise ExecError(f"no such worker {worker}")
+        self._cmd_qs[worker].put(("crash_at", tick))
+
+    # -- the tick ------------------------------------------------------------
+
+    def step(self) -> TickMetrics:
+        if not self._prepared:
+            raise ExecError("prepare() the adapter before stepping")
+        if self._broken:
+            raise ExecError(
+                "pool is broken after a worker crash; restore() a "
+                "checkpoint (or teardown) first"
+            )
+        tick = self.tick_
+        wall0 = host_perf_counter()
+        pending = self._ledger.pop(tick)
+        per_worker_inj: list[list[tuple[int, int]]] = [
+            [] for _ in range(self.n_workers)
+        ]
+        for gid, axon in pending:
+            rank = int(self._partition.rank_of_gid(gid))
+            per_worker_inj[self._worker_of_rank(rank)].append((gid, axon))
+        for w in range(self.n_workers):
+            self._cmd_qs[w].put(("step", tick, per_worker_inj[w]))
+        stats_by_worker: dict[int, dict] = {}
+        while len(stats_by_worker) < self.n_workers:
+            msg = self._await_result(phase=f"tick {tick}")
+            kind, wid = msg[0], msg[1]
+            if kind == "error":
+                _, _, exc_type, text = msg
+                self._broken = True
+                self._kill_workers()
+                raise ExecError(
+                    f"worker {wid} failed during tick {tick} "
+                    f"({exc_type}): {text}"
+                )
+            if kind != "tick" or msg[2] != tick:
+                self._broken = True
+                self._kill_workers()
+                raise ExecError(
+                    f"protocol skew: expected tick {tick} stats from "
+                    f"worker {wid}, got {kind!r}"
+                )
+            stats_by_worker[wid] = msg[3]
+        rank_stats = []
+        for w in range(self.n_workers):
+            rank_stats.extend(stats_by_worker[w]["ranks"])
+        rank_stats.sort(key=lambda st: st.rank)
+        host = PhaseTimes()
+        for w in range(self.n_workers):
+            s, n, net = stats_by_worker[w]["host"]
+            host.synapse += s
+            host.neuron += n
+            host.network += net
+            self.host_cpu_s += stats_by_worker[w]["cpu_s"]
+        tm = self._replay_tick(tick, rank_stats, host)
+        self.host_wall_s += host_perf_counter() - wall0
+        return tm
+
+    def _worker_of_rank(self, rank: int) -> int:
+        for w, (lo, hi) in enumerate(self._rank_spans):
+            if lo <= rank < hi:
+                return w
+        raise ExecError(f"rank {rank} outside every worker span")
+
+    # -- the replay engine ----------------------------------------------------
+    #
+    # Mirrors Compass.step / PgasCompass.step emission for emission; any
+    # change to the sequential instrumentation sequence must be reflected
+    # here (the 1-vs-4-worker digest tests catch drift).
+
+    def _replay_tick(self, tick: int, rank_stats: list, host: PhaseTimes) -> TickMetrics:
+        tr = self._obs.tracer
+        if tr.enabled:
+            tr.begin_tick(tick)
+        tm = TickMetrics(tick=tick)
+        self._replay_compute(tick, rank_stats, tm, tr)
+        if self.flavor == "mpi":
+            self._replay_network_mpi(tick, rank_stats, tm, tr)
+        else:
+            self._replay_network_pgas(tick, rank_stats, tm, tr)
+        self._metrics.host += host
+        self._metrics.record_tick(tm)
+        self._h_msgs_tick.observe(-1, tm.messages)
+        if tr.enabled:
+            tr.tick_summary(
+                tick,
+                fired=tm.fired,
+                spikes=tm.local_spikes + tm.remote_spikes,
+                neurons=tm.neurons_evaluated,
+                active_axons=tm.active_axons,
+            )
+        self.tick_ += 1
+        return tm
+
+    def _replay_compute(
+        self, tick: int, rank_stats: list, tm: TickMetrics, tr: Any
+    ) -> None:
+        num_neurons = self._network.num_neurons
+        for st in rank_stats:
+            rank = st.rank
+            n_cores = self._n_cores_of_rank[rank]
+            if self._recorder is not None:
+                self._recorder.record(tick, st.fired_gids, st.fired_neurons)
+            self._m_axons.inc(rank, st.n_active)
+            self._m_fired.inc(rank, st.n_fired)
+            self._m_local.inc(rank, st.n_local)
+            self._m_remote.inc(rank, st.n_remote)
+            self._h_spikes_core.observe(rank, st.n_fired / n_cores)
+            if tr.enabled:
+                tr.span(
+                    "compute",
+                    rank=rank,
+                    phase="compute",
+                    tick=tick,
+                    active_axons=st.n_active,
+                    fired=st.n_fired,
+                    local_spikes=st.n_local,
+                    remote_spikes=st.n_remote,
+                )
+                tr.span(
+                    "synapse", rank=rank, phase="synapse", tick=tick,
+                    active_axons=st.n_active,
+                )
+                tr.span(
+                    "neuron", rank=rank, phase="neuron", tick=tick,
+                    fired=st.n_fired, messages=len(st.msgs),
+                )
+                if self._config.threads_per_process > 1:
+                    from repro.runtime.threads import trace_thread_slices
+
+                    trace_thread_slices(
+                        tr,
+                        rank,
+                        n_cores,
+                        self._config.threads_per_process,
+                        tick=tick,
+                    )
+            tm.active_axons += st.n_active
+            tm.neurons_evaluated += n_cores * num_neurons
+            tm.fired += st.n_fired
+            tm.local_spikes += st.n_local
+            tm.remote_spikes += st.n_remote
+
+    def _incoming(self, rank_stats: list) -> list[list[tuple[int, int]]]:
+        """Per-destination (src, count) lists in sequential arrival order.
+
+        The sequential isend loop iterates sources ascending and each
+        flush emits destinations ascending, so arrival order at a
+        mailbox/window is ascending source rank.
+        """
+        incoming: list[list[tuple[int, int]]] = [
+            [] for _ in range(self._config.n_processes)
+        ]
+        for st in rank_stats:
+            for dest, count in st.msgs:
+                incoming[dest].append((st.rank, count))
+        return incoming
+
+    def _replay_network_mpi(
+        self, tick: int, rank_stats: list, tm: TickMetrics, tr: Any
+    ) -> None:
+        n = self._config.n_processes
+        depth = [0] * n
+        sent = [0] * n
+        for st in rank_stats:
+            for dest, count in st.msgs:
+                nbytes = count * SPIKE_WIRE_BYTES
+                tm.messages += 1
+                tm.bytes_sent += nbytes
+                self._m_msgs.inc(st.rank)
+                self._m_bytes.inc(st.rank, nbytes)
+                self._h_bytes_send.observe(st.rank, nbytes)
+                sent[st.rank] += 1
+                if tr.enabled:
+                    tr.instant(
+                        "mpi.isend", rank=st.rank, cat="net",
+                        dest=dest, bytes=nbytes,
+                    )
+                    depth[dest] += 1
+                    tr.instant(
+                        "mailbox.deliver",
+                        rank=dest,
+                        cat="net",
+                        src=st.rank,
+                        bytes=nbytes,
+                        depth=depth[dest],
+                        dup=False,
+                    )
+        incoming = self._incoming(rank_stats)
+        recv_counts = [len(incoming[r]) for r in range(n)]
+        if tr.enabled:
+            for rank in range(n):
+                tr.instant(
+                    "mpi.reduce_scatter",
+                    rank=rank,
+                    phase="sync",
+                    cat="net",
+                    sent=sent[rank],
+                )
+            for rank in range(n):
+                tr.instant(
+                    "mpi.reduce_scatter.fetch",
+                    rank=rank,
+                    phase="sync",
+                    cat="net",
+                    expected=recv_counts[rank],
+                )
+            for rank in range(n):
+                tr.span(
+                    "sync",
+                    rank=rank,
+                    phase="sync",
+                    tick=tick,
+                    sent=sent[rank],
+                    expected=recv_counts[rank],
+                    model_s=self._sync_model_s,
+                )
+        for st in rank_stats:
+            rank = st.rank
+            self._g_queue.set(rank, recv_counts[rank])
+            spikes_received = 0
+            bytes_received = 0
+            for src, count in incoming[rank]:
+                nbytes = count * SPIKE_WIRE_BYTES
+                if tr.enabled:
+                    tr.instant("mpi.iprobe", rank=rank, cat="net", hit=True)
+                    tr.instant(
+                        "mpi.recv", rank=rank, cat="net", src=src, bytes=nbytes
+                    )
+                spikes_received += count
+                bytes_received += nbytes
+            if tr.enabled:
+                tr.span(
+                    "network",
+                    rank=rank,
+                    phase="network",
+                    tick=tick,
+                    messages=recv_counts[rank],
+                    spikes_received=spikes_received,
+                    bytes_received=bytes_received,
+                    local_delivered=st.n_local,
+                )
+
+    def _replay_network_pgas(
+        self, tick: int, rank_stats: list, tm: TickMetrics, tr: Any
+    ) -> None:
+        n = self._config.n_processes
+        window_depth = [0] * n
+        per_rank_puts = [0] * n
+        for st in rank_stats:
+            puts = 0
+            nbytes_total = 0
+            for dest, count in st.msgs:
+                nbytes = count * SPIKE_WIRE_BYTES
+                window_depth[dest] += 1
+                if tr.enabled:
+                    tr.instant(
+                        "pgas.put",
+                        rank=st.rank,
+                        cat="net",
+                        dest=dest,
+                        bytes=nbytes,
+                        window_depth=window_depth[dest],
+                    )
+                self._m_msgs.inc(st.rank)
+                self._m_bytes.inc(st.rank, nbytes)
+                self._h_bytes_send.observe(st.rank, nbytes)
+                puts += 1
+                nbytes_total += nbytes
+            per_rank_puts[st.rank] = puts
+            tm.messages += puts
+            tm.bytes_sent += nbytes_total
+        if tr.enabled:
+            for rank in range(n):
+                tr.instant(
+                    "pgas.barrier",
+                    rank=rank,
+                    phase="sync",
+                    cat="net",
+                    epoch=self._epoch,
+                )
+            for rank in range(n):
+                tr.span(
+                    "sync",
+                    rank=rank,
+                    phase="sync",
+                    tick=tick,
+                    puts=per_rank_puts[rank],
+                    model_s=self._sync_model_s,
+                )
+        self._epoch += 1
+        incoming = self._incoming(rank_stats)
+        for st in rank_stats:
+            rank = st.rank
+            n_batches = len(incoming[rank])
+            spikes_received = sum(c for _s, c in incoming[rank])
+            self._g_queue.set(rank, n_batches)
+            if tr.enabled:
+                tr.span(
+                    "network",
+                    rank=rank,
+                    phase="network",
+                    tick=tick,
+                    messages=n_batches,
+                    spikes_received=spikes_received,
+                    bytes_received=spikes_received * SPIKE_WIRE_BYTES,
+                    local_delivered=st.n_local,
+                )
+
+    # -- result / checkpoint --------------------------------------------------
+
+    def collect(self) -> RunResult:
+        return RunResult(
+            metrics=self._metrics,
+            n_neurons=self._network.n_neurons,
+            spikes=self._recorder,
+        )
+
+    def capture(self) -> dict[str, Any]:
+        for q in self._cmd_qs:
+            q.put(("capture",))
+        snaps: dict[int, dict] = {}
+        got = 0
+        while got < self.n_workers:
+            msg = self._await_result(phase="capture")
+            if msg[0] != "state":
+                raise ExecError(
+                    f"worker {msg[1]} failed during capture: {msg[2:]}"
+                )
+            snaps.update(msg[2])
+            got += 1
+        return {
+            "tick": self.tick_,
+            "blocks": [snaps[r] for r in range(self._config.n_processes)],
+            "injections": self._ledger.snapshot(),
+            "registry": self._obs.registry.snapshot(prefix="compass_"),
+        }
+
+    def restore(self, state: dict[str, Any]) -> None:
+        blocks = state["blocks"]
+        if len(blocks) != self._config.n_processes:
+            raise ExecError(
+                f"snapshot has {len(blocks)} ranks, pool simulates "
+                f"{self._config.n_processes}"
+            )
+        self._respawn_if_broken()
+        self._cluster.dead.clear()
+        for w in range(self.n_workers):
+            lo, hi = self._rank_spans[w]
+            self._cmd_qs[w].put(
+                ("restore", {r: blocks[r] for r in range(lo, hi)})
+            )
+        got = 0
+        while got < self.n_workers:
+            msg = self._await_result(phase="restore")
+            if msg[0] != "ok":
+                raise ExecError(
+                    f"worker {msg[1]} failed during restore: {msg[2:]}"
+                )
+            got += 1
+        self.tick_ = int(state["tick"])
+        self._ledger.restore(state["injections"])
+        registry_snap = state.get("registry")
+        if registry_snap is not None:
+            self._obs.registry.restore(registry_snap)
+
+    def state_nbytes(self) -> int:
+        return sum(self._state_nbytes_of_rank.values())
+
+    # -- external input ------------------------------------------------------
+
+    def inject(self, gid: int, axon: int, tick: int) -> None:
+        self._ledger.add(gid, axon, tick, self.tick_)
+
+    # -- observability -------------------------------------------------------
+
+    def adopt_obs(self, obs: Observability) -> None:
+        self._obs = obs
+        CompassBase._bind_instruments(self)
+
+    def host_utilization(self) -> dict[str, float]:
+        """Host-core usage of everything run so far.
+
+        ``utilization`` is worker CPU seconds over parent wall seconds:
+        1.0 means one core busy; ``n`` workers on ``n`` free cores
+        approach ``n``.
+        """
+        wall = self.host_wall_s
+        return {
+            "workers": self.n_workers,
+            "cpu_s": self.host_cpu_s,
+            "wall_s": wall,
+            "utilization": (self.host_cpu_s / wall) if wall > 0 else 0.0,
+        }
+
+    # -- contract attributes -------------------------------------------------
+
+    @property
+    def tick(self) -> int:
+        return self.tick_
+
+    @property
+    def metrics(self) -> RunMetrics:
+        return self._metrics
+
+    @metrics.setter
+    def metrics(self, value: RunMetrics) -> None:
+        self._metrics = value
+
+    @property
+    def recorder(self) -> SpikeRecorder | None:
+        return self._recorder
+
+    @recorder.setter
+    def recorder(self, value: SpikeRecorder | None) -> None:
+        self._recorder = value
+
+    @property
+    def network(self) -> Any:
+        return self._network
+
+    @property
+    def config(self) -> CompassConfig:
+        return self._config
+
+    @property
+    def obs(self) -> Observability:
+        return self._obs
+
+    @property
+    def cluster(self) -> PoolCluster:
+        return self._cluster
+
+    @property
+    def detector(self) -> None:
+        """The pool never carries the in-process sanitizer."""
+        return None
+
+
+def _pool_pgas(obs: Observability | None = None, **kw: Any) -> ProcessPoolAdapter:
+    return ProcessPoolAdapter(obs=obs, flavor="pgas", **kw)
+
+
+def _pool_mpi(obs: Observability | None = None, **kw: Any) -> ProcessPoolAdapter:
+    return ProcessPoolAdapter(obs=obs, flavor="mpi", **kw)
+
+
+register_backend("pool", _pool_pgas)
+register_backend("pool-pgas", _pool_pgas)
+register_backend("pool-mpi", _pool_mpi)

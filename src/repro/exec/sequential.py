@@ -1,0 +1,154 @@
+"""Adapters over the in-process sequential backends.
+
+:class:`SequentialAdapter` drives the two-sided :class:`Compass`
+simulator, :class:`PgasAdapter` the one-sided :class:`PgasCompass`.
+Both are thin: the wrapped simulator already owns the full lifecycle,
+so the adapter's job is to present the uniform contract (and the
+checkpoint surface) to the serve/shard/resilience/CLI call sites.
+
+Unknown attribute access falls through to the wrapped simulator, so
+code that predates the adapter layer (``runner.sim.ranks``,
+``sim.race_report()``) keeps working against a wrapped instance.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core import checkpoint as ckpt
+from repro.core.config import CompassConfig
+from repro.core.metrics import RunMetrics
+from repro.core.pgas_simulator import PgasCompass
+from repro.core.simulator import Compass, RunResult, SpikeRecorder
+from repro.exec.adapter import ExecLayout, SimulatorAdapter, register_backend
+from repro.obs import Observability
+
+
+class SequentialAdapter(SimulatorAdapter):
+    """Adapter over the MPI-style sequential backend (:class:`Compass`)."""
+
+    backend = "sequential"
+    supports_simulated_faults = True
+    _sim_cls: type = Compass
+
+    def __init__(self, obs: Observability | None = None) -> None:
+        self._obs_arg = obs
+        self._sim: Any = None
+
+    @classmethod
+    def wrap(cls, sim: Any) -> "SequentialAdapter":
+        """Adopt an already-built simulator instance."""
+        adapter = cls(obs=None)
+        adapter._sim = sim
+        return adapter
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def prepare(self, network: Any, layout: ExecLayout) -> "SequentialAdapter":
+        self._sim = self._sim_cls(
+            network,
+            layout.compass_config(),
+            partition=layout.partition,
+            sanitize=layout.sanitize,
+            obs=self._obs_arg,
+        )
+        return self
+
+    def step(self) -> Any:
+        return self._sim.step()
+
+    def collect(self) -> RunResult:
+        return RunResult(
+            metrics=self._sim.metrics,
+            n_neurons=self._sim.network.n_neurons,
+            spikes=self._sim.recorder,
+        )
+
+    # -- checkpoint surface ------------------------------------------------
+
+    def capture(self) -> dict[str, Any]:
+        return ckpt.capture_state(self._sim)
+
+    def restore(self, state: dict[str, Any]) -> None:
+        ckpt.restore_state(self._sim, state)
+
+    def state_nbytes(self) -> int:
+        return ckpt.state_nbytes(self._sim)
+
+    # -- external input ------------------------------------------------------
+
+    def inject(self, gid: int, axon: int, tick: int) -> None:
+        self._sim.inject(gid, axon, tick)
+
+    def attach_schedule(self, triples) -> None:
+        self._sim.attach_schedule(triples)
+
+    # -- observability -------------------------------------------------------
+
+    def adopt_obs(self, obs: Observability) -> None:
+        self._sim.adopt_obs(obs)
+
+    # -- contract attributes -------------------------------------------------
+
+    @property
+    def tick(self) -> int:
+        return self._sim.tick
+
+    @property
+    def metrics(self) -> RunMetrics:
+        return self._sim.metrics
+
+    @metrics.setter
+    def metrics(self, value: RunMetrics) -> None:
+        self._sim.metrics = value
+
+    @property
+    def recorder(self) -> SpikeRecorder | None:
+        return self._sim.recorder
+
+    @recorder.setter
+    def recorder(self, value: SpikeRecorder | None) -> None:
+        self._sim.recorder = value
+
+    @property
+    def network(self) -> Any:
+        return self._sim.network
+
+    @property
+    def config(self) -> CompassConfig:
+        return self._sim.config
+
+    @property
+    def obs(self) -> Observability:
+        return self._sim.obs
+
+    @property
+    def cluster(self) -> Any:
+        return self._sim.cluster
+
+    @property
+    def sim(self) -> Any:
+        """The wrapped simulator (back-compat escape hatch)."""
+        return self._sim
+
+    def __getattr__(self, name: str) -> Any:
+        # Fallback for pre-adapter call sites (e.g. ``.ranks``,
+        # ``.race_report``, ``.detector``).  Only reached when normal
+        # attribute lookup fails, so the contract surface stays primary.
+        sim = object.__getattribute__(self, "_sim")
+        if sim is None:
+            raise AttributeError(name)
+        return getattr(sim, name)
+
+
+class PgasAdapter(SequentialAdapter):
+    """Adapter over the one-sided PGAS backend (:class:`PgasCompass`)."""
+
+    backend = "pgas"
+    supports_simulated_faults = False
+    _sim_cls = PgasCompass
+
+
+register_backend("sequential", SequentialAdapter)
+register_backend("mpi", SequentialAdapter)
+register_backend("pgas", PgasAdapter)

@@ -1,0 +1,186 @@
+"""Shared-memory ring-buffer spike windows for the host-parallel pool.
+
+The pool's PGAS flavor mirrors the paper's one-sided design (§VII) on
+real hardware: every host worker owns one globally addressable window
+backed by :class:`multiprocessing.shared_memory.SharedMemory`, and any
+worker may *put* an encoded spike batch directly into a remote window —
+no pickling through a queue, no receive-side matching.
+
+Window layout (all offsets byte offsets into the segment):
+
+    [record][record]...   a ring of variable-length records
+
+    record := header (16 B) + payload (``nbytes`` B, wire-format spikes)
+    header := <i4 src_rank> <i4 dest_rank> <i4 nbytes> <i4 pad=0>
+
+Positions are *monotonic* 64-bit byte counters in a shared array
+(``[write_pos, read_pos]``); the ring offset of a counter is
+``counter % capacity`` and records wrap around the segment edge.  The
+unread span is ``write_pos - read_pos``; a put that would push it past
+``capacity`` raises :class:`ExecError` (window overflow — raise
+``window_bytes`` in the layout) instead of silently corrupting spikes.
+
+Concurrency contract: many writers, one reader (the owning worker).
+Writers serialise on the window lock to reserve space and bump
+``write_pos``; the reader drains ``[read_pos, write_pos)`` outside the
+lock (writers never overwrite the unread span) and bumps ``read_pos``
+under it.  The deterministic tick barrier separates the write epoch
+from the read epoch, so record order inside a window is arbitrary —
+safe because spike delivery is a commutative bit-OR (§VII-A).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ExecError
+
+_HEADER = struct.Struct("<iiii")
+HEADER_BYTES = _HEADER.size
+
+
+def record_nbytes(payload_len: int) -> int:
+    """Total ring bytes one record of ``payload_len`` payload occupies."""
+    return HEADER_BYTES + payload_len
+
+
+@dataclass
+class SpikeWindow:
+    """One worker's shared spike window (descriptor is spawn-picklable).
+
+    Built parent-side with :meth:`create`; workers call :meth:`attach`
+    once after spawn.  The parent keeps the created handle and calls
+    :meth:`unlink` at teardown.
+    """
+
+    name: str
+    capacity: int
+    #: Shared ``[write_pos, read_pos]`` monotonic byte counters.
+    positions: Any
+    lock: Any
+    _shm: Any = field(default=None, repr=False)
+
+    @classmethod
+    def create(cls, ctx: Any, owner: int, capacity: int) -> "SpikeWindow":
+        """Allocate the segment and control state (parent side)."""
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(create=True, size=capacity)
+        win = cls(
+            name=shm.name,
+            capacity=capacity,
+            positions=ctx.Array("q", [0, 0], lock=False),
+            lock=ctx.Lock(),
+        )
+        win._shm = shm
+        return win
+
+    def attach(self) -> None:
+        """Map the segment in this process (worker side)."""
+        if self._shm is not None:
+            return
+        from multiprocessing import shared_memory
+
+        try:
+            # ``track=False`` (3.13+) keeps the resource tracker from
+            # unlinking the parent-owned segment when a worker exits.
+            # Older interpreters share one tracker across the spawn tree,
+            # so the worker's attach registration is a harmless no-op and
+            # the parent's unlink stays the single point of release.
+            self._shm = shared_memory.SharedMemory(name=self.name, track=False)
+        except TypeError:
+            self._shm = shared_memory.SharedMemory(name=self.name)
+
+    # -- ring arithmetic ----------------------------------------------------
+
+    def _copy_in(self, pos: int, data: bytes) -> None:
+        off = pos % self.capacity
+        end = off + len(data)
+        buf = self._shm.buf
+        if end <= self.capacity:
+            buf[off:end] = data
+        else:
+            first = self.capacity - off
+            buf[off:] = data[:first]
+            buf[: end - self.capacity] = data[first:]
+
+    def _copy_out(self, pos: int, n: int) -> bytes:
+        off = pos % self.capacity
+        end = off + n
+        buf = self._shm.buf
+        if end <= self.capacity:
+            return bytes(buf[off:end])
+        first = self.capacity - off
+        return bytes(buf[off:]) + bytes(buf[: end - self.capacity])
+
+    # -- the one-sided operations --------------------------------------------
+
+    def put(self, src_rank: int, dest_rank: int, payload: bytes) -> None:
+        """One-sided insertion of an encoded spike batch (any process)."""
+        rec = _HEADER.pack(src_rank, dest_rank, len(payload), 0) + payload
+        if len(rec) > self.capacity:
+            raise ExecError(
+                f"spike batch of {len(payload)} B cannot fit a "
+                f"{self.capacity} B window; raise window_bytes"
+            )
+        with self.lock:
+            write_pos, read_pos = self.positions[0], self.positions[1]
+            if write_pos - read_pos + len(rec) > self.capacity:
+                raise ExecError(
+                    f"spike window overflow: {write_pos - read_pos} B unread "
+                    f"+ {len(rec)} B record exceeds the {self.capacity} B "
+                    "window; raise window_bytes"
+                )
+            self._copy_in(write_pos, rec)
+            self.positions[0] = write_pos + len(rec)
+
+    def drain(self) -> list[tuple[int, int, bytes]]:
+        """Drain every unread record (owner only); returns (src, dest, payload)."""
+        with self.lock:
+            write_pos = self.positions[0]
+        read_pos = self.positions[1]
+        out: list[tuple[int, int, bytes]] = []
+        pos = read_pos
+        while pos < write_pos:
+            src, dest, nbytes, _pad = _HEADER.unpack(
+                self._copy_out(pos, HEADER_BYTES)
+            )
+            pos += HEADER_BYTES
+            out.append((src, dest, self._copy_out(pos, nbytes)))
+            pos += nbytes
+        with self.lock:
+            self.positions[1] = pos
+        return out
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        if self._shm is not None:
+            self._shm.close()
+            self._shm = None
+
+    def unlink(self) -> None:
+        """Free the segment (parent side, after all workers closed it)."""
+        from multiprocessing import shared_memory
+
+        if self._shm is None:
+            try:
+                self._shm = shared_memory.SharedMemory(name=self.name)
+            except FileNotFoundError:
+                return
+        shm = self._shm
+        self._shm = None
+        shm.close()
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+    def __getstate__(self) -> dict:
+        # The mapped segment never crosses a process boundary; workers
+        # re-attach by name.
+        state = self.__dict__.copy()
+        state["_shm"] = None
+        return state

@@ -1,0 +1,354 @@
+"""The host worker process of the :class:`ProcessPoolAdapter`.
+
+Each worker owns a contiguous span of *simulated* ranks: their
+:class:`CoreBlock` state, local buffers, and remote send buffers.  Per
+tick it runs exactly the sequential backend's numeric sequence for each
+owned rank (synapse → neuron → route → flush), exchanges cross-worker
+spike batches, delivers, and ships a compact per-rank stats record back
+to the parent — which replays all observability emissions in the
+sequential order, keeping every report/trace/metric byte identical to
+the sequential backend (see docs/execution.md).
+
+Exchange is flavor-specific:
+
+* ``mpi``  — pickled mailbox batches: every worker sends exactly one
+  (possibly empty) message per peer per tick through the peer's inbox
+  queue, then performs exactly ``workers - 1`` receives.  The
+  fixed-cardinality exchange is the host-level mirror of the paper's
+  Reduce-Scatter: each worker always knows how many messages to expect.
+* ``pgas`` — one-sided puts of encoded batches into the destination
+  worker's shared-memory ring window (:mod:`repro.exec.windows`),
+  separated from the read epoch by one barrier per tick.
+
+Determinism: workers never consult host entropy — all state derives
+from the network's seeds, blocks are built per worker from the same
+partition arithmetic as the sequential backend, and cross-worker
+arrival order is irrelevant because spike delivery is a commutative
+bit-OR into axon buffers (§VII-A).  Host timing (``process_time``,
+``perf_counter``) is measured but travels in the stats record only;
+the simulated results never depend on it.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.arch.coreblock import CoreBlock
+from repro.arch.spike import SpikeBatch
+from repro.core.buffers import LocalBuffer, RemoteSendBuffers
+from repro.errors import ExecError
+from repro.util.hostclock import host_perf_counter
+
+#: Exit code a deliberately crashed worker dies with (crash-injection
+#: tests assert on it).
+CRASH_EXIT_CODE = 117
+
+#: Backstop timeouts for peer exchange.  The parent detects dead peers
+#: by liveness-polling and tears the pool down long before these fire;
+#: they only exist so an orphaned worker cannot hang forever.
+_EXCHANGE_TIMEOUT_S = 120.0
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything static a worker needs (spawn-picklable)."""
+
+    worker_id: int
+    n_workers: int
+    flavor: str  # "mpi" | "pgas"
+    rank_lo: int
+    rank_hi: int
+    #: (rank_lo, rank_hi) per worker — the simulated-rank → host-worker map.
+    rank_spans: tuple[tuple[int, int], ...]
+    n_processes: int
+    record_spikes: bool
+
+    def worker_of_rank(self, rank: int) -> int:
+        for w, (lo, hi) in enumerate(self.rank_spans):
+            if lo <= rank < hi:
+                return w
+        raise ExecError(f"rank {rank} outside every worker span")
+
+
+@dataclass
+class RankTickStats:
+    """Per-simulated-rank record the parent replays a tick from."""
+
+    rank: int
+    n_active: int
+    n_fired: int
+    n_local: int
+    n_remote: int
+    #: Aggregated outgoing batches, ascending destination rank.
+    msgs: tuple[tuple[int, int], ...]  # (dest_rank, spike_count)
+    #: Fired (gids, neurons) arrays when spike recording is on.
+    fired_gids: Any = None
+    fired_neurons: Any = None
+
+
+class _RankSlot:
+    """One owned simulated rank's live state inside the worker."""
+
+    __slots__ = ("rank", "block", "local_buf", "remote_bufs")
+
+    def __init__(self, rank: int, block: CoreBlock, n_processes: int) -> None:
+        self.rank = rank
+        self.block = block
+        self.local_buf = LocalBuffer()
+        self.remote_bufs = RemoteSendBuffers(n_processes, rank)
+
+
+def _build_slots(spec: WorkerSpec, network: Any, partition: Any) -> dict[int, _RankSlot]:
+    slots: dict[int, _RankSlot] = {}
+    for rank in range(spec.rank_lo, spec.rank_hi):
+        lo, hi = partition.range_of_rank(rank)
+        slots[rank] = _RankSlot(rank, CoreBlock(network, lo, hi), spec.n_processes)
+    return slots
+
+
+def _block_state_nbytes(block: CoreBlock) -> int:
+    return (
+        block.state.potential.nbytes
+        + block.state.rng.state.nbytes
+        + block.buffers.pending.nbytes
+    )
+
+
+def _step(
+    spec: WorkerSpec,
+    slots: dict[int, _RankSlot],
+    partition: Any,
+    tick: int,
+    injections: list[tuple[int, int]],
+    inboxes: Any,
+    windows: Any,
+    barrier: Any,
+) -> dict[str, Any]:
+    """One simulated tick over this worker's ranks; returns the stats record."""
+    from repro.arch.params import DELAY_SLOTS
+
+    # Host CPU accounting travels in the stats record for the parent's
+    # utilization line only — outside the determinism contract.
+    # repro: allow[FLOW201] host accounting only, never simulated state
+    cpu0 = time.process_time()
+    for gid, axon in injections:
+        rank = int(partition.rank_of_gid(gid))
+        block = slots[rank].block
+        block.buffers.pending[gid - block.gid_lo, tick % DELAY_SLOTS, axon] = True
+
+    host_synapse = 0.0
+    host_neuron = 0.0
+    rank_stats: list[RankTickStats] = []
+    outgoing: dict[int, dict[int, SpikeBatch]] = {}
+    for rank in sorted(slots):
+        rs = slots[rank]
+        t0 = host_perf_counter()
+        counts = rs.block.synapse_phase(tick)
+        t1 = host_perf_counter()
+        fired = rs.block.neuron_phase(counts)
+        fired_gids = fired_neurons = None
+        if spec.record_spikes:
+            cs, ns = np.nonzero(fired)
+            fired_gids = rs.block.gids[cs]
+            fired_neurons = ns
+        out = rs.block.outgoing(fired)
+        dest_ranks = np.asarray(partition.rank_of_gid(out.tgt_gid))
+        local = dest_ranks == rank
+        rs.local_buf.push(out.tgt_gid[local], out.tgt_axon[local], out.delay[local])
+        remote = ~local
+        rs.remote_bufs.push(
+            dest_ranks[remote],
+            out.tgt_gid[remote],
+            out.tgt_axon[remote],
+            out.delay[remote],
+        )
+        msgs = rs.remote_bufs.flush(tick)
+        outgoing[rank] = msgs
+        t2 = host_perf_counter()
+        host_synapse += t1 - t0
+        host_neuron += t2 - t1
+        rank_stats.append(
+            RankTickStats(
+                rank=rank,
+                n_active=rs.block.last_active_axons,
+                n_fired=int(fired.sum()),
+                n_local=int(local.sum()),
+                n_remote=int(remote.sum()),
+                msgs=tuple((int(d), b.count) for d, b in msgs.items()),
+                fired_gids=fired_gids,
+                fired_neurons=fired_neurons,
+            )
+        )
+
+    # Network phase: local delivery, then the cross-worker exchange.
+    tn0 = host_perf_counter()
+    for rank in sorted(slots):
+        rs = slots[rank]
+        gids, axons, delays = rs.local_buf.drain()
+        rs.block.deliver(gids, axons, delays, tick)
+
+    if spec.flavor == "mpi":
+        _exchange_mpi(spec, slots, outgoing, tick, inboxes)
+    else:
+        _exchange_pgas(spec, slots, outgoing, tick, windows, barrier)
+
+    host_network = host_perf_counter() - tn0
+    return {
+        "ranks": rank_stats,
+        "host": (host_synapse, host_neuron, host_network),
+        # repro: allow[FLOW201] host accounting only, never simulated state
+        "cpu_s": time.process_time() - cpu0,
+    }
+
+
+def _deliver(slots: dict[int, _RankSlot], dest: int, batch: SpikeBatch, tick: int) -> None:
+    slots[dest].block.deliver(batch.tgt_gid, batch.tgt_axon, batch.delay, tick)
+
+
+def _exchange_mpi(
+    spec: WorkerSpec,
+    slots: dict[int, _RankSlot],
+    outgoing: dict[int, dict[int, SpikeBatch]],
+    tick: int,
+    inboxes: Any,
+) -> None:
+    """Fixed-cardinality pickled-batch exchange (one message per peer)."""
+    per_peer: dict[int, list[tuple[int, int, bytes]]] = {
+        w: [] for w in range(spec.n_workers) if w != spec.worker_id
+    }
+    for src_rank in sorted(outgoing):
+        # repro: allow[FLOW204] delivery is a commutative bit-OR (§VII-A)
+        for dest, batch in outgoing[src_rank].items():
+            w = spec.worker_of_rank(dest)
+            if w == spec.worker_id:
+                _deliver(slots, dest, batch, tick)
+            else:
+                per_peer[w].append((src_rank, dest, batch.encode()))
+    # repro: allow[FLOW204] per_peer keys come from range() — ascending
+    for w, items in per_peer.items():
+        inboxes[w].put((spec.worker_id, tick, items))
+    for _ in range(spec.n_workers - 1):
+        # The parent's liveness polling is the real failure detector;
+        # this timeout only keeps an orphaned worker from hanging.
+        # repro: allow[DET106] host-side exchange backstop, never sim-visible
+        sender, msg_tick, items = inboxes[spec.worker_id].get(
+            timeout=_EXCHANGE_TIMEOUT_S
+        )
+        if msg_tick != tick:
+            raise ExecError(
+                f"worker {spec.worker_id}: tick skew — peer {sender} sent "
+                f"tick {msg_tick} during tick {tick}"
+            )
+        for _src, dest, payload in items:
+            _deliver(slots, dest, SpikeBatch.decode(payload), tick)
+
+
+def _exchange_pgas(
+    spec: WorkerSpec,
+    slots: dict[int, _RankSlot],
+    outgoing: dict[int, dict[int, SpikeBatch]],
+    tick: int,
+    windows: Any,
+    barrier: Any,
+) -> None:
+    """One-sided puts into shared windows; one barrier per tick."""
+    for src_rank in sorted(outgoing):
+        # repro: allow[FLOW204] delivery is a commutative bit-OR (§VII-A)
+        for dest, batch in outgoing[src_rank].items():
+            w = spec.worker_of_rank(dest)
+            if w == spec.worker_id:
+                _deliver(slots, dest, batch, tick)
+            else:
+                windows[w].put(src_rank, dest, batch.encode())
+    # The parent aborts the barrier when it detects a dead peer.
+    # repro: allow[DET106] host barrier backstop, never sim-visible
+    barrier.wait(timeout=_EXCHANGE_TIMEOUT_S)
+    for _src, dest, payload in windows[spec.worker_id].drain():
+        _deliver(slots, dest, SpikeBatch.decode(payload), tick)
+
+
+def worker_main(
+    spec: WorkerSpec,
+    network: Any,
+    partition: Any,
+    cmd_q: Any,
+    res_q: Any,
+    inboxes: Any,
+    windows: Any,
+    barrier: Any,
+) -> None:
+    """Worker entry point (spawn target): serve parent commands forever.
+
+    The parent is the tick-boundary barrier: it sends one ``step``
+    command per tick and collects every worker's stats before the next,
+    so no worker can run ahead of the simulated clock.
+    """
+    if windows is not None:
+        for win in windows:
+            win.attach()
+    slots = _build_slots(spec, network, partition)
+    res_q.put(
+        (
+            "ready",
+            spec.worker_id,
+            # repro: allow[FLOW204] slots keys come from range() — ascending
+            {rank: _block_state_nbytes(rs.block) for rank, rs in slots.items()},
+        )
+    )
+    crash_at: int | None = None
+    try:
+        while True:
+            cmd = cmd_q.get()
+            op = cmd[0]
+            if op == "step":
+                tick, injections = cmd[1], cmd[2]
+                if crash_at is not None and tick >= crash_at:
+                    # Simulates a hard host failure: no goodbye message,
+                    # no cleanup — the parent must notice on its own.
+                    os._exit(CRASH_EXIT_CODE)
+                stats = _step(
+                    spec, slots, partition, tick, injections, inboxes, windows, barrier
+                )
+                res_q.put(("tick", spec.worker_id, tick, stats))
+            elif op == "capture":
+                res_q.put(
+                    (
+                        "state",
+                        spec.worker_id,
+                        # repro: allow[FLOW204] slots keys come from range() — ascending
+                        {rank: rs.block.snapshot() for rank, rs in slots.items()},
+                    )
+                )
+            elif op == "restore":
+                for rank, snap in cmd[1].items():
+                    rs = slots[rank]
+                    rs.block.restore(snap)
+                    rs.local_buf.drain()
+                    rs.remote_bufs.flush(0)
+                res_q.put(("ok", spec.worker_id))
+            elif op == "crash_at":
+                crash_at = cmd[1]
+            elif op == "stop":
+                return
+            else:
+                raise ExecError(f"unknown worker command {op!r}")
+    # Every failure must surface to the parent as a message, not as a
+    # silent host-process death.
+    # repro: allow[DET105] worker boundary, reported to the parent
+    except BaseException as exc:  # noqa: BLE001
+        try:
+            res_q.put(
+                ("error", spec.worker_id, type(exc).__name__, str(exc))
+            )
+        # repro: allow[DET105] result queue already torn down by the parent
+        except Exception:  # pragma: no cover - queue already torn down
+            pass
+    finally:
+        if windows is not None:
+            for win in windows:
+                win.close()

@@ -34,9 +34,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.checkpoint import capture_state, restore_state, state_nbytes
 from repro.core.simulator import RunResult
 from repro.errors import FailureDetectedError, RecoveryExhaustedError
+from repro.exec import as_adapter
 from repro.resilience.detect import HeartbeatConfig, HeartbeatMonitor
 from repro.resilience.faults import FaultInjector, FaultSchedule
 from repro.resilience.report import (
@@ -135,12 +135,12 @@ class ResilientRunner:
         self.report = RecoveryReport(
             checkpoint_interval=checkpoint_interval, policy=self.policy.kind
         )
-        self._state_bytes_per_rank = state_nbytes(self.sim) / max(
-            len(self.sim.ranks), 1
+        self._state_bytes_per_rank = self.sim.state_nbytes() / max(
+            self.sim.n_ranks, 1
         )
         # The initial state is the zeroth checkpoint: a failure before the
         # first periodic checkpoint rolls back to tick 0.
-        self._ckpt_state = capture_state(self.sim)
+        self._ckpt_state = self.sim.capture()
         self._ckpt_tick = 0
         self._consecutive_failures = 0
         self._topology = self._machine_topology()
@@ -148,7 +148,7 @@ class ResilientRunner:
     # -- construction helpers -------------------------------------------------
 
     def _build(self):
-        sim = self.factory()
+        sim = as_adapter(self.factory())
         if getattr(sim, "detector", None) is not None:
             raise ValueError(
                 "fault injection and the happens-before sanitizer cannot be "
@@ -159,6 +159,15 @@ class ResilientRunner:
             raise ValueError(
                 "ResilientRunner requires the MPI backend (fault hooks live "
                 "in the two-sided virtual cluster)"
+            )
+        if len(self.schedule) and not getattr(
+            sim, "supports_simulated_faults", True
+        ):
+            raise ValueError(
+                f"the {sim.backend!r} backend cannot inject simulated rank "
+                "faults (host workers have no in-process fault hooks); run "
+                "fault schedules on the sequential backend, or use "
+                "inject_worker_crash for host-level failures"
             )
         sim.cluster.injector = self.injector
         return sim
@@ -210,12 +219,12 @@ class ResilientRunner:
     # -- checkpointing ---------------------------------------------------------
 
     def _checkpoint(self) -> None:
-        self._ckpt_state = capture_state(self.sim)
+        self._ckpt_state = self.sim.capture()
         self._ckpt_tick = self.sim.tick
         cost = self.costs.checkpoint_time(self._state_bytes_per_rank)
         self.report.note_checkpoint(self.sim.tick, cost)
         self.sim.metrics.overhead_s += cost
-        nbytes = int(self._state_bytes_per_rank * len(self.sim.ranks))
+        nbytes = int(self._state_bytes_per_rank * self.sim.n_ranks)
         self._m_ckpts.inc()
         self._m_ckpt_bytes.inc(value=nbytes)
         self._h_ckpt_bytes.observe(-1, nbytes)
@@ -268,7 +277,7 @@ class ResilientRunner:
         for rank in failed_ranks:
             self.monitor.reset(rank)
 
-        restore_state(self.sim, self._ckpt_state)
+        self.sim.restore(self._ckpt_state)
         if self.sim.recorder is not None:
             self.sim.recorder.truncate(self._ckpt_tick)
         self.sim.metrics.rollback_to(self._ckpt_tick)

@@ -32,10 +32,8 @@ from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Callable
 
-from repro.core.config import CompassConfig
-from repro.core.pgas_simulator import PgasCompass
-from repro.core.simulator import Compass
 from repro.errors import AdmissionError, ConfigurationError
+from repro.exec import ExecLayout, SetupCostModel, make_adapter
 from repro.obs import Observability
 from repro.obs.live.context import TraceContext
 from repro.serve.batcher import Batch, Batcher, BatchPolicy
@@ -51,8 +49,11 @@ from repro.serve.jobs import (
 from repro.serve.queue import FairShareQueue, TenantQuota
 from repro.util.validation import check_positive, check_range, require
 
-#: Service backends, mirroring the simulator backends.
-BACKENDS = ("mpi", "pgas")
+#: Service backends, mirroring the execution backends (``repro.exec``).
+#: ``pool`` runs each batch on actual host cores (shared-memory spike
+#: windows); its results are byte-identical to ``pgas`` by the adapter
+#: determinism contract, so serve reports stay reproducible.
+BACKENDS = ("mpi", "pgas", "pool")
 
 # Event kinds, in tie-break order at equal timestamps: arrivals first,
 # then batch-delay flushes, then job completions, then worker releases.
@@ -83,18 +84,16 @@ def build_network(model: str, cores: int, seed: int):
 
 
 @dataclass(frozen=True)
-class ServeCostModel:
+class ServeCostModel(SetupCostModel):
     """Simulated cost coefficients for serving one batch.
 
+    A validated view of :class:`repro.exec.SetupCostModel` — the single
+    source of setup/span-cost arithmetic shared with the shard router.
     ``setup_us`` is the per-*batch* virtual-cluster setup (network build,
     compile, partition, buffer registration) — the cost batching exists
     to amortise.  ``tick_us`` and ``spike_us`` charge execution from the
     two partition-invariant run quantities.
     """
-
-    setup_us: float = 20_000.0
-    tick_us: float = 50.0
-    spike_us: float = 0.02
 
     def __post_init__(self) -> None:
         check_positive("setup_us", self.setup_us)
@@ -103,7 +102,7 @@ class ServeCostModel:
 
     def run_us(self, ticks: int, cum_fired: int) -> float:
         """Execution cost of the first ``ticks`` ticks of a batch."""
-        return ticks * self.tick_us + cum_fired * self.spike_us
+        return self.span_cost_us(ticks, cum_fired, cold=False)
 
 
 @dataclass(frozen=True)
@@ -114,6 +113,8 @@ class ServeConfig:
     processes: int = 1
     threads: int = 1
     backend: str = "mpi"
+    #: Host worker processes per launched batch (``pool`` backend only).
+    pool_workers: int = 2
     max_batch_size: int = 8
     max_batch_delay_us: float = 0.0
     queue_capacity: int = 256
@@ -137,12 +138,13 @@ class ServeConfig:
             self.backend in BACKENDS,
             f"backend={self.backend!r} not one of {BACKENDS}",
         )
+        check_positive("pool_workers", self.pool_workers)
         check_positive("queue_capacity", self.queue_capacity)
         check_positive("max_batch_size", self.max_batch_size)
         check_range("max_batch_delay_us", self.max_batch_delay_us, lo=0.0)
         check_positive("checkpoint_interval", self.checkpoint_interval)
         require(
-            not (self.fault_schedule is not None and self.backend == "pgas"),
+            self.fault_schedule is None or self.backend == "mpi",
             "fault injection requires the mpi backend "
             "(recovery hooks live in the two-sided virtual cluster)",
         )
@@ -515,7 +517,9 @@ class SimServer:
         )
         self._batch_seq += 1
         busy_until = (
-            self.now_us + costs.setup_us + costs.run_us(max_ticks, cum[-1]) + overhead_us
+            self.now_us
+            + costs.span_cost_us(max_ticks, cum[-1], cold=True)
+            + overhead_us
         )
         record.end_us = busy_until
         self.n_batches += 1
@@ -532,8 +536,7 @@ class SimServer:
             job.overhead_us = overhead_us
             finish = (
                 self.now_us
-                + costs.setup_us
-                + costs.run_us(job.spec.ticks, cum[job.spec.ticks])
+                + costs.span_cost_us(job.spec.ticks, cum[job.spec.ticks], cold=True)
                 + overhead_us
             )
             self._push(finish, _JOB_DONE, job)
@@ -582,9 +585,10 @@ class SimServer:
             return cached, 0, 0.0
         model, cores, seed = key
         network = build_network(model, cores, seed)
-        sim_config = CompassConfig(
+        layout = ExecLayout(
             n_processes=self.config.processes,
             threads_per_process=self.config.threads,
+            workers=self.config.pool_workers,
         )
         if self._fault_pending:
             # One-shot: the armed schedule applies to the first launch.
@@ -592,7 +596,9 @@ class SimServer:
             from repro.resilience.recovery import RecoveryPolicy, ResilientRunner
 
             runner = ResilientRunner(
-                lambda: Compass(network, sim_config, obs=Observability.off()),
+                lambda: make_adapter(
+                    "mpi", obs=Observability.off()
+                ).prepare(network, layout),
                 schedule=self.config.fault_schedule,
                 checkpoint_interval=self.config.checkpoint_interval,
                 policy=RecoveryPolicy(kind=self.config.recovery_policy),
@@ -603,24 +609,23 @@ class SimServer:
             self._note_state_nbytes(runner.sim)
             overhead_us = result.metrics.overhead_s * 1e6
             return fired, len(runner.report.failures), overhead_us
-        sim_cls = Compass if self.config.backend == "mpi" else PgasCompass
-        sim = sim_cls(network, sim_config, obs=Observability.off())
-        result = sim.run(ticks)
+        with make_adapter(self.config.backend, obs=Observability.off()) as adapter:
+            adapter.prepare(network, layout)
+            result = adapter.run(ticks)
+            self._note_state_nbytes(adapter)
         fired = tuple(tm.fired for tm in result.metrics.per_tick)
         self._run_cache[(key, ticks)] = fired
-        self._note_state_nbytes(sim)
         return fired, 0, 0.0
 
-    def _note_state_nbytes(self, sim: object) -> None:
+    def _note_state_nbytes(self, adapter) -> None:
         """Track the largest simulator state footprint (bytes).
 
-        ``state_nbytes`` sums per-block snapshot arrays, which partition
-        the same neurons regardless of rank layout, so the peak is
-        layout-invariant and safe to publish in byte-identical reports.
+        :meth:`~repro.exec.SimulatorAdapter.state_nbytes` sums per-block
+        snapshot arrays, which partition the same neurons regardless of
+        rank layout, so the peak is layout-invariant and safe to publish
+        in byte-identical reports.
         """
-        from repro.core.checkpoint import state_nbytes
-
-        self.peak_state_nbytes = max(self.peak_state_nbytes, state_nbytes(sim))
+        self.peak_state_nbytes = max(self.peak_state_nbytes, adapter.state_nbytes())
 
     # -- results --------------------------------------------------------------
 

@@ -45,7 +45,15 @@ from repro.util.validation import check_range, require
 
 @dataclass(frozen=True)
 class FleetConfig:
-    """Validated fleet topology: ring + per-shard service template."""
+    """Validated fleet topology: ring + per-shard service template.
+
+    Execution backend selection rides the :class:`ServeConfig` template:
+    ``serve.backend`` (``mpi``/``pgas``/``pool``) and
+    ``serve.pool_workers`` flow through :meth:`shard_serve_config` to
+    every shard's server, which drives the chosen backend through the
+    :mod:`repro.exec` adapter layer — the fleet never constructs a
+    simulator directly.
+    """
 
     shards: int = 4
     vnodes: int = 64

@@ -92,6 +92,32 @@ class TestRun:
         assert "--trace requires --stats" in err
 
 
+class TestExec:
+    def test_exec_info(self, capsys):
+        assert main(["exec", "info"]) == 0
+        out = capsys.readouterr().out
+        assert "execution backends" in out
+        for name in ("sequential", "pgas", "pool", "pool-mpi"):
+            assert name in out
+        assert "host:" in out
+
+    def test_exec_run_in_process_backend(self, capsys):
+        assert main(
+            ["exec", "run", "quickstart", "--ticks", "20",
+             "--processes", "2", "--backend", "pgas"]
+        ) == 0
+        assert "(pgas)" in capsys.readouterr().out
+
+    def test_exec_run_rejects_profile_on_pool(self, capsys):
+        # Rejected before any worker is spawned.
+        assert main(
+            ["exec", "run", "quickstart", "--ticks", "10",
+             "--backend", "pool", "--profile"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "--profile needs in-process rank state" in err
+
+
 class TestObs:
     def test_obs_trace_writes_valid_trace(self, capsys, tmp_path):
         from repro.obs import validate_chrome_trace

@@ -1,0 +1,202 @@
+"""Unit tests for the execution adapter layer (``repro.exec``).
+
+One parametrized contract suite over the in-process backends — prepare,
+run, collect, checkpoint round-trip, injection — plus the shared pieces:
+layout validation, the backend registry, the setup-cost model, and the
+shared-memory spike-window ring.  The heavyweight pool byte-identity
+guarantees live in ``tests/integration/test_exec_determinism.py``; here
+the pool is only exercised for its typed rejection surface.
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro.apps.quicknet import build_quickstart_network
+from repro.core.config import CompassConfig
+from repro.core.pgas_simulator import PgasCompass
+from repro.core.simulator import Compass
+from repro.errors import ExecError
+from repro.exec import (
+    ExecLayout,
+    PgasAdapter,
+    ProcessPoolAdapter,
+    SequentialAdapter,
+    SetupCostModel,
+    SpikeWindow,
+    as_adapter,
+    backend_names,
+    make_adapter,
+)
+from repro.resilience import spike_digest
+from repro.runtime.machine import BLUE_GENE_Q, MachineConfig
+
+TICKS = 12
+N_CORES = 8
+
+
+def _net(seed=7):
+    return build_quickstart_network(n_cores=N_CORES, seed=seed)
+
+
+class TestExecLayout:
+    def test_validation(self):
+        with pytest.raises(ExecError, match="workers"):
+            ExecLayout(workers=0)
+        with pytest.raises(ExecError, match="window_bytes"):
+            ExecLayout(window_bytes=16)
+
+    def test_compass_config_round_trip(self):
+        layout = ExecLayout(n_processes=4, threads_per_process=2, record_spikes=True)
+        cfg = layout.compass_config()
+        assert cfg.n_processes == 4
+        assert cfg.threads_per_process == 2
+        assert cfg.record_spikes
+        lifted = ExecLayout.from_config(cfg, workers=3)
+        assert lifted.n_processes == 4
+        assert lifted.workers == 3
+
+
+class TestRegistry:
+    def test_known_backends(self):
+        names = backend_names()
+        for name in ("sequential", "mpi", "pgas", "pool", "pool-mpi"):
+            assert name in names
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ExecError, match="unknown execution backend"):
+            make_adapter("quantum")
+
+    def test_as_adapter_passthrough_and_wrap(self):
+        adapter = make_adapter("sequential")
+        assert as_adapter(adapter) is adapter
+        net = _net()
+        seq = as_adapter(Compass(net, CompassConfig(n_processes=2)))
+        assert isinstance(seq, SequentialAdapter)
+        assert seq.backend == "sequential"
+        pg = as_adapter(PgasCompass(net, CompassConfig(n_processes=2)))
+        assert isinstance(pg, PgasAdapter)
+        assert pg.backend == "pgas"
+
+
+class TestSetupCostModel:
+    def test_span_cost(self):
+        m = SetupCostModel(setup_us=100.0, tick_us=2.0, spike_us=0.5)
+        assert m.span_cost_us(10, 4, cold=False) == 10 * 2.0 + 4 * 0.5
+        assert m.span_cost_us(10, 4, cold=True) == 100.0 + 10 * 2.0 + 4 * 0.5
+
+
+@pytest.mark.parametrize("backend", ["sequential", "pgas"])
+class TestAdapterContract:
+    def test_run_matches_direct_simulator(self, backend):
+        net = _net()
+        layout = ExecLayout(n_processes=4, record_spikes=True)
+        adapter = make_adapter(backend).prepare(net, layout)
+        result = adapter.run(TICKS)
+        sim_cls = Compass if backend == "sequential" else PgasCompass
+        direct = sim_cls(_net(), layout.compass_config()).run(TICKS)
+        assert result.total_spikes == direct.total_spikes
+        assert spike_digest(result.spikes) == spike_digest(direct.spikes)
+        assert adapter.tick == TICKS
+        assert adapter.n_ranks == 4
+
+    def test_capture_restore_round_trip(self, backend):
+        adapter = make_adapter(backend).prepare(
+            _net(), ExecLayout(n_processes=2, record_spikes=True)
+        )
+        adapter.run_ticks(5)
+        snap = adapter.capture()
+        adapter.run_ticks(5)
+        first = spike_digest(adapter.recorder)
+        # Rewind to the checkpoint and replay: the continuation must land
+        # on the same tick and produce identical spikes from that state.
+        adapter.restore(snap)
+        assert adapter.tick == 5
+        adapter.recorder.truncate(5)
+        adapter.run_ticks(5)
+        assert spike_digest(adapter.recorder) == first
+        assert adapter.state_nbytes() > 0
+
+    def test_injection(self, backend):
+        base = make_adapter(backend).prepare(
+            _net(), ExecLayout(n_processes=2, record_spikes=True)
+        )
+        base_total = base.run(TICKS).total_spikes
+        poked = make_adapter(backend).prepare(
+            _net(), ExecLayout(n_processes=2, record_spikes=True)
+        )
+        for axon in range(6):
+            poked.inject(gid=0, axon=axon, tick=3)
+        assert poked.run(TICKS).total_spikes >= base_total
+
+    def test_inject_past_tick_raises(self, backend):
+        adapter = make_adapter(backend).prepare(_net(), ExecLayout(n_processes=2))
+        adapter.run_ticks(4)
+        with pytest.raises(ValueError, match="past tick"):
+            adapter.inject(gid=0, axon=0, tick=1)
+
+
+class TestPoolRejections:
+    def test_unknown_flavor(self):
+        with pytest.raises(ExecError, match="flavor"):
+            ProcessPoolAdapter(flavor="tcp")
+
+    def test_sanitize_rejected(self):
+        with pytest.raises(ExecError, match="sanitizer"):
+            ProcessPoolAdapter(workers=1).prepare(
+                _net(), ExecLayout(n_processes=2, sanitize=True)
+            )
+
+    def test_machine_model_rejected(self):
+        machine = MachineConfig(machine=BLUE_GENE_Q, nodes=2)
+        with pytest.raises(ExecError, match="machine"):
+            ProcessPoolAdapter(workers=1).prepare(
+                _net(), ExecLayout(n_processes=2, machine=machine)
+            )
+
+    def test_profiling_obs_rejected(self):
+        from repro.obs import Observability
+
+        obs = Observability.with_profiling()
+        with pytest.raises(ExecError, match="prof"):
+            ProcessPoolAdapter(obs=obs, workers=1).prepare(
+                _net(), ExecLayout(n_processes=2)
+            )
+
+    def test_flags(self):
+        pool = ProcessPoolAdapter(workers=1)
+        assert pool.backend == "pool"
+        assert not pool.supports_simulated_faults
+        assert ProcessPoolAdapter(flavor="mpi", workers=1).backend == "pool-mpi"
+
+
+class TestSpikeWindow:
+    @pytest.fixture
+    def window(self):
+        ctx = multiprocessing.get_context("spawn")
+        win = SpikeWindow.create(ctx, owner=0, capacity=256)
+        yield win
+        win.unlink()
+
+    def test_put_drain(self, window):
+        window.put(1, 0, b"alpha")
+        window.put(2, 0, b"beta")
+        assert window.drain() == [(1, 0, b"alpha"), (2, 0, b"beta")]
+        assert window.drain() == []
+
+    def test_wrap_around(self, window):
+        # Each 48-B record cycles the 256-B ring through every offset.
+        payload = bytes(range(32))
+        for i in range(40):
+            window.put(i, 0, payload)
+            assert window.drain() == [(i, 0, payload)]
+
+    def test_overflow_raises(self, window):
+        window.put(0, 0, bytes(100))
+        window.put(1, 0, bytes(100))
+        with pytest.raises(ExecError, match="overflow"):
+            window.put(2, 0, bytes(100))
+
+    def test_oversized_record_raises(self, window):
+        with pytest.raises(ExecError, match="window_bytes"):
+            window.put(0, 0, bytes(1024))

@@ -1,4 +1,4 @@
-"""Unit tests for the determinism lint engine (DET100–DET111).
+"""Unit tests for the determinism lint engine (DET100–DET112).
 
 Each rule gets a positive case (the violation is reported with its rule
 id and location) and a suppressed case (the same construct with a
@@ -31,7 +31,7 @@ class TestRegistry:
         ids = [r.rule_id for r in all_rules()]
         assert ids == [
             "DET101", "DET102", "DET103", "DET104", "DET105", "DET106", "DET107",
-            "DET108", "DET109", "DET110", "DET111",
+            "DET108", "DET109", "DET110", "DET111", "DET112",
         ]
 
     def test_rules_by_id_selects(self):
@@ -682,5 +682,133 @@ class TestHostProfBoundary:
             "import resource\n\ndef rss():\n"
             "    # repro: allow[DET111] documented one-shot diagnostics\n"
             "    return resource.getrusage(resource.RUSAGE_SELF)\n"
+        )
+        assert lint_source(src, path="x.py") == []
+
+
+class TestExecHostBoundary:
+    def test_cpu_count_flagged(self):
+        src = "import os\n\ndef width():\n    return os.cpu_count()\n"
+        violations = lint_source(src, path="x.py")
+        assert rule_ids(violations) == ["DET112"]
+        assert "os.cpu_count" in violations[0].message
+        assert violations[0].line == 4
+
+    def test_multiprocessing_cpu_count_flagged(self):
+        src = (
+            "import multiprocessing\n\ndef width():\n"
+            "    return multiprocessing.cpu_count()\n"
+        )
+        assert rule_ids(lint_source(src, path="x.py")) == ["DET112"]
+
+    def test_fork_context_flagged(self):
+        src = (
+            "import multiprocessing\n\ndef ctx():\n"
+            "    return multiprocessing.get_context('fork')\n"
+        )
+        violations = lint_source(src, path="x.py")
+        assert rule_ids(violations) == ["DET112"]
+        assert "fork start method" in violations[0].message
+
+    def test_fork_start_method_flagged(self):
+        src = (
+            "import multiprocessing as mp\n\ndef setup():\n"
+            "    mp.set_start_method('forkserver')\n"
+        )
+        assert rule_ids(lint_source(src, path="x.py")) == ["DET112"]
+
+    def test_os_fork_flagged(self):
+        src = "import os\n\ndef clone():\n    return os.fork()\n"
+        violations = lint_source(src, path="x.py")
+        assert rule_ids(violations) == ["DET112"]
+        assert "spawn" in violations[0].message
+
+    def test_spawn_context_allowed(self):
+        src = (
+            "import multiprocessing\n\ndef ctx():\n"
+            "    return multiprocessing.get_context('spawn')\n"
+        )
+        assert lint_source(src, path="x.py") == []
+
+    def test_unseeded_rng_flagged(self):
+        src = (
+            "import numpy as np\n\ndef stream():\n"
+            "    return np.random.default_rng()\n"
+        )
+        violations = lint_source(src, path="x.py")
+        assert rule_ids(violations) == ["DET112"]
+        assert "unseeded" in violations[0].message
+
+    def test_unseeded_random_flagged(self):
+        # random.Random() is both a global-state RNG touch (DET102) and
+        # an unseeded construction (DET112).
+        src = "import random\n\ndef stream():\n    return random.Random()\n"
+        assert rule_ids(lint_source(src, path="x.py")) == ["DET102", "DET112"]
+
+    def test_unseeded_seed_sequence_flagged(self):
+        src = (
+            "import numpy as np\n\ndef entropy():\n"
+            "    return np.random.SeedSequence()\n"
+        )
+        assert rule_ids(lint_source(src, path="x.py")) == ["DET112"]
+
+    def test_seeded_rng_allowed(self):
+        src = (
+            "import numpy as np\n\ndef stream(seed):\n"
+            "    return np.random.default_rng(seed)\n"
+        )
+        assert lint_source(src, path="x.py") == []
+
+    def test_marked_def_line_exempt(self):
+        src = (
+            "import os\n\n"
+            "def width():  # repro: exec-host\n"
+            "    return os.cpu_count()\n"
+        )
+        assert lint_source(src, path="x.py") == []
+
+    def test_marked_line_above_exempt(self):
+        src = (
+            "import os\n\n"
+            "# repro: exec-host\n"
+            "def width():\n"
+            "    return os.cpu_count()\n"
+        )
+        assert lint_source(src, path="x.py") == []
+
+    def test_nested_function_inherits_exemption(self):
+        src = (
+            "import os\n\n"
+            "def plan():  # repro: exec-host\n"
+            "    def width():\n"
+            "        return os.cpu_count()\n"
+            "    return width()\n"
+        )
+        assert lint_source(src, path="x.py") == []
+
+    def test_fork_flagged_even_inside_exec_host(self):
+        # The marker admits host *facts*, never the fork start method.
+        src = (
+            "import multiprocessing\n\n"
+            "def ctx():  # repro: exec-host\n"
+            "    return multiprocessing.get_context('fork')\n"
+        )
+        assert rule_ids(lint_source(src, path="x.py")) == ["DET112"]
+
+    def test_exec_package_is_linted(self):
+        src = "import os\n\ndef width():\n    return os.cpu_count()\n"
+        path = str(Path("src") / "repro" / "exec" / "pool.py")
+        assert rule_ids(lint_source(src, path=path)) == ["DET112"]
+
+    def test_not_applied_outside_rank_visible_paths(self):
+        src = "import os\n\ndef width():\n    return os.cpu_count()\n"
+        path = str(Path("src") / "repro" / "analysis" / "meter.py")
+        assert lint_source(src, path=path) == []
+
+    def test_suppressed(self):
+        src = (
+            "import os\n\ndef width():\n"
+            "    # repro: allow[DET112] documented capacity-planning probe\n"
+            "    return os.cpu_count()\n"
         )
         assert lint_source(src, path="x.py") == []
